@@ -1,0 +1,30 @@
+"""Benchmarks: the overhead and section-count ablations."""
+
+import numpy as np
+
+from repro.core.hwlw import section_ablation_sweep
+from repro.core.params import ParcelParams, Table1Params
+from repro.core.parcels import overhead_ablation_sweep
+
+
+def test_bench_ablation_overhead(benchmark):
+    grid = benchmark(
+        overhead_ablation_sweep,
+        ParcelParams(
+            parallelism=16, remote_fraction=0.2, latency_cycles=300.0
+        ),
+        (0.0, 8.0, 32.0),
+        6_000.0,
+    )
+    assert grid.values[0, 0] > grid.values[0, -1]  # overhead erodes
+
+
+def test_bench_ablation_sections(benchmark):
+    grid = benchmark(
+        section_ablation_sweep,
+        Table1Params(),
+        0.5,
+        8,
+        (1, 4, 16),
+    )
+    assert np.allclose(grid.values, grid.values[0, 0], rtol=1e-12)

@@ -1,0 +1,29 @@
+"""Benchmark: §2.1 DRAM bandwidth model (vectorized design sweep)."""
+
+import numpy as np
+
+from repro.arch.dram import (
+    DramMacroTiming,
+    macro_bandwidth_bits_per_sec,
+)
+
+
+def run():
+    timings = [
+        DramMacroTiming(row_access_ns=r, page_access_ns=p)
+        for r in (10.0, 20.0, 40.0)
+        for p in (1.0, 2.0, 4.0)
+    ]
+    return np.array(
+        [
+            macro_bandwidth_bits_per_sec(t, row_hit_ratio=h)
+            for t in timings
+            for h in np.linspace(0, 1, 50)
+        ]
+    )
+
+
+def test_bench_bandwidth_sweep(benchmark):
+    bws = benchmark(run)
+    assert bws.shape == (9 * 50,)
+    assert macro_bandwidth_bits_per_sec() > 50e9

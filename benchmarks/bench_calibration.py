@@ -1,0 +1,15 @@
+"""Benchmark: workload calibration (trace profiling + cache simulation)."""
+
+from repro.workloads import calibrate, standard_kernels
+
+
+def run():
+    return calibrate(standard_kernels(accesses=2_000))
+
+
+def test_bench_calibration(benchmark):
+    result = benchmark(run)
+    assert all(
+        k.locality == k.kernel.expected_locality for k in result.kernels
+    )
+    assert result.hwp_miss_rate < 0.2

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the DES engine substrate.
+
+These measure the raw event throughput that bounds every study in the
+package: timeout processing, process context switching, resource
+queueing, and store handoffs.
+"""
+
+from repro.desim import Resource, Simulator, Store
+
+
+def timeout_chain(n):
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    return sim.now
+
+
+def resource_pipeline(n_users, holds_each):
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def user():
+        for _ in range(holds_each):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+
+    for _ in range(n_users):
+        sim.process(user())
+    sim.run()
+    return res.total_requests
+
+
+def producer_consumer(n_items):
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        for i in range(n_items):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(n_items):
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    return store.total_gets
+
+
+def test_bench_timeout_events(benchmark):
+    now = benchmark(timeout_chain, 10_000)
+    assert now == 10_000.0
+
+
+def test_bench_resource_queueing(benchmark):
+    total = benchmark(resource_pipeline, 20, 50)
+    assert total == 20 * 50
+
+
+def test_bench_store_handoff(benchmark):
+    total = benchmark(producer_consumer, 5_000)
+    assert total == 5_000

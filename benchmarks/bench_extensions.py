@@ -1,0 +1,36 @@
+"""Benchmarks: the model extensions (overlap, imbalance, contention)."""
+
+import numpy as np
+
+from repro.core.hwlw import (
+    HwlwSimConfig,
+    simulate_hybrid,
+    time_relative_overlapped,
+)
+from repro.core.params import Table1Params
+
+PARAMS = Table1Params()
+
+
+def overlap_surface():
+    f = np.linspace(0.0, 1.0, 101)[:, None]
+    n = np.linspace(1.0, 64.0, 64)[None, :]
+    return time_relative_overlapped(f, n, PARAMS)
+
+
+def overlapped_sim():
+    return simulate_hybrid(
+        PARAMS, 0.5, 8, HwlwSimConfig(stochastic=False, overlap=True)
+    )
+
+
+def test_bench_overlap_surface(benchmark):
+    surface = benchmark(overlap_surface)
+    assert surface.shape == (101, 64)
+    assert float(surface.min()) > 0.0
+
+
+def test_bench_overlap_simulation(benchmark):
+    result = benchmark(overlapped_sim)
+    expected = float(time_relative_overlapped(0.5, 8, PARAMS)) * 4e8
+    assert abs(result.completion_cycles - expected) < 1.0

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 11 — parcel latency-hiding ratio (reduced grid).
+
+Runs one favorable and one unfavorable operating point of the paired
+test/control DES and asserts the paper's two regimes before timing.
+"""
+
+from repro.core.params import ParcelParams
+from repro.core.parcels import compare_systems
+
+FAVORABLE = ParcelParams(
+    parallelism=64, remote_fraction=0.5, latency_cycles=1000.0
+)
+UNFAVORABLE = ParcelParams(
+    parallelism=1, remote_fraction=0.2, latency_cycles=10.0
+)
+HORIZON = 10_000.0
+
+
+def test_bench_figure11_favorable(benchmark):
+    cmp = benchmark(compare_systems, FAVORABLE, HORIZON)
+    assert cmp.ratio > 10.0  # 'exceeding an order of magnitude'
+
+
+def test_bench_figure11_unfavorable(benchmark):
+    cmp = benchmark(compare_systems, UNFAVORABLE, HORIZON)
+    assert cmp.ratio < 1.1  # 'small or in fact reversed'

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 12 — idle time vs parallelism (one panel).
+
+Times a reduced idle-time panel including the 16-node system the paper
+failed to complete, asserting the idle-time contrast.
+"""
+
+from repro.core.params import ParcelParams
+from repro.core.parcels import figure12_sweep
+
+BASE = ParcelParams(remote_fraction=0.2, latency_cycles=1000.0)
+
+
+def run():
+    return figure12_sweep(
+        BASE,
+        node_counts=(16,),  # the panel the paper could not complete
+        parallelism_levels=(1, 8, 32),
+        horizon_cycles=5_000.0,
+    )
+
+
+def test_bench_figure12_sixteen_nodes(benchmark):
+    result = benchmark(run)
+    grid = result.panel(16)
+    test_idle, control_idle = grid.values[0], grid.values[1]
+    assert test_idle[-1] < 0.1        # 'drops virtually to zero'
+    assert control_idle[0] > 0.5      # 'relatively high idle time'

@@ -1,0 +1,37 @@
+"""Benchmark: Figure 5 — simulated performance gain sweep.
+
+Times the queuing-simulation sweep over a reduced (N, %WL) grid and
+asserts the paper's headline shape: the all-LWP, max-node corner exceeds
+100x gain over the all-host control.
+"""
+
+from repro.core.hwlw import HwlwSimConfig, figure5_gain_sweep
+from repro.core.params import Table1Params
+
+PARAMS = Table1Params()
+CONFIG = HwlwSimConfig(stochastic=True, chunk_ops=1_000_000, seed=0)
+NODES = (1, 8, 64)
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def run():
+    return figure5_gain_sweep(
+        PARAMS,
+        node_counts=NODES,
+        lwp_fractions=FRACTIONS,
+        config=CONFIG,
+        use_simulation=True,
+    )
+
+
+def test_bench_figure5_simulated(benchmark):
+    grid = benchmark(run)
+    assert float(grid.values[-1, -1]) > 100.0  # 'factor of 100X'
+    assert float(grid.values[0, -1]) < 3.0     # one node barely helps
+
+
+def test_bench_figure5_analytic(benchmark):
+    grid = benchmark(
+        figure5_gain_sweep, PARAMS, NODES, FRACTIONS, None, False
+    )
+    assert float(grid.values[-1, -1]) > 100.0

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 6 — unnormalized response-time sweep."""
+
+import numpy as np
+
+from repro.core.hwlw import HwlwSimConfig, figure6_response_time_sweep
+from repro.core.params import Table1Params
+
+PARAMS = Table1Params()
+CONFIG = HwlwSimConfig(stochastic=True, chunk_ops=1_000_000, seed=0)
+
+
+def run():
+    return figure6_response_time_sweep(
+        PARAMS,
+        node_counts=(1, 8, 64),
+        lwp_fractions=(0.0, 0.5, 1.0),
+        config=CONFIG,
+        use_simulation=True,
+    )
+
+
+def test_bench_figure6(benchmark):
+    grid = benchmark(run)
+    assert np.allclose(grid.row(0.0), 4.0e8, rtol=5e-3)   # flat 0% line
+    assert abs(grid.values[-1, 0] - 1.25e9) / 1.25e9 < 5e-3

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 7 — the analytic Time_relative surface.
+
+This is the paper's closed-form model; the benchmark times a full
+vectorized design-space evaluation (121 x 128 grid) and asserts the
+NB coincidence property.
+"""
+
+import numpy as np
+
+from repro.core.hwlw import nb_parameter, time_relative
+from repro.core.params import Table1Params
+
+PARAMS = Table1Params()
+
+
+def run():
+    f = np.linspace(0.0, 1.0, 121)[:, None]
+    n = np.linspace(1.0, 64.0, 128)[None, :]
+    return time_relative(f, n, PARAMS)
+
+
+def test_bench_figure7_surface(benchmark):
+    surface = benchmark(run)
+    assert surface.shape == (121, 128)
+    nb = nb_parameter(PARAMS)
+    at_nb = time_relative(np.linspace(0, 1, 11), nb, PARAMS)
+    assert np.allclose(at_nb, 1.0)

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the functional PIM ISA simulator."""
+
+from repro.isa import (
+    IsaParams,
+    PimSystem,
+    assemble,
+    gups_program,
+    parallel_sum_program,
+    simd_vector_sum_program,
+)
+
+ALU_LOOP = assemble(
+    """
+    li r3, 2000
+    li r4, 0
+    loop:
+    add r4, r4, r3
+    xor r5, r4, r3
+    addi r3, r3, -1
+    bne r3, r0, loop
+    halt
+    """
+)
+
+
+def run_alu_loop():
+    system = PimSystem(IsaParams(n_nodes=1, words_per_node=64))
+    system.load(ALU_LOOP)
+    system.spawn(0, "")
+    return system.run()
+
+
+def run_parallel_sum():
+    kernel = parallel_sum_program(
+        count_per_worker=32, n_workers=4
+    )
+    system = PimSystem(IsaParams(n_nodes=4, words_per_node=256))
+    kernel.launch(system)
+    result = system.run()
+    assert kernel.verify(system)
+    return result
+
+
+def run_gups():
+    kernel = gups_program(updates=128)
+    system = PimSystem(IsaParams(n_nodes=4, words_per_node=256))
+    kernel.launch(system)
+    result = system.run()
+    assert kernel.verify(system)
+    return result
+
+
+def test_bench_isa_alu_throughput(benchmark):
+    result = benchmark(run_alu_loop)
+    assert result.instructions > 8000
+
+
+def test_bench_isa_parallel_sum(benchmark):
+    result = benchmark(run_parallel_sum)
+    assert result.threads_completed == 5
+
+
+def test_bench_isa_gups_parcels(benchmark):
+    result = benchmark(run_gups)
+    assert result.parcels_sent > 0
+
+
+def run_simd_sum():
+    kernel = simd_vector_sum_program(count=128)
+    system = PimSystem(IsaParams(n_nodes=1, words_per_node=1024))
+    kernel.launch(system)
+    result = system.run()
+    assert kernel.verify(system)
+    return result
+
+
+def test_bench_isa_simd_wide_words(benchmark):
+    result = benchmark(run_simd_sum)
+    # 32 wide-word loads instead of 128 scalar loads
+    assert result.local_accesses == 32 + 1  # + the result store

@@ -1,0 +1,11 @@
+"""Benchmark: Table 1 regeneration (parameter table + derived anchors)."""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(
+        run_experiment, "table1", ExperimentConfig(quick=True)
+    )
+    assert result.passed
+    assert len(result.tables["table1"]) == 10

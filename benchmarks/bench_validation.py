@@ -1,0 +1,22 @@
+"""Benchmark: the §3.1.2 sim-vs-analytic validation grid."""
+
+from repro.core.hwlw import validate_against_analytic
+from repro.core.params import Table1Params
+
+PARAMS = Table1Params(total_work=4_000_000)
+
+
+def run():
+    return validate_against_analytic(
+        PARAMS,
+        lwp_fractions=(0.1, 0.5, 1.0),
+        node_counts=(1, 8, 64),
+        stochastic=True,
+        chunk_ops=20_000,
+    )
+
+
+def test_bench_validation(benchmark):
+    report = benchmark(run)
+    assert report.within_paper_envelope  # the paper's 18% bound
+    assert report.max_relative_error < 0.05

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates (a reduced version of) one paper artifact and
+asserts its qualitative shape before timing, so `pytest benchmarks/
+--benchmark-only` doubles as an end-to-end reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig(quick=True, seed=0)

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this legacy
+path; normal online environments can use the PEP 621 metadata in
+``pyproject.toml`` directly.
+"""
+
+from setuptools import setup
+
+setup()

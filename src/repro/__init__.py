@@ -1,0 +1,74 @@
+"""repro — reproduction of *Analysis and Modeling of Advanced PIM
+Architecture Design Tradeoffs* (Upchurch, Sterling, Brockman; SC 2004).
+
+The package provides:
+
+* :mod:`repro.desim` — a from-scratch discrete-event simulation engine
+  (substitute for the commercial SES/workbench tool the paper used);
+* :mod:`repro.arch` — DRAM row-buffer bandwidth and cache substrates;
+* :mod:`repro.core` — the paper's two parametric studies: the
+  heavyweight/lightweight (HWP/LWP) partitioning tradeoff (§3) and the
+  parcel split-transaction latency-hiding study (§4), each as both a
+  queuing simulation and a closed-form analytic model;
+* :mod:`repro.isa` — a functional multithreaded PIM ISA simulator
+  ("PIM Lite"-style) used to ground the statistical parameters;
+* :mod:`repro.workloads` — synthetic kernels (GUPS, pointer-chase, SpMV,
+  dense) with measurable locality used for calibration;
+* :mod:`repro.experiments` — one registered experiment per paper table and
+  figure, regenerating its data as CSV/ASCII plots;
+* :mod:`repro.viz` — plotting/table helpers; :mod:`repro.cli` — the
+  ``repro-pim`` command-line interface.
+
+Quickstart
+----------
+>>> from repro import Table1Params, nb_parameter, time_relative
+>>> p = Table1Params()
+>>> round(nb_parameter(p), 3)          # break-even PIM node count
+3.125
+>>> float(time_relative(0.5, 8, p))    # %WL=50%, N=8 -> below 1: PIM wins
+0.6953125
+"""
+
+from .core.params import Table1Params, ParcelParams
+from .core.hwlw.analytic import (
+    hwp_cycles_per_op,
+    lwp_cycles_per_op,
+    nb_parameter,
+    time_relative,
+    performance_gain,
+    control_time,
+    test_time,
+)
+from .core.hwlw.simulation import HybridSystemModel, simulate_hybrid
+from .core.parcels.systems import (
+    simulate_message_passing,
+    simulate_parcels,
+)
+from .core.parcels.analytic import (
+    multithreading_efficiency,
+    saturation_parallelism,
+)
+from .arch.dram import DramMacroTiming, macro_bandwidth_bits_per_sec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Table1Params",
+    "ParcelParams",
+    "hwp_cycles_per_op",
+    "lwp_cycles_per_op",
+    "nb_parameter",
+    "time_relative",
+    "performance_gain",
+    "control_time",
+    "test_time",
+    "HybridSystemModel",
+    "simulate_hybrid",
+    "simulate_message_passing",
+    "simulate_parcels",
+    "multithreading_efficiency",
+    "saturation_parallelism",
+    "DramMacroTiming",
+    "macro_bandwidth_bits_per_sec",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""repro.arch — architecture substrates for the PIM studies.
+
+* :mod:`repro.arch.dram` — DRAM macro / PIM-chip row-buffer bandwidth
+  models reproducing the §2.1 "hidden bandwidth" analysis;
+* :mod:`repro.arch.cache` — the study's statistical cache plus a real
+  set-associative LRU simulator for deriving hit rates from traces;
+* :mod:`repro.arch.energy` — per-event energy accounting extending the
+  partitioning study onto the energy axis (the IRAM claim of §2.1).
+"""
+
+from .cache import (
+    CacheStats,
+    SetAssociativeCache,
+    StatisticalCache,
+    simulate_trace_hit_rate,
+)
+from .energy import (
+    EnergyParams,
+    control_energy_nj,
+    energy_delay_ratio,
+    energy_ratio,
+    pim_energy_nj,
+)
+from .dram import (
+    DramMacroTiming,
+    PimChipConfig,
+    chip_bandwidth_bits_per_sec,
+    effective_access_time_ns,
+    macro_bandwidth_bits_per_sec,
+    min_macros_for_bandwidth,
+)
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "StatisticalCache",
+    "simulate_trace_hit_rate",
+    "EnergyParams",
+    "control_energy_nj",
+    "energy_delay_ratio",
+    "energy_ratio",
+    "pim_energy_nj",
+    "DramMacroTiming",
+    "PimChipConfig",
+    "chip_bandwidth_bits_per_sec",
+    "effective_access_time_ns",
+    "macro_bandwidth_bits_per_sec",
+    "min_macros_for_bandwidth",
+]

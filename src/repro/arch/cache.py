@@ -1,0 +1,229 @@
+"""Cache models: the study's statistical cache and a real LRU simulator.
+
+The HWP/LWP study abstracts the heavyweight processor's cache to a single
+hit-rate parameter (``Pmiss``).  :class:`StatisticalCache` implements that
+abstraction with reproducible Bernoulli draws.  :class:`SetAssociativeCache`
+is a functional set-associative LRU cache simulator used to *derive* hit
+rates from address traces — closing the loop between the paper's assumed
+``Pmiss = 0.1`` (high-locality work) / ``1.0`` (no-reuse work) and concrete
+access patterns (see :mod:`repro.workloads.locality`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "StatisticalCache",
+    "SetAssociativeCache",
+    "simulate_trace_hit_rate",
+]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else float("nan")
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else float("nan")
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class StatisticalCache:
+    """The study's cache abstraction: i.i.d. misses at a fixed rate.
+
+    Examples
+    --------
+    >>> c = StatisticalCache(0.1, np.random.default_rng(0))
+    >>> _ = [c.access() for _ in range(10_000)]
+    >>> abs(c.stats.miss_rate - 0.1) < 0.02
+    True
+    """
+
+    def __init__(
+        self, miss_rate: float, rng: _t.Optional[np.random.Generator] = None
+    ) -> None:
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
+        self.miss_rate = float(miss_rate)
+        self.rng = rng
+        self.stats = CacheStats()
+
+    def access(self, address: int = 0) -> bool:
+        """Perform one access; returns True on hit.
+
+        The address is ignored — locality lives entirely in the rate.
+        """
+        if self.miss_rate == 0.0:
+            miss = False
+        elif self.miss_rate == 1.0:
+            miss = True
+        else:
+            if self.rng is None:
+                raise ValueError(
+                    "probabilistic StatisticalCache requires an rng"
+                )
+            miss = bool(self.rng.random() < self.miss_rate)
+        if miss:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        return True
+
+    def access_many(self, count: int) -> int:
+        """Vectorized: perform ``count`` accesses, return miss count."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return 0
+        if self.miss_rate == 0.0:
+            misses = 0
+        elif self.miss_rate == 1.0:
+            misses = count
+        else:
+            if self.rng is None:
+                raise ValueError(
+                    "probabilistic StatisticalCache requires an rng"
+                )
+            misses = int(self.rng.binomial(count, self.miss_rate))
+        self.stats.misses += misses
+        self.stats.hits += count - misses
+        return misses
+
+
+class SetAssociativeCache:
+    """Functional set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_bytes:
+        Cache-line size (power of two).
+    associativity:
+        Ways per set; ``size_bytes / (line_bytes * associativity)`` sets
+        (must divide evenly; one set = fully associative).
+
+    Notes
+    -----
+    Addresses are byte addresses.  Only presence is tracked (no data, no
+    dirty bits) — sufficient for hit-rate derivation.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 64 * 1024,
+        line_bytes: int = 64,
+        associativity: int = 4,
+    ) -> None:
+        if line_bytes < 1 or (line_bytes & (line_bytes - 1)) != 0:
+            raise ValueError("line_bytes must be a positive power of two")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if size_bytes < line_bytes * associativity:
+            raise ValueError("cache smaller than one set")
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ValueError(
+                "size_bytes must be a multiple of line_bytes*associativity"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        # each set: OrderedDict tag -> None, LRU at the front
+        self._sets: _t.List[OrderedDict] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> _t.Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; returns True on hit, updating LRU."""
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        if len(ways) >= self.associativity:
+            ways.popitem(last=False)  # evict LRU
+        ways[tag] = None
+        self.stats.misses += 1
+        return False
+
+    def access_trace(self, addresses: _t.Iterable[int]) -> CacheStats:
+        """Run a whole address trace; returns the cumulative stats."""
+        for address in addresses:
+            self.access(int(address))
+        return self.stats
+
+    def contains(self, address: int) -> bool:
+        """Presence check without LRU side effects."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    @property
+    def lines_resident(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SetAssociativeCache {self.size_bytes}B "
+            f"{self.associativity}-way {self.line_bytes}B-lines "
+            f"hit_rate={self.stats.hit_rate:.3f}>"
+            if self.stats.accesses
+            else f"<SetAssociativeCache {self.size_bytes}B>"
+        )
+
+
+def simulate_trace_hit_rate(
+    addresses: _t.Iterable[int],
+    size_bytes: int = 64 * 1024,
+    line_bytes: int = 64,
+    associativity: int = 4,
+    warmup_fraction: float = 0.0,
+) -> float:
+    """Hit rate of an address trace on a fresh cache.
+
+    Parameters
+    ----------
+    warmup_fraction:
+        Leading fraction of the trace used only to warm the cache
+        (excluded from statistics), for steady-state rates.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    trace = [int(a) for a in addresses]
+    cache = SetAssociativeCache(size_bytes, line_bytes, associativity)
+    split = int(len(trace) * warmup_fraction)
+    for address in trace[:split]:
+        cache.access(address)
+    cache.stats.reset()
+    for address in trace[split:]:
+        cache.access(address)
+    return cache.stats.hit_rate

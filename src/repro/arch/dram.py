@@ -1,0 +1,192 @@
+"""DRAM macro and PIM-chip bandwidth models (paper §2.1).
+
+The paper's case for PIM rests on "reclaiming the hidden bandwidth" of
+on-chip DRAM: a macro organized in 2048-bit rows, latched into a row
+buffer in one *row access* (conservatively 20 ns), then paged out to
+processing logic in wide words of 256 bits every *page access* (2 ns).
+Under those numbers "a single on-chip DRAM macro could sustain a bandwidth
+of over 50 Gbit/s", and with many independent banks per chip "an on-chip
+peak memory bandwidth of greater than 1 Tbit/s is possible per chip".
+
+This module reproduces those derivations as an explicit timing model, plus
+sustained-bandwidth calculations under imperfect row reuse (a row-hit
+ratio parameter) that the cache/locality experiments feed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = [
+    "DramMacroTiming",
+    "PimChipConfig",
+    "macro_bandwidth_bits_per_sec",
+    "chip_bandwidth_bits_per_sec",
+    "min_macros_for_bandwidth",
+    "effective_access_time_ns",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DramMacroTiming:
+    """Timing/geometry of one on-chip DRAM macro.
+
+    Defaults are the paper's conservative values.
+
+    Attributes
+    ----------
+    row_bits:
+        Bits latched per row activation (2048).
+    page_bits:
+        Bits delivered to logic per page access out of the row buffer
+        (256).
+    row_access_ns:
+        Time to latch a new row into the row buffer (20 ns).
+    page_access_ns:
+        Time per wide-word page transfer from the row buffer (2 ns).
+    """
+
+    row_bits: int = 2048
+    page_bits: int = 256
+    row_access_ns: float = 20.0
+    page_access_ns: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.row_bits < 1 or self.page_bits < 1:
+            raise ValueError("row_bits and page_bits must be positive")
+        if self.page_bits > self.row_bits:
+            raise ValueError("page cannot be wider than the row")
+        if self.row_bits % self.page_bits != 0:
+            raise ValueError("row_bits must be a multiple of page_bits")
+        if self.row_access_ns <= 0 or self.page_access_ns <= 0:
+            raise ValueError("access times must be positive")
+
+    @property
+    def pages_per_row(self) -> int:
+        """Wide words obtainable from one activated row (2048/256 = 8)."""
+        return self.row_bits // self.page_bits
+
+    def full_row_drain_ns(self) -> float:
+        """Time to activate a row and page out all of it."""
+        return self.row_access_ns + self.pages_per_row * self.page_access_ns
+
+    def random_word_ns(self) -> float:
+        """Worst case: activate a row for a single page (no reuse)."""
+        return self.row_access_ns + self.page_access_ns
+
+
+def macro_bandwidth_bits_per_sec(
+    timing: _t.Optional[DramMacroTiming] = None,
+    row_hit_ratio: float = 0.0,
+) -> float:
+    """Sustained bandwidth of one macro, in bits per second.
+
+    Parameters
+    ----------
+    timing:
+        Macro timing (paper defaults if omitted).
+    row_hit_ratio:
+        Fraction of page accesses that hit the already-open row, beyond
+        the streaming pattern's single activation per row.  ``0.0``
+        reproduces the paper's sequential-drain analysis: each row is
+        activated once and fully paged out — 2048 bits per
+        (20 + 8×2) ns = 56.9 Gbit/s, "over 50 Gbit/s".  ``1.0`` is the
+        row-buffer-resident limit (page rate only).
+
+    Notes
+    -----
+    The general form charges each page access ``page_access_ns`` plus an
+    amortized share ``(1 - row_hit_ratio)`` of … ``row_access_ns``; the
+    streaming case corresponds to ``row_hit_ratio = 1 - 1/pages_per_row``
+    amortization built in via whole-row draining, which is what the
+    default computes.
+    """
+    timing = timing or DramMacroTiming()
+    if not 0.0 <= row_hit_ratio <= 1.0:
+        raise ValueError("row_hit_ratio must be in [0, 1]")
+    if row_hit_ratio == 0.0:
+        # the paper's sequential drain: one activation per full row
+        seconds = timing.full_row_drain_ns() * 1e-9
+        return timing.row_bits / seconds
+    # generalized: each page pays its transfer plus (1-hit) activations
+    per_page_ns = timing.page_access_ns + (
+        (1.0 - row_hit_ratio) * timing.row_access_ns
+    )
+    return timing.page_bits / (per_page_ns * 1e-9)
+
+
+@dataclasses.dataclass(frozen=True)
+class PimChipConfig:
+    """A PIM chip: many independent macro+logic nodes.
+
+    Attributes
+    ----------
+    n_nodes:
+        Independent memory/processor banks on the chip, each with "its
+        own arithmetic and control logic" acting concurrently.
+    timing:
+        Per-macro timing.
+    """
+
+    n_nodes: int = 32
+    timing: DramMacroTiming = dataclasses.field(
+        default_factory=DramMacroTiming
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+
+def chip_bandwidth_bits_per_sec(
+    config: _t.Optional[PimChipConfig] = None,
+    row_hit_ratio: float = 0.0,
+) -> float:
+    """On-chip peak bandwidth: nodes × per-macro sustained bandwidth.
+
+    With the default 32 nodes this exceeds 1.8 Tbit/s, supporting the
+    paper's "greater than 1 Tbit/s is possible per chip".
+    """
+    config = config or PimChipConfig()
+    return config.n_nodes * macro_bandwidth_bits_per_sec(
+        config.timing, row_hit_ratio
+    )
+
+
+def min_macros_for_bandwidth(
+    target_bits_per_sec: float,
+    timing: _t.Optional[DramMacroTiming] = None,
+    row_hit_ratio: float = 0.0,
+) -> int:
+    """Smallest node count whose aggregate bandwidth meets the target.
+
+    Examples
+    --------
+    >>> min_macros_for_bandwidth(1e12)   # 1 Tbit/s with paper timings
+    18
+    """
+    if target_bits_per_sec <= 0:
+        raise ValueError("target bandwidth must be positive")
+    per_macro = macro_bandwidth_bits_per_sec(timing, row_hit_ratio)
+    import math
+
+    return int(math.ceil(target_bits_per_sec / per_macro))
+
+
+def effective_access_time_ns(
+    timing: _t.Optional[DramMacroTiming] = None,
+    row_hit_ratio: float = 0.0,
+) -> float:
+    """Mean per-page access time under a given row-hit ratio.
+
+    The LWP's 30-cycle (30 ns) ``TML`` of Table 1 corresponds to a
+    conservative access path on top of the raw macro numbers; this helper
+    exposes the raw-model component of that figure.
+    """
+    timing = timing or DramMacroTiming()
+    if not 0.0 <= row_hit_ratio <= 1.0:
+        raise ValueError("row_hit_ratio must be in [0, 1]")
+    return timing.page_access_ns + (
+        (1.0 - row_hit_ratio) * timing.row_access_ns
+    )

@@ -1,0 +1,167 @@
+"""Energy model for host-vs-PIM execution (background §2.1).
+
+The paper's background cites the Berkeley IRAM result that "in addition
+to improved performance-per-area, PIM could also have much lower energy
+consumption than conventional organizations" [12].  This module extends
+the §3 partitioning model with a per-event energy accounting so that the
+tradeoff can be examined on the energy axis with the same workload
+parameterization (Table 1's operation counts and access statistics).
+
+The default coefficients are *relative* values chosen to reflect the
+structural argument, not a measured technology point: a wide superscalar
+host burns more energy per operation than a simple in-order PIM core,
+and an off-chip DRAM access (I/O drivers, long wires) costs an order of
+magnitude more than an on-chip row-buffer access.  All coefficients are
+parameters; the conclusions tested are monotonicity/shape claims that
+hold across any coefficients with those orderings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..core.params import Table1Params
+
+__all__ = [
+    "EnergyParams",
+    "control_energy_nj",
+    "pim_energy_nj",
+    "energy_ratio",
+    "energy_delay_ratio",
+]
+
+ArrayLike = _t.Union[float, _t.Sequence[float], np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy coefficients (nanojoules, relative scale).
+
+    Attributes
+    ----------
+    hwp_op_nj:
+        Heavyweight core energy per non-memory operation (wide issue,
+        speculation, big register files).
+    hwp_cache_nj:
+        Energy per cache access (hit path).
+    hwp_dram_nj:
+        Energy per off-chip DRAM access on a miss (the expensive event:
+        I/O pads, bus drivers, DIMM access).
+    lwp_op_nj:
+        Lightweight PIM core energy per non-memory operation.
+    lwp_mem_nj:
+        Energy per on-chip row-buffer access from a PIM node.
+    """
+
+    hwp_op_nj: float = 1.0
+    hwp_cache_nj: float = 0.5
+    hwp_dram_nj: float = 20.0
+    lwp_op_nj: float = 0.2
+    lwp_mem_nj: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"{field.name} must be non-negative")
+
+
+def _hwp_energy_per_op(
+    params: Table1Params, energy: EnergyParams, miss_rate: float
+) -> float:
+    """Expected host energy per operation at a given miss rate."""
+    return (
+        energy.hwp_op_nj
+        + params.ls_mix
+        * (energy.hwp_cache_nj + miss_rate * energy.hwp_dram_nj)
+    )
+
+
+def _lwp_energy_per_op(
+    params: Table1Params, energy: EnergyParams
+) -> float:
+    """Expected PIM energy per operation (no cache; row-buffer access)."""
+    return energy.lwp_op_nj + params.ls_mix * energy.lwp_mem_nj
+
+
+def control_energy_nj(
+    lwp_fraction: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+    energy: _t.Optional[EnergyParams] = None,
+) -> np.ndarray:
+    """Total energy of the control run (all work on the host).
+
+    The no-reuse fraction misses at ``control_miss_rate``, so it pays
+    the off-chip DRAM energy on (almost) every access — energy tracks
+    the same locality cliff the §3 time model exposes.
+    """
+    params = params or Table1Params()
+    energy = energy or EnergyParams()
+    f = np.asarray(lwp_fraction, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    high = _hwp_energy_per_op(params, energy, params.miss_rate)
+    low = _hwp_energy_per_op(params, energy, params.control_miss_rate)
+    return params.total_work * ((1.0 - f) * high + f * low)
+
+
+def pim_energy_nj(
+    lwp_fraction: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+    energy: _t.Optional[EnergyParams] = None,
+) -> np.ndarray:
+    """Total energy of the PIM-augmented system.
+
+    High-locality work stays on the host at ``Pmiss``; the no-reuse
+    fraction runs on LWPs next to their banks.  Node count does not
+    appear: energy is per-operation, not per-unit-time (more nodes
+    finish sooner at the same total energy under this model).
+    """
+    params = params or Table1Params()
+    energy = energy or EnergyParams()
+    f = np.asarray(lwp_fraction, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    high = _hwp_energy_per_op(params, energy, params.miss_rate)
+    low = _lwp_energy_per_op(params, energy)
+    return params.total_work * ((1.0 - f) * high + f * low)
+
+
+def energy_ratio(
+    lwp_fraction: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+    energy: _t.Optional[EnergyParams] = None,
+) -> np.ndarray:
+    """Control energy over PIM energy (> 1 means PIM saves energy).
+
+    Examples
+    --------
+    >>> float(energy_ratio(0.0))   # no offload, no difference
+    1.0
+    """
+    return control_energy_nj(lwp_fraction, params, energy) / pim_energy_nj(
+        lwp_fraction, params, energy
+    )
+
+
+def energy_delay_ratio(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+    energy: _t.Optional[EnergyParams] = None,
+) -> np.ndarray:
+    """Energy-delay product ratio (control / PIM system).
+
+    Combines this module's energy model with the §3 time model; since
+    PIM wins on both axes in the data-intensive regime, EDP gains
+    compound (the IRAM argument in the paper's setting).
+    """
+    from ..core.hwlw.analytic import control_time, test_time
+
+    e_ratio = energy_ratio(lwp_fraction, params, energy)
+    t_ratio = np.asarray(
+        control_time(lwp_fraction, params)
+    ) / np.asarray(test_time(lwp_fraction, n_nodes, params))
+    return e_ratio * t_ratio

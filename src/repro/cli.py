@@ -1,0 +1,120 @@
+"""``repro-pim`` — command-line interface to the reproduction harness.
+
+Commands
+--------
+``repro-pim list``
+    Show all registered experiments with their paper references.
+``repro-pim run NAME [NAME ...]``
+    Run experiments and print their reports.
+``repro-pim all``
+    Run every experiment.
+
+Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
+``--out DIR`` (write CSV tables + reports per experiment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import typing as _t
+
+from .experiments import (
+    ExperimentConfig,
+    all_experiments,
+    experiment_names,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pim",
+        description=(
+            "Reproduction of 'Analysis and Modeling of Advanced PIM "
+            "Architecture Design Tradeoffs' (SC 2004): regenerate every "
+            "table and figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument(
+        "names",
+        nargs="+",
+        metavar="NAME",
+        help="experiment name(s); see 'repro-pim list'",
+    )
+    all_p = sub.add_parser("all", help="run every experiment")
+
+    for p in (run_p, all_p):
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help="use the full paper-size parameter grids (slower)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0, help="root RNG seed"
+        )
+        p.add_argument(
+            "--out",
+            type=pathlib.Path,
+            default=None,
+            metavar="DIR",
+            help="write CSV tables and reports under DIR/<experiment>/",
+        )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        quick=not args.full, seed=args.seed, out_dir=args.out
+    )
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp in all_experiments():
+            print(f"{exp.name:20s} {exp.paper_reference:32s} {exp.title}")
+        return 0
+
+    names = (
+        experiment_names() if args.command == "all" else list(args.names)
+    )
+    unknown = [n for n in names if n not in experiment_names()]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(experiment_names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = _config(args)
+    failures: _t.List[str] = []
+    for name in names:
+        result = run_experiment(name, config, echo=print)
+        if not result.passed:
+            failures.append(
+                f"{name}: {', '.join(result.failed_checks())}"
+            )
+    if failures:
+        print("FAILED shape checks:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"all shape checks passed for: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

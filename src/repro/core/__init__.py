@@ -1,0 +1,17 @@
+"""repro.core — the paper's primary contribution.
+
+Two statistical parametric studies of advanced PIM architecture:
+
+* :mod:`repro.core.hwlw` — §3, partitioning work between a cache-based
+  heavyweight host processor (HWP) and an array of lightweight PIM
+  processors (LWPs), as a queuing simulation plus the closed-form model
+  that exposes the break-even node count ``NB``.
+* :mod:`repro.core.parcels` — §4, latency hiding through parcel-driven
+  split-transaction processing versus blocking message passing.
+
+Shared parameter sets live in :mod:`repro.core.params`.
+"""
+
+from .params import ParcelParams, Table1Params
+
+__all__ = ["Table1Params", "ParcelParams"]

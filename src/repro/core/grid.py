@@ -1,0 +1,85 @@
+"""Shared labeled-grid container for parameter-sweep results.
+
+Both studies produce families of curves over 2-D parameter grids;
+:class:`SweepGrid` is the small, framework-free result type the experiment
+harness renders to CSV, markdown tables and ASCII plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+__all__ = ["SweepGrid"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepGrid:
+    """Labeled 2-D sweep result.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"figure5"``).
+    row_label / col_label:
+        Axis names (e.g. ``"n_nodes"`` / ``"lwp_fraction"``).
+    rows / cols:
+        Axis coordinate values.
+    values:
+        ``values[i, j]`` is the dependent variable at ``rows[i], cols[j]``.
+    value_label:
+        Name of the dependent variable.
+    """
+
+    name: str
+    row_label: str
+    rows: _t.Tuple[float, ...]
+    col_label: str
+    cols: _t.Tuple[float, ...]
+    values: np.ndarray
+    value_label: str
+
+    def __post_init__(self) -> None:
+        expected = (len(self.rows), len(self.cols))
+        if self.values.shape != expected:
+            raise ValueError(
+                f"values shape {self.values.shape} != axes {expected}"
+            )
+
+    def row(self, row_value: float) -> np.ndarray:
+        """The 1-D slice at the given row coordinate."""
+        idx = self.rows.index(row_value)  # type: ignore[union-attr]
+        return self.values[idx]
+
+    def col(self, col_value: float) -> np.ndarray:
+        """The 1-D slice at the given column coordinate."""
+        idx = self.cols.index(col_value)  # type: ignore[union-attr]
+        return self.values[:, idx]
+
+    def to_rows(self) -> _t.List[dict]:
+        """Long-format records, one per cell (for CSV export)."""
+        out = []
+        for i, r in enumerate(self.rows):
+            for j, c in enumerate(self.cols):
+                out.append(
+                    {
+                        self.row_label: r,
+                        self.col_label: c,
+                        self.value_label: float(self.values[i, j]),
+                    }
+                )
+        return out
+
+    def transposed(self) -> "SweepGrid":
+        """Grid with rows and columns exchanged."""
+        return SweepGrid(
+            name=self.name,
+            row_label=self.col_label,
+            rows=self.cols,
+            col_label=self.row_label,
+            cols=self.rows,
+            values=self.values.T.copy(),
+            value_label=self.value_label,
+        )

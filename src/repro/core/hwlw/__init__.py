@@ -1,0 +1,91 @@
+"""repro.core.hwlw — the HWP/LWP partitioning study (paper §3).
+
+Contents:
+
+* :mod:`~repro.core.hwlw.analytic` — the closed-form model
+  (``Time_relative``, the break-even node count ``NB``, performance gain);
+* :mod:`~repro.core.hwlw.workload` — the Fig. 4 phased statistical workload;
+* :mod:`~repro.core.hwlw.simulation` — the queuing simulation of Figs. 1–3;
+* :mod:`~repro.core.hwlw.sweep` — parameter sweeps for Figs. 5–7;
+* :mod:`~repro.core.hwlw.validation` — sim-vs-analytic accuracy (§3.1.2).
+"""
+
+from .analytic import (
+    control_time,
+    crossover_width,
+    hwp_cycles_per_op,
+    lwp_cycles_per_op,
+    nb_parameter,
+    performance_gain,
+    response_time_cycles,
+    speedup_vs_no_lwp,
+    test_time,
+    time_relative,
+)
+from .extensions import (
+    overlap_crossover_fraction,
+    skewed_thread_shares,
+    time_relative_overlapped,
+    time_relative_skewed,
+)
+from .simulation import (
+    ComponentStats,
+    ControlSimResult,
+    HwlwSimConfig,
+    HybridSimResult,
+    HybridSystemModel,
+    simulate_control,
+    simulate_hybrid,
+)
+from .sweep import (
+    PAPER_LWP_FRACTIONS,
+    PAPER_NODE_COUNTS,
+    SweepGrid,
+    figure5_gain_sweep,
+    figure6_response_time_sweep,
+    figure7_normalized_time_sweep,
+    section_ablation_sweep,
+)
+from .validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_against_analytic,
+)
+from .workload import OperationMixSampler, PhasedWorkload, WorkSection
+
+__all__ = [
+    "control_time",
+    "crossover_width",
+    "hwp_cycles_per_op",
+    "lwp_cycles_per_op",
+    "nb_parameter",
+    "performance_gain",
+    "response_time_cycles",
+    "speedup_vs_no_lwp",
+    "test_time",
+    "time_relative",
+    "ComponentStats",
+    "ControlSimResult",
+    "HwlwSimConfig",
+    "HybridSimResult",
+    "HybridSystemModel",
+    "simulate_control",
+    "simulate_hybrid",
+    "PAPER_LWP_FRACTIONS",
+    "PAPER_NODE_COUNTS",
+    "SweepGrid",
+    "figure5_gain_sweep",
+    "figure6_response_time_sweep",
+    "figure7_normalized_time_sweep",
+    "section_ablation_sweep",
+    "ValidationPoint",
+    "ValidationReport",
+    "validate_against_analytic",
+    "OperationMixSampler",
+    "PhasedWorkload",
+    "WorkSection",
+    "overlap_crossover_fraction",
+    "skewed_thread_shares",
+    "time_relative_overlapped",
+    "time_relative_skewed",
+]

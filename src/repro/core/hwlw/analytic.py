@@ -1,0 +1,247 @@
+"""Closed-form model of the HWP/LWP partitioning tradeoff (paper §3.1.2).
+
+The paper derives, for a workload of ``W`` operations of which a fraction
+``%WL`` has no temporal locality and is assigned to ``N`` PIM lightweight
+processors (the rest running on the cache-based heavyweight host):
+
+.. math::
+
+    Time_{relative} \\;=\\; 1 - \\%WL \\times \\Big\\{ 1 - \\frac{NB}{N} \\Big\\}
+
+    NB \\;\\equiv\\; \\frac{T_{Lcycle} + mix_{l/s}\\,(T_{ML} - T_{Lcycle})}
+                        {1 + mix_{l/s}\\,(T_{CH} - 1 + P_{miss}\\,T_{MH})}
+
+with time normalized to the HWP executing *only* high-locality work.  The
+numerator of ``NB`` is the LWP's cycles per operation, the denominator the
+HWP's cycles per operation; ``NB`` is therefore the **break-even node
+count**: a third parameter, orthogonal to ``N`` and ``%WL``, combining
+machine configuration and application behavior.  For ``N > NB`` the PIM
+system is *always* at least as fast, independent of ``%WL`` — the paper's
+"remarkable property" (Fig. 7's coincidence point).
+
+All functions broadcast over NumPy arrays so whole design-space grids are
+evaluated in one call (this replaces the paper's MATLAB/Excel models).
+
+Performance-gain conventions (Fig. 5)
+-------------------------------------
+The control run executes *all* work on the HWP.  Work assigned to PIM is,
+by the study's construction, work whose "data accesses exhibit no reuse",
+so in the control run that fraction sees a cache miss rate of
+``control_miss_rate`` (1.0 by default) rather than ``Pmiss``.  The gain of
+the PIM-augmented system over the control is then
+
+.. math::
+
+    gain(f, N) = \\frac{(1-f)\\,c_H + f\\,c_{H,noreuse}}
+                      {(1-f)\\,c_H + f\\,c_L / N}
+
+where ``c_H``, ``c_{H,noreuse}`` and ``c_L`` are the respective
+cycles-per-operation.  With Table 1 values the extreme point
+(``f = 1``, ``N = 64``) gives ≈ 145×, matching the paper's "factor of
+100X gain ... observed" for the all-LWP corner.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..params import Table1Params
+
+__all__ = [
+    "hwp_cycles_per_op",
+    "lwp_cycles_per_op",
+    "nb_parameter",
+    "time_relative",
+    "test_time",
+    "control_time",
+    "performance_gain",
+    "response_time_cycles",
+    "speedup_vs_no_lwp",
+    "crossover_width",
+]
+
+ArrayLike = _t.Union[float, _t.Sequence[float], np.ndarray]
+
+
+def hwp_cycles_per_op(
+    params: Table1Params, miss_rate: _t.Optional[float] = None
+) -> float:
+    """Average HWP cycles per operation.
+
+    Every operation issues in 1 cycle; the load/store fraction
+    additionally pays the cache access beyond the issue cycle
+    (``TCH - 1``) and, on a miss, the memory penalty ``TMH``.
+
+    Parameters
+    ----------
+    params:
+        Table 1 parameter set.
+    miss_rate:
+        Cache miss rate to assume; defaults to ``params.miss_rate``
+        (pass ``params.control_miss_rate`` for the no-reuse fraction of
+        the control run).
+
+    With Table 1 defaults: ``1 + 0.3*(2 - 1 + 0.1*90) = 4.0`` cycles/op.
+    """
+    pm = params.miss_rate if miss_rate is None else miss_rate
+    if not 0.0 <= pm <= 1.0:
+        raise ValueError(f"miss_rate must be in [0, 1], got {pm}")
+    return 1.0 + params.ls_mix * (
+        params.hwp_cache_cycles - 1.0 + pm * params.hwp_memory_cycles
+    )
+
+
+def lwp_cycles_per_op(params: Table1Params) -> float:
+    """Average LWP cycles per operation, in HWP cycles.
+
+    Non-memory operations cost a full LWP cycle (``TLcycle``); the
+    load/store fraction costs the PIM-local memory time ``TML`` instead.
+    With Table 1 defaults: ``5 + 0.3*(30 - 5) = 12.5`` cycles/op.
+    """
+    return params.lwp_cycle_cycles + params.ls_mix * (
+        params.lwp_memory_cycles - params.lwp_cycle_cycles
+    )
+
+
+def nb_parameter(params: Table1Params) -> float:
+    """The paper's ``NB``: LWP cycles/op over HWP cycles/op.
+
+    The break-even PIM node count — Fig. 7's coincidence point.  With
+    Table 1 defaults: ``12.5 / 4.0 = 3.125``.
+    """
+    return lwp_cycles_per_op(params) / hwp_cycles_per_op(params)
+
+
+def time_relative(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """The paper's central equation: normalized time to solution.
+
+    ``Time_relative = 1 - %WL * (1 - NB/N)``, normalized to the HWP alone
+    executing only high-locality work (the 0 % LWP workload point).
+
+    Parameters
+    ----------
+    lwp_fraction:
+        ``%WL`` as a fraction in [0, 1]; broadcasts.
+    n_nodes:
+        ``N`` >= 1; broadcasts.
+    params:
+        Table 1 parameters (defaults used if omitted).
+
+    Returns
+    -------
+    numpy.ndarray
+        Broadcast result; scalar inputs give a 0-d array.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fraction, dtype=float)
+    n = np.asarray(n_nodes, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    if np.any(n < 1.0):
+        raise ValueError("n_nodes must be >= 1")
+    nb = nb_parameter(params)
+    return 1.0 - f * (1.0 - nb / n)
+
+
+def test_time(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Absolute time (HWP cycles = ns) of the PIM-augmented test system.
+
+    High-locality work runs serially on the HWP; low-locality work is
+    divided into ``N`` uniform threads on the LWP array (Fig. 4), so its
+    time divides by ``N``.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fraction, dtype=float)
+    n = np.asarray(n_nodes, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    if np.any(n < 1.0):
+        raise ValueError("n_nodes must be >= 1")
+    w = float(params.total_work)
+    ch = hwp_cycles_per_op(params)
+    cl = lwp_cycles_per_op(params)
+    return w * ((1.0 - f) * ch + f * cl / n)
+
+
+def control_time(
+    lwp_fraction: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Absolute time of the control system (HWP does everything).
+
+    The low-locality fraction has no data reuse, so it runs at the
+    control miss rate (1.0 by default) instead of ``Pmiss``.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fraction, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    w = float(params.total_work)
+    ch = hwp_cycles_per_op(params)
+    ch_noreuse = hwp_cycles_per_op(params, miss_rate=params.control_miss_rate)
+    return w * ((1.0 - f) * ch + f * ch_noreuse)
+
+
+def performance_gain(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Fig. 5's dependent variable: control time over test time.
+
+    Values above 1 mean the PIM-augmented system wins.  With Table 1
+    defaults the all-LWP corner at ``N = 64`` reaches ≈ 145×.
+    """
+    params = params or Table1Params()
+    return control_time(lwp_fraction, params) / test_time(
+        lwp_fraction, n_nodes, params
+    )
+
+
+def response_time_cycles(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Fig. 6's dependent variable: unnormalized test-system time.
+
+    Alias of :func:`test_time`; the figure plots it in nanoseconds, which
+    equals cycles for the 1 ns HWP cycle of Table 1.
+    """
+    return test_time(lwp_fraction, n_nodes, params)
+
+
+def speedup_vs_no_lwp(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Reciprocal of :func:`time_relative` — speedup over the 0 %-WL base."""
+    return 1.0 / time_relative(lwp_fraction, n_nodes, params)
+
+
+def crossover_width(
+    params: _t.Optional[Table1Params] = None,
+    n_lo: float = 1.0,
+    n_hi: float = 64.0,
+) -> _t.Tuple[float, float]:
+    """Loss/win extrema of ``time_relative`` over ``[n_lo, n_hi]`` at f=1.
+
+    Returns ``(worst, best)`` normalized times; ``worst`` > 1 quantifies
+    the penalty of deploying fewer than ``NB`` nodes, ``best`` < 1 the
+    payoff of the full array.  Useful for design-space summaries.
+    """
+    params = params or Table1Params()
+    worst = float(time_relative(1.0, n_lo, params))
+    best = float(time_relative(1.0, n_hi, params))
+    return (worst, best)

@@ -1,0 +1,139 @@
+"""Extensions beyond the paper's model: overlap and load imbalance.
+
+The §3 study makes two simplifying assumptions that the paper itself
+flags as modeling choices rather than architectural necessities:
+
+1. **Strict phase alternation** — "At any one time, either the HWP or
+   LWP array is executing but not both" (Fig. 4).  A hybrid system with
+   an intelligent memory controller can overlap host and PIM regions of
+   the same section; :func:`time_relative_overlapped` models that, and
+   :class:`~repro.core.hwlw.simulation.HybridSystemModel` accepts
+   ``overlap=True`` via :class:`HwlwSimConfig`.
+
+2. **Uniform LWP threads** — the low-locality work is assumed
+   perfectly balanced across nodes.  Real irregular workloads skew;
+   :func:`time_relative_skewed` charges the array with its slowest
+   thread (a linear skew profile with a ``skew`` severity knob).
+
+Both collapse to the paper's equations at ``overlap=False`` /
+``skew=0``; the ``extension-overlap`` and ``ablation-imbalance``
+experiments quantify the differences.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..params import Table1Params
+from .analytic import nb_parameter
+
+__all__ = [
+    "time_relative_overlapped",
+    "overlap_crossover_fraction",
+    "skewed_thread_shares",
+    "time_relative_skewed",
+]
+
+ArrayLike = _t.Union[float, _t.Sequence[float], np.ndarray]
+
+
+def time_relative_overlapped(
+    lwp_fraction: ArrayLike,
+    n_nodes: ArrayLike,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Normalized time when HWP and LWP regions execute concurrently.
+
+    Each section's host part and PIM part proceed in parallel, so the
+    section takes the *maximum* of the two instead of their sum:
+
+    .. math::
+
+        Time^{ovl}_{relative} = \\max\\big(1 - \\%WL,\\;
+                                           \\%WL \\cdot NB / N\\big)
+
+    Always <= the serial model; equality holds when either side is
+    empty.  Unlike the serial model, the overlapped system is **never**
+    slower than the control for any ``N >= NB`` *or* any
+    ``%WL <= 1/2``-ish region — the loss region shrinks to points where
+    slow PIM dominates outright.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fraction, dtype=float)
+    n = np.asarray(n_nodes, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    if np.any(n < 1.0):
+        raise ValueError("n_nodes must be >= 1")
+    nb = nb_parameter(params)
+    return np.maximum(1.0 - f, f * nb / n)
+
+
+def overlap_crossover_fraction(
+    n_nodes: ArrayLike, params: _t.Optional[Table1Params] = None
+) -> np.ndarray:
+    """The %WL at which PIM time starts dominating under overlap.
+
+    Below this fraction the host side is the critical path (overlapped
+    time = 1 - %WL); above it, the PIM side.  Solves
+    ``1 - f = f * NB / N``:  ``f* = N / (N + NB)``.
+    """
+    params = params or Table1Params()
+    n = np.asarray(n_nodes, dtype=float)
+    if np.any(n < 1.0):
+        raise ValueError("n_nodes must be >= 1")
+    nb = nb_parameter(params)
+    return n / (n + nb)
+
+
+def skewed_thread_shares(n_nodes: int, skew: float) -> np.ndarray:
+    """Per-thread work shares under a linear imbalance profile.
+
+    ``skew`` in [0, 1): thread shares ramp linearly from ``1 - skew`` to
+    ``1 + skew`` times the mean (total conserved).  ``skew=0`` is the
+    paper's uniform split.
+
+    Examples
+    --------
+    >>> skewed_thread_shares(4, 0.5).round(3).tolist()
+    [0.5, 0.833, 1.167, 1.5]
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if not 0.0 <= skew < 1.0:
+        raise ValueError("skew must be in [0, 1)")
+    if n_nodes == 1:
+        return np.ones(1)
+    ramp = np.linspace(-1.0, 1.0, n_nodes)
+    return 1.0 + skew * ramp
+
+
+def time_relative_skewed(
+    lwp_fraction: ArrayLike,
+    n_nodes: int,
+    skew: float,
+    params: _t.Optional[Table1Params] = None,
+) -> np.ndarray:
+    """Serial-phase normalized time with imbalanced LWP threads.
+
+    The array's fork/join completes with its most loaded thread, so the
+    LWP term scales by ``(1 + skew)`` (for ``n_nodes > 1``):
+
+    .. math::
+
+        Time^{skew}_{relative} = 1 - \\%WL \\cdot
+            \\big(1 - (1 + skew) \\, NB / N\\big)
+
+    which shifts the effective break-even node count to
+    ``(1 + skew) * NB``.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fraction, dtype=float)
+    if np.any(f < 0.0) or np.any(f > 1.0):
+        raise ValueError("lwp_fraction must lie in [0, 1]")
+    shares = skewed_thread_shares(n_nodes, skew)
+    worst = float(shares.max())
+    nb = nb_parameter(params)
+    return 1.0 - f * (1.0 - worst * nb / n_nodes)

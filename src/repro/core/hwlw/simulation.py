@@ -1,0 +1,451 @@
+"""Queuing simulation of the PIM-augmented system (paper §3.1, Figs. 1–4).
+
+The model mirrors the paper's SES/workbench structure:
+
+* an **HWP service chain** (Fig. 2): instruction issue, cache access for
+  the load/store mix, main-memory access on a miss — modeled as a CPU
+  process plus a memory-port :class:`~repro.desim.resources.Resource`;
+* an **LWP array** (Fig. 3): ``N`` PIM nodes, each a processor physically
+  adjacent to its own memory bank (no cache; short access time; the
+  workload precludes bank conflicts, as the paper notes);
+* the **Fig. 4 thread timeline**: alternating sections — the HWP executes
+  its high-locality region, then forks the section's low-locality work
+  into ``N`` uniform LWP threads and joins them.
+
+Operations are executed in *chunks*: a chunk of ``k`` operations samples
+its load/store count and miss count binomially (or uses expectations in
+deterministic mode) and advances time accordingly.  Chunking keeps the
+event count tractable at the paper's ``W = 10^8`` operations while leaving
+the statistics of the total time exact in expectation.
+
+The module also simulates the **control run** (HWP performs *all* work;
+the no-reuse fraction misses at ``control_miss_rate``), from which Fig. 5's
+performance gain is computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ...desim import RandomStreams, Resource, Simulator
+from ..params import Table1Params
+from .workload import OperationMixSampler, PhasedWorkload
+
+__all__ = [
+    "HwlwSimConfig",
+    "ComponentStats",
+    "HybridSimResult",
+    "ControlSimResult",
+    "HybridSystemModel",
+    "simulate_hybrid",
+    "simulate_control",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HwlwSimConfig:
+    """Run-control knobs for the HWP/LWP queuing simulation.
+
+    Attributes
+    ----------
+    sections:
+        Number of HWP-then-LWP alternations (Fig. 4 structure).
+    chunk_ops:
+        Operations per simulated chunk; larger is faster, smaller gives a
+        finer-grained trajectory.  Results are unbiased either way.
+    stochastic:
+        Binomial sampling (True) or expected-value mode (False).
+    seed:
+        Root seed for the per-component random streams.
+    overlap:
+        Extension (see :mod:`repro.core.hwlw.extensions`): run each
+        section's HWP and LWP regions concurrently instead of the
+        paper's strict alternation.
+    thread_skew:
+        Extension: linear LWP load-imbalance severity in [0, 1);
+        ``0.0`` is the paper's uniform thread split.
+    """
+
+    sections: int = 8
+    chunk_ops: int = 100_000
+    stochastic: bool = True
+    seed: int = 0
+    overlap: bool = False
+    thread_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sections < 1:
+            raise ValueError("sections must be >= 1")
+        if self.chunk_ops < 1:
+            raise ValueError("chunk_ops must be >= 1")
+        if not 0.0 <= self.thread_skew < 1.0:
+            raise ValueError("thread_skew must be in [0, 1)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentStats:
+    """Execution statistics for one processor (HWP or one LWP node)."""
+
+    ops_executed: float
+    busy_cycles: float
+    memory_accesses: float
+    cache_misses: float
+
+    def cycles_per_op(self) -> float:
+        return self.busy_cycles / self.ops_executed if self.ops_executed else float("nan")
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridSimResult:
+    """Outcome of one PIM-augmented (test-system) simulation run."""
+
+    params: Table1Params
+    lwp_fraction: float
+    n_nodes: int
+    completion_cycles: float
+    hwp: ComponentStats
+    lwp_nodes: _t.Tuple[ComponentStats, ...]
+    section_cycles: _t.Tuple[float, ...]
+
+    @property
+    def completion_ns(self) -> float:
+        return self.completion_cycles * self.params.hwp_cycle_ns
+
+    @property
+    def lwp_total_ops(self) -> float:
+        return sum(n.ops_executed for n in self.lwp_nodes)
+
+    @property
+    def total_ops(self) -> float:
+        return self.hwp.ops_executed + self.lwp_total_ops
+
+    @property
+    def lwp_phase_cycles(self) -> float:
+        """Aggregate time spent in LWP phases (array busy, HWP waiting)."""
+        return self.completion_cycles - self.hwp.busy_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "lwp_fraction": self.lwp_fraction,
+            "n_nodes": self.n_nodes,
+            "completion_cycles": self.completion_cycles,
+            "completion_ns": self.completion_ns,
+            "hwp_ops": self.hwp.ops_executed,
+            "lwp_ops": self.lwp_total_ops,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlSimResult:
+    """Outcome of one control-run simulation (HWP does everything)."""
+
+    params: Table1Params
+    lwp_fraction: float
+    completion_cycles: float
+    hwp: ComponentStats
+
+    @property
+    def completion_ns(self) -> float:
+        return self.completion_cycles * self.params.hwp_cycle_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "lwp_fraction": self.lwp_fraction,
+            "completion_cycles": self.completion_cycles,
+            "completion_ns": self.completion_ns,
+        }
+
+
+class _ChunkedProcessor:
+    """Shared chunk-execution helper for HWP and LWP node processes.
+
+    Accumulates per-component statistics; the owning process drives
+    :meth:`execute` inside the simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        sampler: OperationMixSampler,
+        rng: _t.Optional[np.random.Generator],
+        chunk_ops: int,
+        issue_cycles: float,
+        access_cycles_hit: float,
+        miss_penalty_cycles: float,
+        memory_port: _t.Optional[Resource] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.sampler = sampler
+        self.rng = rng
+        self.chunk_ops = chunk_ops
+        self.issue_cycles = issue_cycles
+        self.access_cycles_hit = access_cycles_hit
+        self.miss_penalty_cycles = miss_penalty_cycles
+        self.memory_port = memory_port
+        self.ops_executed = 0.0
+        self.busy_cycles = 0.0
+        self.memory_accesses = 0.0
+        self.cache_misses = 0.0
+
+    def chunk_time(self, ops: float) -> _t.Tuple[float, float, float, float]:
+        """Sample one chunk; returns (compute, memory, n_ls, n_miss)."""
+        n_ls, n_miss = self.sampler.sample(ops, self.rng)
+        compute = ops * self.issue_cycles
+        memory = (
+            n_ls * (self.access_cycles_hit - self.issue_cycles)
+            + n_miss * self.miss_penalty_cycles
+        )
+        return compute, memory, n_ls, n_miss
+
+    def execute(self, ops: float):
+        """Process generator: execute ``ops`` operations in chunks."""
+        remaining = ops
+        while remaining > 0:
+            batch = min(remaining, float(self.chunk_ops))
+            compute, memory, n_ls, n_miss = self.chunk_time(batch)
+            self.sim.trace(
+                "chunk", component=self.name, ops=batch, memory=memory
+            )
+            yield self.sim.timeout(compute)
+            if memory > 0.0:
+                if self.memory_port is not None:
+                    with self.memory_port.request() as req:
+                        yield req
+                        yield self.sim.timeout(memory)
+                else:
+                    yield self.sim.timeout(memory)
+            self.ops_executed += batch
+            self.busy_cycles += compute + memory
+            self.memory_accesses += n_ls
+            self.cache_misses += n_miss
+            remaining -= batch
+
+    def stats(self) -> ComponentStats:
+        return ComponentStats(
+            ops_executed=self.ops_executed,
+            busy_cycles=self.busy_cycles,
+            memory_accesses=self.memory_accesses,
+            cache_misses=self.cache_misses,
+        )
+
+
+class HybridSystemModel:
+    """DES model of HWP + N-LWP execution over the Fig. 4 timeline.
+
+    Build then :meth:`run`; reusable only once (one simulation per
+    instance, matching the single-trajectory semantics of the engine).
+
+    Parameters
+    ----------
+    params:
+        Table 1 parameters.
+    lwp_fraction:
+        ``%WL`` in [0, 1].
+    n_nodes:
+        LWP node count ``N`` >= 1.
+    config:
+        Run-control knobs (:class:`HwlwSimConfig`).
+    """
+
+    def __init__(
+        self,
+        params: Table1Params,
+        lwp_fraction: float,
+        n_nodes: int,
+        config: _t.Optional[HwlwSimConfig] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.params = params
+        self.lwp_fraction = float(lwp_fraction)
+        self.n_nodes = int(n_nodes)
+        self.config = config or HwlwSimConfig()
+        self.workload = PhasedWorkload(
+            params, self.lwp_fraction, self.config.sections
+        )
+        self.sim = Simulator()
+        self._streams = RandomStreams(self.config.seed)
+        self._result: _t.Optional[HybridSimResult] = None
+
+        stoch = self.config.stochastic
+        p = params
+        self._hwp = _ChunkedProcessor(
+            self.sim,
+            "hwp",
+            OperationMixSampler(p.ls_mix, p.miss_rate, stoch),
+            self._streams.stream("hwp") if stoch else None,
+            self.config.chunk_ops,
+            issue_cycles=1.0,
+            access_cycles_hit=p.hwp_cache_cycles,
+            miss_penalty_cycles=p.hwp_memory_cycles,
+            memory_port=Resource(self.sim, 1, "hwp.memport"),
+        )
+        # LWPs: no cache — *every* load/store goes to the adjacent bank at
+        # TML; modeled as mix sampling with miss_rate=0 and the full
+        # hit-vs-issue differential folded into access_cycles_hit.
+        self._lwps = [
+            _ChunkedProcessor(
+                self.sim,
+                f"lwp.{i}",
+                OperationMixSampler(p.ls_mix, 0.0, stoch),
+                self._streams.stream(f"lwp.{i}") if stoch else None,
+                self.config.chunk_ops,
+                issue_cycles=p.lwp_cycle_cycles,
+                access_cycles_hit=p.lwp_memory_cycles,
+                miss_penalty_cycles=0.0,
+                memory_port=Resource(self.sim, 1, f"lwp.{i}.memport"),
+            )
+            for i in range(self.n_nodes)
+        ]
+        self._section_cycles: _t.List[float] = []
+
+    # ------------------------------------------------------------------
+    def _coordinator(self):
+        """Fig. 4: for each section, HWP region then forked LWP region.
+
+        With the ``overlap`` extension the two regions of a section run
+        concurrently and the section joins on both.
+        """
+        sim = self.sim
+        for section in self.workload.sections:
+            start = sim.now
+            shares = (
+                self.workload.split_lwp_ops(
+                    section, self.n_nodes, skew=self.config.thread_skew
+                )
+                if section.lwp_ops > 0
+                else []
+            )
+            if self.config.overlap:
+                waits = []
+                if section.hwp_ops > 0:
+                    waits.append(
+                        sim.process(
+                            self._hwp.execute(section.hwp_ops),
+                            name="hwp.region",
+                        )
+                    )
+                waits.extend(
+                    sim.process(
+                        lwp.execute(share), name=f"{lwp.name}.thread"
+                    )
+                    for lwp, share in zip(self._lwps, shares)
+                    if share > 0
+                )
+                if waits:
+                    yield sim.all_of(waits)
+            else:
+                if section.hwp_ops > 0:
+                    yield from self._hwp.execute(section.hwp_ops)
+                if section.lwp_ops > 0:
+                    threads = [
+                        sim.process(
+                            lwp.execute(share), name=f"{lwp.name}.thread"
+                        )
+                        for lwp, share in zip(self._lwps, shares)
+                    ]
+                    yield sim.all_of(threads)
+            self._section_cycles.append(sim.now - start)
+
+    def run(self) -> HybridSimResult:
+        """Execute the simulation and return (cached) results."""
+        if self._result is None:
+            done = self.sim.process(self._coordinator(), name="coordinator")
+            self.sim.run(done)
+            self._result = HybridSimResult(
+                params=self.params,
+                lwp_fraction=self.lwp_fraction,
+                n_nodes=self.n_nodes,
+                completion_cycles=self.sim.now,
+                hwp=self._hwp.stats(),
+                lwp_nodes=tuple(l.stats() for l in self._lwps),
+                section_cycles=tuple(self._section_cycles),
+            )
+        return self._result
+
+
+def simulate_hybrid(
+    params: _t.Optional[Table1Params] = None,
+    lwp_fraction: float = 0.5,
+    n_nodes: int = 8,
+    config: _t.Optional[HwlwSimConfig] = None,
+) -> HybridSimResult:
+    """One-call wrapper: build and run a :class:`HybridSystemModel`.
+
+    Examples
+    --------
+    >>> cfg = HwlwSimConfig(stochastic=False)
+    >>> r = simulate_hybrid(lwp_fraction=0.0, n_nodes=4, config=cfg)
+    >>> r.completion_cycles == 4.0 * r.params.total_work  # 4 cycles/op
+    True
+    """
+    params = params or Table1Params()
+    return HybridSystemModel(params, lwp_fraction, n_nodes, config).run()
+
+
+def simulate_control(
+    params: _t.Optional[Table1Params] = None,
+    lwp_fraction: float = 0.5,
+    config: _t.Optional[HwlwSimConfig] = None,
+) -> ControlSimResult:
+    """Simulate the control run: the HWP executes *all* the work.
+
+    The high-locality fraction runs at ``Pmiss``; the no-reuse fraction
+    (which the test system would offload to PIM) runs at
+    ``control_miss_rate`` — by construction it has no data reuse for the
+    cache to exploit.
+    """
+    params = params or Table1Params()
+    config = config or HwlwSimConfig()
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    stoch = config.stochastic
+
+    high = _ChunkedProcessor(
+        sim,
+        "hwp.high",
+        OperationMixSampler(params.ls_mix, params.miss_rate, stoch),
+        streams.stream("control.high") if stoch else None,
+        config.chunk_ops,
+        issue_cycles=1.0,
+        access_cycles_hit=params.hwp_cache_cycles,
+        miss_penalty_cycles=params.hwp_memory_cycles,
+    )
+    low = _ChunkedProcessor(
+        sim,
+        "hwp.low",
+        OperationMixSampler(params.ls_mix, params.control_miss_rate, stoch),
+        streams.stream("control.low") if stoch else None,
+        config.chunk_ops,
+        issue_cycles=1.0,
+        access_cycles_hit=params.hwp_cache_cycles,
+        miss_penalty_cycles=params.hwp_memory_cycles,
+    )
+    workload = PhasedWorkload(params, lwp_fraction, config.sections)
+
+    def control():
+        for section in workload.sections:
+            if section.hwp_ops > 0:
+                yield from high.execute(section.hwp_ops)
+            if section.lwp_ops > 0:
+                yield from low.execute(section.lwp_ops)
+
+    done = sim.process(control(), name="control")
+    sim.run(done)
+    merged = ComponentStats(
+        ops_executed=high.ops_executed + low.ops_executed,
+        busy_cycles=high.busy_cycles + low.busy_cycles,
+        memory_accesses=high.memory_accesses + low.memory_accesses,
+        cache_misses=high.cache_misses + low.cache_misses,
+    )
+    return ControlSimResult(
+        params=params,
+        lwp_fraction=lwp_fraction,
+        completion_cycles=sim.now,
+        hwp=merged,
+    )

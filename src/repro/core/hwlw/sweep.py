@@ -1,0 +1,176 @@
+"""Parameter sweeps regenerating the HWP/LWP figures (paper Figs. 5–7).
+
+Each sweep returns a :class:`SweepGrid` — a small labeled 2-D result
+container (rows × columns of floats) that the experiment harness renders
+as CSV, markdown, or ASCII plots.  Grids are plain data: they can also be
+consumed directly from notebooks or tests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..grid import SweepGrid
+from ..params import Table1Params
+from . import analytic
+from .simulation import HwlwSimConfig, simulate_control, simulate_hybrid
+
+__all__ = [
+    "SweepGrid",
+    "PAPER_NODE_COUNTS",
+    "PAPER_LWP_FRACTIONS",
+    "figure5_gain_sweep",
+    "figure6_response_time_sweep",
+    "figure7_normalized_time_sweep",
+    "section_ablation_sweep",
+]
+
+#: Node counts on the x-axis of paper Fig. 6 (and the curve family of
+#: Fig. 5): powers of two through a "modest scale system".
+PAPER_NODE_COUNTS: _t.Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: LWT workload percentages of Fig. 6's curve family (0% .. 100%).
+PAPER_LWP_FRACTIONS: _t.Tuple[float, ...] = tuple(
+    round(0.1 * i, 1) for i in range(11)
+)
+
+
+def figure5_gain_sweep(
+    params: _t.Optional[Table1Params] = None,
+    node_counts: _t.Sequence[int] = PAPER_NODE_COUNTS,
+    lwp_fractions: _t.Sequence[float] = PAPER_LWP_FRACTIONS,
+    config: _t.Optional[HwlwSimConfig] = None,
+    use_simulation: bool = True,
+) -> SweepGrid:
+    """Fig. 5: performance gain of the PIM system over the control run.
+
+    ``gain(f, N) = T_control(f) / T_test(f, N)``, from the queuing
+    simulation (default) or the closed-form model
+    (``use_simulation=False``; instantaneous, for large grids).
+    """
+    params = params or Table1Params()
+    values = np.empty((len(node_counts), len(lwp_fractions)))
+    if use_simulation:
+        config = config or HwlwSimConfig()
+        control = {
+            f: simulate_control(params, f, config).completion_cycles
+            for f in lwp_fractions
+        }
+        for i, n in enumerate(node_counts):
+            for j, f in enumerate(lwp_fractions):
+                test = simulate_hybrid(params, f, n, config)
+                values[i, j] = control[f] / test.completion_cycles
+    else:
+        for i, n in enumerate(node_counts):
+            values[i] = analytic.performance_gain(
+                np.asarray(lwp_fractions), n, params
+            )
+    return SweepGrid(
+        name="figure5",
+        row_label="n_nodes",
+        rows=tuple(float(n) for n in node_counts),
+        col_label="lwp_fraction",
+        cols=tuple(float(f) for f in lwp_fractions),
+        values=values,
+        value_label="performance_gain",
+    )
+
+
+def figure6_response_time_sweep(
+    params: _t.Optional[Table1Params] = None,
+    node_counts: _t.Sequence[int] = PAPER_NODE_COUNTS,
+    lwp_fractions: _t.Sequence[float] = PAPER_LWP_FRACTIONS,
+    config: _t.Optional[HwlwSimConfig] = None,
+    use_simulation: bool = True,
+) -> SweepGrid:
+    """Fig. 6: unnormalized response time (ns) vs node count, per %LWT.
+
+    Rows are LWT fractions (the figure's curve family), columns node
+    counts (its x-axis).  The 0 % curve is flat at
+    ``W × 4`` cycles = 4×10⁸ ns with Table 1 values; the 100 %, N=1 point
+    is ``W × 12.5`` = 1.25×10⁹ ns.
+    """
+    params = params or Table1Params()
+    values = np.empty((len(lwp_fractions), len(node_counts)))
+    if use_simulation:
+        config = config or HwlwSimConfig()
+        for i, f in enumerate(lwp_fractions):
+            for j, n in enumerate(node_counts):
+                res = simulate_hybrid(params, f, n, config)
+                values[i, j] = res.completion_ns
+    else:
+        for i, f in enumerate(lwp_fractions):
+            values[i] = (
+                analytic.response_time_cycles(
+                    f, np.asarray(node_counts, dtype=float), params
+                )
+                * params.hwp_cycle_ns
+            )
+    return SweepGrid(
+        name="figure6",
+        row_label="lwp_fraction",
+        rows=tuple(float(f) for f in lwp_fractions),
+        col_label="n_nodes",
+        cols=tuple(float(n) for n in node_counts),
+        values=values,
+        value_label="response_time_ns",
+    )
+
+
+def figure7_normalized_time_sweep(
+    params: _t.Optional[Table1Params] = None,
+    node_counts: _t.Sequence[float] = PAPER_NODE_COUNTS,
+    lwp_fractions: _t.Sequence[float] = PAPER_LWP_FRACTIONS,
+) -> SweepGrid:
+    """Fig. 7: the analytic ``Time_relative`` surface.
+
+    Purely closed-form (the paper plots the theoretical model here).  All
+    curves coincide at ``N = NB`` where ``Time_relative = 1`` for every
+    ``%WL`` — the orthogonality property the paper highlights.
+    """
+    params = params or Table1Params()
+    f = np.asarray(lwp_fractions, dtype=float)[:, None]
+    n = np.asarray(node_counts, dtype=float)[None, :]
+    values = analytic.time_relative(f, n, params)
+    return SweepGrid(
+        name="figure7",
+        row_label="lwp_fraction",
+        rows=tuple(float(x) for x in np.ravel(f)),
+        col_label="n_nodes",
+        cols=tuple(float(x) for x in np.ravel(n)),
+        values=values,
+        value_label="time_relative",
+    )
+
+
+def section_ablation_sweep(
+    params: _t.Optional[Table1Params] = None,
+    lwp_fraction: float = 0.5,
+    n_nodes: int = 8,
+    section_counts: _t.Sequence[int] = (1, 2, 4, 8, 16, 32),
+    stochastic: bool = False,
+) -> SweepGrid:
+    """Model-fidelity ablation: completion time vs Fig. 4 section count.
+
+    The aggregate time must be independent of how many HWP/LWP
+    alternations the workload is divided into (the phases serialize
+    either way); this sweep demonstrates that structural invariance.
+    """
+    params = params or Table1Params()
+    values = np.empty((1, len(section_counts)))
+    for j, s in enumerate(section_counts):
+        cfg = HwlwSimConfig(sections=int(s), stochastic=stochastic)
+        values[0, j] = simulate_hybrid(
+            params, lwp_fraction, n_nodes, cfg
+        ).completion_cycles
+    return SweepGrid(
+        name="ablation-sections",
+        row_label="lwp_fraction",
+        rows=(float(lwp_fraction),),
+        col_label="sections",
+        cols=tuple(float(s) for s in section_counts),
+        values=values,
+        value_label="completion_cycles",
+    )

@@ -1,0 +1,115 @@
+"""Simulation-versus-analytic validation (paper §3.1.2).
+
+The paper reports that its analytical model reproduced the queuing
+simulation "to an accuracy of between 5% and 18%".  This module runs the
+same comparison for our implementations: for a grid of ``(%WL, N)`` points
+it computes the relative discrepancy between the DES completion time and
+the closed-form prediction, in both stochastic and deterministic sampling
+modes.
+
+Because our simulation and analytic model share their statistical
+assumptions *exactly* (the paper's SES model had additional structure), the
+deterministic mode agrees to floating point and the stochastic mode to
+binomial sampling noise — comfortably inside the paper's 5–18 % envelope.
+The experiment records both, which is the honest comparison available
+without the original SES sources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..params import Table1Params
+from . import analytic
+from .simulation import HwlwSimConfig, simulate_hybrid
+
+__all__ = ["ValidationPoint", "ValidationReport", "validate_against_analytic"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationPoint:
+    """One grid point's sim/analytic comparison."""
+
+    lwp_fraction: float
+    n_nodes: int
+    simulated_cycles: float
+    analytic_cycles: float
+
+    @property
+    def relative_error(self) -> float:
+        """|sim − analytic| / analytic."""
+        return abs(self.simulated_cycles - self.analytic_cycles) / (
+            self.analytic_cycles
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "lwp_fraction": self.lwp_fraction,
+            "n_nodes": self.n_nodes,
+            "simulated_cycles": self.simulated_cycles,
+            "analytic_cycles": self.analytic_cycles,
+            "relative_error": self.relative_error,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Aggregate of the validation grid."""
+
+    points: _t.Tuple[ValidationPoint, ...]
+    stochastic: bool
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(p.relative_error for p in self.points)
+
+    @property
+    def mean_relative_error(self) -> float:
+        return float(np.mean([p.relative_error for p in self.points]))
+
+    @property
+    def within_paper_envelope(self) -> bool:
+        """True if every point is at least as accurate as the paper's 18%."""
+        return self.max_relative_error <= 0.18
+
+    def to_rows(self) -> _t.List[dict]:
+        return [p.to_dict() for p in self.points]
+
+
+def validate_against_analytic(
+    params: _t.Optional[Table1Params] = None,
+    lwp_fractions: _t.Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+    node_counts: _t.Sequence[int] = (1, 2, 4, 8, 32, 64),
+    stochastic: bool = True,
+    seed: int = 0,
+    chunk_ops: int = 100_000,
+) -> ValidationReport:
+    """Compare DES completion times against the closed-form model.
+
+    Parameters mirror the sweep defaults; ``stochastic=False`` checks the
+    structural agreement (expected to be exact), ``stochastic=True`` the
+    sampling-noise envelope.
+    """
+    params = params or Table1Params()
+    config = HwlwSimConfig(
+        stochastic=stochastic, seed=seed, chunk_ops=chunk_ops
+    )
+    points = []
+    for f in lwp_fractions:
+        for n in node_counts:
+            sim_cycles = simulate_hybrid(
+                params, f, n, config
+            ).completion_cycles
+            ana_cycles = float(analytic.test_time(f, n, params))
+            points.append(
+                ValidationPoint(
+                    lwp_fraction=float(f),
+                    n_nodes=int(n),
+                    simulated_cycles=sim_cycles,
+                    analytic_cycles=ana_cycles,
+                )
+            )
+    return ValidationReport(points=tuple(points), stochastic=stochastic)

@@ -1,0 +1,182 @@
+"""Statistical workload generation for the HWP/LWP study (paper Fig. 4).
+
+The experimental workload of §3.1 divides ``W`` operations between the
+heavyweight host (high temporal locality; good cache behavior) and the LWP
+array (no temporal locality).  Execution alternates: an HWP region runs,
+then the LWP work of that region is forked into ``N`` concurrent, uniform
+threads (one per LWP node) and joined — "at any one time, either the HWP or
+LWP array is executing but not both".  That timeline is captured by a
+sequence of :class:`WorkSection` items.
+
+Per-operation behavior is statistical: a fraction ``ls_mix`` of operations
+are loads/stores, and on the HWP a fraction ``miss_rate`` of those miss the
+cache.  :class:`OperationMixSampler` turns an operation count into sampled
+(or expected, in deterministic mode) load/store and miss counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..params import Table1Params
+
+__all__ = ["WorkSection", "PhasedWorkload", "OperationMixSampler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkSection:
+    """One HWP region followed by one forked LWP region (Fig. 4)."""
+
+    hwp_ops: float
+    lwp_ops: float
+
+    def __post_init__(self) -> None:
+        if self.hwp_ops < 0 or self.lwp_ops < 0:
+            raise ValueError("section op counts must be non-negative")
+
+    @property
+    def total_ops(self) -> float:
+        return self.hwp_ops + self.lwp_ops
+
+
+class PhasedWorkload:
+    """The alternating HWP/LWP phase structure of the experiment.
+
+    Parameters
+    ----------
+    params:
+        Table 1 parameter set (supplies ``total_work``).
+    lwp_fraction:
+        ``%WL`` in [0, 1] — share of operations with no temporal locality.
+    sections:
+        Number of HWP-then-LWP sections the timeline is divided into.
+        The paper's diagrams show a handful of alternations; the aggregate
+        result is independent of this count (an ablation experiment
+        verifies that), so it is a structural knob, default 8.
+
+    Examples
+    --------
+    >>> wl = PhasedWorkload(Table1Params(), lwp_fraction=0.4, sections=4)
+    >>> wl.total_lwp_ops
+    40000000.0
+    >>> len(wl.sections)
+    4
+    """
+
+    def __init__(
+        self,
+        params: Table1Params,
+        lwp_fraction: float,
+        sections: int = 8,
+    ) -> None:
+        if not 0.0 <= lwp_fraction <= 1.0:
+            raise ValueError(
+                f"lwp_fraction must be in [0, 1], got {lwp_fraction}"
+            )
+        if sections < 1:
+            raise ValueError(f"sections must be >= 1, got {sections}")
+        self.params = params
+        self.lwp_fraction = float(lwp_fraction)
+        w = float(params.total_work)
+        wl = w * self.lwp_fraction
+        wh = w - wl
+        per_h = wh / sections
+        per_l = wl / sections
+        self.sections: _t.List[WorkSection] = [
+            WorkSection(per_h, per_l) for _ in range(sections)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_hwp_ops(self) -> float:
+        return sum(s.hwp_ops for s in self.sections)
+
+    @property
+    def total_lwp_ops(self) -> float:
+        return sum(s.lwp_ops for s in self.sections)
+
+    @property
+    def total_ops(self) -> float:
+        return self.total_hwp_ops + self.total_lwp_ops
+
+    def split_lwp_ops(
+        self, section: WorkSection, n_nodes: int, skew: float = 0.0
+    ) -> np.ndarray:
+        """Partition a section's LWP ops into ``n_nodes`` threads.
+
+        The paper assumes threads "concurrent and uniform in length, one
+        per LWP" (``skew=0``); the load-imbalance extension ramps shares
+        linearly from ``1-skew`` to ``1+skew`` times the mean (see
+        :func:`repro.core.hwlw.extensions.skewed_thread_shares`).
+        """
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        from .extensions import skewed_thread_shares
+
+        shares = skewed_thread_shares(n_nodes, skew)
+        return shares * (section.lwp_ops / n_nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhasedWorkload W={self.params.total_work} "
+            f"%WL={self.lwp_fraction:.0%} sections={len(self.sections)}>"
+        )
+
+
+class OperationMixSampler:
+    """Samples load/store and cache-miss counts for an operation batch.
+
+    In *stochastic* mode, load/store counts are Binomial(n, mix) and miss
+    counts Binomial(n_ls, miss_rate) — the statistical steady-state model
+    of the paper.  In *deterministic* mode, expected values are used, which
+    makes the queuing simulation agree with the closed-form model to
+    floating-point accuracy (useful for validation).
+
+    Parameters
+    ----------
+    ls_mix:
+        Probability an operation is a load/store.
+    miss_rate:
+        Probability a load/store misses (HWP only; pass 0 for LWPs, which
+        have no cache — every access goes to the adjacent row buffer).
+    stochastic:
+        Sampling mode as above.
+    """
+
+    def __init__(
+        self, ls_mix: float, miss_rate: float, stochastic: bool = True
+    ) -> None:
+        if not 0.0 <= ls_mix <= 1.0:
+            raise ValueError(f"ls_mix must be in [0, 1], got {ls_mix}")
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
+        self.ls_mix = float(ls_mix)
+        self.miss_rate = float(miss_rate)
+        self.stochastic = bool(stochastic)
+
+    def sample(
+        self, ops: float, rng: _t.Optional[np.random.Generator]
+    ) -> _t.Tuple[float, float]:
+        """Return ``(loadstore_count, miss_count)`` for a batch of ``ops``.
+
+        ``ops`` may be fractional in deterministic mode; stochastic mode
+        rounds to an integer count before sampling.
+        """
+        if ops < 0:
+            raise ValueError(f"ops must be non-negative, got {ops}")
+        if not self.stochastic:
+            n_ls = ops * self.ls_mix
+            return n_ls, n_ls * self.miss_rate
+        if rng is None:
+            raise ValueError("stochastic sampling requires an rng")
+        n = int(round(ops))
+        n_ls = int(rng.binomial(n, self.ls_mix)) if n else 0
+        n_miss = (
+            int(rng.binomial(n_ls, self.miss_rate))
+            if n_ls and self.miss_rate > 0.0
+            else 0
+        )
+        return float(n_ls), float(n_miss)

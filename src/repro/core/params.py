@@ -1,0 +1,235 @@
+"""Parameter sets for the paper's two parametric studies.
+
+:class:`Table1Params` transcribes Table 1 of the paper (the HWP/LWP
+partitioning study, §3); :class:`ParcelParams` parameterizes the parcel
+split-transaction study (§4).  Both are frozen dataclasses with validation,
+so a parameter point is hashable and can key caches / result tables.
+
+Times are normalized the way the paper normalizes them: *all* durations are
+expressed in heavyweight-processor (HWP) clock cycles; with the Table 1
+defaults one HWP cycle is 1 ns, so cycle counts and nanoseconds coincide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["Table1Params", "ParcelParams"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Params:
+    """Parametric assumptions of the HWP/LWP study (paper Table 1).
+
+    Attributes
+    ----------
+    total_work:
+        ``W`` — total operations split between HWP and LWP work
+        (default 100,000,000).
+    hwp_cycle_ns:
+        ``THcycle`` — heavyweight cycle time in nanoseconds (1 ns).  This
+        is the time base: everything else is in HWP cycles.
+    lwp_cycle_cycles:
+        ``TLcycle`` — lightweight cycle time, in HWP cycles (5 ns / 1 ns = 5).
+    hwp_memory_cycles:
+        ``TMH`` — HWP main-memory access time on a cache miss (90 cycles).
+    hwp_cache_cycles:
+        ``TCH`` — HWP cache access time (2 cycles).
+    lwp_memory_cycles:
+        ``TML`` — LWP (PIM) local memory access time (30 cycles); the LWP
+        has no cache but sits next to the DRAM row buffer.
+    miss_rate:
+        ``Pmiss`` — HWP cache miss rate for *high-temporal-locality* work
+        (0.1).
+    ls_mix:
+        ``mix_{l/s}`` — fraction of operations that are loads/stores (0.30).
+    control_miss_rate:
+        Cache miss rate experienced by the HWP when the *low-locality*
+        fraction of the workload is forced onto it in the control run.
+        The paper assigns work to PIM exactly "when data accesses exhibit
+        no reuse", so the control's cache cannot help on that fraction:
+        default 1.0 (every access misses).
+
+    Notes
+    -----
+    Derived quantities (cycles per operation, the ``NB`` break-even node
+    count) live in :mod:`repro.core.hwlw.analytic`.
+    """
+
+    total_work: int = 100_000_000
+    hwp_cycle_ns: float = 1.0
+    lwp_cycle_cycles: float = 5.0
+    hwp_memory_cycles: float = 90.0
+    hwp_cache_cycles: float = 2.0
+    lwp_memory_cycles: float = 30.0
+    miss_rate: float = 0.1
+    ls_mix: float = 0.30
+    control_miss_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.total_work > 0, "total_work must be positive")
+        _require(self.hwp_cycle_ns > 0, "hwp_cycle_ns must be positive")
+        _require(
+            self.lwp_cycle_cycles >= 1.0,
+            "lwp_cycle_cycles is measured in HWP cycles and the LWP is "
+            "not faster than the HWP in this study (need >= 1)",
+        )
+        _require(
+            self.hwp_cache_cycles >= 1.0,
+            "hwp_cache_cycles must be >= 1 (an access costs at least a cycle)",
+        )
+        _require(
+            self.hwp_memory_cycles >= 0.0,
+            "hwp_memory_cycles must be non-negative",
+        )
+        _require(
+            self.lwp_memory_cycles >= 0.0,
+            "lwp_memory_cycles must be non-negative",
+        )
+        _require(0.0 <= self.miss_rate <= 1.0, "miss_rate must be in [0, 1]")
+        _require(
+            0.0 <= self.control_miss_rate <= 1.0,
+            "control_miss_rate must be in [0, 1]",
+        )
+        _require(0.0 <= self.ls_mix <= 1.0, "ls_mix must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def lwp_cycle_ns(self) -> float:
+        """Lightweight cycle time in nanoseconds."""
+        return self.lwp_cycle_cycles * self.hwp_cycle_ns
+
+    def with_(self, **changes: object) -> "Table1Params":
+        """A modified copy (convenience around :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> _t.Dict[str, object]:
+        """Plain-dict view, for CSV/JSON export."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def paper_rows() -> _t.List[_t.Tuple[str, str, str]]:
+        """The rows of paper Table 1 as (symbol, description, value)."""
+        return [
+            ("W", "total work = WH + WL", "100,000,000 operations"),
+            ("%WH", "percent heavyweight work", "varied 0% to 100%"),
+            ("%WL", "percent lightweight work", "varied 0% to 100%"),
+            ("THcycle", "heavyweight cycle time", "1 nsec"),
+            ("TLcycle", "lightweight cycle time", "5 nsec"),
+            ("TMH", "heavyweight memory access time", "90 cycles"),
+            ("TCH", "heavyweight cache access time", "2 cycles"),
+            ("TML", "lightweight memory access time", "30 cycles"),
+            ("Pmiss", "heavyweight cache miss rate", "0.1"),
+            ("mixl/s", "instruction mix for load and store ops", "0.30"),
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParcelParams:
+    """Parameters of the parcel split-transaction study (paper §4.2).
+
+    The paper keeps "clock rate, peak instruction issue rate, instruction
+    mix, system wide latency ... and the degree of remote accesses" equal
+    between the blocking message-passing *control* system and the parcel
+    *test* system; only the execution discipline differs.  Overheads are
+    charged identically where the two systems do identical things (message
+    send/receive); the test system additionally pays a context-switch cost
+    when it swaps parcel contexts — the "efficient parcel handling
+    mechanisms" knob the paper's conclusions call out.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of PIM nodes in both systems.
+    parallelism:
+        Degree of parallelism of the test system: concurrent parcel
+        contexts (threads) per node.  The control system always has one
+        thread per node.
+    remote_fraction:
+        Fraction of memory accesses that target a remote node (uniform
+        over the other nodes).  Forced to 0 for single-node systems.
+    latency_cycles:
+        One-way, flat (fixed-delay) network latency in cycles.
+    memory_cycles:
+        Local memory access service time (the LWP's ``TML`` = 30).
+    ls_mix:
+        Fraction of operations that are memory accesses (0.30, as Table 1).
+    send_overhead_cycles:
+        Processor cycles to compose and inject a message/parcel (both
+        systems).
+    receive_overhead_cycles:
+        Processor cycles to accept and assimilate a message/parcel (both
+        systems).
+    context_switch_cycles:
+        Test system only: cycles to switch between parcel contexts.
+    max_block_accesses:
+        Modeling knob: local work is batched between consecutive remote
+        accesses for event efficiency; this caps the batch length (only
+        relevant when ``remote_fraction`` is 0 or tiny).
+    """
+
+    n_nodes: int = 8
+    parallelism: int = 8
+    remote_fraction: float = 0.2
+    latency_cycles: float = 100.0
+    memory_cycles: float = 30.0
+    ls_mix: float = 0.3
+    send_overhead_cycles: float = 2.0
+    receive_overhead_cycles: float = 2.0
+    context_switch_cycles: float = 1.0
+    max_block_accesses: int = 1024
+
+    def __post_init__(self) -> None:
+        _require(self.n_nodes >= 1, "n_nodes must be >= 1")
+        _require(self.parallelism >= 1, "parallelism must be >= 1")
+        _require(
+            0.0 <= self.remote_fraction <= 1.0,
+            "remote_fraction must be in [0, 1]",
+        )
+        _require(
+            self.latency_cycles >= 0.0, "latency_cycles must be non-negative"
+        )
+        _require(
+            self.memory_cycles >= 0.0, "memory_cycles must be non-negative"
+        )
+        _require(0.0 < self.ls_mix <= 1.0, "ls_mix must be in (0, 1]")
+        _require(
+            self.send_overhead_cycles >= 0.0,
+            "send_overhead_cycles must be non-negative",
+        )
+        _require(
+            self.receive_overhead_cycles >= 0.0,
+            "receive_overhead_cycles must be non-negative",
+        )
+        _require(
+            self.context_switch_cycles >= 0.0,
+            "context_switch_cycles must be non-negative",
+        )
+        _require(
+            self.max_block_accesses >= 1, "max_block_accesses must be >= 1"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_remote_fraction(self) -> float:
+        """Remote fraction after the single-node correction."""
+        return self.remote_fraction if self.n_nodes > 1 else 0.0
+
+    @property
+    def round_trip_cycles(self) -> float:
+        """Two network traversals (request out, response back)."""
+        return 2.0 * self.latency_cycles
+
+    def with_(self, **changes: object) -> "ParcelParams":
+        """A modified copy (convenience around :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> _t.Dict[str, object]:
+        """Plain-dict view, for CSV/JSON export."""
+        return dataclasses.asdict(self)

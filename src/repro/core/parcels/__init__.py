@@ -1,0 +1,102 @@
+"""repro.core.parcels — the parcel latency-hiding study (paper §4).
+
+Contents:
+
+* :mod:`~repro.core.parcels.parcel` — parcel structures (Fig. 8);
+* :mod:`~repro.core.parcels.actions` — action registry and cost models;
+* :mod:`~repro.core.parcels.network` — flat-latency (and contention)
+  interconnects;
+* :mod:`~repro.core.parcels.node` — message-passing and split-transaction
+  node models (Fig. 10);
+* :mod:`~repro.core.parcels.systems` — paired system simulations;
+* :mod:`~repro.core.parcels.analytic` — Saavedra-Barrera-style closed
+  forms;
+* :mod:`~repro.core.parcels.sweep` — sweeps for Figs. 11 and 12.
+"""
+
+from .actions import (
+    ActionRegistry,
+    ActionSpec,
+    DEFAULT_ACTIONS,
+    default_registry,
+)
+from .analytic import (
+    control_work_rate,
+    multithreading_efficiency,
+    parcel_ratio_estimate,
+    saturation_parallelism,
+    test_work_rate_estimate,
+)
+from .network import FlatNetwork, LinkContentionNetwork, Network
+from .node import (
+    BUSY,
+    Block,
+    BlockSampler,
+    IDLE,
+    MEMORY,
+    MessagePassingNode,
+    NodeCpu,
+    NodeStats,
+    SplitTransactionNode,
+)
+from .parcel import Continuation, Parcel, ParcelKind, next_transaction_id
+from .sweep import (
+    Figure11Result,
+    Figure12Result,
+    PAPER_LATENCIES,
+    PAPER_NODE_COUNTS_FIG12,
+    PAPER_PARALLELISM_LEVELS,
+    PAPER_REMOTE_FRACTIONS,
+    figure11_sweep,
+    figure12_sweep,
+    overhead_ablation_sweep,
+)
+from .systems import (
+    LatencyHidingComparison,
+    SystemResult,
+    compare_systems,
+    simulate_message_passing,
+    simulate_parcels,
+)
+
+__all__ = [
+    "ActionRegistry",
+    "ActionSpec",
+    "DEFAULT_ACTIONS",
+    "default_registry",
+    "control_work_rate",
+    "multithreading_efficiency",
+    "parcel_ratio_estimate",
+    "saturation_parallelism",
+    "test_work_rate_estimate",
+    "FlatNetwork",
+    "LinkContentionNetwork",
+    "Network",
+    "BUSY",
+    "IDLE",
+    "MEMORY",
+    "Block",
+    "BlockSampler",
+    "MessagePassingNode",
+    "NodeCpu",
+    "NodeStats",
+    "SplitTransactionNode",
+    "Continuation",
+    "Parcel",
+    "ParcelKind",
+    "next_transaction_id",
+    "Figure11Result",
+    "Figure12Result",
+    "PAPER_LATENCIES",
+    "PAPER_NODE_COUNTS_FIG12",
+    "PAPER_PARALLELISM_LEVELS",
+    "PAPER_REMOTE_FRACTIONS",
+    "figure11_sweep",
+    "figure12_sweep",
+    "overhead_ablation_sweep",
+    "LatencyHidingComparison",
+    "SystemResult",
+    "compare_systems",
+    "simulate_message_passing",
+    "simulate_parcels",
+]

@@ -1,0 +1,134 @@
+"""Parcel action registry and service-cost models.
+
+The paper describes parcel actions ranging from "simple memory reads and
+writes, through atomic arithmetic memory operations, to remote method
+invocations on objects in memory".  For the statistical study an action is
+characterized by its *service cost* at the target node: how many memory
+accesses it performs and how many additional processor cycles it burns.
+The functional ISA simulator reuses the same names with real semantics.
+
+Custom actions can be registered; the built-ins cover the paper's range:
+
+========== ======================== ======================================
+name        cost (accesses, cycles)  semantics (functional simulator)
+========== ======================== ======================================
+``load``    1, 0                     read one word, reply with its value
+``store``   1, 0                     write operand to target, optional ack
+``amo.add`` 1, 1                     fetch-and-add, reply with old value
+``method``  4, 8                     short method invocation on an object
+========== ======================== ======================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = [
+    "ActionSpec",
+    "ActionRegistry",
+    "DEFAULT_ACTIONS",
+    "default_registry",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ActionSpec:
+    """Cost model of one parcel action at its target node.
+
+    Attributes
+    ----------
+    name:
+        Action specifier carried in parcels.
+    memory_accesses:
+        Row-buffer / memory accesses the action performs at the target.
+    compute_cycles:
+        Additional processor cycles beyond the memory accesses (e.g. the
+        add of a fetch-and-add, or method body execution).
+    produces_reply:
+        Whether the action naturally yields a result parcel.
+    """
+
+    name: str
+    memory_accesses: int = 1
+    compute_cycles: float = 0.0
+    produces_reply: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("action name must be non-empty")
+        if self.memory_accesses < 0:
+            raise ValueError("memory_accesses must be non-negative")
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles must be non-negative")
+
+    def service_cycles(self, memory_cycles: float) -> float:
+        """Total node service time given the per-access memory time."""
+        return (
+            self.memory_accesses * memory_cycles + self.compute_cycles
+        )
+
+
+#: The built-in action set spanning the paper's parcel examples.
+DEFAULT_ACTIONS: _t.Tuple[ActionSpec, ...] = (
+    ActionSpec("load", memory_accesses=1, compute_cycles=0.0),
+    ActionSpec(
+        "store", memory_accesses=1, compute_cycles=0.0, produces_reply=False
+    ),
+    ActionSpec("amo.add", memory_accesses=1, compute_cycles=1.0),
+    ActionSpec("method", memory_accesses=4, compute_cycles=8.0),
+)
+
+
+class ActionRegistry:
+    """Name → :class:`ActionSpec` mapping with registration.
+
+    Examples
+    --------
+    >>> reg = default_registry()
+    >>> reg["load"].memory_accesses
+    1
+    >>> reg.register(ActionSpec("histogram.update", 2, 1.0, False))
+    >>> "histogram.update" in reg
+    True
+    """
+
+    def __init__(self, actions: _t.Iterable[ActionSpec] = ()) -> None:
+        self._specs: _t.Dict[str, ActionSpec] = {}
+        for spec in actions:
+            self.register(spec)
+
+    def register(self, spec: ActionSpec, replace: bool = False) -> None:
+        """Add an action; refuses silent redefinition unless ``replace``."""
+        if spec.name in self._specs and not replace:
+            raise ValueError(
+                f"action {spec.name!r} already registered "
+                "(pass replace=True to override)"
+            )
+        self._specs[spec.name] = spec
+
+    def __getitem__(self, name: str) -> ActionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown parcel action {name!r}; registered: "
+                f"{sorted(self._specs)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> _t.Iterator[ActionSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> _t.List[str]:
+        return sorted(self._specs)
+
+
+def default_registry() -> ActionRegistry:
+    """A fresh registry pre-populated with :data:`DEFAULT_ACTIONS`."""
+    return ActionRegistry(DEFAULT_ACTIONS)

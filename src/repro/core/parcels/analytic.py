@@ -1,0 +1,183 @@
+"""Closed-form cross-checks for the parcel study.
+
+The paper grounds its parcel experiments in prior multithreading analysis
+(Saavedra-Barrera, Culler & von Eicken [27]): a processor with ``P``
+contexts, run length ``R`` between remote requests, context-switch cost
+``C`` and remote latency ``L`` has efficiency
+
+.. math::
+
+    \\epsilon(P) = \\begin{cases}
+        \\dfrac{P\\,R}{R + C + L}           & P < P_{sat} \\\\[1ex]
+        \\dfrac{R}{R + C}                   & P \\ge P_{sat}
+    \\end{cases}
+    \\qquad P_{sat} = \\frac{R + C + L}{R + C}
+
+:func:`multithreading_efficiency` implements that classic model;
+:func:`parcel_ratio_estimate` specializes it to this package's parcel
+parameterization (instruction mix, remote fraction, overheads, incident-
+parcel service load) to predict Fig. 11's test/control ratio without
+simulation.  The estimate ignores queueing at node processors, so it is an
+optimistic bound that the DES approaches from below; tests assert
+agreement within a tolerance band.
+
+All functions broadcast over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..params import ParcelParams
+
+__all__ = [
+    "multithreading_efficiency",
+    "saturation_parallelism",
+    "control_work_rate",
+    "test_work_rate_estimate",
+    "parcel_ratio_estimate",
+]
+
+ArrayLike = _t.Union[float, _t.Sequence[float], np.ndarray]
+
+
+def saturation_parallelism(
+    run_cycles: ArrayLike,
+    latency_cycles: ArrayLike,
+    switch_cycles: ArrayLike = 0.0,
+) -> np.ndarray:
+    """Contexts needed to fully hide ``latency_cycles``.
+
+    ``P_sat = (R + C + L) / (R + C)`` — one context runs while the others'
+    requests are in flight.
+    """
+    r = np.asarray(run_cycles, dtype=float)
+    l = np.asarray(latency_cycles, dtype=float)
+    c = np.asarray(switch_cycles, dtype=float)
+    if np.any(r <= 0):
+        raise ValueError("run_cycles must be positive")
+    if np.any(l < 0) or np.any(c < 0):
+        raise ValueError("latency and switch cycles must be non-negative")
+    return (r + c + l) / (r + c)
+
+
+def multithreading_efficiency(
+    parallelism: ArrayLike,
+    run_cycles: ArrayLike,
+    latency_cycles: ArrayLike,
+    switch_cycles: ArrayLike = 0.0,
+) -> np.ndarray:
+    """Processor efficiency under the Saavedra-Barrera model.
+
+    Parameters broadcast; returns values in (0, 1].
+
+    Examples
+    --------
+    >>> float(multithreading_efficiency(1, 10.0, 90.0, 0.0))
+    0.1
+    >>> float(multithreading_efficiency(10, 10.0, 90.0, 0.0))
+    1.0
+    """
+    p = np.asarray(parallelism, dtype=float)
+    r = np.asarray(run_cycles, dtype=float)
+    l = np.asarray(latency_cycles, dtype=float)
+    c = np.asarray(switch_cycles, dtype=float)
+    if np.any(p < 1):
+        raise ValueError("parallelism must be >= 1")
+    if np.any(r <= 0):
+        raise ValueError("run_cycles must be positive")
+    linear = p * r / (r + c + l)
+    saturated = r / (r + c)
+    return np.minimum(linear, saturated)
+
+
+def _per_transaction_terms(params: ParcelParams) -> _t.Tuple[float, ...]:
+    """Common per-remote-transaction expectations (cycles).
+
+    Returns ``(work, own_useful_cycles, local_service_cycles)`` where a
+    *transaction* is one remote access plus the expected local work
+    between remote accesses.
+    """
+    r = params.effective_remote_fraction
+    if r <= 0.0:
+        raise ValueError(
+            "analytic ratio needs remote_fraction > 0 and n_nodes > 1"
+        )
+    mix = params.ls_mix
+    accesses_per_txn = 1.0 / r
+    compute_per_txn = accesses_per_txn * (1.0 - mix) / mix
+    local_per_txn = accesses_per_txn - 1.0
+    work_per_txn = compute_per_txn + accesses_per_txn
+    return (
+        work_per_txn,
+        compute_per_txn,
+        local_per_txn * params.memory_cycles,
+    )
+
+
+def control_work_rate(params: ParcelParams) -> float:
+    """Control-system work per cycle per node (closed form, exact).
+
+    The control thread strictly alternates: compute, local accesses,
+    send, round-trip wait, receive — no contention anywhere, so its
+    steady-state throughput is deterministic.
+    """
+    work, compute, local_svc = _per_transaction_terms(params)
+    cycle = (
+        compute
+        + local_svc
+        + params.send_overhead_cycles
+        + params.round_trip_cycles
+        + params.memory_cycles
+        + params.receive_overhead_cycles
+    )
+    return work / cycle
+
+
+def test_work_rate_estimate(params: ParcelParams) -> float:
+    """Test-system work per cycle per node (queueing-free estimate).
+
+    The node processor spends, per originated transaction:
+
+    * its own useful work: compute + local accesses;
+    * origination overhead: send + context switch + reply receive;
+    * incident service (one per originated, in expectation under uniform
+      traffic): receive + action memory time + reply send.
+
+    Throughput is the lesser of the parallelism-limited rate
+    (``P`` contexts, each blocked ~round-trip per transaction) and the
+    processor-saturated rate.
+    """
+    work, compute, local_svc = _per_transaction_terms(params)
+    p = params
+    own_busy = (
+        compute
+        + local_svc
+        + p.send_overhead_cycles
+        + p.context_switch_cycles
+        + p.receive_overhead_cycles
+    )
+    incident_busy = (
+        p.receive_overhead_cycles + p.memory_cycles + p.send_overhead_cycles
+    )
+    busy_per_txn = own_busy + incident_busy
+    # a context's wall-clock per transaction if the CPU were free:
+    wait = p.round_trip_cycles + incident_busy
+    ctx_cycle = own_busy + wait
+    rate_parallelism = p.parallelism / ctx_cycle
+    rate_saturation = 1.0 / busy_per_txn
+    txn_rate = min(rate_parallelism, rate_saturation)
+    return work * txn_rate
+
+
+def parcel_ratio_estimate(params: ParcelParams) -> float:
+    """Predicted Fig. 11 ratio (test work / control work).
+
+    Queueing-free: an upper bound the DES approaches from below at
+    moderate load.  Captures both regimes the paper reports — >10× gains
+    with ample parallelism and latency, and ratios below 1 when overheads
+    dominate (small ``P``, short ``L``).
+    """
+    return test_work_rate_estimate(params) / control_work_rate(params)

@@ -1,0 +1,158 @@
+"""Interconnect models for parcel transport.
+
+The paper's study treats system-wide latency as "flat (fixed delay)":
+every parcel experiences the same one-way latency regardless of endpoints
+or load.  :class:`FlatNetwork` implements exactly that.  For ablations we
+also provide :class:`LinkContentionNetwork`, which adds per-destination
+bandwidth limits (an ingress link modeled as a FIFO server), showing how
+the flat-latency idealization behaves once contention appears.
+
+A network delivers parcels into per-node input :class:`~repro.desim.Store`
+mailboxes and keeps aggregate statistics (parcels sent, in flight,
+delivered, latency tally).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...desim import Resource, Simulator, Store, Tally, TimeWeighted
+from .parcel import Parcel
+
+__all__ = ["Network", "FlatNetwork", "LinkContentionNetwork"]
+
+
+class Network:
+    """Base class: mailbox registry + delivery statistics."""
+
+    def __init__(self, sim: Simulator, n_nodes: int, name: str = "net") -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.mailboxes: _t.List[Store] = [
+            Store(sim, name=f"{name}.in[{i}]") for i in range(n_nodes)
+        ]
+        self.parcels_sent = 0
+        self.parcels_delivered = 0
+        self.in_flight = TimeWeighted(f"{name}.inflight", 0.0, sim.now)
+        self.delivery_latency = Tally(f"{name}.latency")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.mailboxes)
+
+    def mailbox(self, node: int) -> Store:
+        """The input mailbox of ``node``."""
+        return self.mailboxes[node]
+
+    def send(self, parcel: Parcel) -> None:
+        """Inject ``parcel``; it arrives at its destination's mailbox later."""
+        if not 0 <= parcel.destination < self.n_nodes:
+            raise ValueError(
+                f"destination {parcel.destination} outside [0, {self.n_nodes})"
+            )
+        self.parcels_sent += 1
+        self.in_flight.add(1.0, self.sim.now)
+        stamped = parcel.with_injection_time(self.sim.now)
+        self.sim.trace(
+            "parcel.send",
+            src=parcel.source,
+            dst=parcel.destination,
+            parcel_kind=parcel.kind,
+        )
+        self._transport(stamped)
+
+    def _transport(self, parcel: Parcel) -> None:
+        raise NotImplementedError
+
+    def _deliver(self, parcel: Parcel) -> None:
+        self.parcels_delivered += 1
+        self.in_flight.add(-1.0, self.sim.now)
+        if parcel.injected_at is not None:
+            self.delivery_latency.record(self.sim.now - parcel.injected_at)
+        self.sim.trace(
+            "parcel.deliver",
+            src=parcel.source,
+            dst=parcel.destination,
+            parcel_kind=parcel.kind,
+        )
+        self.mailboxes[parcel.destination].put(parcel)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} nodes={self.n_nodes} "
+            f"sent={self.parcels_sent} delivered={self.parcels_delivered}>"
+        )
+
+
+class FlatNetwork(Network):
+    """The paper's interconnect: fixed one-way delay, infinite bandwidth.
+
+    Parameters
+    ----------
+    latency_cycles:
+        One-way delay applied to every parcel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        latency_cycles: float,
+        name: str = "flatnet",
+    ) -> None:
+        if latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+        super().__init__(sim, n_nodes, name)
+        self.latency_cycles = float(latency_cycles)
+
+    def _transport(self, parcel: Parcel) -> None:
+        def flight():
+            yield self.sim.timeout(self.latency_cycles)
+            self._deliver(parcel)
+
+        self.sim.process(flight(), name=f"{self.name}.flight")
+
+
+class LinkContentionNetwork(Network):
+    """Flat propagation delay plus a bandwidth-limited ingress per node.
+
+    Each destination has an ingress link serving one parcel every
+    ``cycles_per_word × size_words`` cycles, FIFO.  Under uniform light
+    load it reduces to :class:`FlatNetwork`; under hot-spot traffic the
+    queue grows, which is the contention effect the flat model ignores —
+    used by the ablation experiments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        latency_cycles: float,
+        cycles_per_word: float = 1.0,
+        name: str = "linknet",
+    ) -> None:
+        if latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+        if cycles_per_word < 0:
+            raise ValueError("cycles_per_word must be non-negative")
+        super().__init__(sim, n_nodes, name)
+        self.latency_cycles = float(latency_cycles)
+        self.cycles_per_word = float(cycles_per_word)
+        self.links = [
+            Resource(sim, 1, f"{name}.link[{i}]") for i in range(n_nodes)
+        ]
+
+    def _transport(self, parcel: Parcel) -> None:
+        def flight():
+            yield self.sim.timeout(self.latency_cycles)
+            link = self.links[parcel.destination]
+            with link.request() as req:
+                yield req
+                yield self.sim.timeout(
+                    self.cycles_per_word * parcel.size_words
+                )
+            self._deliver(parcel)
+
+        self.sim.process(flight(), name=f"{self.name}.flight")

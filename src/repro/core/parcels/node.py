@@ -1,0 +1,409 @@
+"""Node models for the parcel latency-hiding study (paper §4, Fig. 10).
+
+Both systems share the workload statistics ("clock rate, peak instruction
+issue rate, instruction mix, system wide latency ... and the degree of
+remote accesses" are identical, per the paper):
+
+* every operation issues in one cycle;
+* a fraction ``ls_mix`` of operations are memory accesses, served in
+  ``memory_cycles``;
+* a fraction ``remote_fraction`` of accesses target a uniformly random
+  *other* node.
+
+Execution is simulated in *blocks*: the compute operations and local
+accesses between two consecutive remote accesses are batched into one
+sampled unit (statistically exact — run lengths are geometric, so the
+batch is negative-binomial), keeping the event count proportional to the
+number of *remote* transactions.
+
+Each processor is always in one of the paper's three states:
+
+* ``busy`` — performing useful operations (plus message/parcel overheads);
+* ``memory`` — performing local memory access (its own, or on behalf of an
+  incident parcel in the test system);
+* ``idle`` — a control processor waiting for its outstanding reply, or a
+  test processor with no ready parcel context and no incident parcels.
+
+The **control** node (:class:`MessagePassingNode`) has one thread and
+blocks for the full round trip (``2·latency + memory_cycles``) on every
+remote access.  The **test** node (:class:`SplitTransactionNode`) runs
+``parallelism`` parcel contexts; a context that issues a remote access
+suspends (paying a context-switch) and the node's processor moves on to
+the next ready context or incident parcel.  Incident parcels consume the
+target processor ("an execution site processes incident parcel requests,
+performs the specified actions locally"): receive overhead, the action's
+memory accesses, and the reply send overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ...desim import Resource, Simulator, StateTimer, Store
+from ..params import ParcelParams
+from .actions import ActionRegistry, default_registry
+from .network import Network
+from .parcel import Parcel, ParcelKind
+
+__all__ = [
+    "BUSY",
+    "MEMORY",
+    "IDLE",
+    "Block",
+    "BlockSampler",
+    "NodeCpu",
+    "NodeStats",
+    "MessagePassingNode",
+    "SplitTransactionNode",
+]
+
+BUSY = "busy"
+MEMORY = "memory"
+IDLE = "idle"
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    """One batched unit of local work, possibly ending in a remote access.
+
+    ``compute_ops`` operations (1 cycle each) and ``local_accesses``
+    local memory accesses precede the remote access (if ``remote``).
+    Counts are floats so deterministic (expected-value) mode can use
+    fractional values.
+    """
+
+    compute_ops: float
+    local_accesses: float
+    remote: bool
+
+
+class BlockSampler:
+    """Draws :class:`Block` units matching the workload statistics.
+
+    Stochastic mode: the number of accesses until (and including) the
+    remote one is Geometric(``remote_fraction``); compute operations
+    between accesses follow from the instruction mix via a
+    negative-binomial draw.  Deterministic mode uses expected values and
+    always ends blocks with a remote access (when ``remote_fraction > 0``).
+    """
+
+    def __init__(
+        self,
+        params: ParcelParams,
+        rng: _t.Optional[np.random.Generator],
+        stochastic: bool = True,
+    ) -> None:
+        self.mix = params.ls_mix
+        self.remote_fraction = params.effective_remote_fraction
+        self.max_block = params.max_block_accesses
+        self.rng = rng
+        self.stochastic = stochastic
+        if stochastic and rng is None:
+            raise ValueError("stochastic sampling requires an rng")
+
+    def sample(self) -> Block:
+        """Draw the next block."""
+        r = self.remote_fraction
+        if self.stochastic:
+            rng = _t.cast(np.random.Generator, self.rng)
+            if r > 0.0:
+                accesses = int(rng.geometric(r))
+                if accesses > self.max_block:
+                    accesses, remote = self.max_block, False
+                else:
+                    remote = True
+            else:
+                accesses, remote = self.max_block, False
+            local = accesses - 1 if remote else accesses
+            if self.mix >= 1.0:
+                compute = 0.0
+            else:
+                compute = float(rng.negative_binomial(accesses, self.mix))
+            return Block(compute, float(local), remote)
+        # deterministic expectations
+        if r > 0.0 and (1.0 / r) <= float(self.max_block):
+            accesses = 1.0 / r
+            remote = True
+            local = accesses - 1.0
+        else:
+            accesses = float(self.max_block)
+            remote = False
+            local = accesses
+        compute = accesses * (1.0 - self.mix) / self.mix
+        return Block(compute, local, remote)
+
+
+class NodeCpu:
+    """A node's processor: unit-capacity server + three-state timer.
+
+    All execution on a node flows through :meth:`acquire` /
+    :meth:`release`; the release hook records the ``idle`` state whenever
+    no ready work holds the processor, giving Fig. 12's idle-time signal
+    exactly.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.resource = Resource(sim, 1, name)
+        self.timer = StateTimer(IDLE, sim.now, name)
+
+    def acquire(self):
+        """Request the processor (yieldable event)."""
+        return self.resource.request()
+
+    def release(self, request) -> None:
+        """Release; records ``idle`` if nobody else is ready to run."""
+        self.resource.release(request)
+        if self.resource.count == 0:
+            self.timer.transition(IDLE, self.sim.now)
+
+    def set_state(self, state: str) -> None:
+        """Record the holder's current activity (busy/memory)."""
+        self.timer.transition(state, self.sim.now)
+
+    def idle_fraction(self, now: float) -> float:
+        return self.timer.fraction(IDLE, now)
+
+
+@dataclasses.dataclass
+class NodeStats:
+    """Work and state accounting for one node."""
+
+    useful_ops: float = 0.0
+    local_accesses: float = 0.0
+    serviced_accesses: float = 0.0
+    remote_requests: int = 0
+    parcels_serviced: int = 0
+
+    @property
+    def total_work(self) -> float:
+        """Useful ops + memory accesses completed at this node."""
+        return self.useful_ops + self.local_accesses + self.serviced_accesses
+
+
+class MessagePassingNode:
+    """Control-system node: one blocking thread (Fig. 10, left).
+
+    Remote accesses cost ``send_overhead`` (busy), then a full round trip
+    ``2·latency + memory_cycles`` spent *waiting* (the idle state), then
+    ``receive_overhead`` (busy).  The remote service time is folded into
+    the flat delay, exactly as the paper's fixed-delay latency model; no
+    remote resources are consumed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: ParcelParams,
+        rng: _t.Optional[np.random.Generator],
+        stochastic: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.sampler = BlockSampler(params, rng, stochastic)
+        self.timer = StateTimer(IDLE, sim.now, f"mp.{node_id}")
+        self.stats = NodeStats()
+
+    def start(self) -> None:
+        """Spawn the node's single thread."""
+        self.sim.process(self._thread(), name=f"mp.{self.node_id}.thread")
+
+    def _thread(self):
+        sim = self.sim
+        p = self.params
+        round_trip = p.round_trip_cycles + p.memory_cycles
+        while True:
+            block = self.sampler.sample()
+            if block.compute_ops > 0:
+                self.timer.transition(BUSY, sim.now)
+                yield sim.timeout(block.compute_ops)
+                self.stats.useful_ops += block.compute_ops
+            if block.local_accesses > 0:
+                self.timer.transition(MEMORY, sim.now)
+                yield sim.timeout(block.local_accesses * p.memory_cycles)
+                self.stats.local_accesses += block.local_accesses
+            if block.remote:
+                self.timer.transition(BUSY, sim.now)
+                yield sim.timeout(p.send_overhead_cycles)
+                self.timer.transition(IDLE, sim.now)  # waiting for reply
+                yield sim.timeout(round_trip)
+                self.timer.transition(BUSY, sim.now)
+                yield sim.timeout(p.receive_overhead_cycles)
+                self.stats.remote_requests += 1
+                # the access completed remotely on this thread's behalf
+                self.stats.local_accesses += 1.0
+
+    def idle_fraction(self, now: float) -> float:
+        return self.timer.fraction(IDLE, now)
+
+    def state_fractions(self, now: float) -> _t.Dict[str, float]:
+        totals = self.timer.totals(now)
+        span = sum(totals.values())
+        return {k: v / span for k, v in totals.items()} if span else {}
+
+
+class SplitTransactionNode:
+    """Test-system node: parcel-driven split-transaction processing.
+
+    ``parallelism`` contexts share the node processor; a dispatcher drains
+    the network mailbox, resuming suspended contexts on replies and
+    spawning service handlers for incident requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: ParcelParams,
+        network: Network,
+        rng_block: _t.Optional[np.random.Generator],
+        rng_dest: _t.Optional[np.random.Generator],
+        stochastic: bool = True,
+        actions: _t.Optional[ActionRegistry] = None,
+        request_action: str = "load",
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.network = network
+        self.sampler = BlockSampler(params, rng_block, stochastic)
+        self.rng_dest = rng_dest
+        self.stochastic = stochastic
+        self.actions = actions or default_registry()
+        self.request_action = request_action
+        self.cpu = NodeCpu(sim, f"pt.{node_id}.cpu")
+        self.stats = NodeStats()
+        self._pending: _t.Dict[int, object] = {}
+        self._rr_next = (node_id + 1) % max(params.n_nodes, 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def mailbox(self) -> Store:
+        return self.network.mailbox(self.node_id)
+
+    def start(self) -> None:
+        """Spawn the dispatcher and the parcel contexts."""
+        self.sim.process(
+            self._dispatcher(), name=f"pt.{self.node_id}.dispatch"
+        )
+        for ctx in range(self.params.parallelism):
+            self.sim.process(
+                self._context(ctx), name=f"pt.{self.node_id}.ctx{ctx}"
+            )
+
+    # ------------------------------------------------------------------
+    def _pick_destination(self) -> int:
+        n = self.network.n_nodes
+        if n <= 1:
+            raise RuntimeError("remote access with a single node")
+        if self.stochastic:
+            rng = _t.cast(np.random.Generator, self.rng_dest)
+            dest = int(rng.integers(0, n - 1))
+            return dest if dest < self.node_id else dest + 1
+        dest = self._rr_next
+        self._rr_next = (self._rr_next + 1) % n
+        if self._rr_next == self.node_id:
+            self._rr_next = (self._rr_next + 1) % n
+        return dest if dest != self.node_id else (dest + 1) % n
+
+    def _context(self, ctx: int):
+        sim = self.sim
+        p = self.params
+        cpu = self.cpu
+        while True:
+            block = self.sampler.sample()
+            req = cpu.acquire()
+            yield req
+            if block.compute_ops > 0:
+                cpu.set_state(BUSY)
+                yield sim.timeout(block.compute_ops)
+                self.stats.useful_ops += block.compute_ops
+            if block.local_accesses > 0:
+                cpu.set_state(MEMORY)
+                yield sim.timeout(block.local_accesses * p.memory_cycles)
+                self.stats.local_accesses += block.local_accesses
+            if not block.remote:
+                cpu.release(req)
+                continue
+            # compose + inject the request parcel, then switch away
+            cpu.set_state(BUSY)
+            yield sim.timeout(
+                p.send_overhead_cycles + p.context_switch_cycles
+            )
+            parcel = Parcel.request(
+                self.node_id,
+                self._pick_destination(),
+                action=self.request_action,
+            )
+            reply_event = sim.event()
+            assert parcel.continuation is not None
+            self._pending[parcel.continuation.transaction_id] = reply_event
+            self.network.send(parcel)
+            self.stats.remote_requests += 1
+            cpu.release(req)
+            yield reply_event  # split transaction: suspended, CPU free
+            req = cpu.acquire()
+            yield req
+            cpu.set_state(BUSY)
+            yield sim.timeout(p.receive_overhead_cycles)
+            cpu.release(req)
+
+    def _dispatcher(self):
+        sim = self.sim
+        while True:
+            parcel = yield self.mailbox.get()
+            assert isinstance(parcel, Parcel)
+            if parcel.kind == ParcelKind.REPLY:
+                assert parcel.continuation is not None
+                event = self._pending.pop(
+                    parcel.continuation.transaction_id, None
+                )
+                if event is None:
+                    raise RuntimeError(
+                        f"node {self.node_id}: reply for unknown "
+                        f"transaction {parcel.continuation.transaction_id}"
+                    )
+                event.succeed(parcel)  # type: ignore[attr-defined]
+            else:
+                sim.process(
+                    self._service(parcel),
+                    name=f"pt.{self.node_id}.svc",
+                )
+
+    def _service(self, parcel: Parcel):
+        """Handle one incident request parcel on the node processor."""
+        sim = self.sim
+        p = self.params
+        cpu = self.cpu
+        spec = self.actions[parcel.action]
+        req = cpu.acquire()
+        yield req
+        cpu.set_state(BUSY)
+        yield sim.timeout(p.receive_overhead_cycles)
+        if spec.compute_cycles > 0:
+            yield sim.timeout(spec.compute_cycles)
+            self.stats.useful_ops += spec.compute_cycles
+        if spec.memory_accesses > 0:
+            cpu.set_state(MEMORY)
+            yield sim.timeout(spec.memory_accesses * p.memory_cycles)
+            self.stats.serviced_accesses += spec.memory_accesses
+        if parcel.expects_reply:
+            cpu.set_state(BUSY)
+            yield sim.timeout(p.send_overhead_cycles)
+            self.network.send(parcel.reply())
+        self.stats.parcels_serviced += 1
+        cpu.release(req)
+
+    # ------------------------------------------------------------------
+    def idle_fraction(self, now: float) -> float:
+        return self.cpu.idle_fraction(now)
+
+    def state_fractions(self, now: float) -> _t.Dict[str, float]:
+        totals = self.cpu.timer.totals(now)
+        span = sum(totals.values())
+        return {k: v / span for k, v in totals.items()} if span else {}

@@ -1,0 +1,158 @@
+"""Parcel (PARallel Control ELement) structures — paper Fig. 8.
+
+A parcel is a memory-borne message specifying an *action* to perform on a
+datum or object in another node's memory: from simple reads/writes through
+atomic arithmetic memory operations to remote method invocations.  The
+structure mirrors Fig. 8:
+
+* an **outer wrapper** used by the interconnect transport layer (source /
+  destination routing, size, injection timestamp);
+* an **inner message**: destination data virtual address, action specifier,
+  operand values, and a continuation (where the result, if any, should go).
+
+The statistical systems of §4 only need the routing and continuation
+machinery plus a service-cost model per action; the functional ISA
+simulator (:mod:`repro.isa`) executes the same actions against real memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+__all__ = ["ParcelKind", "Parcel", "Continuation", "next_transaction_id"]
+
+_transaction_counter = itertools.count(1)
+
+
+def next_transaction_id() -> int:
+    """Globally unique (per-interpreter) transaction identifier."""
+    return next(_transaction_counter)
+
+
+class ParcelKind:
+    """Parcel categories used by the split-transaction protocol."""
+
+    REQUEST = "request"
+    REPLY = "reply"
+
+
+@dataclasses.dataclass(frozen=True)
+class Continuation:
+    """Where a parcel's result should be delivered.
+
+    A reply parcel is routed to ``node`` and matched to the suspended
+    context via ``transaction_id``; a ``None`` continuation means the
+    action is one-way (no response expected — the paper notes a return
+    value "is not always necessary").
+    """
+
+    node: int
+    transaction_id: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("continuation node must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Parcel:
+    """One parcel: transport wrapper plus action payload (Fig. 8).
+
+    Attributes
+    ----------
+    kind:
+        :data:`ParcelKind.REQUEST` or :data:`ParcelKind.REPLY`.
+    source / destination:
+        Node ids for the transport layer (the outer wrapper).
+    target_address:
+        Destination data virtual address the action applies to.
+    action:
+        Action specifier — a name resolved against the action registry
+        (:mod:`repro.core.parcels.actions`), or a code-block pointer in
+        the functional simulator.
+    operands:
+        Additional operand values.
+    continuation:
+        Reply routing; ``None`` for one-way parcels.
+    injected_at:
+        Simulation time the parcel entered the network (set by the
+        transport; ``None`` before injection).
+    size_words:
+        Payload size in words; used by contention-modeling networks.
+    """
+
+    kind: str
+    source: int
+    destination: int
+    target_address: int = 0
+    action: str = "load"
+    operands: _t.Tuple[float, ...] = ()
+    continuation: _t.Optional[Continuation] = None
+    injected_at: _t.Optional[float] = None
+    size_words: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ParcelKind.REQUEST, ParcelKind.REPLY):
+            raise ValueError(f"unknown parcel kind {self.kind!r}")
+        if self.source < 0 or self.destination < 0:
+            raise ValueError("node ids must be non-negative")
+        if self.size_words < 1:
+            raise ValueError("size_words must be >= 1")
+
+    @property
+    def expects_reply(self) -> bool:
+        """Whether a response parcel must be generated."""
+        return self.kind == ParcelKind.REQUEST and self.continuation is not None
+
+    def reply(self, operands: _t.Tuple[float, ...] = ()) -> "Parcel":
+        """Build the response parcel for this request.
+
+        Routed back to the continuation node, carrying the same
+        transaction id so the suspended context can be matched.
+        """
+        if self.continuation is None:
+            raise ValueError(f"{self!r} has no continuation to reply to")
+        return Parcel(
+            kind=ParcelKind.REPLY,
+            source=self.destination,
+            destination=self.continuation.node,
+            target_address=self.target_address,
+            action=self.action,
+            operands=operands,
+            continuation=self.continuation,
+        )
+
+    def with_injection_time(self, now: float) -> "Parcel":
+        """Copy stamped with the network injection time."""
+        return dataclasses.replace(self, injected_at=now)
+
+    @staticmethod
+    def request(
+        source: int,
+        destination: int,
+        *,
+        target_address: int = 0,
+        action: str = "load",
+        operands: _t.Tuple[float, ...] = (),
+        want_reply: bool = True,
+    ) -> "Parcel":
+        """Convenience constructor for request parcels.
+
+        Allocates a fresh transaction id when ``want_reply`` is set.
+        """
+        continuation = (
+            Continuation(node=source, transaction_id=next_transaction_id())
+            if want_reply
+            else None
+        )
+        return Parcel(
+            kind=ParcelKind.REQUEST,
+            source=source,
+            destination=destination,
+            target_address=target_address,
+            action=action,
+            operands=operands,
+            continuation=continuation,
+        )

@@ -1,0 +1,278 @@
+"""Whole-system simulations for the parcel study (paper §4.2–4.3).
+
+Builds the two queuing models of Fig. 10 — the blocking message-passing
+*control* system and the parcel split-transaction *test* system — runs each
+for a fixed simulated horizon, and measures "the number of useful
+operations and local memory access operations, representing the total work
+done" plus per-state processor time, exactly the dependent variables of
+Figs. 11 and 12.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ...desim import RandomStreams, Simulator
+from ..params import ParcelParams
+from .network import FlatNetwork, Network
+from .node import MessagePassingNode, SplitTransactionNode, BUSY, IDLE, MEMORY
+
+__all__ = [
+    "SystemResult",
+    "LatencyHidingComparison",
+    "simulate_message_passing",
+    "simulate_parcels",
+    "compare_systems",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemResult:
+    """Aggregate measurements of one system run.
+
+    Attributes
+    ----------
+    system:
+        ``"control"`` (message passing) or ``"test"`` (parcels).
+    params / horizon_cycles:
+        The configuration simulated.
+    useful_ops / local_accesses / serviced_accesses:
+        Work components summed over nodes.  ``serviced_accesses`` is zero
+        for the control system (remote service is folded into its flat
+        round-trip delay).
+    idle_fraction / busy_fraction / memory_fraction:
+        Mean per-node state shares over the horizon.
+    per_node_idle:
+        Idle fraction of each node (spread diagnostics).
+    parcels_sent:
+        Network traffic (test system only; control uses fixed delays).
+    """
+
+    system: str
+    params: ParcelParams
+    horizon_cycles: float
+    useful_ops: float
+    local_accesses: float
+    serviced_accesses: float
+    remote_requests: int
+    idle_fraction: float
+    busy_fraction: float
+    memory_fraction: float
+    per_node_idle: _t.Tuple[float, ...]
+    parcels_sent: int
+
+    @property
+    def total_work(self) -> float:
+        """Useful operations + memory accesses completed in the horizon."""
+        return self.useful_ops + self.local_accesses + self.serviced_accesses
+
+    @property
+    def work_rate(self) -> float:
+        """Work per cycle per node — the throughput figure of merit."""
+        return self.total_work / (self.horizon_cycles * self.params.n_nodes)
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "n_nodes": self.params.n_nodes,
+            "parallelism": self.params.parallelism,
+            "remote_fraction": self.params.remote_fraction,
+            "latency_cycles": self.params.latency_cycles,
+            "horizon_cycles": self.horizon_cycles,
+            "total_work": self.total_work,
+            "work_rate": self.work_rate,
+            "idle_fraction": self.idle_fraction,
+            "busy_fraction": self.busy_fraction,
+            "memory_fraction": self.memory_fraction,
+            "parcels_sent": self.parcels_sent,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyHidingComparison:
+    """Paired test/control runs and their Fig. 11 ratio."""
+
+    test: SystemResult
+    control: SystemResult
+
+    @property
+    def ratio(self) -> float:
+        """Operations ratio: test-system work over control-system work."""
+        return self.test.total_work / self.control.total_work
+
+    def to_dict(self) -> dict:
+        return {
+            "ratio": self.ratio,
+            "test_work": self.test.total_work,
+            "control_work": self.control.total_work,
+            "test_idle": self.test.idle_fraction,
+            "control_idle": self.control.idle_fraction,
+        }
+
+
+def _mean_state_fractions(
+    nodes: _t.Sequence[object], now: float
+) -> _t.Tuple[float, float, float, _t.Tuple[float, ...]]:
+    busy = []
+    memory = []
+    idle = []
+    for node in nodes:
+        fractions = node.state_fractions(now)  # type: ignore[attr-defined]
+        busy.append(fractions.get(BUSY, 0.0))
+        memory.append(fractions.get(MEMORY, 0.0))
+        idle.append(fractions.get(IDLE, 0.0))
+    return (
+        float(np.mean(busy)),
+        float(np.mean(memory)),
+        float(np.mean(idle)),
+        tuple(idle),
+    )
+
+
+def simulate_message_passing(
+    params: _t.Optional[ParcelParams] = None,
+    horizon_cycles: float = 50_000.0,
+    seed: int = 0,
+    stochastic: bool = True,
+) -> SystemResult:
+    """Run the blocking message-passing control system for a horizon.
+
+    Examples
+    --------
+    >>> r = simulate_message_passing(ParcelParams(n_nodes=2), 5_000.0)
+    >>> r.total_work > 0
+    True
+    """
+    params = params or ParcelParams()
+    if horizon_cycles <= 0:
+        raise ValueError("horizon_cycles must be positive")
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    nodes = [
+        MessagePassingNode(
+            sim,
+            i,
+            params,
+            streams.stream(f"mp.{i}.block") if stochastic else None,
+            stochastic,
+        )
+        for i in range(params.n_nodes)
+    ]
+    for node in nodes:
+        node.start()
+    sim.run(until=horizon_cycles)
+
+    busy, memory, idle, per_node = _mean_state_fractions(nodes, sim.now)
+    return SystemResult(
+        system="control",
+        params=params,
+        horizon_cycles=horizon_cycles,
+        useful_ops=sum(n.stats.useful_ops for n in nodes),
+        local_accesses=sum(n.stats.local_accesses for n in nodes),
+        serviced_accesses=0.0,
+        remote_requests=sum(n.stats.remote_requests for n in nodes),
+        idle_fraction=idle,
+        busy_fraction=busy,
+        memory_fraction=memory,
+        per_node_idle=per_node,
+        parcels_sent=0,
+    )
+
+
+def simulate_parcels(
+    params: _t.Optional[ParcelParams] = None,
+    horizon_cycles: float = 50_000.0,
+    seed: int = 0,
+    stochastic: bool = True,
+    network_factory: _t.Optional[
+        _t.Callable[[Simulator, ParcelParams], Network]
+    ] = None,
+    request_action: str = "load",
+) -> SystemResult:
+    """Run the parcel split-transaction test system for a horizon.
+
+    Parameters
+    ----------
+    network_factory:
+        Optional replacement interconnect (defaults to the paper's
+        flat-latency network); signature ``(sim, params) -> Network``.
+    request_action:
+        Parcel action issued for remote accesses — the paper's parcels
+        "range from simple memory reads and writes, through atomic
+        arithmetic memory operations, to remote method invocations";
+        any name in the default action registry (``load``, ``amo.add``,
+        ``method``, …) selects the corresponding service cost.
+
+    Examples
+    --------
+    >>> r = simulate_parcels(ParcelParams(n_nodes=2, parallelism=4), 5_000.0)
+    >>> 0.0 <= r.idle_fraction <= 1.0
+    True
+    """
+    params = params or ParcelParams()
+    if horizon_cycles <= 0:
+        raise ValueError("horizon_cycles must be positive")
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    if network_factory is None:
+        network: Network = FlatNetwork(
+            sim, params.n_nodes, params.latency_cycles
+        )
+    else:
+        network = network_factory(sim, params)
+    nodes = [
+        SplitTransactionNode(
+            sim,
+            i,
+            params,
+            network,
+            streams.stream(f"pt.{i}.block") if stochastic else None,
+            streams.stream(f"pt.{i}.dest") if stochastic else None,
+            stochastic,
+            request_action=request_action,
+        )
+        for i in range(params.n_nodes)
+    ]
+    for node in nodes:
+        node.start()
+    sim.run(until=horizon_cycles)
+
+    busy, memory, idle, per_node = _mean_state_fractions(nodes, sim.now)
+    return SystemResult(
+        system="test",
+        params=params,
+        horizon_cycles=horizon_cycles,
+        useful_ops=sum(n.stats.useful_ops for n in nodes),
+        local_accesses=sum(n.stats.local_accesses for n in nodes),
+        serviced_accesses=sum(n.stats.serviced_accesses for n in nodes),
+        remote_requests=sum(n.stats.remote_requests for n in nodes),
+        idle_fraction=idle,
+        busy_fraction=busy,
+        memory_fraction=memory,
+        per_node_idle=per_node,
+        parcels_sent=network.parcels_sent,
+    )
+
+
+def compare_systems(
+    params: _t.Optional[ParcelParams] = None,
+    horizon_cycles: float = 50_000.0,
+    seed: int = 0,
+    stochastic: bool = True,
+) -> LatencyHidingComparison:
+    """Run both systems on identical parameters and pair the results.
+
+    This is Fig. 11's primitive: "The experiments of both systems are run
+    for the same amount of simulated time and the number of useful
+    operations and local memory access operations ... are measured and
+    compared."
+    """
+    params = params or ParcelParams()
+    test = simulate_parcels(params, horizon_cycles, seed, stochastic)
+    control = simulate_message_passing(
+        params, horizon_cycles, seed, stochastic
+    )
+    return LatencyHidingComparison(test=test, control=control)

@@ -1,0 +1,125 @@
+"""repro.desim — a from-scratch discrete-event simulation engine.
+
+This package replaces the commercial HyPerformix SES/workbench tool used by
+the SC'04 paper with an open, reproducible, process-based DES kernel:
+
+* :class:`Simulator` — event heap, clock, run loop.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — the
+  coordination primitives processes yield on.
+* :class:`Process` — generator-driven active entities with interrupts.
+* :class:`Resource` / :class:`PriorityResource` — capacity-constrained
+  service centers with queue-length/utilization statistics.
+* :class:`Store` / :class:`FilterStore` — producer/consumer mailboxes.
+* :class:`RandomStreams` + distributions — reproducible named RNG streams.
+* :class:`Tally`, :class:`TimeWeighted`, :class:`StateTimer`,
+  :class:`BatchMeans`, :class:`Counter` — output statistics.
+* :class:`Tracer` — structured event tracing.
+
+Example
+-------
+>>> from repro.desim import Simulator
+>>> sim = Simulator()
+>>> def worker(sim, results):
+...     yield sim.timeout(3.0)
+...     results.append(sim.now)
+>>> results = []
+>>> _ = sim.process(worker(sim, results))
+>>> sim.run()
+>>> results
+[3.0]
+"""
+
+from .core import Simulator
+from .errors import (
+    EmptySchedule,
+    Interrupt,
+    SchedulingError,
+    SimulationError,
+    StopSimulation,
+)
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    NORMAL,
+    PENDING,
+    Timeout,
+    URGENT,
+)
+from .process import Process, ProcessGenerator
+from .resources import PriorityResource, Request, Resource
+from .rng import (
+    Bernoulli,
+    Deterministic,
+    DiscreteChoice,
+    Distribution,
+    Erlang,
+    Exponential,
+    Geometric,
+    NamespacedStreams,
+    RandomStreams,
+    Uniform,
+    as_distribution,
+)
+from .stats import (
+    BatchMeans,
+    Counter,
+    StateTimer,
+    Tally,
+    TimeWeighted,
+    t_quantile,
+)
+from .store import FilterStore, Store, StoreGet, StorePut
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    # kernel
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "ProcessGenerator",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    # errors
+    "SimulationError",
+    "SchedulingError",
+    "EmptySchedule",
+    "StopSimulation",
+    "Interrupt",
+    # resources & stores
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "FilterStore",
+    "StorePut",
+    "StoreGet",
+    # rng
+    "RandomStreams",
+    "NamespacedStreams",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "Erlang",
+    "Geometric",
+    "Bernoulli",
+    "DiscreteChoice",
+    "as_distribution",
+    # stats
+    "Tally",
+    "TimeWeighted",
+    "Counter",
+    "BatchMeans",
+    "StateTimer",
+    "t_quantile",
+    # trace
+    "Tracer",
+    "TraceRecord",
+]

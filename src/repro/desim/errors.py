@@ -1,0 +1,47 @@
+"""Exception types for the :mod:`repro.desim` discrete-event engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation engine."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled or triggered in an illegal way.
+
+    Examples: succeeding an event twice, scheduling into the past, or
+    adding a callback to an event that has already been processed.
+    """
+
+
+class EmptySchedule(SimulationError):
+    """``step()`` was called with no events left in the event queue."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by :meth:`Simulator.run`.
+
+    Not a :class:`SimulationError`: user code should never see it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The interrupting party may attach an arbitrary ``cause`` which the
+    interrupted process can inspect, e.g. to distinguish failure injection
+    from preemption.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`, if any."""
+        return self.args[0]

@@ -1,0 +1,298 @@
+"""Core event primitives for the discrete-event simulation engine.
+
+An :class:`Event` is the unit of coordination in :mod:`repro.desim`: it can be
+*triggered* (succeed or fail), carries a value, and runs callbacks when the
+simulator processes it.  Processes (see :mod:`repro.desim.process`) suspend by
+yielding events and are resumed through the callback mechanism.
+
+The design follows the classic transaction-oriented DES structure used by
+tools like SES/workbench (which the SC'04 paper used) and SimPy: a global
+event heap ordered by ``(time, priority, insertion order)``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .errors import SchedulingError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Simulator
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _Pending:
+    """Sentinel for "event not yet triggered"; falsy and unique."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Sentinel value stored in an event before it is triggered.
+PENDING = _Pending()
+
+#: Scheduling priority for control events (processed before normal events
+#: that share the same timestamp).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A condition that may be triggered once, with a value or an error.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.desim.core.Simulator` this event belongs to.
+
+    Notes
+    -----
+    Lifecycle: *pending* -> *triggered* (via :meth:`succeed` / :meth:`fail`,
+    which schedules the event) -> *processed* (the simulator pops it from the
+    heap and runs its callbacks).  Each transition may happen only once.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        #: ``None`` once processed.
+        self.callbacks: _t.Optional[list] = []
+        self._value: object = PENDING
+        self._ok: _t.Optional[bool] = None
+        self._defused = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the simulator has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> _t.Optional[bool]:
+        """``True``/``False`` after success/failure, ``None`` while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception, if it failed).
+
+        Raises
+        ------
+        SchedulingError
+            If the event has not been triggered yet.
+        """
+        if self._value is PENDING:
+            raise SchedulingError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure was handled (prevents it surfacing in ``run``)."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so ``run()`` does not re-raise."""
+        self._defused = True
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        The event is scheduled at the current simulation time and its
+        callbacks run when the simulator processes it.  Returns ``self`` so
+        that ``return event.succeed()`` chains are convenient.
+        """
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        The exception is re-raised from :meth:`Simulator.run` unless some
+        waiter defuses it (processes that receive it via ``throw`` defuse
+        automatically).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (chaining helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(_t.cast(BaseException, event._value))
+
+    # ------------------------------------------------------------------
+    # callbacks
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: _t.Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        Raises
+        ------
+        SchedulingError
+            If the event has already been processed (its callback list is
+            gone); callers should check :attr:`processed` first.
+        """
+        if self.callbacks is None:
+            raise SchedulingError(f"{self!r} has already been processed")
+        self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        """Run and clear the callback list (simulator-internal)."""
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:  # type: ignore[union-attr]
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else f"failed({self._value!r})")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay.
+
+    Scheduling happens at construction time; the event succeeds with
+    ``value`` at ``sim.now + delay``.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self, sim: "Simulator", delay: float, value: object = None
+    ) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate(events, count)`` says so.
+
+    Used through the :class:`AllOf` / :class:`AnyOf` conveniences.  The
+    condition's value is a dict mapping each *triggered* sub-event to its
+    value, preserving construction order.
+
+    A failing sub-event fails the whole condition immediately (the failure
+    is propagated, and the sub-event is defused by the condition).
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: _t.Callable[[_t.Sequence[Event], int], bool],
+        events: _t.Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._events: _t.Tuple[Event, ...] = tuple(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise SchedulingError(
+                    "all events of a condition must share one simulator"
+                )
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect_values(self) -> dict:
+        return {e: e._value for e in self._events if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self._count += 1
+            if self._evaluate(self._events, self._count):
+                self.succeed(self._collect_values())
+        else:
+            event.defuse()
+            self.fail(_t.cast(BaseException, event._value))
+
+    @staticmethod
+    def all_events(events: _t.Sequence[Event], count: int) -> bool:
+        """Evaluator: every sub-event has triggered."""
+        return count == len(events)
+
+    @staticmethod
+    def any_event(events: _t.Sequence[Event], count: int) -> bool:
+        """Evaluator: at least one sub-event has triggered."""
+        return count >= 1
+
+
+class AllOf(Condition):
+    """Triggers once *all* the given events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: _t.Iterable[Event]) -> None:
+        super().__init__(sim, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* of the given events has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: _t.Iterable[Event]) -> None:
+        super().__init__(sim, Condition.any_event, events)

@@ -1,0 +1,156 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator that models an active entity (a
+processor, a PIM node, a parcel in flight).  The generator advances by
+``yield``-ing :class:`~repro.desim.events.Event` instances; the process
+suspends until the yielded event is processed, then resumes with the event's
+value (or has the event's exception thrown into it, if the event failed).
+
+A :class:`Process` is itself an event: it triggers when the generator
+returns, with the generator's return value.  This allows fork/join modeling
+(e.g. the Fig. 4 thread timeline of the paper: a coordinator spawns ``N``
+LWP-thread processes and yields ``AllOf`` their completion events).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .errors import Interrupt, SchedulingError
+from .events import Event, URGENT
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Simulator
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: Type alias for generators usable as processes.
+ProcessGenerator = _t.Generator[Event, object, object]
+
+
+class Process(Event):
+    """An active entity driven by a generator of events.
+
+    Create via :meth:`Simulator.process`; do not instantiate directly unless
+    you are extending the engine.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: _t.Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently waiting on (``None`` if the
+        #: process is being initialized, running, or finished).
+        self._target: _t.Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+
+        # Kick the generator off at the current simulation time via an
+        # urgent bootstrap event, so process creation order is respected.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)  # type: ignore[union-attr]
+        sim.schedule(start, priority=URGENT)
+        self._target = start
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> _t.Optional[Event]:
+        """The event this process is waiting for, if any."""
+        return self._target
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.desim.errors.Interrupt` into the process.
+
+        The process is detached from whatever event it was waiting on (that
+        event may still trigger later but will no longer resume this
+        process) and resumed immediately (urgent priority) with the
+        interrupt raised at its current ``yield``.
+        """
+        if self.triggered:
+            raise SchedulingError(f"cannot interrupt finished {self!r}")
+
+        interruption = Event(self.sim)
+        interruption._ok = False
+        interruption._value = Interrupt(cause)
+        interruption._defused = True
+        interruption.callbacks.append(self._on_interrupt)  # type: ignore[union-attr]
+        self.sim.schedule(interruption, priority=URGENT)
+
+    def _on_interrupt(self, event: Event) -> None:
+        if self.triggered:  # finished before the interrupt was processed
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        sim = self.sim
+        sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        # The process handles (or propagates) the failure;
+                        # either way it no longer surfaces from run().
+                        event._defused = True
+                        exc = _t.cast(BaseException, event._value)
+                        next_event = self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._target = None
+                    self._ok = True
+                    self._value = stop.value
+                    sim.schedule(self)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self._ok = False
+                    self._value = exc
+                    sim.schedule(self)
+                    return
+
+                if not isinstance(next_event, Event):
+                    raise TypeError(
+                        f"process {self.name!r} yielded {next_event!r}; "
+                        "processes must yield Event instances"
+                    )
+                if next_event.sim is not sim:
+                    raise SchedulingError(
+                        f"process {self.name!r} yielded an event from a "
+                        "different simulator"
+                    )
+
+                if next_event.callbacks is not None:
+                    # Still pending (or triggered but unprocessed): wait.
+                    next_event.add_callback(self._resume)
+                    self._target = next_event
+                    return
+                # Already processed: consume its value synchronously.
+                event = next_event
+        finally:
+            sim._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if not self.triggered else "finished"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

@@ -1,0 +1,220 @@
+"""Capacity-constrained resources with queue statistics.
+
+A :class:`Resource` models a service center: a memory port, a DRAM bank, a
+network link, a processor issue slot.  Processes ``yield resource.request()``
+to acquire one unit of capacity and call :meth:`Resource.release` when done.
+Built-in time-weighted statistics track queue length and utilization, which
+is the queuing-model output the paper's SES models were built to produce.
+
+:class:`PriorityResource` serves waiters in ``(priority, FIFO)`` order,
+used e.g. to let incident parcels preempt *queued* (not in-service) local
+work when modeling parcel-handling disciplines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from collections import deque
+from itertools import count
+
+from .errors import SchedulingError
+from .events import Event
+from .stats import TimeWeighted, Tally
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+__all__ = ["Request", "Resource", "PriorityResource"]
+
+
+class Request(Event):
+    """Pending or granted claim on one unit of a resource's capacity.
+
+    Usable as a context manager inside a process::
+
+        with port.request() as req:
+            yield req
+            yield sim.timeout(service_time)
+        # released on exit
+
+    The request succeeds (with itself as value) when capacity is granted.
+    """
+
+    __slots__ = ("resource", "priority", "enqueued_at", "granted_at")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.enqueued_at = resource.sim.now
+        self.granted_at: _t.Optional[float] = None
+        resource._admit(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        if self.granted_at is not None:
+            self.resource.release(self)
+        else:
+            self.resource.cancel(self)
+
+    def __repr__(self) -> str:
+        state = "granted" if self.granted_at is not None else "waiting"
+        return f"<Request on {self.resource.name!r} {state}>"
+
+
+class Resource:
+    """FIFO service center with integer capacity and usage statistics.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous users (servers); must be >= 1.
+    name:
+        Label used in statistics and traces.
+
+    Attributes
+    ----------
+    queue_length:
+        :class:`TimeWeighted` number of waiting requests.
+    busy_servers:
+        :class:`TimeWeighted` number of servers in use (time average /
+        capacity = utilization).
+    wait_times:
+        :class:`Tally` of queueing delays experienced by granted requests.
+    """
+
+    def __init__(
+        self, sim: "Simulator", capacity: int = 1, name: str = "resource"
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self.users: _t.List[Request] = []
+        self._waiting: _t.Deque[Request] = deque()
+        self.queue_length = TimeWeighted(
+            f"{name}.queue", 0.0, start_time=sim.now
+        )
+        self.busy_servers = TimeWeighted(
+            f"{name}.busy", 0.0, start_time=sim.now
+        )
+        self.wait_times = Tally(f"{name}.wait")
+        self.total_requests = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of granted (in-service) requests."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiting)
+
+    def utilization(self, now: _t.Optional[float] = None) -> float:
+        """Time-averaged busy fraction of total capacity."""
+        return self.busy_servers.time_average(now) / self.capacity
+
+    # ------------------------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        """Create (and possibly immediately grant) a capacity claim."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return ``request``'s unit of capacity and serve the next waiter."""
+        if request.granted_at is None:
+            raise SchedulingError(
+                f"cannot release {request!r}: it was never granted"
+            )
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SchedulingError(
+                f"{request!r} does not hold {self.name!r}"
+            ) from None
+        self.busy_servers.add(-1.0, self.sim.now)
+        self._grant_waiters()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a *waiting* request (no-op if already granted)."""
+        if request.granted_at is not None:
+            return
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            return
+        self.queue_length.add(-1.0, self.sim.now)
+
+    # -- internals ------------------------------------------------------
+    def _admit(self, request: Request) -> None:
+        self.total_requests += 1
+        if len(self.users) < self.capacity and not self._waiting:
+            self._grant(request)
+        else:
+            self._enqueue(request)
+            self.queue_length.add(1.0, self.sim.now)
+
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+
+    def _pop_next(self) -> Request:
+        return self._waiting.popleft()
+
+    def _grant(self, request: Request) -> None:
+        now = self.sim.now
+        request.granted_at = now
+        self.users.append(request)
+        self.busy_servers.add(1.0, now)
+        self.wait_times.record(now - request.enqueued_at)
+        request.succeed(request)
+
+    def _grant_waiters(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            nxt = self._pop_next()
+            self.queue_length.add(-1.0, self.sim.now)
+            self._grant(nxt)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.count}/{self.capacity} busy, {self.queued} queued>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource serving waiters in ascending ``priority`` then FIFO order."""
+
+    def __init__(
+        self, sim: "Simulator", capacity: int = 1, name: str = "resource"
+    ) -> None:
+        super().__init__(sim, capacity, name)
+        self._heap: _t.List[_t.Tuple[float, int, Request]] = []
+        self._seq = count()
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(
+            self._heap, (request.priority, next(self._seq), request)
+        )
+        # the deque is unused; keep `queued` consistent via the heap
+        self._waiting.append(request)
+
+    def _pop_next(self) -> Request:
+        while True:
+            _prio, _seq, request = heapq.heappop(self._heap)
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                continue  # was cancelled
+            return request
+
+    def cancel(self, request: Request) -> None:
+        # Remove from the FIFO mirror only; the heap entry is skipped
+        # lazily by `_pop_next`.
+        super().cancel(request)

@@ -1,0 +1,320 @@
+"""Reproducible random-number streams and service-time distributions.
+
+The paper's studies are *statistical parametric models*: instruction mixes,
+cache misses and remote-access decisions are Bernoulli draws, and service
+times are distributions.  This module gives each model component its own
+named, independently-seeded :class:`numpy.random.Generator` stream so that
+
+* experiments are exactly reproducible given a root seed, and
+* changing the sampling pattern of one component does not perturb any other
+  (common random numbers across configurations — the variance-reduction
+  practice SES/workbench models used).
+
+Distribution objects are small callables with known means so deterministic
+(expected-value) runs can reuse the same model code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import typing as _t
+
+import numpy as np
+
+__all__ = [
+    "RandomStreams",
+    "NamespacedStreams",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "Erlang",
+    "Geometric",
+    "Bernoulli",
+    "DiscreteChoice",
+    "as_distribution",
+]
+
+
+def _stable_hash64(text: str) -> int:
+    """64-bit stable hash of ``text`` (Python's ``hash`` is salted)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStreams:
+    """Factory of named, independent, reproducible random streams.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.stream("hwp.cache")
+    >>> b = streams.stream("lwp.0.memory")
+    >>> a is streams.stream("hwp.cache")   # cached per name
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._cache: _t.Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        gen = self._cache.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence(
+                entropy=(self.seed, _stable_hash64(name))
+            )
+            gen = np.random.default_rng(seq)
+            self._cache[name] = gen
+        return gen
+
+    def spawn(self, prefix: str) -> "NamespacedStreams":
+        """A child factory whose streams are namespaced under ``prefix``."""
+        return NamespacedStreams(self, prefix)
+
+    def __repr__(self) -> str:
+        return f"<RandomStreams seed={self.seed} streams={len(self._cache)}>"
+
+
+class NamespacedStreams(RandomStreams):
+    """View of a parent :class:`RandomStreams` under a name prefix.
+
+    ``NamespacedStreams(parent, "lwp.3").stream("memory")`` is exactly
+    ``parent.stream("lwp.3.memory")`` — components can be given private
+    stream factories without knowing their global name.
+    """
+
+    def __init__(self, parent: RandomStreams, prefix: str) -> None:
+        super().__init__(parent.seed)
+        self._parent = parent
+        self._prefix = prefix
+
+    def stream(self, name: str) -> np.random.Generator:
+        return self._parent.stream(f"{self._prefix}.{name}")
+
+    def __repr__(self) -> str:
+        return f"<NamespacedStreams prefix={self._prefix!r}>"
+
+
+class Distribution:
+    """Base class for service-time / quantity distributions.
+
+    Subclasses implement :meth:`sample` and :attr:`mean`; models call
+    ``dist.sample(rng)`` in stochastic mode or ``dist.mean`` in
+    deterministic (expected-value) mode.
+    """
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized sampling (default: loop; subclasses override)."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+
+class Deterministic(Distribution):
+    """Always returns the same value (expected-value modeling)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value!r})"
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterized by its *mean*."""
+
+    __slots__ = ("_mean",)
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean!r})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high)``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if high < low:
+            raise ValueError(f"need low <= high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class Erlang(Distribution):
+    """Erlang-k distribution parameterized by shape ``k`` and *mean*.
+
+    Useful for service times less variable than exponential (k > 1).
+    """
+
+    __slots__ = ("k", "_mean")
+
+    def __init__(self, k: int, mean: float) -> None:
+        if k < 1:
+            raise ValueError(f"shape k must be >= 1, got {k}")
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.k = int(k)
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, self._mean / self.k))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.k, self._mean / self.k, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k}, mean={self._mean!r})"
+
+
+class Geometric(Distribution):
+    """Number of Bernoulli(p) trials until first success (support >= 1).
+
+    Models run lengths such as "ops until the next memory access" when the
+    per-op memory probability is ``p``; mean is ``1/p``.
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.geometric(self.p))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.geometric(self.p, size=n).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    def __repr__(self) -> str:
+        return f"Geometric(p={self.p!r})"
+
+
+class Bernoulli(Distribution):
+    """Bernoulli(p) indicator (1.0 with probability ``p`` else 0.0)."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 1.0 if rng.random() < self.p else 0.0
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return (rng.random(n) < self.p).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return self.p
+
+    def __repr__(self) -> str:
+        return f"Bernoulli(p={self.p!r})"
+
+
+class DiscreteChoice(Distribution):
+    """Weighted choice over a finite set of numeric outcomes."""
+
+    __slots__ = ("values", "probabilities")
+
+    def __init__(
+        self,
+        values: _t.Sequence[float],
+        probabilities: _t.Optional[_t.Sequence[float]] = None,
+    ) -> None:
+        self.values = np.asarray(values, dtype=float)
+        if len(self.values) == 0:
+            raise ValueError("values must be non-empty")
+        if probabilities is None:
+            probabilities = np.full(len(self.values), 1.0 / len(self.values))
+        probs = np.asarray(probabilities, dtype=float)
+        if probs.shape != self.values.shape:
+            raise ValueError("values and probabilities differ in length")
+        if np.any(probs < 0) or not math.isclose(
+            float(probs.sum()), 1.0, rel_tol=1e-9, abs_tol=1e-12
+        ):
+            raise ValueError("probabilities must be >= 0 and sum to 1")
+        self.probabilities = probs
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values, p=self.probabilities))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, p=self.probabilities, size=n)
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.probabilities))
+
+    def __repr__(self) -> str:
+        return f"DiscreteChoice(values={self.values.tolist()!r})"
+
+
+def as_distribution(
+    value: _t.Union[Distribution, float, int]
+) -> Distribution:
+    """Coerce a bare number to :class:`Deterministic`; pass others through."""
+    if isinstance(value, Distribution):
+        return value
+    if isinstance(value, (int, float)):
+        return Deterministic(float(value))
+    raise TypeError(f"cannot interpret {value!r} as a distribution")

@@ -1,0 +1,184 @@
+"""Buffered producer/consumer stores (mailboxes).
+
+A :class:`Store` is the DES analogue of a queue of *things*: parcels waiting
+at a PIM node, messages in flight at a NIC, ready thread contexts.  Producers
+``yield store.put(item)``; consumers ``yield store.get()`` and receive the
+item as the event's value.  FIFO by default.
+
+:class:`FilterStore` lets consumers wait for items matching a predicate
+(e.g. a reply parcel carrying a specific transaction id).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from .events import Event
+from .stats import TimeWeighted, Tally
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+__all__ = ["StorePut", "StoreGet", "Store", "FilterStore"]
+
+
+class StorePut(Event):
+    """Event that triggers when an item has been accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._admit_put(self)
+
+
+class StoreGet(Event):
+    """Event that triggers with the retrieved item as its value."""
+
+    __slots__ = ("filter",)
+
+    def __init__(
+        self,
+        store: "Store",
+        predicate: _t.Optional[_t.Callable[[object], bool]] = None,
+    ) -> None:
+        super().__init__(store.sim)
+        self.filter = predicate
+        store._admit_get(self)
+
+
+class Store:
+    """FIFO buffer with optional capacity and occupancy statistics.
+
+    Attributes
+    ----------
+    occupancy:
+        :class:`TimeWeighted` number of buffered items, for mean queue
+        length of parcel queues (Fig. 12's idle-time behavior is a direct
+        function of this signal staying positive).
+    waits:
+        :class:`Tally` of consumer waiting times.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        name: str = "store",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: _t.Deque[object] = deque()
+        self._putters: _t.Deque[StorePut] = deque()
+        self._getters: _t.Deque[StoreGet] = deque()
+        self.occupancy = TimeWeighted(f"{name}.items", 0.0, start_time=sim.now)
+        self.waits = Tally(f"{name}.wait")
+        self._get_enqueue_times: _t.Dict[int, float] = {}
+        self.total_puts = 0
+        self.total_gets = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    @property
+    def waiting_consumers(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: object) -> StorePut:
+        """Offer ``item``; the returned event triggers on acceptance."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request the oldest item; the event's value is the item."""
+        return StoreGet(self)
+
+    # -- internals ------------------------------------------------------
+    def _admit_put(self, put: StorePut) -> None:
+        self.total_puts += 1
+        self._putters.append(put)
+        self._match()
+
+    def _admit_get(self, get: StoreGet) -> None:
+        self.total_gets += 1
+        self._getters.append(get)
+        self._get_enqueue_times[id(get)] = self.sim.now
+        self._match()
+
+    def _accept(self, put: StorePut) -> None:
+        self.items.append(put.item)
+        self.occupancy.add(1.0, self.sim.now)
+        put.succeed()
+
+    def _deliver(self, get: StoreGet, item: object) -> None:
+        self.occupancy.add(-1.0, self.sim.now)
+        enq = self._get_enqueue_times.pop(id(get), self.sim.now)
+        self.waits.record(self.sim.now - enq)
+        get.succeed(item)
+
+    def _match(self) -> None:
+        # accept puts while capacity remains
+        while self._putters and len(self.items) < self.capacity:
+            self._accept(self._putters.popleft())
+        # hand items to waiting consumers
+        while self._getters and self.items:
+            get = self._getters.popleft()
+            self._deliver(get, self.items.popleft())
+            # delivering may have freed capacity for blocked producers
+            while self._putters and len(self.items) < self.capacity:
+                self._accept(self._putters.popleft())
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} level={self.level} "
+            f"getters={len(self._getters)} putters={len(self._putters)}>"
+        )
+
+
+class FilterStore(Store):
+    """Store whose consumers may wait for items matching a predicate.
+
+    ``store.get_matching(pred)`` delivers the *oldest* item satisfying
+    ``pred``.  Plain :meth:`get` behaves like the base class.
+    """
+
+    def get_matching(
+        self, predicate: _t.Callable[[object], bool]
+    ) -> StoreGet:
+        """Request the oldest item for which ``predicate(item)`` is true."""
+        return StoreGet(self, predicate)
+
+    def _match(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            self._accept(self._putters.popleft())
+
+        progress = True
+        while progress:
+            progress = False
+            for get in list(self._getters):
+                if get.filter is None:
+                    if self.items:
+                        self._getters.remove(get)
+                        self._deliver(get, self.items.popleft())
+                        progress = True
+                else:
+                    for idx, item in enumerate(self.items):
+                        if get.filter(item):
+                            self._getters.remove(get)
+                            del self.items[idx]
+                            self._deliver(get, item)
+                            progress = True
+                            break
+                if progress:
+                    while (
+                        self._putters and len(self.items) < self.capacity
+                    ):
+                        self._accept(self._putters.popleft())
+                    break

@@ -1,0 +1,40 @@
+"""repro.experiments — regeneration harness for every paper artifact.
+
+Each experiment corresponds to one table or figure of the paper (plus the
+ablations and calibration DESIGN.md adds) and self-checks the qualitative
+claims the paper makes about it.  See the per-experiment index in
+DESIGN.md §3.
+
+Usage::
+
+    from repro.experiments import run_experiment, ExperimentConfig
+    result = run_experiment("figure7", ExperimentConfig(quick=True))
+    print(result.passed, result.summary)
+
+or from the command line: ``repro-pim run figure7``.
+"""
+
+from .registry import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from .runner import render_report, run_all, run_experiment, save_artifacts
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "register",
+    "render_report",
+    "run_all",
+    "run_experiment",
+    "save_artifacts",
+]

@@ -1,0 +1,98 @@
+"""Experiment ``figure12``: idle time vs degree of parallelism."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.params import ParcelParams
+from ..core.parcels import figure12_sweep
+from ..viz import line_plot
+from .registry import ExperimentConfig, ExperimentResult, register
+
+_QUICK = dict(
+    node_counts=(1, 4, 16, 64),
+    parallelism_levels=(1, 4, 32),
+    horizon_cycles=5_000.0,
+)
+_FULL = dict(
+    node_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    parallelism_levels=(1, 2, 4, 8, 16, 32),
+    horizon_cycles=10_000.0,
+)
+
+
+@register(
+    name="figure12",
+    title="Figure 12: Idle Time vs Degree of Parallelism",
+    paper_reference="Fig. 12, §4.3",
+    description=(
+        "Idle fraction of test and control processors as parallelism "
+        "grows, one panel per system size (1..256 nodes).  The paper "
+        "could not complete its 16-node case; this reproduction includes "
+        "it."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    kwargs = _QUICK if config.quick else _FULL
+    base = ParcelParams(remote_fraction=0.2, latency_cycles=1000.0)
+    result = figure12_sweep(base, seed=config.seed, **kwargs)
+    node_counts = list(result.panels)
+    multi = [n for n in node_counts if n > 1]
+    biggest = result.panels[node_counts[-1]]
+    test_idle_at_max_p = {
+        n: float(result.panels[n].values[0, -1]) for n in multi
+    }
+    control_idle = {
+        n: float(result.panels[n].values[1, 0]) for n in multi
+    }
+    checks = {
+        "test idle drops 'virtually to zero' with enough parallelism":
+            all(v < 0.1 for v in test_idle_at_max_p.values()),
+        "control keeps 'relatively high idle time'":
+            all(v > 0.5 for v in control_idle.values()),
+        "test idle decreases monotonically with parallelism": all(
+            bool(
+                np.all(
+                    np.diff(result.panels[n].values[0]) <= 1e-9
+                )
+            )
+            for n in multi
+        ),
+        "16-node case completes (paper's did not)": 16
+        in node_counts or config.quick,
+    }
+    parallelism = list(biggest.cols)
+    plot = line_plot(
+        parallelism,
+        {
+            "test idle": biggest.values[0],
+            "control idle": biggest.values[1],
+        },
+        title=f"Fig 12 panel: {node_counts[-1]} nodes",
+        xlabel="parcels per processor (degree of parallelism)",
+        ylabel="idle",
+        logx=True,
+    )
+    rows = result.to_rows()
+    # label the system column for readability (0=test, 1=control)
+    for row in rows:
+        row["system"] = "test" if row["system"] == 0.0 else "control"
+    return ExperimentResult(
+        name="figure12",
+        title="Figure 12: Idle Time vs Degree of Parallelism",
+        paper_reference="Fig. 12, §4.3",
+        tables={"idle_fraction": rows},
+        plots={"largest_panel": plot},
+        summary=[
+            f"panels (node counts): {node_counts}",
+            "test-system idle at max parallelism: "
+            + ", ".join(
+                f"N={n}: {v:.1%}" for n, v in test_idle_at_max_p.items()
+            ),
+            "control-system idle: "
+            + ", ".join(
+                f"N={n}: {v:.1%}" for n, v in control_idle.items()
+            ),
+        ],
+        checks=checks,
+    )

@@ -1,0 +1,75 @@
+"""Experiment ``figure6``: unnormalized response time vs node count."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hwlw import HwlwSimConfig, figure6_response_time_sweep
+from ..core.params import Table1Params
+from ..viz import grid_plot
+from .registry import ExperimentConfig, ExperimentResult, register
+
+_QUICK_NODES = (1, 2, 8, 64)
+_QUICK_FRACTIONS = (0.0, 0.3, 0.6, 1.0)
+_FULL_NODES = (1, 2, 4, 8, 16, 32, 64)
+_FULL_FRACTIONS = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@register(
+    name="figure6",
+    title="Figure 6: Effect of PIM on Execution Time (Unnormalized)",
+    paper_reference="Fig. 6, §3.1.2",
+    description=(
+        "Simulated single-thread/node response time versus the number of "
+        "smart-memory nodes, one curve per %LWT workload."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    params = Table1Params()
+    nodes = _QUICK_NODES if config.quick else _FULL_NODES
+    fractions = _QUICK_FRACTIONS if config.quick else _FULL_FRACTIONS
+    sim_config = HwlwSimConfig(
+        stochastic=True,
+        seed=config.seed,
+        chunk_ops=1_000_000 if config.quick else 100_000,
+    )
+    grid = figure6_response_time_sweep(
+        params,
+        node_counts=nodes,
+        lwp_fractions=fractions,
+        config=sim_config,
+        use_simulation=True,
+    )
+    flat0 = grid.row(0.0)
+    n1_100 = float(grid.values[-1, 0])
+    checks = {
+        "0% LWT curve flat at ~4e8 ns": bool(
+            np.allclose(flat0, 4.0e8, rtol=5e-3)
+        ),
+        "100% LWT at N=1 is ~1.25e9 ns": abs(n1_100 - 1.25e9) / 1.25e9
+        < 5e-3,
+        "response time decreases with N for f>0": bool(
+            np.all(np.diff(grid.values[1:], axis=1) < 0)
+        ),
+    }
+    plot = grid_plot(
+        grid,
+        row_format=lambda v: f"{v:.0%}",
+        logy=False,
+        logx=True,
+        title="Fig 6: response time (ns) vs nodes (curves: %LWT)",
+        xlabel="number of smart memory nodes",
+        ylabel="resp ns",
+    )
+    return ExperimentResult(
+        name="figure6",
+        title="Figure 6: Effect of PIM on Execution Time (Unnormalized)",
+        paper_reference="Fig. 6, §3.1.2",
+        tables={"response_time": grid.to_rows()},
+        plots={"response_time": plot},
+        summary=[
+            f"0% LWT flat line at {flat0[0]:.3e} ns (paper chart: 4e8)",
+            f"100% LWT, N=1 point {n1_100:.3e} ns (paper chart: 1.25e9)",
+        ],
+        checks=checks,
+    )

@@ -1,0 +1,86 @@
+"""Experiment ``figure7``: the analytic normalized-runtime surface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hwlw import (
+    figure7_normalized_time_sweep,
+    nb_parameter,
+    time_relative,
+)
+from ..core.params import Table1Params
+from ..viz import grid_plot
+from .registry import ExperimentConfig, ExperimentResult, register
+
+
+@register(
+    name="figure7",
+    title="Figure 7: Effect of PIM on Execution Time (Normalized)",
+    paper_reference="Fig. 7, §3.1.2",
+    description=(
+        "The closed-form Time_relative model, exposing the third "
+        "orthogonal parameter NB: all %WL curves coincide at N = NB."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    params = Table1Params()
+    nb = nb_parameter(params)
+    nodes = (1.0, 2.0, nb, 4.0, 8.0, 16.0, 32.0, 64.0)
+    fractions = tuple(round(0.1 * i, 1) for i in range(11))
+    grid = figure7_normalized_time_sweep(
+        params, node_counts=nodes, lwp_fractions=fractions
+    )
+    at_nb = np.asarray(
+        time_relative(np.asarray(fractions), nb, params)
+    )
+    checks = {
+        "all curves coincide at N = NB (Time_relative == 1)": bool(
+            np.allclose(at_nb, 1.0, atol=1e-12)
+        ),
+        "PIM always wins beyond NB (f>0, N>NB)": bool(
+            np.all(
+                np.asarray(
+                    time_relative(
+                        np.asarray(fractions[1:])[:, None],
+                        np.asarray([4.0, 8.0, 64.0])[None, :],
+                        params,
+                    )
+                )
+                < 1.0
+            )
+        ),
+        "PIM always loses below NB (f>0, N<NB)": bool(
+            np.all(
+                np.asarray(
+                    time_relative(
+                        np.asarray(fractions[1:])[:, None],
+                        np.asarray([1.0, 2.0])[None, :],
+                        params,
+                    )
+                )
+                > 1.0
+            )
+        ),
+    }
+    plot = grid_plot(
+        grid,
+        row_format=lambda v: f"{v:.0%}",
+        logx=True,
+        title="Fig 7: Time_relative vs nodes (curves: %WL); NB=3.125",
+        xlabel="number of PIM nodes (log)",
+        ylabel="T_rel",
+    )
+    return ExperimentResult(
+        name="figure7",
+        title="Figure 7: Effect of PIM on Execution Time (Normalized)",
+        paper_reference="Fig. 7, §3.1.2",
+        tables={"time_relative": grid.to_rows()},
+        plots={"time_relative": plot},
+        summary=[
+            f"coincidence point at N = NB = {nb} for every %WL "
+            "(the paper's 'remarkable property')",
+            "N > NB guarantees PIM superiority independent of %WL",
+        ],
+        checks=checks,
+    )

@@ -1,0 +1,69 @@
+"""Experiment ``table1``: reproduce paper Table 1 and its derived anchors."""
+
+from __future__ import annotations
+
+from ..core.hwlw import (
+    hwp_cycles_per_op,
+    lwp_cycles_per_op,
+    nb_parameter,
+)
+from ..core.params import Table1Params
+from .registry import ExperimentConfig, ExperimentResult, register
+
+
+@register(
+    name="table1",
+    title="Table 1: Parametric Assumptions and Metrics",
+    paper_reference="Table 1, §3.1",
+    description=(
+        "Transcribes the paper's parameter table and reports the derived "
+        "per-op costs and the break-even node count NB."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    params = Table1Params()
+    rows = [
+        {"parameter": sym, "description": desc, "value": val}
+        for sym, desc, val in Table1Params.paper_rows()
+    ]
+    derived = [
+        {
+            "quantity": "HWP cycles per operation",
+            "formula": "1 + mix*(TCH-1+Pmiss*TMH)",
+            "value": hwp_cycles_per_op(params),
+        },
+        {
+            "quantity": "LWP cycles per operation",
+            "formula": "TLcycle + mix*(TML-TLcycle)",
+            "value": lwp_cycles_per_op(params),
+        },
+        {
+            "quantity": "HWP cycles/op at no-reuse (control)",
+            "formula": "1 + mix*(TCH-1+1.0*TMH)",
+            "value": hwp_cycles_per_op(params, miss_rate=1.0),
+        },
+        {
+            "quantity": "NB (break-even node count)",
+            "formula": "LWP cpo / HWP cpo",
+            "value": nb_parameter(params),
+        },
+    ]
+    checks = {
+        "HWP costs 4.0 cycles/op": abs(hwp_cycles_per_op(params) - 4.0)
+        < 1e-12,
+        "LWP costs 12.5 cycles/op": abs(lwp_cycles_per_op(params) - 12.5)
+        < 1e-12,
+        "NB equals 3.125": abs(nb_parameter(params) - 3.125) < 1e-12,
+    }
+    return ExperimentResult(
+        name="table1",
+        title="Table 1: Parametric Assumptions and Metrics",
+        paper_reference="Table 1, §3.1",
+        tables={"table1": rows, "derived_anchors": derived},
+        plots={},
+        summary=[
+            "Parameter set transcribed exactly from the paper.",
+            f"Derived break-even node count NB = {nb_parameter(params)}.",
+        ],
+        checks=checks,
+    )

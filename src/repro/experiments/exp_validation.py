@@ -1,0 +1,59 @@
+"""Experiment ``validation``: queuing simulation vs closed-form accuracy."""
+
+from __future__ import annotations
+
+from ..core.hwlw import validate_against_analytic
+from ..core.params import Table1Params
+from .registry import ExperimentConfig, ExperimentResult, register
+
+
+@register(
+    name="validation",
+    title="Validation: Simulation vs Analytical Model",
+    paper_reference="§3.1.2 ('accuracy of between 5% and 18%')",
+    description=(
+        "Reruns the paper's analytic-vs-simulation comparison over a "
+        "(%WL, N) grid in both deterministic and stochastic sampling "
+        "modes."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    params = (
+        Table1Params(total_work=4_000_000)
+        if config.quick
+        else Table1Params()
+    )
+    chunk = 20_000 if config.quick else 100_000
+    deterministic = validate_against_analytic(
+        params, stochastic=False, seed=config.seed, chunk_ops=chunk
+    )
+    stochastic = validate_against_analytic(
+        params, stochastic=True, seed=config.seed, chunk_ops=chunk
+    )
+    checks = {
+        "deterministic mode exact (<1e-9 relative)":
+            deterministic.max_relative_error < 1e-9,
+        "stochastic mode inside the paper's 18% envelope":
+            stochastic.within_paper_envelope,
+        "stochastic mode in fact under 5%":
+            stochastic.max_relative_error < 0.05,
+    }
+    return ExperimentResult(
+        name="validation",
+        title="Validation: Simulation vs Analytical Model",
+        paper_reference="§3.1.2",
+        tables={
+            "stochastic": stochastic.to_rows(),
+            "deterministic": deterministic.to_rows(),
+        },
+        plots={},
+        summary=[
+            f"deterministic max error {deterministic.max_relative_error:.2e}",
+            f"stochastic max error {stochastic.max_relative_error:.2%} "
+            f"(mean {stochastic.mean_relative_error:.2%}); the paper "
+            "reported 5-18% against its SES model",
+            "our sim and closed form share statistical assumptions "
+            "exactly, hence the tighter agreement",
+        ],
+        checks=checks,
+    )

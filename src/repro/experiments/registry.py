@@ -1,0 +1,161 @@
+"""Experiment registry: one entry per paper table/figure.
+
+An *experiment* regenerates one artifact of the paper's evaluation — a
+figure's data series or a table — and self-checks the qualitative shape
+claims the paper makes about it ("a factor of 100X gain is observed",
+"idle time drops virtually to zero", …).  Results carry data tables
+(CSV-exportable), ASCII plots, human-readable summaries, and named
+boolean checks.
+
+Experiments register themselves at import via the :func:`register`
+decorator; :func:`all_experiments` imports the implementation modules
+lazily so ``repro.experiments`` stays cheap to import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import pathlib
+import typing as _t
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "experiment_names",
+    "all_experiments",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Run-control shared by all experiments.
+
+    Attributes
+    ----------
+    quick:
+        Reduced grids / workload sizes (seconds instead of minutes);
+        the full grids match the paper's axes.
+    seed:
+        Root RNG seed for every stochastic component.
+    out_dir:
+        Where the runner writes CSV tables and the report; ``None``
+        keeps everything in memory.
+    """
+
+    quick: bool = True
+    seed: int = 0
+    out_dir: _t.Optional[pathlib.Path] = None
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    name: str
+    title: str
+    paper_reference: str
+    tables: _t.Dict[str, _t.List[dict]]
+    plots: _t.Dict[str, str]
+    summary: _t.List[str]
+    checks: _t.Dict[str, bool]
+
+    @property
+    def passed(self) -> bool:
+        """All qualitative shape checks hold."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> _t.List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+RunnerFn = _t.Callable[[ExperimentConfig], ExperimentResult]
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """Registry entry."""
+
+    name: str
+    title: str
+    paper_reference: str
+    description: str
+    runner: RunnerFn
+
+    def run(
+        self, config: _t.Optional[ExperimentConfig] = None
+    ) -> ExperimentResult:
+        return self.runner(config or ExperimentConfig())
+
+
+_REGISTRY: _t.Dict[str, Experiment] = {}
+
+#: Implementation modules, imported lazily by :func:`all_experiments`.
+_MODULES = (
+    "exp_table1",
+    "exp_figure5",
+    "exp_figure6",
+    "exp_figure7",
+    "exp_validation",
+    "exp_figure11",
+    "exp_figure12",
+    "exp_bandwidth",
+    "exp_ablation",
+    "exp_calibration",
+    "exp_extensions",
+    "exp_energy",
+)
+
+
+def register(
+    name: str,
+    title: str,
+    paper_reference: str,
+    description: str,
+) -> _t.Callable[[RunnerFn], RunnerFn]:
+    """Class the decorated runner function as experiment ``name``."""
+
+    def decorator(runner: RunnerFn) -> RunnerFn:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        _REGISTRY[name] = Experiment(
+            name=name,
+            title=title,
+            paper_reference=paper_reference,
+            description=description,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    for module in _MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment by its registry name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {experiment_names()}"
+        ) from None
+
+
+def experiment_names() -> _t.List[str]:
+    """All registered experiment names, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def all_experiments() -> _t.List[Experiment]:
+    """All registered experiments."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())

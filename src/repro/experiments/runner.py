@@ -1,0 +1,86 @@
+"""Experiment execution, report rendering, artifact export."""
+
+from __future__ import annotations
+
+import pathlib
+import time
+import typing as _t
+
+from ..viz import format_table, write_csv
+from .registry import (
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+)
+
+__all__ = ["run_experiment", "run_all", "render_report", "save_artifacts"]
+
+
+def render_report(result: ExperimentResult) -> str:
+    """Human-readable report: summary, checks, tables, plots."""
+    lines: _t.List[str] = []
+    lines.append("=" * 72)
+    lines.append(f"{result.title}   [{result.paper_reference}]")
+    lines.append("=" * 72)
+    for item in result.summary:
+        lines.append(f"  * {item}")
+    if result.checks:
+        lines.append("")
+        lines.append("  shape checks:")
+        for name, ok in result.checks.items():
+            lines.append(f"    [{'PASS' if ok else 'FAIL'}] {name}")
+    for table_name, rows in result.tables.items():
+        lines.append("")
+        lines.append(f"  -- {table_name} --")
+        lines.append(format_table(rows, indent="  "))
+    for plot_name, plot in result.plots.items():
+        lines.append("")
+        lines.append(f"  -- {plot_name} --")
+        lines.append(plot)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_artifacts(
+    result: ExperimentResult, out_dir: _t.Union[str, pathlib.Path]
+) -> _t.List[pathlib.Path]:
+    """Write each table as CSV and the rendered report as markdown."""
+    out = pathlib.Path(out_dir) / result.name
+    out.mkdir(parents=True, exist_ok=True)
+    written: _t.List[pathlib.Path] = []
+    for table_name, rows in result.tables.items():
+        written.append(write_csv(out / f"{table_name}.csv", rows))
+    report = out / "report.txt"
+    report.write_text(render_report(result))
+    written.append(report)
+    return written
+
+
+def run_experiment(
+    name: str,
+    config: _t.Optional[ExperimentConfig] = None,
+    echo: _t.Optional[_t.Callable[[str], None]] = None,
+) -> ExperimentResult:
+    """Run one experiment; optionally echo the report and save artifacts."""
+    config = config or ExperimentConfig()
+    experiment = get_experiment(name)
+    start = time.perf_counter()
+    result = experiment.run(config)
+    elapsed = time.perf_counter() - start
+    result.summary.append(f"wall-clock: {elapsed:.2f}s")
+    if config.out_dir is not None:
+        save_artifacts(result, config.out_dir)
+    if echo is not None:
+        echo(render_report(result))
+    return result
+
+
+def run_all(
+    config: _t.Optional[ExperimentConfig] = None,
+    echo: _t.Optional[_t.Callable[[str], None]] = None,
+) -> _t.List[ExperimentResult]:
+    """Run every registered experiment in registration order."""
+    return [
+        run_experiment(e.name, config, echo) for e in all_experiments()
+    ]

@@ -1,0 +1,54 @@
+"""repro.isa — a functional multithreaded PIM ISA simulator.
+
+"PIM Lite"-style executable model of the architectures the paper builds
+on (§2.2): per-bank RISC cores with cheap thread contexts, a global
+block-distributed address space, and parcel-based remote access with
+split-transaction thread switching.  Used to *ground* the statistical
+parameters of the two parametric studies in real code (the
+``calibration`` experiment) and as a runnable demonstration of
+parcel-driven computing.
+
+Quick tour
+----------
+* :func:`assemble` — two-pass assembler for the small RISC ISA;
+* :class:`PimSystem` — n-node machine with parcels and global memory;
+* :mod:`repro.isa.programs` — kernels (vector sum, pointer chase,
+  parallel fork/join reduction, GUPS) with verifiers.
+"""
+
+from .assembler import AssemblyError, Program, assemble
+from .encoding import Instruction, N_REGISTERS, OPCODES, OpSpec, VECTOR_OPS, VLEN
+from .machine import IsaParams, IsaRuntimeError, PimNode, ThreadResult
+from .multinode import PimSystem, SystemRunResult
+from .programs import (
+    KernelBinary,
+    gups_program,
+    parallel_sum_program,
+    pointer_chase_program,
+    simd_vector_sum_program,
+    vector_sum_program,
+)
+
+__all__ = [
+    "AssemblyError",
+    "Program",
+    "assemble",
+    "Instruction",
+    "N_REGISTERS",
+    "OPCODES",
+    "OpSpec",
+    "VECTOR_OPS",
+    "VLEN",
+    "IsaParams",
+    "IsaRuntimeError",
+    "PimNode",
+    "ThreadResult",
+    "PimSystem",
+    "SystemRunResult",
+    "KernelBinary",
+    "gups_program",
+    "parallel_sum_program",
+    "pointer_chase_program",
+    "simd_vector_sum_program",
+    "vector_sum_program",
+]

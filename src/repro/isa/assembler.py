@@ -1,0 +1,178 @@
+"""Two-pass assembler for the PIM node instruction set.
+
+Syntax
+------
+* one instruction per line: ``op arg1, arg2, ...``;
+* labels: ``name:`` on their own line or prefixing an instruction;
+* registers ``r0`` … ``r15``; immediates in decimal or ``0x…`` hex, with
+  optional sign;
+* comments from ``#`` or ``;`` to end of line;
+* data directive ``.word ADDR V1 [V2 …]`` — deposit words into (global)
+  memory at load time, ADDR increasing by one per value.
+
+Example
+-------
+>>> prog = assemble('''
+...     li   r1, 0          # accumulator
+...     li   r2, 100        # base address
+...     li   r3, 8          # count
+... loop:
+...     ld   r4, r2, 0
+...     add  r1, r1, r4
+...     addi r2, r2, 1
+...     addi r3, r3, -1
+...     bne  r3, r0, loop
+...     halt
+... ''')
+>>> prog.labels['loop']
+3
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing as _t
+
+from .encoding import Instruction, OPCODES
+
+__all__ = ["AssemblyError", "Program", "assemble"]
+
+
+class AssemblyError(ValueError):
+    """Raised on any syntax or semantic error, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """Assembled program: instructions, label map, initial data."""
+
+    instructions: _t.Tuple[Instruction, ...]
+    labels: _t.Mapping[str, int]
+    data: _t.Tuple[_t.Tuple[int, int], ...]  # (address, value) pairs
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def entry(self, label: str = "") -> int:
+        """Instruction index of ``label`` (or 0 for the program start)."""
+        if not label:
+            return 0
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(
+                f"unknown label {label!r}; defined: {sorted(self.labels)}"
+            ) from None
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*):")
+_REGISTER_RE = re.compile(r"^r([0-9]|1[0-5])$")
+_IMM_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|[0-9]+)$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    if not _IMM_RE.match(token):
+        raise AssemblyError(line_no, f"expected integer, got {token!r}")
+    return int(token, 0)
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises
+    ------
+    AssemblyError
+        On unknown opcodes, malformed operands, duplicate or undefined
+        labels — always with the offending line number.
+    """
+    labels: _t.Dict[str, int] = {}
+    data: _t.List[_t.Tuple[int, int]] = []
+    pending: _t.List[_t.Tuple[int, str, _t.List[str]]] = []
+
+    # pass 1: labels, data, tokenization
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            name = match.group(1)
+            if name in labels:
+                raise AssemblyError(line_no, f"duplicate label {name!r}")
+            labels[name] = len(pending)
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        if line.startswith(".word"):
+            tokens = line[len(".word"):].replace(",", " ").split()
+            if len(tokens) < 2:
+                raise AssemblyError(
+                    line_no, ".word needs an address and at least one value"
+                )
+            addr = _parse_int(tokens[0], line_no)
+            for offset, tok in enumerate(tokens[1:]):
+                data.append((addr + offset, _parse_int(tok, line_no)))
+            continue
+        if line.startswith("."):
+            raise AssemblyError(line_no, f"unknown directive {line.split()[0]!r}")
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        if op not in OPCODES:
+            raise AssemblyError(line_no, f"unknown opcode {op!r}")
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in operand_text.split(",") if t.strip()]
+        pending.append((line_no, op, tokens))
+
+    # pass 2: operand resolution
+    instructions: _t.List[Instruction] = []
+    for line_no, op, tokens in pending:
+        spec = OPCODES[op]
+        if len(tokens) != len(spec.operands):
+            raise AssemblyError(
+                line_no,
+                f"{op} expects {len(spec.operands)} operands "
+                f"({spec.operands}), got {len(tokens)}",
+            )
+        args: _t.List[int] = []
+        for kind, token in zip(spec.operands, tokens):
+            if kind == "R":
+                match = _REGISTER_RE.match(token)
+                if not match:
+                    raise AssemblyError(
+                        line_no, f"expected register, got {token!r}"
+                    )
+                args.append(int(match.group(1)))
+            elif kind == "I":
+                args.append(_parse_int(token, line_no))
+            else:  # label
+                if _NAME_RE.match(token):
+                    if token not in labels:
+                        raise AssemblyError(
+                            line_no, f"undefined label {token!r}"
+                        )
+                    args.append(labels[token])
+                else:
+                    args.append(_parse_int(token, line_no))
+        instructions.append(Instruction(op, tuple(args)))
+
+    return Program(
+        instructions=tuple(instructions),
+        labels=dict(labels),
+        data=tuple(data),
+        source=source,
+    )

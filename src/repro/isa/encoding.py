@@ -1,0 +1,189 @@
+"""Instruction set definition for the functional PIM node simulator.
+
+The instruction set is modeled on the lightweight multithreaded PIM
+architectures the paper builds on (EXECUBE, PIM Lite, the MDP): a small
+RISC core per memory bank, cheap thread contexts, and parcel operations
+for remote work.  Three operand kinds exist:
+
+* ``R`` — register, ``r0`` … ``r15`` (``r0`` is hardwired zero);
+* ``I`` — signed integer immediate;
+* ``L`` — label (resolved to an instruction index by the assembler).
+
+Memory is word-addressed over a single **global address space**: the
+high-order bits of an address select the owning node (block distribution),
+so ``ld``/``st``/``amo`` transparently become parcel round-trips when the
+target word lives in another node's bank — the split-transaction behavior
+of §4 made executable.
+
+========= =========================== ==================================
+opcode     operands                    semantics
+========= =========================== ==================================
+``li``     rd, imm                     rd <- imm
+``add``    rd, ra, rb                  rd <- ra + rb
+``addi``   rd, ra, imm                 rd <- ra + imm
+``sub``    rd, ra, rb                  rd <- ra - rb
+``mul``    rd, ra, rb                  rd <- ra * rb
+``and``    rd, ra, rb                  bitwise and
+``or``     rd, ra, rb                  bitwise or
+``xor``    rd, ra, rb                  bitwise xor
+``sll``    rd, ra, rb                  rd <- ra << (rb & 63)
+``srl``    rd, ra, rb                  logical shift right
+``slt``    rd, ra, rb                  rd <- 1 if ra < rb else 0
+``slti``   rd, ra, imm                 rd <- 1 if ra < imm else 0
+``ld``     rd, ra, imm                 rd <- mem[ra + imm]   (global)
+``st``     rs, ra, imm                 mem[ra + imm] <- rs   (global)
+``amo``    rd, ra, rb                  rd <- fetch_add(mem[ra], rb)
+``beq``    ra, rb, label               branch if equal
+``bne``    ra, rb, label               branch if not equal
+``blt``    ra, rb, label               branch if ra < rb
+``bge``    ra, rb, label               branch if ra >= rb
+``jmp``    label                       unconditional branch
+``spawn``  label, ra, rb               new local thread, r1=ra, r2=rb
+``invoke`` ra, label, rb               parcel: spawn at owner(ra) with
+                                       r1=ra, r2=rb (one-way)
+``halt``                               end this thread
+``vld``    rd, ra, imm                 rd..rd+3 <- mem[ra+imm .. +3]
+``vst``    rs, ra, imm                 mem[ra+imm .. +3] <- rs..rs+3
+``vadd``   rd, ra, rb                  lane-wise: rd+i <- ra+i + rb+i
+========= =========================== ==================================
+
+The ``v*`` instructions are the wide-word SIMD extension modeled on PIM
+Lite (§2.2: "efficiently uses wide words out of memory to integrate
+multithreading and fast parcel response with SIMD arithmetic
+operations"): a vector register is a group of :data:`VLEN` consecutive
+scalar registers, and one vector memory access moves :data:`VLEN` words
+in a *single* row-buffer access time — the §2.1 bandwidth reclaim made
+architectural.  Vector memory accesses must not cross a node boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["N_REGISTERS", "VLEN", "OPCODES", "OpSpec", "Instruction"]
+
+#: Architected register count (r0 hardwired to zero).
+N_REGISTERS = 16
+
+#: SIMD width: a vector operand is VLEN consecutive scalar registers,
+#: and a vector memory access moves VLEN consecutive words.
+VLEN = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    Attributes
+    ----------
+    name:
+        Mnemonic.
+    operands:
+        Operand kind string: each char one of ``R`` (register),
+        ``I`` (immediate), ``L`` (label).
+    kind:
+        Execution class — ``alu``, ``memory``, ``branch``, ``thread`` —
+        used for timing and statistics.
+    """
+
+    name: str
+    operands: str
+    kind: str
+
+
+OPCODES: _t.Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        OpSpec("li", "RI", "alu"),
+        OpSpec("add", "RRR", "alu"),
+        OpSpec("addi", "RRI", "alu"),
+        OpSpec("sub", "RRR", "alu"),
+        OpSpec("mul", "RRR", "alu"),
+        OpSpec("and", "RRR", "alu"),
+        OpSpec("or", "RRR", "alu"),
+        OpSpec("xor", "RRR", "alu"),
+        OpSpec("sll", "RRR", "alu"),
+        OpSpec("srl", "RRR", "alu"),
+        OpSpec("slt", "RRR", "alu"),
+        OpSpec("slti", "RRI", "alu"),
+        OpSpec("ld", "RRI", "memory"),
+        OpSpec("st", "RRI", "memory"),
+        OpSpec("amo", "RRR", "memory"),
+        OpSpec("beq", "RRL", "branch"),
+        OpSpec("bne", "RRL", "branch"),
+        OpSpec("blt", "RRL", "branch"),
+        OpSpec("bge", "RRL", "branch"),
+        OpSpec("jmp", "L", "branch"),
+        OpSpec("spawn", "LRR", "thread"),
+        OpSpec("invoke", "RLR", "thread"),
+        OpSpec("halt", "", "thread"),
+        OpSpec("vld", "RRI", "memory"),
+        OpSpec("vst", "RRI", "memory"),
+        OpSpec("vadd", "RRR", "alu"),
+    )
+}
+
+#: Opcodes whose register operands name a VLEN-register group, mapped to
+#: the operand positions that are vector groups (others stay scalar —
+#: e.g. the address register of vld/vst).
+VECTOR_OPS: _t.Mapping[str, _t.Tuple[int, ...]] = {
+    "vld": (0,),
+    "vst": (0,),
+    "vadd": (0, 1, 2),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode plus resolved operands.
+
+    Register operands are stored as register indices, label operands as
+    instruction indices (the assembler resolves them), immediates as ints.
+    """
+
+    op: str
+    args: _t.Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        spec = OPCODES.get(self.op)
+        if spec is None:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        if len(self.args) != len(spec.operands):
+            raise ValueError(
+                f"{self.op} expects {len(spec.operands)} operands, "
+                f"got {len(self.args)}"
+            )
+        vector_positions = VECTOR_OPS.get(self.op, ())
+        for position, (kind, value) in enumerate(
+            zip(spec.operands, self.args)
+        ):
+            if kind == "R":
+                limit = (
+                    N_REGISTERS - VLEN + 1
+                    if position in vector_positions
+                    else N_REGISTERS
+                )
+                if not 0 <= value < limit:
+                    raise ValueError(
+                        f"register index {value} out of range in "
+                        f"{self.op}"
+                        + (
+                            f" (vector group needs {VLEN} registers)"
+                            if position in vector_positions
+                            else ""
+                        )
+                    )
+            if kind == "L" and value < 0:
+                raise ValueError(f"label target {value} negative")
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.op]
+
+    def __str__(self) -> str:
+        spec = self.spec
+        parts = []
+        for kind, value in zip(spec.operands, self.args):
+            parts.append(f"r{value}" if kind == "R" else str(value))
+        return f"{self.op} " + ", ".join(parts) if parts else self.op

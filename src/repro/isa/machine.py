@@ -1,0 +1,533 @@
+"""Functional PIM node: registers, threads, memory, parcel integration.
+
+A :class:`PimNode` executes assembled programs on top of the DES engine
+with the same split-transaction discipline the statistical study models
+(§4): threads run on the node processor until they *halt* or touch a
+**remote** word; a remote access composes a parcel, releases the
+processor, and the node switches to the next ready thread or incident
+parcel.  Timing parameters mirror the lightweight node of Table 1 (30-
+cycle local memory, cheap thread contexts).
+
+Instruction execution is functional (real registers, real memory).  ALU
+and branch instructions are time-batched between memory operations; memory
+side effects are applied at the simulated time they complete, so cross-
+thread and cross-node memory interactions happen in the right order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..core.parcels.network import Network
+from ..core.parcels.node import BUSY, IDLE, MEMORY, NodeCpu
+from ..core.parcels.parcel import Parcel, ParcelKind
+from ..desim import Simulator, Store
+from .assembler import Program
+from .encoding import Instruction, N_REGISTERS, VLEN
+
+__all__ = ["IsaParams", "IsaRuntimeError", "ThreadResult", "PimNode"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+@dataclasses.dataclass(frozen=True)
+class IsaParams:
+    """Configuration of the functional PIM system.
+
+    Attributes
+    ----------
+    n_nodes / words_per_node:
+        Global address space geometry: address ``a`` lives on node
+        ``a // words_per_node`` (block distribution).
+    issue_cycles:
+        Cost of ALU/branch/thread instructions.
+    memory_cycles:
+        Local memory access time (Table 1's ``TML``).
+    latency_cycles:
+        One-way network latency for parcels.
+    send_overhead_cycles / receive_overhead_cycles / context_switch_cycles:
+        Parcel handling costs, as in :class:`~repro.core.params.ParcelParams`.
+    max_thread_instructions:
+        Runaway guard: a thread exceeding this instruction count fails
+        the simulation with :class:`IsaRuntimeError`.
+    """
+
+    n_nodes: int = 4
+    words_per_node: int = 4096
+    issue_cycles: float = 1.0
+    memory_cycles: float = 30.0
+    latency_cycles: float = 100.0
+    send_overhead_cycles: float = 2.0
+    receive_overhead_cycles: float = 2.0
+    context_switch_cycles: float = 1.0
+    max_thread_instructions: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.words_per_node < 1:
+            raise ValueError("words_per_node must be >= 1")
+        for field in (
+            "issue_cycles",
+            "memory_cycles",
+            "latency_cycles",
+            "send_overhead_cycles",
+            "receive_overhead_cycles",
+            "context_switch_cycles",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.max_thread_instructions < 1:
+            raise ValueError("max_thread_instructions must be >= 1")
+
+    @property
+    def total_words(self) -> int:
+        return self.n_nodes * self.words_per_node
+
+    def owner(self, address: int) -> int:
+        """Node owning a global word address."""
+        if not 0 <= address < self.total_words:
+            raise IsaRuntimeError(
+                f"address {address} outside global memory "
+                f"[0, {self.total_words})"
+            )
+        return address // self.words_per_node
+
+    def local_offset(self, address: int) -> int:
+        return address % self.words_per_node
+
+
+class IsaRuntimeError(RuntimeError):
+    """Raised for runtime faults: bad addresses, runaway threads."""
+
+
+@dataclasses.dataclass
+class ThreadResult:
+    """Final state of one completed thread."""
+
+    node: int
+    thread_id: int
+    registers: _t.Tuple[int, ...]
+    instructions: int
+    finished_at: float
+
+
+class PimNode:
+    """One PIM node: processor, memory bank, thread contexts, dispatcher.
+
+    Created and wired by :class:`~repro.isa.multinode.PimSystem`; not
+    normally instantiated directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: IsaParams,
+        network: Network,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.network = network
+        self.memory = np.zeros(params.words_per_node, dtype=np.int64)
+        self.cpu = NodeCpu(sim, f"isa.{node_id}.cpu")
+        self.program: _t.Optional[Program] = None
+        self._pending: _t.Dict[int, object] = {}
+        self._next_thread_id = 0
+        self.completed_threads: _t.List[ThreadResult] = []
+        self.instruction_counts: _t.Dict[str, int] = {}
+        self.local_accesses = 0
+        self.remote_accesses = 0
+        self.parcels_serviced = 0
+        sim.process(self._dispatcher(), name=f"isa.{node_id}.dispatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def mailbox(self) -> Store:
+        return self.network.mailbox(self.node_id)
+
+    def load(self, program: Program) -> None:
+        """Install (replicate) the program code on this node."""
+        self.program = program
+
+    def read_local(self, offset: int) -> int:
+        return int(self.memory[offset])
+
+    def write_local(self, offset: int, value: int) -> None:
+        self.memory[offset] = np.int64(_to_signed(value))
+
+    def spawn_thread(self, entry: int, r1: int = 0, r2: int = 0):
+        """Start a thread at instruction index ``entry``; returns Process."""
+        if self.program is None:
+            raise IsaRuntimeError(f"node {self.node_id} has no program")
+        if not 0 <= entry <= len(self.program.instructions):
+            raise IsaRuntimeError(f"entry {entry} outside program")
+        tid = self._next_thread_id
+        self._next_thread_id += 1
+        return self.sim.process(
+            self._thread(tid, entry, r1, r2),
+            name=f"isa.{self.node_id}.t{tid}",
+        )
+
+    # ------------------------------------------------------------------
+    # thread execution
+    # ------------------------------------------------------------------
+    def _count(self, instr: Instruction) -> None:
+        kind = instr.spec.kind
+        self.instruction_counts[kind] = (
+            self.instruction_counts.get(kind, 0) + 1
+        )
+
+    def _thread(self, tid: int, entry: int, r1: int, r2: int):
+        sim = self.sim
+        p = self.params
+        cpu = self.cpu
+        program = _t.cast(Program, self.program)
+        code = program.instructions
+        regs = [0] * N_REGISTERS
+        regs[1], regs[2] = _to_signed(r1), _to_signed(r2)
+        pc = entry
+        executed = 0
+
+        req = cpu.acquire()
+        yield req
+        acc = 0.0  # batched ALU/branch time not yet charged
+        while True:
+            if pc >= len(code):
+                raise IsaRuntimeError(
+                    f"node {self.node_id} thread {tid}: PC {pc} fell off "
+                    "the end of the program (missing halt?)"
+                )
+            instr = code[pc]
+            executed += 1
+            if executed > p.max_thread_instructions:
+                raise IsaRuntimeError(
+                    f"node {self.node_id} thread {tid}: exceeded "
+                    f"{p.max_thread_instructions} instructions (runaway?)"
+                )
+            self._count(instr)
+            op, args = instr.op, instr.args
+
+            if op == "halt":
+                acc += p.issue_cycles
+                if acc > 0:
+                    cpu.set_state(BUSY)
+                    yield sim.timeout(acc)
+                cpu.release(req)
+                self.completed_threads.append(
+                    ThreadResult(
+                        node=self.node_id,
+                        thread_id=tid,
+                        registers=tuple(regs),
+                        instructions=executed,
+                        finished_at=sim.now,
+                    )
+                )
+                return tuple(regs)
+
+            if op == "vadd":
+                # SIMD lane-wise add over VLEN-register groups
+                a = args
+                for lane in range(VLEN):
+                    regs[a[0] + lane] = _to_signed(
+                        regs[a[1] + lane] + regs[a[2] + lane]
+                    )
+                regs[0] = 0
+                acc += p.issue_cycles
+                pc += 1
+                continue
+
+            if instr.spec.kind == "alu":
+                regs[0] = 0
+                a = args
+                if op == "li":
+                    regs[a[0]] = _to_signed(a[1])
+                elif op == "add":
+                    regs[a[0]] = _to_signed(regs[a[1]] + regs[a[2]])
+                elif op == "addi":
+                    regs[a[0]] = _to_signed(regs[a[1]] + a[2])
+                elif op == "sub":
+                    regs[a[0]] = _to_signed(regs[a[1]] - regs[a[2]])
+                elif op == "mul":
+                    regs[a[0]] = _to_signed(regs[a[1]] * regs[a[2]])
+                elif op == "and":
+                    regs[a[0]] = _to_signed(regs[a[1]] & regs[a[2]])
+                elif op == "or":
+                    regs[a[0]] = _to_signed(regs[a[1]] | regs[a[2]])
+                elif op == "xor":
+                    regs[a[0]] = _to_signed(regs[a[1]] ^ regs[a[2]])
+                elif op == "sll":
+                    regs[a[0]] = _to_signed(
+                        (regs[a[1]] & _MASK64) << (regs[a[2]] & 63)
+                    )
+                elif op == "srl":
+                    regs[a[0]] = _to_signed(
+                        (regs[a[1]] & _MASK64) >> (regs[a[2]] & 63)
+                    )
+                elif op == "slt":
+                    regs[a[0]] = int(regs[a[1]] < regs[a[2]])
+                elif op == "slti":
+                    regs[a[0]] = int(regs[a[1]] < a[2])
+                regs[0] = 0
+                acc += p.issue_cycles
+                pc += 1
+                continue
+
+            if instr.spec.kind == "branch":
+                acc += p.issue_cycles
+                if op == "jmp":
+                    pc = args[0]
+                else:
+                    a, b, target = (
+                        regs[args[0]],
+                        regs[args[1]],
+                        args[2],
+                    )
+                    taken = (
+                        (op == "beq" and a == b)
+                        or (op == "bne" and a != b)
+                        or (op == "blt" and a < b)
+                        or (op == "bge" and a >= b)
+                    )
+                    pc = target if taken else pc + 1
+                continue
+
+            if op == "spawn":
+                acc += p.issue_cycles
+                self.spawn_thread(
+                    args[0], regs[args[1]], regs[args[2]]
+                )
+                pc += 1
+                continue
+
+            if op == "invoke":
+                # one-way parcel: method invocation at the owner of the
+                # address in the first register operand
+                acc += p.issue_cycles + p.send_overhead_cycles
+                cpu.set_state(BUSY)
+                yield sim.timeout(acc)
+                acc = 0.0
+                address = regs[args[0]]
+                target = p.owner(address)
+                if target == self.node_id:
+                    self.spawn_thread(args[1], address, regs[args[2]])
+                else:
+                    parcel = Parcel(
+                        kind=ParcelKind.REQUEST,
+                        source=self.node_id,
+                        destination=target,
+                        target_address=address,
+                        action="isa.invoke",
+                        operands=(args[1], regs[args[2]]),
+                        continuation=None,
+                    )
+                    self.network.send(parcel)
+                pc += 1
+                continue
+
+            # memory operations: ld / st / amo / vld / vst
+            if op in ("ld", "st", "vld", "vst"):
+                address = regs[args[1]] + args[2]
+            else:  # amo rd, ra, rb -> address in ra
+                address = regs[args[1]]
+            is_vector = op in ("vld", "vst")
+            owner = p.owner(address)
+            if is_vector and p.owner(address + VLEN - 1) != owner:
+                raise IsaRuntimeError(
+                    f"node {self.node_id}: vector access at {address} "
+                    f"spans a node boundary (VLEN={VLEN})"
+                )
+            if owner == self.node_id:
+                cpu.set_state(BUSY)
+                if acc > 0:
+                    yield sim.timeout(acc)
+                acc = 0.0
+                cpu.set_state(MEMORY)
+                # one row-buffer access regardless of width: the wide
+                # word is the bandwidth reclaim of §2.1
+                yield sim.timeout(p.memory_cycles)
+                offset = p.local_offset(address)
+                if op == "ld":
+                    regs[args[0]] = int(self.memory[offset])
+                elif op == "st":
+                    self.memory[offset] = np.int64(regs[args[0]])
+                elif op == "vld":
+                    for lane in range(VLEN):
+                        regs[args[0] + lane] = int(
+                            self.memory[offset + lane]
+                        )
+                elif op == "vst":
+                    for lane in range(VLEN):
+                        self.memory[offset + lane] = np.int64(
+                            regs[args[0] + lane]
+                        )
+                else:  # amo: fetch-and-add
+                    old = int(self.memory[offset])
+                    self.memory[offset] = np.int64(
+                        _to_signed(old + regs[args[2]])
+                    )
+                    regs[args[0]] = old
+                regs[0] = 0
+                self.local_accesses += 1
+                pc += 1
+                # Fine-grain fairness: if other threads or incident
+                # parcels are waiting for this processor, yield it at the
+                # memory-access boundary (PIM Lite switches contexts at
+                # this granularity).  Without this, a thread spinning on
+                # a local flag would starve the parcel handlers that are
+                # trying to update that very flag.
+                if cpu.resource.queued > 0:
+                    cpu.release(req)
+                    req = cpu.acquire()
+                    yield req
+                    acc += p.context_switch_cycles
+                continue
+
+            # remote memory operation: split transaction
+            self.remote_accesses += 1
+            acc += p.send_overhead_cycles + p.context_switch_cycles
+            cpu.set_state(BUSY)
+            yield sim.timeout(acc)
+            acc = 0.0
+            if op == "ld":
+                action, operands = "isa.load", ()
+            elif op == "st":
+                action, operands = "isa.store", (regs[args[0]],)
+            elif op == "vld":
+                action, operands = "isa.vload", ()
+            elif op == "vst":
+                action = "isa.vstore"
+                operands = tuple(
+                    regs[args[0] + lane] for lane in range(VLEN)
+                )
+            else:
+                action, operands = "isa.amo", (regs[args[2]],)
+            parcel = Parcel.request(
+                self.node_id,
+                owner,
+                target_address=address,
+                action=action,
+                operands=operands,
+            )
+            reply_event = sim.event()
+            assert parcel.continuation is not None
+            self._pending[parcel.continuation.transaction_id] = reply_event
+            self.network.send(parcel)
+            cpu.release(req)
+            reply = yield reply_event
+            req = cpu.acquire()
+            yield req
+            cpu.set_state(BUSY)
+            yield sim.timeout(p.receive_overhead_cycles)
+            if op in ("ld", "amo"):
+                regs[args[0]] = _to_signed(
+                    int(_t.cast(Parcel, reply).operands[0])
+                )
+            elif op == "vld":
+                for lane in range(VLEN):
+                    regs[args[0] + lane] = _to_signed(
+                        int(_t.cast(Parcel, reply).operands[lane])
+                    )
+            regs[0] = 0
+            pc += 1
+
+    # ------------------------------------------------------------------
+    # parcel servicing
+    # ------------------------------------------------------------------
+    def _dispatcher(self):
+        sim = self.sim
+        while True:
+            parcel = yield self.mailbox.get()
+            assert isinstance(parcel, Parcel)
+            if parcel.kind == ParcelKind.REPLY:
+                assert parcel.continuation is not None
+                event = self._pending.pop(
+                    parcel.continuation.transaction_id, None
+                )
+                if event is None:
+                    raise IsaRuntimeError(
+                        f"node {self.node_id}: orphan reply "
+                        f"{parcel.continuation.transaction_id}"
+                    )
+                event.succeed(parcel)  # type: ignore[attr-defined]
+            else:
+                sim.process(
+                    self._service(parcel), name=f"isa.{self.node_id}.svc"
+                )
+
+    def _service(self, parcel: Parcel):
+        sim = self.sim
+        p = self.params
+        cpu = self.cpu
+        req = cpu.acquire()
+        yield req
+        cpu.set_state(BUSY)
+        yield sim.timeout(p.receive_overhead_cycles)
+        self.parcels_serviced += 1
+
+        if parcel.action == "isa.invoke":
+            entry = int(parcel.operands[0])
+            self.spawn_thread(entry, parcel.target_address,
+                              int(parcel.operands[1]))
+            cpu.release(req)
+            return
+
+        cpu.set_state(MEMORY)
+        yield sim.timeout(p.memory_cycles)
+        offset = p.local_offset(parcel.target_address)
+        if p.owner(parcel.target_address) != self.node_id:
+            raise IsaRuntimeError(
+                f"node {self.node_id} received parcel for address "
+                f"{parcel.target_address} it does not own"
+            )
+        self.local_accesses += 1
+        if parcel.action == "isa.load":
+            result: _t.Tuple[int, ...] = (int(self.memory[offset]),)
+        elif parcel.action == "isa.store":
+            self.memory[offset] = np.int64(
+                _to_signed(int(parcel.operands[0]))
+            )
+            result = ()
+        elif parcel.action == "isa.vload":
+            result = tuple(
+                int(self.memory[offset + lane]) for lane in range(VLEN)
+            )
+        elif parcel.action == "isa.vstore":
+            for lane in range(VLEN):
+                self.memory[offset + lane] = np.int64(
+                    _to_signed(int(parcel.operands[lane]))
+                )
+            result = ()
+        elif parcel.action == "isa.amo":
+            old = int(self.memory[offset])
+            self.memory[offset] = np.int64(
+                _to_signed(old + int(parcel.operands[0]))
+            )
+            result = (old,)
+        else:
+            raise IsaRuntimeError(
+                f"node {self.node_id}: unknown parcel action "
+                f"{parcel.action!r}"
+            )
+        cpu.set_state(BUSY)
+        yield sim.timeout(p.send_overhead_cycles)
+        self.network.send(parcel.reply(operands=result))
+        cpu.release(req)
+
+    # ------------------------------------------------------------------
+    def state_fractions(self, now: float) -> _t.Dict[str, float]:
+        totals = self.cpu.timer.totals(now)
+        span = sum(totals.values())
+        return {k: v / span for k, v in totals.items()} if span else {}
+
+    def idle_fraction(self, now: float) -> float:
+        return self.cpu.timer.fraction(IDLE, now)

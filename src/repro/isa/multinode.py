@@ -1,0 +1,192 @@
+"""Multi-node PIM system: global memory, parcels, execution control.
+
+:class:`PimSystem` assembles the functional pieces — ``n`` PIM nodes
+(:class:`~repro.isa.machine.PimNode`), the flat-latency parcel network of
+the statistical study, and a block-distributed global address space — into
+a runnable machine:
+
+>>> from repro.isa import IsaParams, PimSystem, assemble
+>>> system = PimSystem(IsaParams(n_nodes=2, words_per_node=64))
+>>> prog = assemble('''
+...     ld   r3, r1, 0      # load argument word
+...     addi r3, r3, 5
+...     st   r3, r1, 0
+...     halt
+... ''')
+>>> system.load(prog)
+>>> system.write_word(70, 37)            # word 70 lives on node 1
+>>> _ = system.spawn(0, "", r1=70)       # node 0 updates it via parcels
+>>> result = system.run()
+>>> system.read_word(70)
+42
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..core.parcels.network import FlatNetwork, Network
+from ..desim import Simulator, Tracer
+from .assembler import Program
+from .machine import IsaParams, IsaRuntimeError, PimNode, ThreadResult
+
+__all__ = ["SystemRunResult", "PimSystem"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemRunResult:
+    """Aggregate outcome of a :meth:`PimSystem.run` call."""
+
+    cycles: float
+    threads_completed: int
+    instructions: int
+    instruction_mix: _t.Mapping[str, int]
+    local_accesses: int
+    remote_accesses: int
+    parcels_sent: int
+    per_node_idle: _t.Tuple[float, ...]
+
+    @property
+    def remote_access_fraction(self) -> float:
+        """Measured fraction of issued memory accesses that were remote —
+        the ``r`` parameter of the §4 statistical study, observed."""
+        issued = self.remote_accesses + self.local_accesses
+        return self.remote_accesses / issued if issued else 0.0
+
+    @property
+    def memory_mix(self) -> float:
+        """Measured fraction of instructions that are memory operations —
+        Table 1's ``mix_{l/s}``, observed."""
+        return (
+            self.instruction_mix.get("memory", 0) / self.instructions
+            if self.instructions
+            else 0.0
+        )
+
+
+class PimSystem:
+    """A functional array of PIM nodes with a parcel interconnect.
+
+    Parameters
+    ----------
+    params:
+        Geometry and timing (:class:`IsaParams`).
+    tracer:
+        Optional :class:`~repro.desim.Tracer` capturing parcel traffic.
+    """
+
+    def __init__(
+        self,
+        params: _t.Optional[IsaParams] = None,
+        tracer: _t.Optional[Tracer] = None,
+    ) -> None:
+        self.params = params or IsaParams()
+        self.sim = Simulator(tracer=tracer)
+        self.network: Network = FlatNetwork(
+            self.sim, self.params.n_nodes, self.params.latency_cycles,
+            name="isa.net",
+        )
+        self.nodes = [
+            PimNode(self.sim, i, self.params, self.network)
+            for i in range(self.params.n_nodes)
+        ]
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # program & memory management
+    # ------------------------------------------------------------------
+    def load(self, program: Program) -> None:
+        """Replicate ``program`` on every node and apply its ``.word``
+        data directives to global memory."""
+        for node in self.nodes:
+            node.load(program)
+        for address, value in program.data:
+            self.write_word(address, value)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Host-side store into global memory (no simulated time)."""
+        node = self.params.owner(address)
+        self.nodes[node].write_local(self.params.local_offset(address), value)
+
+    def read_word(self, address: int) -> int:
+        """Host-side load from global memory (no simulated time)."""
+        node = self.params.owner(address)
+        return self.nodes[node].read_local(self.params.local_offset(address))
+
+    def write_block(self, address: int, values: _t.Sequence[int]) -> None:
+        """Host-side bulk store of consecutive words."""
+        for offset, value in enumerate(values):
+            self.write_word(address + offset, int(value))
+
+    def read_block(self, address: int, count: int) -> _t.List[int]:
+        """Host-side bulk load of consecutive words."""
+        return [self.read_word(address + i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        node: int,
+        entry: _t.Union[str, int] = "",
+        r1: int = 0,
+        r2: int = 0,
+    ):
+        """Start a thread on ``node`` at a label (or instruction index)."""
+        if not 0 <= node < self.params.n_nodes:
+            raise IsaRuntimeError(f"no such node {node}")
+        pim = self.nodes[node]
+        if pim.program is None:
+            raise IsaRuntimeError("load a program before spawning threads")
+        index = (
+            pim.program.entry(entry) if isinstance(entry, str) else entry
+        )
+        return pim.spawn_thread(index, r1, r2)
+
+    def run(self, max_cycles: _t.Optional[float] = None) -> SystemRunResult:
+        """Run until the machine quiesces (or ``max_cycles``).
+
+        Quiescence means every spawned thread has halted and no parcels
+        remain in flight; dispatcher processes idle on their mailboxes
+        and do not keep the simulation alive.
+        """
+        if max_cycles is None:
+            self.sim.run()
+        else:
+            self.sim.run(until=max_cycles)
+        self._ran = True
+        counts: _t.Dict[str, int] = {}
+        for node in self.nodes:
+            for kind, count in node.instruction_counts.items():
+                counts[kind] = counts.get(kind, 0) + count
+        now = self.sim.now
+        return SystemRunResult(
+            cycles=now,
+            threads_completed=sum(
+                len(n.completed_threads) for n in self.nodes
+            ),
+            instructions=sum(counts.values()),
+            instruction_mix=counts,
+            local_accesses=sum(n.local_accesses for n in self.nodes),
+            remote_accesses=sum(n.remote_accesses for n in self.nodes),
+            parcels_sent=self.network.parcels_sent,
+            per_node_idle=tuple(
+                n.idle_fraction(now) if now > 0 else 0.0
+                for n in self.nodes
+            ),
+        )
+
+    def completed_threads(self) -> _t.List[ThreadResult]:
+        """All finished threads across nodes, in completion order."""
+        threads = [
+            t for node in self.nodes for t in node.completed_threads
+        ]
+        threads.sort(key=lambda t: t.finished_at)
+        return threads
+
+    def __repr__(self) -> str:
+        return (
+            f"<PimSystem nodes={self.params.n_nodes} "
+            f"words/node={self.params.words_per_node}>"
+        )

@@ -1,0 +1,340 @@
+"""Library of assembly kernels for the functional PIM system.
+
+Each builder returns a :class:`KernelBinary`: assembled code, a setup
+function that deposits input data into a :class:`PimSystem`'s global
+memory, spawn instructions, and a verifier for the expected result.
+The kernels mirror the workload families the paper's introduction
+motivates — dense streaming (high spatial locality), irregular
+pointer-chasing and scattered updates (no locality; PIM's home turf) —
+and the parallel ones exercise parcels exactly as §4 describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from .assembler import Program, assemble
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .multinode import PimSystem
+
+__all__ = [
+    "KernelBinary",
+    "vector_sum_program",
+    "simd_vector_sum_program",
+    "pointer_chase_program",
+    "parallel_sum_program",
+    "gups_program",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelBinary:
+    """A runnable kernel: program + memory setup + spawns + verifier."""
+
+    name: str
+    program: Program
+    setup: _t.Callable[["PimSystem"], None]
+    spawns: _t.Tuple[_t.Tuple[int, str, int, int], ...]  # (node, label, r1, r2)
+    verify: _t.Callable[["PimSystem"], bool]
+    expected: _t.Mapping[str, int]
+
+    def launch(self, system: "PimSystem") -> None:
+        """Load, set up and spawn this kernel on ``system``."""
+        system.load(self.program)
+        self.setup(system)
+        for node, label, r1, r2 in self.spawns:
+            system.spawn(node, label, r1=r1, r2=r2)
+
+
+def vector_sum_program(
+    base: int = 16, count: int = 32, result_addr: int = 8, seed: int = 1
+) -> KernelBinary:
+    """Single-thread sum of ``count`` consecutive words.
+
+    Sequential addresses: on a multi-node system the stream crosses node
+    boundaries, turning the tail of the loop into remote loads — a direct
+    demonstration of transparent global addressing.
+    """
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-1000, 1000, size=count).tolist()
+    expected_sum = int(sum(values))
+    source = f"""
+        li   r1, {base}        # cursor
+        li   r2, {count}       # remaining
+        li   r3, 0             # accumulator
+    loop:
+        ld   r4, r1, 0
+        add  r3, r3, r4
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        li   r5, {result_addr}
+        st   r3, r5, 0
+        halt
+    """
+    program = assemble(source)
+
+    def setup(system: "PimSystem") -> None:
+        system.write_block(base, values)
+
+    def verify(system: "PimSystem") -> bool:
+        return system.read_word(result_addr) == expected_sum
+
+    return KernelBinary(
+        name="vector_sum",
+        program=program,
+        setup=setup,
+        spawns=((0, "", 0, 0),),
+        verify=verify,
+        expected={"sum": expected_sum},
+    )
+
+
+def simd_vector_sum_program(
+    base: int = 16, count: int = 32, result_addr: int = 8, seed: int = 1
+) -> KernelBinary:
+    """Wide-word SIMD sum: 4 words per row-buffer access (PIM Lite style).
+
+    Same computation (and same data, given the same seed) as
+    :func:`vector_sum_program`, but each ``vld`` moves VLEN=4 words in a
+    single memory access and ``vadd`` accumulates 4 lanes per cycle —
+    ~4x fewer memory accesses, demonstrating the §2.1 bandwidth reclaim
+    at the ISA level.  ``count`` must be a multiple of 4.
+    """
+    if count % 4 != 0:
+        raise ValueError("count must be a multiple of VLEN=4")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-1000, 1000, size=count).tolist()
+    expected_sum = int(sum(values))
+    source = f"""
+        li   r1, {base}        # cursor
+        li   r2, {count // 4}  # wide-word iterations
+        li   r8, 0             # lane accumulators r8..r11
+        li   r9, 0
+        li   r10, 0
+        li   r11, 0
+    loop:
+        vld  r4, r1, 0         # r4..r7 <- 4 words, one row access
+        vadd r8, r8, r4
+        addi r1, r1, 4
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        add  r3, r8, r9        # horizontal lane reduction
+        add  r3, r3, r10
+        add  r3, r3, r11
+        li   r5, {result_addr}
+        st   r3, r5, 0
+        halt
+    """
+    program = assemble(source)
+
+    def setup(system: "PimSystem") -> None:
+        system.write_block(base, values)
+
+    def verify(system: "PimSystem") -> bool:
+        return system.read_word(result_addr) == expected_sum
+
+    return KernelBinary(
+        name="simd_vector_sum",
+        program=program,
+        setup=setup,
+        spawns=((0, "", 0, 0),),
+        verify=verify,
+        expected={"sum": expected_sum},
+    )
+
+
+def pointer_chase_program(
+    nodes_start: int = 64,
+    chain_length: int = 24,
+    result_addr: int = 8,
+    seed: int = 2,
+    spread_words: int = 512,
+) -> KernelBinary:
+    """Follow a linked chain of ``chain_length`` pointers, summing payloads.
+
+    Each element is two words: ``[next_ptr, payload]``, scattered
+    pseudo-randomly through global memory — the no-temporal-locality
+    access pattern that motivates PIM (§1), and a latency-bound worst
+    case for cache hierarchies.
+    """
+    rng = np.random.default_rng(seed)
+    slots = rng.permutation(spread_words // 2)[:chain_length]
+    addresses = [int(nodes_start + 2 * s) for s in slots]
+    payloads = rng.integers(1, 100, size=chain_length).tolist()
+    expected_sum = int(sum(payloads))
+
+    source = f"""
+        # r1 = current element address (0 terminates)
+        li   r3, 0             # accumulator
+        li   r2, {chain_length}
+    chase:
+        ld   r4, r1, 1         # payload
+        add  r3, r3, r4
+        ld   r1, r1, 0         # next pointer
+        addi r2, r2, -1
+        bne  r2, r0, chase
+        li   r5, {result_addr}
+        st   r3, r5, 0
+        halt
+    """
+    program = assemble(source)
+
+    def setup(system: "PimSystem") -> None:
+        for i, addr in enumerate(addresses):
+            nxt = addresses[i + 1] if i + 1 < len(addresses) else 0
+            system.write_word(addr, nxt)
+            system.write_word(addr + 1, payloads[i])
+
+    def verify(system: "PimSystem") -> bool:
+        return system.read_word(result_addr) == expected_sum
+
+    return KernelBinary(
+        name="pointer_chase",
+        program=program,
+        setup=setup,
+        spawns=((0, "", addresses[0], 0),),
+        verify=verify,
+        expected={"sum": expected_sum},
+    )
+
+
+def parallel_sum_program(
+    base: int = 64,
+    count_per_worker: int = 16,
+    n_workers: int = 4,
+    result_addr: int = 8,
+    done_addr: int = 9,
+    seed: int = 3,
+) -> KernelBinary:
+    """Fork/join reduction with `invoke` parcels and `amo` combining.
+
+    Worker ``i`` is *invoked at the node owning its stripe* (the
+    "move work to the data" doctrine of parcels — Fig. 9), sums its
+    stripe locally, fetch-adds the partial into a global accumulator and
+    fetch-adds a done-counter the coordinator spins on.
+    """
+    rng = np.random.default_rng(seed)
+    total = count_per_worker * n_workers
+    values = rng.integers(0, 1000, size=total).tolist()
+    expected_sum = int(sum(values))
+
+    source = f"""
+        # coordinator: r1 = base address of the data
+        li   r6, {n_workers}   # workers to launch
+        li   r7, 0             # launched so far
+    launch:
+        beq  r7, r6, wait
+        li   r8, {count_per_worker}
+        mul  r9, r7, r8
+        add  r9, r1, r9        # stripe base -> owner node executes worker
+        invoke r9, worker, r8
+        addi r7, r7, 1
+        jmp  launch
+    wait:
+        li   r10, {done_addr}
+    spin:
+        ld   r11, r10, 0
+        bne  r11, r6, spin
+        halt
+
+    worker:
+        # r1 = stripe base, r2 = stripe length
+        li   r3, 0
+    wloop:
+        ld   r4, r1, 0
+        add  r3, r3, r4
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, r0, wloop
+        li   r5, {result_addr}
+        amo  r4, r5, r3        # add partial into global sum
+        li   r5, {done_addr}
+        li   r3, 1
+        amo  r4, r5, r3        # signal completion
+        halt
+    """
+    program = assemble(source)
+
+    def setup(system: "PimSystem") -> None:
+        system.write_block(base, values)
+        system.write_word(result_addr, 0)
+        system.write_word(done_addr, 0)
+
+    def verify(system: "PimSystem") -> bool:
+        return (
+            system.read_word(result_addr) == expected_sum
+            and system.read_word(done_addr) == n_workers
+        )
+
+    return KernelBinary(
+        name="parallel_sum",
+        program=program,
+        setup=setup,
+        spawns=((0, "", base, 0),),
+        verify=verify,
+        expected={"sum": expected_sum, "workers": n_workers},
+    )
+
+
+def gups_program(
+    table_base: int = 256,
+    table_words_log2: int = 6,
+    updates: int = 64,
+    stride: int = 13,
+    result_addr: int = 8,
+) -> KernelBinary:
+    """GUPS-style scattered read-modify-writes over a distributed table.
+
+    Walks the table with a co-prime stride (a deterministic stand-in for
+    the RandomAccess index stream), fetch-adding 1 into each visited slot
+    via ``amo`` — local or remote transparently.  The verifier checks
+    update conservation: table increments must total ``updates``.
+    """
+    table_words = 1 << table_words_log2
+    if stride % 2 == 0:
+        raise ValueError("stride must be odd (co-prime with table size)")
+    source = f"""
+        # r1 = update count
+        li   r3, 0             # index
+        li   r5, {table_words - 1}   # mask
+        li   r6, {table_base}
+        li   r7, 1             # increment
+    uloop:
+        beq  r1, r0, done
+        li   r4, {stride}
+        add  r3, r3, r4
+        and  r3, r3, r5
+        add  r8, r6, r3        # slot address
+        amo  r9, r8, r7
+        addi r1, r1, -1
+        jmp  uloop
+    done:
+        li   r8, {result_addr}
+        st   r1, r8, 0         # r1 == 0 marks completion
+        halt
+    """
+    program = assemble(source)
+
+    def setup(system: "PimSystem") -> None:
+        system.write_block(table_base, [0] * table_words)
+        system.write_word(result_addr, -1)
+
+    def verify(system: "PimSystem") -> bool:
+        table = system.read_block(table_base, table_words)
+        return (
+            sum(table) == updates and system.read_word(result_addr) == 0
+        )
+
+    return KernelBinary(
+        name="gups",
+        program=program,
+        setup=setup,
+        spawns=((0, "", updates, 0),),
+        verify=verify,
+        expected={"updates": updates},
+    )

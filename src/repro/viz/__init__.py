@@ -1,0 +1,17 @@
+"""repro.viz — ASCII plots, text/markdown tables, CSV export.
+
+The offline stand-in for the paper's MATLAB/Excel figure rendering.
+"""
+
+from .ascii_plot import grid_plot, line_plot
+from .csvio import read_csv, write_csv
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "grid_plot",
+    "line_plot",
+    "read_csv",
+    "write_csv",
+    "format_markdown_table",
+    "format_table",
+]

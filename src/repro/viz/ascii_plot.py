@@ -1,0 +1,180 @@
+"""ASCII line plots for terminal-rendered figures.
+
+The original paper rendered its figures with MATLAB/Excel; this offline
+reproduction renders them as ASCII charts (plus CSV for real plotting
+elsewhere).  The plots are intentionally simple: labeled axes, multiple
+series with distinct markers, optional log scaling — enough to see the
+*shape* results the paper reports (crossovers, order-of-magnitude gains,
+idle-time collapse).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+import numpy as np
+
+__all__ = ["line_plot", "grid_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(
+    values: np.ndarray, log: bool
+) -> _t.Tuple[np.ndarray, float, float]:
+    vals = np.asarray(values, dtype=float)
+    if log:
+        if np.any(vals <= 0):
+            raise ValueError("log scale requires positive values")
+        vals = np.log10(vals)
+    lo, hi = float(np.min(vals)), float(np.max(vals))
+    if hi == lo:
+        hi = lo + 1.0
+    return vals, lo, hi
+
+
+def _fmt_tick(value: float, log: bool) -> str:
+    v = 10 ** value if log else value
+    if v == 0:
+        return "0"
+    magnitude = abs(v)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{v:.1e}"
+    if magnitude >= 100:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def line_plot(
+    x: _t.Sequence[float],
+    series: _t.Mapping[str, _t.Sequence[float]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render one chart with shared x values and several y series.
+
+    Parameters
+    ----------
+    x:
+        Common x coordinates.
+    series:
+        Mapping of legend label to y values (same length as ``x``).
+    width / height:
+        Plot-area size in characters (excluding axes and labels).
+    logx / logy:
+        Logarithmic axes (all values must be positive).
+
+    Returns
+    -------
+    str
+        A multi-line string ready to print.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = np.asarray(x, dtype=float)
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points, x has {len(xs)}"
+            )
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    sx, x_lo, x_hi = _scale(xs, logx)
+    all_y = np.concatenate(
+        [np.asarray(ys, dtype=float) for ys in series.values()]
+    )
+    _, y_lo, y_hi = _scale(all_y, logy)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        sy = np.log10(np.asarray(ys, dtype=float)) if logy else np.asarray(
+            ys, dtype=float
+        )
+        cols = np.round(
+            (sx - x_lo) / (x_hi - x_lo) * (width - 1)
+        ).astype(int)
+        rows = np.round(
+            (sy - y_lo) / (y_hi - y_lo) * (height - 1)
+        ).astype(int)
+        # connect consecutive points with interpolated dots
+        for i in range(len(cols) - 1):
+            c0, r0, c1, r1 = cols[i], rows[i], cols[i + 1], rows[i + 1]
+            steps = max(abs(c1 - c0), abs(r1 - r0))
+            for s in range(1, steps):
+                cc = c0 + (c1 - c0) * s // max(steps, 1)
+                rr = r0 + (r1 - r0) * s // max(steps, 1)
+                if canvas[height - 1 - rr][cc] == " ":
+                    canvas[height - 1 - rr][cc] = "."
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines: _t.List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_top = _fmt_tick(y_hi, logy)
+    y_bot = _fmt_tick(y_lo, logy)
+    label_w = max(len(y_top), len(y_bot), len(ylabel))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = y_top.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_bot.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel[:label_w].rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_left = _fmt_tick(x_lo, logx)
+    x_right = _fmt_tick(x_hi, logx)
+    gap = width - len(x_left) - len(x_right)
+    xaxis = (
+        " " * (label_w + 2) + x_left + " " * max(gap, 1) + x_right
+    )
+    lines.append(xaxis)
+    if xlabel:
+        lines.append(" " * (label_w + 2) + xlabel.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + "legend: " + legend)
+    return "\n".join(lines)
+
+
+def grid_plot(
+    grid: "_t.Any",
+    row_format: _t.Callable[[float], str] = lambda v: f"{v:g}",
+    transpose: bool = False,
+    **kwargs: _t.Any,
+) -> str:
+    """Plot a :class:`~repro.core.grid.SweepGrid`, one series per row.
+
+    Parameters
+    ----------
+    grid:
+        The sweep grid (rows become series, columns the x axis).
+    row_format:
+        Legend formatter for row coordinate values.
+    transpose:
+        Swap axes first (series per column instead).
+    kwargs:
+        Passed through to :func:`line_plot`.
+    """
+    g = grid.transposed() if transpose else grid
+    series = {
+        f"{g.row_label}={row_format(r)}": g.values[i]
+        for i, r in enumerate(g.rows)
+    }
+    kwargs.setdefault("xlabel", g.col_label)
+    kwargs.setdefault("ylabel", g.value_label)
+    kwargs.setdefault("title", g.name)
+    return line_plot(list(g.cols), series, **kwargs)

@@ -1,0 +1,41 @@
+"""Minimal CSV import/export for experiment artifacts (stdlib only)."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import typing as _t
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(
+    path: _t.Union[str, pathlib.Path],
+    rows: _t.Sequence[_t.Mapping[str, object]],
+    columns: _t.Optional[_t.Sequence[str]] = None,
+) -> pathlib.Path:
+    """Write dict rows to ``path`` (parents created); returns the path."""
+    if not rows:
+        raise ValueError("no rows to write")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in columns})
+    return path
+
+
+def read_csv(
+    path: _t.Union[str, pathlib.Path]
+) -> _t.List[_t.Dict[str, str]]:
+    """Read a CSV written by :func:`write_csv` (values as strings)."""
+    with pathlib.Path(path).open(newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

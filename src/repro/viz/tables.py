@@ -1,0 +1,82 @@
+"""Plain-text and markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _format_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def _normalize(
+    rows: _t.Sequence[_t.Mapping[str, object]],
+    columns: _t.Optional[_t.Sequence[str]],
+    floatfmt: str,
+) -> _t.Tuple[_t.List[str], _t.List[_t.List[str]]]:
+    if not rows:
+        raise ValueError("no rows to format")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [
+        [_format_cell(row.get(col, ""), floatfmt) for col in columns]
+        for row in rows
+    ]
+    return list(columns), cells
+
+
+def format_table(
+    rows: _t.Sequence[_t.Mapping[str, object]],
+    columns: _t.Optional[_t.Sequence[str]] = None,
+    floatfmt: str = ".4g",
+    indent: str = "",
+) -> str:
+    """Aligned fixed-width text table from a list of dict rows.
+
+    Column order follows ``columns`` if given, else first-seen order.
+    """
+    cols, cells = _normalize(rows, columns, floatfmt)
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells))
+        for i, col in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        for row in cells
+    ]
+    return "\n".join(
+        indent + line for line in [header, rule, *body]
+    )
+
+
+def format_markdown_table(
+    rows: _t.Sequence[_t.Mapping[str, object]],
+    columns: _t.Optional[_t.Sequence[str]] = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """GitHub-flavored markdown table from a list of dict rows."""
+    cols, cells = _normalize(rows, columns, floatfmt)
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

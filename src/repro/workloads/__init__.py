@@ -1,0 +1,47 @@
+"""repro.workloads — synthetic kernels, locality metrics, calibration.
+
+Grounds the statistical parameters of the two studies in concrete access
+patterns:
+
+* :mod:`~repro.workloads.access_patterns` — address-trace generators
+  across the locality spectrum;
+* :mod:`~repro.workloads.locality` — reuse-distance and cache-derived
+  temporal-locality metrics;
+* :mod:`~repro.workloads.kernels` — archetype kernels (dense tiled,
+  stream, SpMV, GUPS, pointer chase) with instruction mixes;
+* :mod:`~repro.workloads.calibrate` — derivation of ``%WL``, ``Pmiss``,
+  ``mix``, and remote fractions from the kernels (the parameters the
+  paper assumes in Table 1).
+"""
+
+from .access_patterns import (
+    blocked_reuse_trace,
+    gups_trace,
+    mixed_trace,
+    pointer_chase_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+)
+from .calibrate import CalibrationResult, KernelCalibration, calibrate
+from .kernels import KernelModel, kernel_by_name, standard_kernels
+from .locality import LocalityProfile, profile_trace, reuse_distances
+
+__all__ = [
+    "blocked_reuse_trace",
+    "gups_trace",
+    "mixed_trace",
+    "pointer_chase_trace",
+    "random_trace",
+    "sequential_trace",
+    "strided_trace",
+    "CalibrationResult",
+    "KernelCalibration",
+    "calibrate",
+    "KernelModel",
+    "kernel_by_name",
+    "standard_kernels",
+    "LocalityProfile",
+    "profile_trace",
+    "reuse_distances",
+]

@@ -1,0 +1,162 @@
+"""Synthetic address-trace generators spanning the locality spectrum.
+
+The HWP/LWP study's central axis is *temporal locality*: work with reuse
+belongs on the cache-based host, work without reuse on PIM.  These
+generators produce byte-address traces with controllable locality so the
+cache substrate (:mod:`repro.arch.cache`) can measure hit rates and the
+calibration experiment can map kernels onto the study's parameters.
+
+All generators return ``numpy`` integer arrays of byte addresses.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+__all__ = [
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "pointer_chase_trace",
+    "gups_trace",
+    "blocked_reuse_trace",
+    "mixed_trace",
+]
+
+
+def _rng(seed: _t.Union[int, np.random.Generator]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def sequential_trace(
+    n: int, start: int = 0, word_bytes: int = 8
+) -> np.ndarray:
+    """Unit-stride streaming: perfect spatial locality (vector-friendly)."""
+    if n < 0 or word_bytes < 1:
+        raise ValueError("n must be >= 0 and word_bytes >= 1")
+    return start + word_bytes * np.arange(n, dtype=np.int64)
+
+
+def strided_trace(
+    n: int, stride_bytes: int, start: int = 0
+) -> np.ndarray:
+    """Constant-stride access (column sweeps, structure-of-arrays)."""
+    if n < 0 or stride_bytes < 1:
+        raise ValueError("n must be >= 0 and stride_bytes >= 1")
+    return start + stride_bytes * np.arange(n, dtype=np.int64)
+
+
+def random_trace(
+    n: int,
+    footprint_bytes: int,
+    seed: _t.Union[int, np.random.Generator] = 0,
+    word_bytes: int = 8,
+) -> np.ndarray:
+    """Uniform random word accesses over a footprint: no reuse structure.
+
+    With a footprint far beyond cache capacity this is the paper's
+    no-temporal-locality regime (control miss rate -> 1).
+    """
+    if footprint_bytes < word_bytes:
+        raise ValueError("footprint must hold at least one word")
+    rng = _rng(seed)
+    words = footprint_bytes // word_bytes
+    return (
+        rng.integers(0, words, size=n, dtype=np.int64) * word_bytes
+    )
+
+
+def pointer_chase_trace(
+    n: int,
+    footprint_bytes: int,
+    seed: _t.Union[int, np.random.Generator] = 0,
+    node_bytes: int = 16,
+) -> np.ndarray:
+    """Dependent-chain traversal of a random permutation of nodes.
+
+    Each step visits one list node; the permutation destroys spatial
+    locality and the dependence chain defeats prefetching — the
+    archetypal PIM-friendly irregular workload.
+    """
+    if footprint_bytes < node_bytes:
+        raise ValueError("footprint must hold at least one node")
+    rng = _rng(seed)
+    slots = footprint_bytes // node_bytes
+    order = rng.permutation(slots)
+    repeats = int(np.ceil(n / slots))
+    walk = np.tile(order, repeats)[:n]
+    return walk.astype(np.int64) * node_bytes
+
+
+def gups_trace(
+    n: int,
+    table_bytes: int,
+    seed: _t.Union[int, np.random.Generator] = 0,
+    word_bytes: int = 8,
+) -> np.ndarray:
+    """RandomAccess (GUPS) update stream: scattered read-modify-writes."""
+    return random_trace(n, table_bytes, seed, word_bytes)
+
+
+def blocked_reuse_trace(
+    n: int,
+    block_bytes: int,
+    reuse_factor: int,
+    start: int = 0,
+    word_bytes: int = 8,
+) -> np.ndarray:
+    """Tiled computation: sweep a block ``reuse_factor`` times, advance.
+
+    High temporal locality when the block fits in cache — the HWP-side
+    regime of the partitioning study.
+    """
+    if block_bytes < word_bytes:
+        raise ValueError("block must hold at least one word")
+    if reuse_factor < 1:
+        raise ValueError("reuse_factor must be >= 1")
+    words_per_block = block_bytes // word_bytes
+    out = np.empty(n, dtype=np.int64)
+    pos = 0
+    block_index = 0
+    block_sweep = np.arange(words_per_block, dtype=np.int64) * word_bytes
+    while pos < n:
+        base = start + block_index * block_bytes
+        for _ in range(reuse_factor):
+            take = min(words_per_block, n - pos)
+            out[pos:pos + take] = base + block_sweep[:take]
+            pos += take
+            if pos >= n:
+                break
+        block_index += 1
+    return out
+
+
+def mixed_trace(
+    traces: _t.Sequence[np.ndarray],
+    weights: _t.Sequence[float],
+    n: int,
+    seed: _t.Union[int, np.random.Generator] = 0,
+) -> np.ndarray:
+    """Interleave several traces by weighted random selection.
+
+    Models applications with distinct phases/components, e.g. the
+    "%WL low-locality / %WH high-locality" composite of the study.
+    """
+    if len(traces) != len(weights) or not traces:
+        raise ValueError("need equally many traces and weights (>= 1)")
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ValueError("weights must be non-negative and sum > 0")
+    rng = _rng(seed)
+    choice = rng.choice(len(traces), size=n, p=w / w.sum())
+    cursors = [0] * len(traces)
+    out = np.empty(n, dtype=np.int64)
+    for i, which in enumerate(choice):
+        trace = traces[which]
+        out[i] = trace[cursors[which] % len(trace)]
+        cursors[which] += 1
+    return out

@@ -1,0 +1,186 @@
+"""Deriving the studies' parameters from workload kernels.
+
+The paper fixes its workload parameters by assumption (Table 1:
+``Pmiss = 0.1``, ``mix = 0.30``; §4: the remote-access fractions) and
+notes that "it may be difficult to calibrate these parameters for
+specific design points".  This module performs that calibration for the
+model kernels of :mod:`repro.workloads.kernels`:
+
+1. profile each kernel's address trace (cache hit rate, reuse structure);
+2. classify kernels as high or low temporal locality (the HWP/LWP split);
+3. aggregate operation-weighted parameters: ``%WL``, ``Pmiss`` for the
+   high-locality side, the control miss rate for the no-reuse side,
+   ``mix_{l/s}``, and the distributed remote-access fraction;
+4. emit ready-to-use :class:`~repro.core.params.Table1Params` and
+   :class:`~repro.core.params.ParcelParams`.
+
+The ``calibration`` experiment reports the derived values next to the
+paper's assumed ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..core.params import ParcelParams, Table1Params
+from .kernels import KernelModel, standard_kernels
+from .locality import LocalityProfile, profile_trace
+
+__all__ = ["KernelCalibration", "CalibrationResult", "calibrate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCalibration:
+    """One kernel's measured profile and derived classification."""
+
+    kernel: KernelModel
+    profile: LocalityProfile
+    locality: str  # measured: "high" | "low"
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.profile.cache_hit_rate
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel.name,
+            "locality": self.locality,
+            "hit_rate": self.profile.cache_hit_rate,
+            "temporal_score": self.profile.temporal_locality_score,
+            "ls_mix": self.kernel.ls_mix,
+            "remote_fraction": self.kernel.remote_fraction_distributed,
+            "operations": self.kernel.operations,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Aggregated calibration: derived study parameters."""
+
+    kernels: _t.Tuple[KernelCalibration, ...]
+    lwp_fraction: float
+    hwp_miss_rate: float
+    control_miss_rate: float
+    ls_mix: float
+    remote_fraction: float
+    table1: Table1Params
+    parcels: ParcelParams
+
+    def to_rows(self) -> _t.List[dict]:
+        rows = [k.to_dict() for k in self.kernels]
+        rows.append(
+            {
+                "kernel": "== derived ==",
+                "locality": f"%WL={self.lwp_fraction:.2f}",
+                "hit_rate": 1.0 - self.hwp_miss_rate,
+                "temporal_score": float("nan"),
+                "ls_mix": self.ls_mix,
+                "remote_fraction": self.remote_fraction,
+                "operations": sum(
+                    k.kernel.operations for k in self.kernels
+                ),
+            }
+        )
+        return rows
+
+
+def calibrate(
+    kernels: _t.Optional[_t.Sequence[KernelModel]] = None,
+    weights: _t.Optional[_t.Sequence[float]] = None,
+    cache_bytes: int = 64 * 1024,
+    line_bytes: int = 64,
+    associativity: int = 4,
+    locality_threshold: float = 0.5,
+    base_table1: _t.Optional[Table1Params] = None,
+    base_parcels: _t.Optional[ParcelParams] = None,
+) -> CalibrationResult:
+    """Measure kernels and derive study parameters.
+
+    Parameters
+    ----------
+    kernels / weights:
+        Kernel suite (default :func:`standard_kernels`) and relative
+        operation weights (default: the kernels' own operation counts).
+    cache_bytes / line_bytes / associativity:
+        Host cache the high-locality work is assumed to run against.
+    locality_threshold:
+        Temporal-locality score separating high from low.
+    base_table1 / base_parcels:
+        Machine-side parameters to keep (cycle times, latencies); only
+        the workload-side parameters are replaced by calibration.
+    """
+    kernels = tuple(kernels) if kernels is not None else standard_kernels()
+    if not kernels:
+        raise ValueError("need at least one kernel")
+    calibrated: _t.List[KernelCalibration] = []
+    for kernel in kernels:
+        profile = profile_trace(
+            kernel.trace,
+            line_bytes=line_bytes,
+            cache_bytes=cache_bytes,
+            associativity=associativity,
+        )
+        calibrated.append(
+            KernelCalibration(
+                kernel=kernel,
+                profile=profile,
+                locality=profile.classify(locality_threshold),
+            )
+        )
+
+    if weights is None:
+        weight_arr = np.array(
+            [k.kernel.operations for k in calibrated], dtype=float
+        )
+    else:
+        weight_arr = np.asarray(weights, dtype=float)
+        if weight_arr.shape != (len(calibrated),):
+            raise ValueError("weights must match the kernel count")
+        if np.any(weight_arr < 0) or weight_arr.sum() <= 0:
+            raise ValueError("weights must be non-negative, sum > 0")
+
+    total = float(weight_arr.sum())
+    low = np.array(
+        [k.locality == "low" for k in calibrated], dtype=bool
+    )
+    lwp_fraction = float(weight_arr[low].sum() / total)
+
+    def _weighted(values: np.ndarray, mask: np.ndarray) -> float:
+        w = weight_arr[mask]
+        return float(np.average(values[mask], weights=w)) if w.sum() else float("nan")
+
+    miss_rates = np.array([k.miss_rate for k in calibrated])
+    mixes = np.array([k.kernel.ls_mix for k in calibrated])
+    remotes = np.array(
+        [k.kernel.remote_fraction_distributed for k in calibrated]
+    )
+
+    hwp_miss = _weighted(miss_rates, ~low) if (~low).any() else 0.1
+    control_miss = _weighted(miss_rates, low) if low.any() else 1.0
+    ls_mix = float(np.average(mixes, weights=weight_arr))
+    remote_fraction = _weighted(remotes, low) if low.any() else 0.0
+
+    base_table1 = base_table1 or Table1Params()
+    base_parcels = base_parcels or ParcelParams()
+    table1 = base_table1.with_(
+        miss_rate=min(max(hwp_miss, 0.0), 1.0),
+        control_miss_rate=min(max(control_miss, 0.0), 1.0),
+        ls_mix=min(max(ls_mix, 0.0), 1.0),
+    )
+    parcels = base_parcels.with_(
+        ls_mix=min(max(ls_mix, 1e-9), 1.0),
+        remote_fraction=min(max(remote_fraction, 0.0), 1.0),
+    )
+    return CalibrationResult(
+        kernels=tuple(calibrated),
+        lwp_fraction=lwp_fraction,
+        hwp_miss_rate=hwp_miss,
+        control_miss_rate=control_miss,
+        ls_mix=ls_mix,
+        remote_fraction=remote_fraction,
+        table1=table1,
+        parcels=parcels,
+    )

@@ -1,0 +1,152 @@
+"""Application-kernel models: instruction mixes plus address traces.
+
+Each kernel captures one of the workload archetypes the paper's
+introduction motivates, as the pair the parametric studies need:
+an *instruction mix* (what fraction of operations touch memory — Table 1's
+``mix_{l/s}``) and an *address trace* (what locality those touches have).
+
+These are model kernels, not measured binaries: operation counts follow
+the kernels' arithmetic structure and traces come from
+:mod:`repro.workloads.access_patterns`.  They provide credible,
+reproducible inputs for the calibration experiment that replaces the
+paper's assumed parameter values with derived ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from . import access_patterns as ap
+
+__all__ = ["KernelModel", "standard_kernels", "kernel_by_name"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelModel:
+    """One workload kernel for calibration.
+
+    Attributes
+    ----------
+    name / description:
+        Identity and provenance of the model.
+    ls_mix:
+        Fraction of operations that are loads/stores.
+    trace:
+        Byte-address trace of those loads/stores.
+    remote_fraction_distributed:
+        Fraction of accesses that would target a remote node under a
+        block data distribution across a modest PIM array (drives the
+        §4 study's ``r``).
+    expected_locality:
+        ``"high"`` or ``"low"`` — the paper's partitioning intuition,
+        checked against the measured profile in tests.
+    """
+
+    name: str
+    description: str
+    ls_mix: float
+    trace: np.ndarray
+    remote_fraction_distributed: float
+    expected_locality: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ls_mix <= 1.0:
+            raise ValueError("ls_mix must be in (0, 1]")
+        if not 0.0 <= self.remote_fraction_distributed <= 1.0:
+            raise ValueError("remote fraction must be in [0, 1]")
+        if self.expected_locality not in ("high", "low"):
+            raise ValueError("expected_locality must be 'high' or 'low'")
+        if len(self.trace) == 0:
+            raise ValueError("trace must be non-empty")
+
+    @property
+    def operations(self) -> int:
+        """Total operation count implied by the trace and the mix."""
+        return int(round(len(self.trace) / self.ls_mix))
+
+
+def standard_kernels(
+    accesses: int = 20_000, seed: int = 0
+) -> _t.Tuple[KernelModel, ...]:
+    """The calibration suite: four archetypes spanning the design space.
+
+    * ``dense_tiled`` — blocked matrix-style kernel, heavy reuse (HWP);
+    * ``stream`` — unit-stride streaming, spatial but no temporal reuse;
+    * ``spmv_irregular`` — sparse matrix-vector: mixed row stream plus
+      scattered gathers;
+    * ``gups`` — scattered read-modify-write over a huge table (LWP);
+    * ``pointer_chase`` — dependent-chain traversal (LWP).
+    """
+    rng = np.random.default_rng(seed)
+    # Tile size scales with the trace so the reuse structure is fully
+    # represented at any calibration size (each tile is swept 8 times
+    # and the trace covers several tiles).
+    tile_bytes = max(64 * 8, (accesses // 16) * 8)
+    dense = KernelModel(
+        name="dense_tiled",
+        description="tiled dense kernel; cache-resident tiles swept 8x",
+        ls_mix=0.35,
+        trace=ap.blocked_reuse_trace(
+            accesses, block_bytes=min(tile_bytes, 16 * 1024), reuse_factor=8
+        ),
+        remote_fraction_distributed=0.02,
+        expected_locality="high",
+    )
+    stream = KernelModel(
+        name="stream",
+        description="unit-stride triad-style streaming over 64 MiB",
+        ls_mix=0.45,
+        trace=ap.sequential_trace(accesses),
+        remote_fraction_distributed=0.05,
+        expected_locality="low",
+    )
+    # SpMV: alternating sequential row data and random x-vector gathers
+    spmv = KernelModel(
+        name="spmv_irregular",
+        description="CSR SpMV: streamed matrix values + scattered x gathers",
+        ls_mix=0.5,
+        trace=ap.mixed_trace(
+            [
+                ap.sequential_trace(accesses),
+                ap.random_trace(accesses, 32 * 1024 * 1024, rng),
+            ],
+            weights=[0.5, 0.5],
+            n=accesses,
+            seed=rng,
+        ),
+        remote_fraction_distributed=0.3,
+        expected_locality="low",
+    )
+    gups = KernelModel(
+        name="gups",
+        description="RandomAccess updates over a 256 MiB table",
+        ls_mix=0.3,
+        trace=ap.gups_trace(accesses, 256 * 1024 * 1024, rng),
+        remote_fraction_distributed=0.75,
+        expected_locality="low",
+    )
+    chase = KernelModel(
+        name="pointer_chase",
+        description="linked-list walk over a 64 MiB arena",
+        ls_mix=0.4,
+        trace=ap.pointer_chase_trace(accesses, 64 * 1024 * 1024, rng),
+        remote_fraction_distributed=0.75,
+        expected_locality="low",
+    )
+    return (dense, stream, spmv, gups, chase)
+
+
+def kernel_by_name(
+    name: str, accesses: int = 20_000, seed: int = 0
+) -> KernelModel:
+    """Look up one kernel of :func:`standard_kernels` by name."""
+    for kernel in standard_kernels(accesses, seed):
+        if kernel.name == name:
+            return kernel
+    raise KeyError(
+        f"unknown kernel {name!r}; available: "
+        f"{[k.name for k in standard_kernels(8, 0)]}"
+    )

@@ -1,0 +1,139 @@
+"""Temporal-locality metrics for address traces.
+
+Provides the quantitative notion of "temporal locality" that the paper's
+§3 treats as the partitioning axis: reuse distances (LRU stack distances),
+reuse fractions, and cache-derived hit rates.  The calibration experiment
+uses these to decide which kernels belong on the HWP (high locality, good
+hit rate) and which on the LWP array (no reuse — the ``%WL`` fraction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..arch.cache import SetAssociativeCache
+
+__all__ = [
+    "reuse_distances",
+    "LocalityProfile",
+    "profile_trace",
+]
+
+
+def reuse_distances(
+    addresses: _t.Iterable[int], line_bytes: int = 64
+) -> np.ndarray:
+    """LRU stack distance of each access (-1 for cold first touches).
+
+    The stack distance of an access is the number of *distinct* lines
+    touched since the previous access to the same line; an access with
+    stack distance ``d`` hits in any fully-associative LRU cache of more
+    than ``d`` lines.  O(N · distinct) worst case — fine for the
+    trace sizes used here (10^4–10^6).
+    """
+    if line_bytes < 1:
+        raise ValueError("line_bytes must be >= 1")
+    stack: _t.List[int] = []  # most recent at the end
+    position: _t.Dict[int, int] = {}
+    out: _t.List[int] = []
+    for addr in addresses:
+        line = int(addr) // line_bytes
+        if line in position:
+            idx = position[line]
+            distance = len(stack) - idx - 1
+            out.append(distance)
+            stack.pop(idx)
+            stack.append(line)
+            # positions above idx shifted down by one
+            for l in stack[idx:]:
+                position[l] = position[l] - 1 if position[l] > idx else position[l]
+            position[line] = len(stack) - 1
+        else:
+            out.append(-1)
+            position[line] = len(stack)
+            stack.append(line)
+    return np.asarray(out, dtype=np.int64)
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalityProfile:
+    """Summary locality statistics of one address trace.
+
+    Line-granularity metrics (``reuse_fraction_within``,
+    ``cache_hit_rate``) capture what a real cache sees — including
+    *spatial* locality within a line.  ``temporal_locality_score`` is
+    computed at word granularity, isolating genuine data *reuse*: a
+    unit-stride stream scores high on the former (7/8 of accesses hit
+    the open line) but ~0 on the latter, which is the distinction the
+    paper's HWP/LWP partitioning axis draws.
+    """
+
+    accesses: int
+    distinct_lines: int
+    cold_fraction: float
+    median_reuse_distance: float
+    mean_reuse_distance: float
+    reuse_fraction_within: _t.Mapping[int, float]
+    cache_hit_rate: float
+    temporal_locality_score: float
+
+    def classify(self, threshold: float = 0.5) -> str:
+        """``"high"`` or ``"low"`` temporal locality, for HWP/LWP
+        assignment in the partitioning study."""
+        return (
+            "high" if self.temporal_locality_score >= threshold else "low"
+        )
+
+
+def profile_trace(
+    addresses: _t.Sequence[int],
+    line_bytes: int = 64,
+    cache_bytes: int = 64 * 1024,
+    associativity: int = 4,
+    windows: _t.Sequence[int] = (16, 64, 256, 1024),
+    word_bytes: int = 8,
+    temporal_window: int = 4096,
+) -> LocalityProfile:
+    """Compute a :class:`LocalityProfile` for an address trace.
+
+    Combines analytic stack distances with a concrete set-associative
+    simulation so both the abstract and the realizable hit rates are
+    visible.  The temporal score counts word-granularity reuses within
+    ``temporal_window`` distinct words (a cache-capacity-scale window),
+    so pure streaming scores ~0 while tiled reuse scores ~1.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0:
+        raise ValueError("empty trace")
+    distances = reuse_distances(addresses, line_bytes)
+    reused = distances[distances >= 0]
+    cold = float(np.mean(distances < 0))
+    within = {
+        int(w): float(np.mean((distances >= 0) & (distances < w)))
+        for w in windows
+    }
+    word_distances = reuse_distances(addresses, word_bytes)
+    temporal = float(
+        np.mean((word_distances >= 0) & (word_distances < temporal_window))
+    )
+    cache = SetAssociativeCache(cache_bytes, line_bytes, associativity)
+    cache.access_trace(addresses.tolist())
+    return LocalityProfile(
+        accesses=int(addresses.size),
+        distinct_lines=int(
+            np.unique(addresses // line_bytes).size
+        ),
+        cold_fraction=cold,
+        median_reuse_distance=(
+            float(np.median(reused)) if reused.size else float("inf")
+        ),
+        mean_reuse_distance=(
+            float(np.mean(reused)) if reused.size else float("inf")
+        ),
+        reuse_fraction_within=within,
+        cache_hit_rate=cache.stats.hit_rate,
+        temporal_locality_score=temporal,
+    )

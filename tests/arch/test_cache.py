@@ -1,0 +1,194 @@
+"""Tests for the statistical and set-associative cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    SetAssociativeCache,
+    StatisticalCache,
+    simulate_trace_hit_rate,
+)
+
+
+class TestStatisticalCache:
+    def test_zero_miss_rate_always_hits(self):
+        c = StatisticalCache(0.0)
+        assert all(c.access() for _ in range(100))
+        assert c.stats.miss_rate == 0.0
+
+    def test_unit_miss_rate_always_misses(self):
+        c = StatisticalCache(1.0)
+        assert not any(c.access() for _ in range(100))
+        assert c.stats.miss_rate == 1.0
+
+    def test_probabilistic_rate_converges(self, rng):
+        c = StatisticalCache(0.1, rng)
+        c.access_many(100_000)
+        assert c.stats.miss_rate == pytest.approx(0.1, abs=0.01)
+
+    def test_probabilistic_without_rng_raises(self):
+        c = StatisticalCache(0.5)
+        with pytest.raises(ValueError):
+            c.access()
+        with pytest.raises(ValueError):
+            c.access_many(5)
+
+    def test_access_many_counts(self, rng):
+        c = StatisticalCache(0.25, rng)
+        misses = c.access_many(1000)
+        assert misses == c.stats.misses
+        assert c.stats.accesses == 1000
+
+    def test_access_many_validation(self, rng):
+        with pytest.raises(ValueError):
+            StatisticalCache(0.5, rng).access_many(-1)
+
+    def test_miss_rate_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalCache(1.5)
+
+
+class TestSetAssociativeCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(line_bytes=48)  # not power of two
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=64, line_bytes=64, associativity=4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(associativity=0)
+
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: fully associative over 2 lines
+        c = SetAssociativeCache(size_bytes=128, line_bytes=64, associativity=2)
+        assert c.n_sets == 1
+        c.access(0)     # A
+        c.access(64)    # B
+        c.access(0)     # touch A (B is now LRU)
+        c.access(128)   # C evicts B
+        assert c.contains(0)
+        assert not c.contains(64)
+        assert c.contains(128)
+
+    def test_sets_isolate_addresses(self):
+        c = SetAssociativeCache(size_bytes=256, line_bytes=64, associativity=1)
+        assert c.n_sets == 4
+        c.access(0)      # set 0
+        c.access(64)     # set 1
+        assert c.contains(0) and c.contains(64)
+
+    def test_direct_mapped_conflict(self):
+        c = SetAssociativeCache(size_bytes=256, line_bytes=64, associativity=1)
+        c.access(0)
+        c.access(256)  # maps to the same set, evicts 0
+        assert not c.contains(0)
+        assert c.contains(256)
+
+    def test_lines_resident_bounded(self):
+        c = SetAssociativeCache(size_bytes=512, line_bytes=64, associativity=2)
+        for addr in range(0, 64 * 64, 64):
+            c.access(addr)
+        assert c.lines_resident <= 512 // 64
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache().access(-1)
+
+    def test_sequential_trace_hit_rate(self):
+        """Streaming through cache-resident data: high hit rate after
+        cold misses (the paper's 'high temporal locality' regime)."""
+        c = SetAssociativeCache(64 * 1024, 64, 4)
+        working_set = list(range(0, 16 * 1024, 8))  # fits in cache
+        for _ in range(4):
+            for a in working_set:
+                c.access(a)
+        assert c.stats.hit_rate > 0.9
+
+    def test_random_huge_trace_low_hit_rate(self, rng):
+        """No-reuse random addresses over a huge range: miss-dominated
+        (the control run's no-reuse regime, Pmiss -> 1)."""
+        c = SetAssociativeCache(16 * 1024, 64, 4)
+        addrs = rng.integers(0, 2**30, size=20_000)
+        c.access_trace(addrs)
+        assert c.stats.hit_rate < 0.1
+
+
+class TestTraceHitRate:
+    def test_warmup_excluded(self):
+        working = [a for _ in range(10) for a in range(0, 4096, 64)]
+        cold = simulate_trace_hit_rate(working, 64 * 1024, 64, 4)
+        warm = simulate_trace_hit_rate(
+            working, 64 * 1024, 64, 4, warmup_fraction=0.5
+        )
+        assert warm >= cold
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            simulate_trace_hit_rate([0], warmup_fraction=1.0)
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**20),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        c = SetAssociativeCache(4096, 64, 2)
+        c.access_trace(addrs)
+        assert c.stats.hits + c.stats.misses == len(addrs)
+        assert 0.0 <= c.stats.hit_rate <= 1.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**16),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_of_trace_never_decreases_hit_rate(self, addrs):
+        """Replaying a trace twice on a fresh cache at least matches the
+        single-pass hit count in the second pass (LRU inclusion)."""
+        c1 = SetAssociativeCache(64 * 1024, 64, 4)
+        c1.access_trace(addrs)
+        single = c1.stats.hit_rate
+        c2 = SetAssociativeCache(64 * 1024, 64, 4)
+        c2.access_trace(addrs)
+        c2.stats.reset()
+        c2.access_trace(addrs)
+        assert c2.stats.hit_rate >= single - 1e-12
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**18),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_same_assoc_never_more_misses_fully_assoc(
+        self, addrs
+    ):
+        """For fully-associative LRU, capacity growth cannot add misses
+        (stack inclusion property)."""
+        small = SetAssociativeCache(
+            size_bytes=4 * 64, line_bytes=64, associativity=4
+        )
+        big = SetAssociativeCache(
+            size_bytes=16 * 64, line_bytes=64, associativity=16
+        )
+        small.access_trace(addrs)
+        big.access_trace(addrs)
+        assert big.stats.misses <= small.stats.misses

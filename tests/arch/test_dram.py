@@ -1,0 +1,94 @@
+"""Tests for the DRAM bandwidth model — the paper's §2.1 claims."""
+
+import pytest
+
+from repro.arch import (
+    DramMacroTiming,
+    PimChipConfig,
+    chip_bandwidth_bits_per_sec,
+    effective_access_time_ns,
+    macro_bandwidth_bits_per_sec,
+    min_macros_for_bandwidth,
+)
+
+
+class TestMacroTiming:
+    def test_paper_defaults(self):
+        t = DramMacroTiming()
+        assert t.row_bits == 2048
+        assert t.page_bits == 256
+        assert t.pages_per_row == 8
+        assert t.full_row_drain_ns() == pytest.approx(20 + 8 * 2)
+
+    def test_random_word_time(self):
+        assert DramMacroTiming().random_word_ns() == pytest.approx(22.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramMacroTiming(row_bits=100, page_bits=256)
+        with pytest.raises(ValueError):
+            DramMacroTiming(row_bits=2048, page_bits=300)
+        with pytest.raises(ValueError):
+            DramMacroTiming(row_access_ns=0.0)
+
+
+class TestPaperClaims:
+    def test_macro_exceeds_50_gbit(self):
+        """Paper: 'a single on-chip DRAM macro could sustain a bandwidth
+        of over 50 Gbit/s'."""
+        bw = macro_bandwidth_bits_per_sec()
+        assert bw > 50e9
+        assert bw == pytest.approx(2048 / 36e-9)
+
+    def test_chip_exceeds_1_tbit(self):
+        """Paper: 'an on-chip peak memory bandwidth of greater than
+        1 Tbit/s is possible per chip'."""
+        assert chip_bandwidth_bits_per_sec(PimChipConfig(n_nodes=32)) > 1e12
+
+    def test_min_macros_for_terabit(self):
+        assert min_macros_for_bandwidth(1e12) == 18
+
+    def test_min_macros_validation(self):
+        with pytest.raises(ValueError):
+            min_macros_for_bandwidth(0.0)
+
+
+class TestRowHitScaling:
+    def test_full_hit_ratio_is_page_rate(self):
+        t = DramMacroTiming()
+        bw = macro_bandwidth_bits_per_sec(t, row_hit_ratio=1.0)
+        assert bw == pytest.approx(256 / 2e-9)
+
+    def test_bandwidth_monotone_in_hit_ratio(self):
+        bws = [
+            macro_bandwidth_bits_per_sec(row_hit_ratio=h)
+            for h in (0.25, 0.5, 0.75, 1.0)
+        ]
+        assert bws == sorted(bws)
+
+    def test_hit_ratio_validation(self):
+        with pytest.raises(ValueError):
+            macro_bandwidth_bits_per_sec(row_hit_ratio=1.5)
+
+    def test_effective_access_time_limits(self):
+        assert effective_access_time_ns(row_hit_ratio=1.0) == pytest.approx(
+            2.0
+        )
+        assert effective_access_time_ns(row_hit_ratio=0.0) == pytest.approx(
+            22.0
+        )
+
+    def test_effective_access_time_validation(self):
+        with pytest.raises(ValueError):
+            effective_access_time_ns(row_hit_ratio=-0.1)
+
+
+class TestChipConfig:
+    def test_node_scaling_linear(self):
+        one = chip_bandwidth_bits_per_sec(PimChipConfig(n_nodes=1))
+        eight = chip_bandwidth_bits_per_sec(PimChipConfig(n_nodes=8))
+        assert eight == pytest.approx(8 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PimChipConfig(n_nodes=0)

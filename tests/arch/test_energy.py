@@ -1,0 +1,82 @@
+"""Tests for the energy model extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Table1Params
+from repro.arch import (
+    EnergyParams,
+    control_energy_nj,
+    energy_delay_ratio,
+    energy_ratio,
+    pim_energy_nj,
+)
+
+P = Table1Params()
+E = EnergyParams()
+
+
+class TestEnergyModel:
+    def test_no_offload_identical(self):
+        assert float(energy_ratio(0.0, P, E)) == pytest.approx(1.0)
+        assert float(control_energy_nj(0.0, P, E)) == pytest.approx(
+            float(pim_energy_nj(0.0, P, E))
+        )
+
+    def test_control_energy_decomposition(self):
+        # f=1: every op costs hwp_op + mix*(cache + 1.0*dram)
+        per_op = 1.0 + 0.3 * (0.5 + 1.0 * 20.0)
+        assert float(control_energy_nj(1.0, P, E)) == pytest.approx(
+            P.total_work * per_op
+        )
+
+    def test_pim_energy_decomposition(self):
+        per_op = 0.2 + 0.3 * 2.0
+        assert float(pim_energy_nj(1.0, P, E)) == pytest.approx(
+            P.total_work * per_op
+        )
+
+    def test_ratio_monotone_in_fraction(self):
+        f = np.linspace(0, 1, 21)
+        ratios = energy_ratio(f, P, E)
+        assert np.all(np.diff(ratios) > 0)
+
+    def test_ratio_independent_of_node_count(self):
+        """Energy is per-op under this model; nodes change delay only."""
+        assert float(energy_ratio(0.7, P, E)) == pytest.approx(
+            float(energy_ratio(0.7, P, E))
+        )
+
+    def test_edp_compounds(self):
+        e = float(energy_ratio(1.0, P, E))
+        edp = float(energy_delay_ratio(1.0, 64, P, E))
+        assert edp > e  # time gain multiplies in
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_ratio(1.5, P, E)
+        with pytest.raises(ValueError):
+            EnergyParams(hwp_dram_nj=-1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),   # lwp op cheaper
+        st.floats(min_value=2.0, max_value=100.0),  # dram pricier
+    )
+    @settings(max_examples=60)
+    def test_pim_saves_energy_whenever_structure_holds(
+        self, f, lwp_op, dram
+    ):
+        """For any coefficients with cheap PIM ops and expensive
+        off-chip access, the PIM system never uses more energy."""
+        energy = EnergyParams(
+            hwp_op_nj=1.0,
+            hwp_cache_nj=0.5,
+            hwp_dram_nj=dram,
+            lwp_op_nj=lwp_op,
+            lwp_mem_nj=2.0,
+        )
+        ratio = float(energy_ratio(f, P, energy))
+        assert ratio >= 1.0 - 1e-12

@@ -1,0 +1,18 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.desim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at t=0."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that sample."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,175 @@
+"""Tests for the closed-form HWP/LWP model — the paper's §3.1.2 equations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Table1Params
+from repro.core.hwlw import (
+    control_time,
+    crossover_width,
+    hwp_cycles_per_op,
+    lwp_cycles_per_op,
+    nb_parameter,
+    performance_gain,
+    response_time_cycles,
+    speedup_vs_no_lwp,
+    test_time as pim_test_time,
+    time_relative,
+)
+
+P = Table1Params()
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+nodes = st.floats(min_value=1.0, max_value=1024.0, allow_nan=False)
+param_sets = st.builds(
+    Table1Params,
+    lwp_cycle_cycles=st.floats(min_value=1.0, max_value=20.0),
+    hwp_memory_cycles=st.floats(min_value=0.0, max_value=500.0),
+    hwp_cache_cycles=st.floats(min_value=1.0, max_value=10.0),
+    lwp_memory_cycles=st.floats(min_value=0.0, max_value=200.0),
+    miss_rate=st.floats(min_value=0.0, max_value=1.0),
+    ls_mix=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestPaperAnchors:
+    """Exact values derivable from Table 1 (see DESIGN.md §6)."""
+
+    def test_hwp_cycles_per_op_is_4(self):
+        assert hwp_cycles_per_op(P) == pytest.approx(4.0)
+
+    def test_lwp_cycles_per_op_is_12_5(self):
+        assert lwp_cycles_per_op(P) == pytest.approx(12.5)
+
+    def test_nb_is_3_125(self):
+        assert nb_parameter(P) == pytest.approx(3.125)
+
+    def test_control_no_reuse_cycles_per_op(self):
+        assert hwp_cycles_per_op(P, miss_rate=1.0) == pytest.approx(28.3)
+
+    def test_extreme_gain_approx_145x(self):
+        """The paper's 'factor of 100X gain is observed' corner."""
+        gain = float(performance_gain(1.0, 64, P))
+        assert gain == pytest.approx(28.3 * 64 / 12.5, rel=1e-12)
+        assert gain > 100.0
+
+    def test_small_lwp_fraction_doubles_performance(self):
+        """Paper: 'even for a small amount of LWP work including PIMs in
+        the system may double the performance'."""
+        gain = float(performance_gain(0.2, 64, P))
+        assert gain > 2.0
+
+    def test_figure6_anchor_0pct_flat_4e8(self):
+        times = response_time_cycles(0.0, np.array([1.0, 8.0, 64.0]), P)
+        assert np.allclose(times, 4.0e8)
+
+    def test_figure6_anchor_100pct_one_node(self):
+        assert float(response_time_cycles(1.0, 1, P)) == pytest.approx(
+            1.25e9
+        )
+
+
+class TestTimeRelative:
+    def test_zero_fraction_is_unity(self):
+        assert float(time_relative(0.0, 16, P)) == 1.0
+
+    def test_crossover_at_nb_for_all_fractions(self):
+        """Fig. 7's coincidence point: Time_relative(NB) == 1 for any %WL."""
+        nb = nb_parameter(P)
+        f = np.linspace(0.0, 1.0, 11)
+        assert np.allclose(time_relative(f, nb, P), 1.0)
+
+    def test_equation_form_matches_paper(self):
+        f, n = 0.37, 11.0
+        nb = nb_parameter(P)
+        assert float(time_relative(f, n, P)) == pytest.approx(
+            1.0 - f * (1.0 - nb / n)
+        )
+
+    def test_broadcasting_grid(self):
+        f = np.linspace(0, 1, 5)[:, None]
+        n = np.array([1.0, 2.0, 4.0])[None, :]
+        out = time_relative(f, n, P)
+        assert out.shape == (5, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_relative(1.5, 8, P)
+        with pytest.raises(ValueError):
+            time_relative(0.5, 0.5, P)
+
+    @given(fractions, nodes, param_sets)
+    @settings(max_examples=100)
+    def test_nb_threshold_property(self, f, n, params):
+        """For N > NB PIM never loses; for N < NB and f > 0 it never wins.
+        This is the paper's 'remarkable property'."""
+        nb = nb_parameter(params)
+        t = float(time_relative(f, n, params))
+        if n >= nb:
+            assert t <= 1.0 + 1e-12
+        elif f > 0:
+            assert t >= 1.0 - 1e-12
+
+    @given(fractions, param_sets)
+    @settings(max_examples=100)
+    def test_monotone_in_nodes(self, f, params):
+        ns = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        ts = time_relative(f, ns, params)
+        assert np.all(np.diff(ts) <= 1e-12)
+
+    @given(nodes, param_sets)
+    @settings(max_examples=100)
+    def test_linear_in_fraction(self, n, params):
+        """Time_relative is affine in %WL at fixed N."""
+        f = np.array([0.0, 0.5, 1.0])
+        ts = time_relative(f, n, params)
+        assert ts[1] == pytest.approx((ts[0] + ts[2]) / 2.0, rel=1e-9)
+
+
+class TestAbsoluteTimes:
+    def test_test_time_decomposition(self):
+        f, n = 0.4, 8
+        w = P.total_work
+        expected = w * (0.6 * 4.0 + 0.4 * 12.5 / 8)
+        assert float(pim_test_time(f, n, P)) == pytest.approx(expected)
+
+    def test_control_time_decomposition(self):
+        f = 0.4
+        expected = P.total_work * (0.6 * 4.0 + 0.4 * 28.3)
+        assert float(control_time(f, P)) == pytest.approx(expected)
+
+    def test_gain_is_ratio(self):
+        f, n = 0.7, 16
+        assert float(performance_gain(f, n, P)) == pytest.approx(
+            float(control_time(f, P)) / float(pim_test_time(f, n, P))
+        )
+
+    def test_gain_monotone_in_nodes(self):
+        gains = performance_gain(0.5, np.array([1.0, 2.0, 4.0, 8.0]), P)
+        assert np.all(np.diff(gains) > 0)
+
+    def test_gain_at_zero_fraction_is_one(self):
+        assert float(performance_gain(0.0, 64, P)) == pytest.approx(1.0)
+
+    def test_speedup_reciprocal(self):
+        assert float(speedup_vs_no_lwp(0.5, 8, P)) == pytest.approx(
+            1.0 / float(time_relative(0.5, 8, P))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pim_test_time(-0.1, 8, P)
+        with pytest.raises(ValueError):
+            pim_test_time(0.5, 0.0, P)
+        with pytest.raises(ValueError):
+            control_time(2.0, P)
+        with pytest.raises(ValueError):
+            hwp_cycles_per_op(P, miss_rate=-0.5)
+
+    def test_crossover_width(self):
+        worst, best = crossover_width(P)
+        assert worst == pytest.approx(float(time_relative(1.0, 1.0, P)))
+        assert best == pytest.approx(float(time_relative(1.0, 64.0, P)))
+        assert worst > 1.0 > best

@@ -1,0 +1,157 @@
+"""Tests for the HWP/LWP queuing simulation (paper §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import Table1Params
+from repro.core.hwlw import (
+    HwlwSimConfig,
+    HybridSystemModel,
+    control_time,
+    simulate_control,
+    simulate_hybrid,
+    test_time as pim_test_time,
+)
+
+P = Table1Params()
+DET = HwlwSimConfig(stochastic=False)
+# smaller workload for fast stochastic tests
+SMALL = Table1Params(total_work=1_000_000)
+SMALL_CFG = HwlwSimConfig(stochastic=True, chunk_ops=10_000, seed=7)
+
+
+class TestDeterministicAgreement:
+    """In expected-value mode the DES must match the closed form exactly."""
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9, 1.0])
+    @pytest.mark.parametrize("n_nodes", [1, 3, 8, 64])
+    def test_matches_analytic_exactly(self, fraction, n_nodes):
+        r = simulate_hybrid(P, fraction, n_nodes, DET)
+        assert r.completion_cycles == pytest.approx(
+            float(pim_test_time(fraction, n_nodes, P)), rel=1e-12
+        )
+
+    def test_control_matches_analytic(self):
+        for f in (0.0, 0.3, 1.0):
+            r = simulate_control(P, f, DET)
+            assert r.completion_cycles == pytest.approx(
+                float(control_time(f, P)), rel=1e-12
+            )
+
+    def test_zero_fraction_no_lwp_activity(self):
+        r = simulate_hybrid(P, 0.0, 8, DET)
+        assert r.lwp_total_ops == 0.0
+        assert r.hwp.ops_executed == pytest.approx(P.total_work)
+
+    def test_full_fraction_no_hwp_activity(self):
+        r = simulate_hybrid(P, 1.0, 8, DET)
+        assert r.hwp.ops_executed == 0.0
+        assert r.lwp_total_ops == pytest.approx(P.total_work)
+
+
+class TestStochasticBehavior:
+    def test_close_to_analytic(self):
+        r = simulate_hybrid(SMALL, 0.5, 8, SMALL_CFG)
+        expected = float(pim_test_time(0.5, 8, SMALL))
+        assert r.completion_cycles == pytest.approx(expected, rel=0.02)
+
+    def test_reproducible_with_seed(self):
+        a = simulate_hybrid(SMALL, 0.5, 4, SMALL_CFG)
+        b = simulate_hybrid(SMALL, 0.5, 4, SMALL_CFG)
+        assert a.completion_cycles == b.completion_cycles
+
+    def test_different_seed_differs(self):
+        a = simulate_hybrid(SMALL, 0.5, 4, SMALL_CFG)
+        b = simulate_hybrid(
+            SMALL, 0.5, 4, HwlwSimConfig(True, seed=8, chunk_ops=10_000)
+        )
+        assert a.completion_cycles != b.completion_cycles
+
+    def test_ops_conserved(self):
+        r = simulate_hybrid(SMALL, 0.4, 8, SMALL_CFG)
+        assert r.total_ops == pytest.approx(SMALL.total_work)
+
+    def test_lwp_threads_balanced(self):
+        r = simulate_hybrid(SMALL, 0.8, 8, SMALL_CFG)
+        per_node = [n.ops_executed for n in r.lwp_nodes]
+        assert max(per_node) - min(per_node) < 1e-9  # uniform split
+
+
+class TestResultStructure:
+    def test_section_times_sum_to_completion(self):
+        r = simulate_hybrid(P, 0.5, 8, DET)
+        assert sum(r.section_cycles) == pytest.approx(r.completion_cycles)
+        assert len(r.section_cycles) == DET.sections
+
+    def test_completion_ns_uses_cycle_time(self):
+        r = simulate_hybrid(P, 0.2, 4, DET)
+        assert r.completion_ns == pytest.approx(r.completion_cycles * 1.0)
+
+    def test_component_stats_cycles_per_op(self):
+        r = simulate_hybrid(P, 0.5, 8, DET)
+        assert r.hwp.cycles_per_op() == pytest.approx(4.0)
+        assert r.lwp_nodes[0].cycles_per_op() == pytest.approx(12.5)
+
+    def test_lwp_phase_cycles_positive(self):
+        r = simulate_hybrid(P, 0.5, 8, DET)
+        assert r.lwp_phase_cycles > 0
+        assert r.lwp_phase_cycles == pytest.approx(
+            P.total_work * 0.5 * 12.5 / 8
+        )
+
+    def test_to_dict_fields(self):
+        d = simulate_hybrid(P, 0.5, 8, DET).to_dict()
+        assert set(d) >= {
+            "lwp_fraction", "n_nodes", "completion_cycles", "completion_ns",
+        }
+        d2 = simulate_control(P, 0.5, DET).to_dict()
+        assert "completion_cycles" in d2
+
+    def test_model_result_cached(self):
+        model = HybridSystemModel(P, 0.5, 4, DET)
+        assert model.run() is model.run()
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            HybridSystemModel(P, 0.5, 0, DET)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HwlwSimConfig(sections=0)
+        with pytest.raises(ValueError):
+            HwlwSimConfig(chunk_ops=0)
+
+
+class TestSectionInvariance:
+    """The Fig. 4 alternation count must not change aggregate results."""
+
+    @pytest.mark.parametrize("sections", [1, 2, 8, 32])
+    def test_sections_do_not_change_completion(self, sections):
+        cfg = HwlwSimConfig(sections=sections, stochastic=False)
+        r = simulate_hybrid(P, 0.5, 8, cfg)
+        assert r.completion_cycles == pytest.approx(
+            float(pim_test_time(0.5, 8, P)), rel=1e-12
+        )
+
+
+class TestControlRun:
+    def test_low_locality_uses_control_miss_rate(self):
+        r = simulate_control(P, 1.0, DET)
+        # all work at miss rate 1.0 -> 28.3 cycles/op
+        assert r.hwp.cycles_per_op() == pytest.approx(28.3)
+
+    def test_high_locality_uses_pmiss(self):
+        r = simulate_control(P, 0.0, DET)
+        assert r.hwp.cycles_per_op() == pytest.approx(4.0)
+
+    def test_custom_control_miss_rate(self):
+        params = Table1Params(control_miss_rate=0.5)
+        r = simulate_control(params, 1.0, DET)
+        expected = 1.0 + 0.3 * (1.0 + 0.5 * 90.0)
+        assert r.hwp.cycles_per_op() == pytest.approx(expected)
+
+    def test_gain_shape_vs_paper(self):
+        """Simulated gain at the extreme corner lands near 145x."""
+        control = simulate_control(P, 1.0, DET).completion_cycles
+        test = simulate_hybrid(P, 1.0, 64, DET).completion_cycles
+        assert control / test == pytest.approx(144.896, rel=1e-6)

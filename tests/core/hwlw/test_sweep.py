@@ -1,0 +1,145 @@
+"""Tests for the Fig. 5-7 sweeps and the SweepGrid container."""
+
+import numpy as np
+import pytest
+
+from repro import Table1Params
+from repro.core.grid import SweepGrid
+from repro.core.hwlw import (
+    HwlwSimConfig,
+    PAPER_LWP_FRACTIONS,
+    PAPER_NODE_COUNTS,
+    figure5_gain_sweep,
+    figure6_response_time_sweep,
+    figure7_normalized_time_sweep,
+    nb_parameter,
+    section_ablation_sweep,
+)
+
+P = Table1Params()
+FAST = HwlwSimConfig(stochastic=False, sections=2)
+
+
+class TestSweepGrid:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SweepGrid(
+                name="x",
+                row_label="r",
+                rows=(1.0, 2.0),
+                col_label="c",
+                cols=(1.0,),
+                values=np.zeros((1, 1)),
+                value_label="v",
+            )
+
+    def test_row_col_slicing(self):
+        g = SweepGrid(
+            "g", "r", (1.0, 2.0), "c", (10.0, 20.0, 30.0),
+            np.arange(6.0).reshape(2, 3), "v",
+        )
+        assert list(g.row(2.0)) == [3.0, 4.0, 5.0]
+        assert list(g.col(20.0)) == [1.0, 4.0]
+
+    def test_to_rows_long_format(self):
+        g = SweepGrid(
+            "g", "r", (1.0,), "c", (10.0, 20.0),
+            np.array([[5.0, 6.0]]), "v",
+        )
+        assert g.to_rows() == [
+            {"r": 1.0, "c": 10.0, "v": 5.0},
+            {"r": 1.0, "c": 20.0, "v": 6.0},
+        ]
+
+    def test_transposed_round_trip(self):
+        g = SweepGrid(
+            "g", "r", (1.0, 2.0), "c", (10.0,),
+            np.array([[1.0], [2.0]]), "v",
+        )
+        t = g.transposed()
+        assert t.rows == (10.0,)
+        assert np.array_equal(t.values, g.values.T)
+
+
+class TestFigure5:
+    def test_analytic_mode_shape(self):
+        g = figure5_gain_sweep(P, use_simulation=False)
+        assert g.values.shape == (
+            len(PAPER_NODE_COUNTS), len(PAPER_LWP_FRACTIONS),
+        )
+
+    def test_gain_one_at_zero_fraction(self):
+        g = figure5_gain_sweep(P, use_simulation=False)
+        assert np.allclose(g.values[:, 0], 1.0)
+
+    def test_gain_grows_with_nodes_and_fraction(self):
+        g = figure5_gain_sweep(P, use_simulation=False)
+        # monotone along both axes (for f>0)
+        assert np.all(np.diff(g.values[:, 1:], axis=0) > 0)
+        assert np.all(np.diff(g.values[1:, :], axis=1) > 0)
+
+    def test_extreme_corner_exceeds_100x(self):
+        g = figure5_gain_sweep(P, use_simulation=False)
+        assert g.values[-1, -1] > 100.0
+
+    def test_simulation_mode_matches_analytic_det(self):
+        g_sim = figure5_gain_sweep(
+            P, node_counts=(1, 8), lwp_fractions=(0.0, 0.5, 1.0),
+            config=FAST, use_simulation=True,
+        )
+        g_ana = figure5_gain_sweep(
+            P, node_counts=(1, 8), lwp_fractions=(0.0, 0.5, 1.0),
+            use_simulation=False,
+        )
+        assert np.allclose(g_sim.values, g_ana.values, rtol=1e-9)
+
+
+class TestFigure6:
+    def test_anchors(self):
+        g = figure6_response_time_sweep(P, use_simulation=False)
+        # 0% LWT row is flat at 4e8 ns
+        assert np.allclose(g.row(0.0), 4.0e8)
+        # 100% LWT at N=1 is 1.25e9 ns
+        assert g.values[-1, 0] == pytest.approx(1.25e9)
+
+    def test_rows_decreasing_in_nodes(self):
+        g = figure6_response_time_sweep(P, use_simulation=False)
+        for i, f in enumerate(g.rows):
+            if f > 0:
+                assert np.all(np.diff(g.values[i]) < 0)
+
+    def test_simulation_mode_agrees(self):
+        g_sim = figure6_response_time_sweep(
+            P, node_counts=(1, 64), lwp_fractions=(0.0, 1.0),
+            config=FAST, use_simulation=True,
+        )
+        g_ana = figure6_response_time_sweep(
+            P, node_counts=(1, 64), lwp_fractions=(0.0, 1.0),
+            use_simulation=False,
+        )
+        assert np.allclose(g_sim.values, g_ana.values, rtol=1e-9)
+
+
+class TestFigure7:
+    def test_all_curves_cross_at_nb(self):
+        nb = nb_parameter(P)
+        g = figure7_normalized_time_sweep(
+            P, node_counts=(1.0, nb, 64.0),
+        )
+        # at N = NB every %WL row equals 1.0
+        col = list(g.cols).index(nb)
+        assert np.allclose(g.values[:, col], 1.0)
+
+    def test_zero_fraction_row_flat_one(self):
+        g = figure7_normalized_time_sweep(P)
+        assert np.allclose(g.row(0.0), 1.0)
+
+    def test_values_below_one_beyond_nb(self):
+        g = figure7_normalized_time_sweep(P, node_counts=(4.0, 64.0))
+        assert np.all(g.values[1:, :] < 1.0 + 1e-12)  # f>0, N>NB
+
+
+class TestSectionAblation:
+    def test_invariant_across_sections(self):
+        g = section_ablation_sweep(P, section_counts=(1, 4, 16))
+        assert np.allclose(g.values, g.values[0, 0], rtol=1e-12)

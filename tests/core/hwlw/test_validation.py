@@ -1,0 +1,62 @@
+"""Tests for the sim-vs-analytic validation experiment (paper §3.1.2)."""
+
+import pytest
+
+from repro import Table1Params
+from repro.core.hwlw import validate_against_analytic
+from repro.core.hwlw.validation import ValidationPoint
+
+SMALL = Table1Params(total_work=2_000_000)
+
+
+class TestValidationPoint:
+    def test_relative_error(self):
+        p = ValidationPoint(0.5, 8, 110.0, 100.0)
+        assert p.relative_error == pytest.approx(0.1)
+
+    def test_to_dict(self):
+        d = ValidationPoint(0.5, 8, 110.0, 100.0).to_dict()
+        assert d["relative_error"] == pytest.approx(0.1)
+
+
+class TestValidationReport:
+    def test_deterministic_mode_exact(self):
+        report = validate_against_analytic(
+            SMALL,
+            lwp_fractions=(0.2, 0.8),
+            node_counts=(1, 8),
+            stochastic=False,
+        )
+        assert report.max_relative_error < 1e-9
+        assert report.within_paper_envelope
+
+    def test_stochastic_mode_within_paper_envelope(self):
+        """The paper reports 5-18% accuracy; our structurally-identical
+        models land far inside that envelope."""
+        report = validate_against_analytic(
+            SMALL,
+            lwp_fractions=(0.1, 0.5, 1.0),
+            node_counts=(1, 8, 64),
+            stochastic=True,
+            chunk_ops=20_000,
+        )
+        assert report.within_paper_envelope
+        assert report.max_relative_error < 0.05
+        assert report.mean_relative_error <= report.max_relative_error
+
+    def test_grid_coverage(self):
+        report = validate_against_analytic(
+            SMALL, lwp_fractions=(0.5,), node_counts=(2, 4),
+            stochastic=False,
+        )
+        assert len(report.points) == 2
+        assert {p.n_nodes for p in report.points} == {2, 4}
+
+    def test_rows_export(self):
+        report = validate_against_analytic(
+            SMALL, lwp_fractions=(0.5,), node_counts=(2,),
+            stochastic=False,
+        )
+        rows = report.to_rows()
+        assert len(rows) == 1
+        assert "relative_error" in rows[0]

@@ -1,0 +1,107 @@
+"""Tests for the phased statistical workload (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Table1Params
+from repro.core.hwlw import OperationMixSampler, PhasedWorkload, WorkSection
+
+
+class TestWorkSection:
+    def test_totals(self):
+        s = WorkSection(100.0, 50.0)
+        assert s.total_ops == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkSection(-1.0, 0.0)
+
+
+class TestPhasedWorkload:
+    def test_splits_by_fraction(self):
+        wl = PhasedWorkload(Table1Params(), 0.25, sections=5)
+        assert wl.total_lwp_ops == pytest.approx(25_000_000)
+        assert wl.total_hwp_ops == pytest.approx(75_000_000)
+        assert wl.total_ops == pytest.approx(100_000_000)
+
+    def test_sections_uniform(self):
+        wl = PhasedWorkload(Table1Params(), 0.5, sections=4)
+        assert len(wl.sections) == 4
+        assert all(
+            s.hwp_ops == wl.sections[0].hwp_ops for s in wl.sections
+        )
+
+    def test_extremes(self):
+        assert PhasedWorkload(Table1Params(), 0.0).total_lwp_ops == 0.0
+        assert PhasedWorkload(Table1Params(), 1.0).total_hwp_ops == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload(Table1Params(), 1.5)
+        with pytest.raises(ValueError):
+            PhasedWorkload(Table1Params(), 0.5, sections=0)
+
+    def test_split_lwp_ops_uniform_threads(self):
+        wl = PhasedWorkload(Table1Params(), 0.5, sections=2)
+        shares = wl.split_lwp_ops(wl.sections[0], 8)
+        assert shares.shape == (8,)
+        assert np.allclose(shares, shares[0])  # uniform per the paper
+        assert shares.sum() == pytest.approx(wl.sections[0].lwp_ops)
+
+    def test_split_validation(self):
+        wl = PhasedWorkload(Table1Params(), 0.5)
+        with pytest.raises(ValueError):
+            wl.split_lwp_ops(wl.sections[0], 0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_conservation_property(self, fraction, sections):
+        """No operations are created or lost by sectioning."""
+        wl = PhasedWorkload(Table1Params(), fraction, sections)
+        assert wl.total_ops == pytest.approx(100_000_000, rel=1e-12)
+
+
+class TestOperationMixSampler:
+    def test_deterministic_expectations(self):
+        s = OperationMixSampler(0.3, 0.1, stochastic=False)
+        n_ls, n_miss = s.sample(1000.0, None)
+        assert n_ls == pytest.approx(300.0)
+        assert n_miss == pytest.approx(30.0)
+
+    def test_stochastic_needs_rng(self):
+        s = OperationMixSampler(0.3, 0.1, stochastic=True)
+        with pytest.raises(ValueError):
+            s.sample(100, None)
+
+    def test_stochastic_bounds(self, rng):
+        s = OperationMixSampler(0.3, 0.1, stochastic=True)
+        n_ls, n_miss = s.sample(1000, rng)
+        assert 0 <= n_miss <= n_ls <= 1000
+
+    def test_stochastic_converges_to_mix(self, rng):
+        s = OperationMixSampler(0.3, 0.1, stochastic=True)
+        total_ls = sum(s.sample(10_000, rng)[0] for _ in range(50))
+        assert total_ls / 500_000 == pytest.approx(0.3, abs=0.01)
+
+    def test_zero_ops(self, rng):
+        s = OperationMixSampler(0.3, 0.1, stochastic=True)
+        assert s.sample(0, rng) == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperationMixSampler(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            OperationMixSampler(0.3, 1.1)
+        s = OperationMixSampler(0.3, 0.1, stochastic=False)
+        with pytest.raises(ValueError):
+            s.sample(-5.0, None)
+
+    def test_zero_miss_rate_never_misses(self, rng):
+        s = OperationMixSampler(0.5, 0.0, stochastic=True)
+        _, n_miss = s.sample(10_000, rng)
+        assert n_miss == 0.0

@@ -1,0 +1,135 @@
+"""Tests for the multithreading closed forms and the DES cross-check."""
+
+import numpy as np
+import pytest
+
+from repro import ParcelParams
+from repro.core.parcels import (
+    compare_systems,
+    control_work_rate,
+    multithreading_efficiency,
+    parcel_ratio_estimate,
+    saturation_parallelism,
+    simulate_message_passing,
+    test_work_rate_estimate as parcel_work_rate_estimate,
+)
+
+
+class TestSaavedraBarreraModel:
+    def test_single_thread_efficiency(self):
+        # R / (R + L) with no switch cost
+        assert float(
+            multithreading_efficiency(1, 10.0, 90.0)
+        ) == pytest.approx(0.1)
+
+    def test_saturation_reaches_r_over_r_plus_c(self):
+        eff = float(multithreading_efficiency(1000, 10.0, 90.0, 2.0))
+        assert eff == pytest.approx(10.0 / 12.0)
+
+    def test_saturation_point(self):
+        p_sat = float(saturation_parallelism(10.0, 90.0, 0.0))
+        assert p_sat == pytest.approx(10.0)
+        # just below saturation: linear; at/above: flat
+        below = float(multithreading_efficiency(9, 10.0, 90.0))
+        at = float(multithreading_efficiency(10, 10.0, 90.0))
+        above = float(multithreading_efficiency(11, 10.0, 90.0))
+        assert below < at == above == 1.0
+
+    def test_efficiency_monotone_in_parallelism(self):
+        p = np.arange(1, 50)
+        eff = multithreading_efficiency(p, 10.0, 200.0, 1.0)
+        assert np.all(np.diff(eff) >= -1e-12)
+        assert np.all(eff <= 1.0 + 1e-12)
+
+    def test_zero_latency_full_efficiency(self):
+        assert float(
+            multithreading_efficiency(1, 10.0, 0.0, 0.0)
+        ) == pytest.approx(1.0)
+
+    def test_broadcasting(self):
+        eff = multithreading_efficiency(
+            np.array([1, 2, 4])[:, None],
+            10.0,
+            np.array([10.0, 100.0])[None, :],
+        )
+        assert eff.shape == (3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multithreading_efficiency(0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            multithreading_efficiency(1, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            saturation_parallelism(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            saturation_parallelism(1.0, -5.0)
+
+
+class TestWorkRates:
+    def test_control_rate_matches_des(self):
+        """The control system has no contention, so the closed form
+        should match the DES tightly."""
+        params = ParcelParams(
+            remote_fraction=0.2, latency_cycles=100.0, parallelism=1
+        )
+        des = simulate_message_passing(params, 50_000.0)
+        assert des.work_rate == pytest.approx(
+            control_work_rate(params), rel=0.05
+        )
+
+    def test_control_rate_decreases_with_latency(self):
+        base = ParcelParams(remote_fraction=0.2)
+        rates = [
+            control_work_rate(base.with_(latency_cycles=lat))
+            for lat in (10.0, 100.0, 1000.0)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_test_rate_saturates(self):
+        base = ParcelParams(remote_fraction=0.2, latency_cycles=1000.0)
+        r64 = parcel_work_rate_estimate(base.with_(parallelism=64))
+        r256 = parcel_work_rate_estimate(base.with_(parallelism=256))
+        assert r256 == pytest.approx(r64, rel=1e-9)  # saturated
+
+    def test_requires_remote_traffic(self):
+        with pytest.raises(ValueError):
+            control_work_rate(ParcelParams(remote_fraction=0.0))
+        with pytest.raises(ValueError):
+            parcel_ratio_estimate(ParcelParams(n_nodes=1))
+
+
+class TestRatioEstimateVsDes:
+    @pytest.mark.parametrize(
+        "parallelism,remote,latency",
+        [
+            (16, 0.2, 100.0),
+            (64, 0.2, 1000.0),
+            (64, 0.5, 1000.0),
+        ],
+    )
+    def test_estimate_brackets_des_at_saturation(
+        self, parallelism, remote, latency
+    ):
+        """At saturation the queueing-free estimate tracks the DES within
+        a band: the DES undershoots through queueing and overshoots
+        through control-side sampling noise (at high latency the control
+        completes few transactions per node)."""
+        params = ParcelParams(
+            parallelism=parallelism,
+            remote_fraction=remote,
+            latency_cycles=latency,
+        )
+        des = compare_systems(params, 60_000.0).ratio
+        est = parcel_ratio_estimate(params)
+        assert des <= est * 1.20
+        assert des >= est * 0.55
+
+    def test_estimate_shows_reversal_region(self):
+        """With one context and negligible latency the estimate predicts
+        the <1 regime the paper observed."""
+        params = ParcelParams(
+            parallelism=1, remote_fraction=0.5, latency_cycles=5.0,
+            send_overhead_cycles=8.0, receive_overhead_cycles=8.0,
+            context_switch_cycles=8.0,
+        )
+        assert parcel_ratio_estimate(params) < 1.0

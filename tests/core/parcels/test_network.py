@@ -1,0 +1,142 @@
+"""Tests for the flat-latency and contention interconnects."""
+
+import pytest
+
+from repro.core.parcels import FlatNetwork, LinkContentionNetwork, Parcel
+
+
+def drain(sim, store, n):
+    """Collect n parcels from a mailbox via a consumer process."""
+    got = []
+
+    def consumer():
+        for _ in range(n):
+            got.append((yield store.get()))
+
+    sim.process(consumer())
+    return got
+
+
+class TestFlatNetwork:
+    def test_fixed_delay_delivery(self, sim):
+        net = FlatNetwork(sim, 4, latency_cycles=25.0)
+        p = Parcel.request(0, 2)
+        arrivals = []
+
+        def consumer():
+            parcel = yield net.mailbox(2).get()
+            arrivals.append((parcel, sim.now))
+
+        sim.process(consumer())
+        net.send(p)
+        sim.run()
+        assert len(arrivals) == 1
+        parcel, t = arrivals[0]
+        assert t == 25.0
+        assert parcel.injected_at == 0.0
+        assert parcel.destination == 2
+
+    def test_every_parcel_same_latency(self, sim):
+        net = FlatNetwork(sim, 3, latency_cycles=10.0)
+
+        def sender():
+            net.send(Parcel.request(0, 1))
+            yield sim.timeout(7.0)
+            net.send(Parcel.request(2, 1))
+
+        times = []
+
+        def consumer():
+            for _ in range(2):
+                yield net.mailbox(1).get()
+                times.append(sim.now)
+
+        sim.process(sender())
+        sim.process(consumer())
+        sim.run()
+        assert times == [10.0, 17.0]
+
+    def test_statistics(self, sim):
+        net = FlatNetwork(sim, 2, latency_cycles=5.0)
+        got = drain(sim, net.mailbox(1), 2)
+        net.send(Parcel.request(0, 1))
+        net.send(Parcel.request(0, 1))
+        sim.run()
+        assert net.parcels_sent == 2
+        assert net.parcels_delivered == 2
+        assert net.delivery_latency.mean == pytest.approx(5.0)
+        assert len(got) == 2
+
+    def test_destination_bounds_checked(self, sim):
+        net = FlatNetwork(sim, 2, latency_cycles=5.0)
+        with pytest.raises(ValueError):
+            net.send(Parcel.request(0, 7))
+
+    def test_zero_latency_allowed(self, sim):
+        net = FlatNetwork(sim, 2, latency_cycles=0.0)
+        got = drain(sim, net.mailbox(1), 1)
+        net.send(Parcel.request(0, 1))
+        sim.run()
+        assert len(got) == 1
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            FlatNetwork(sim, 0, 1.0)
+        with pytest.raises(ValueError):
+            FlatNetwork(sim, 2, -1.0)
+
+
+class TestLinkContentionNetwork:
+    def test_uncontended_adds_serialization_only(self, sim):
+        net = LinkContentionNetwork(
+            sim, 2, latency_cycles=10.0, cycles_per_word=1.0
+        )
+        times = []
+
+        def consumer():
+            yield net.mailbox(1).get()
+            times.append(sim.now)
+
+        sim.process(consumer())
+        net.send(Parcel.request(0, 1))  # size_words=2 -> 10 + 2
+        sim.run()
+        assert times == [12.0]
+
+    def test_hotspot_queues_at_ingress(self, sim):
+        net = LinkContentionNetwork(
+            sim, 4, latency_cycles=10.0, cycles_per_word=5.0
+        )
+        times = []
+
+        def consumer():
+            for _ in range(3):
+                yield net.mailbox(0).get()
+                times.append(sim.now)
+
+        sim.process(consumer())
+        for src in (1, 2, 3):
+            net.send(Parcel.request(src, 0))
+        sim.run()
+        # all arrive at the link at t=10; each takes 10 cycles to serialize
+        assert times == [20.0, 30.0, 40.0]
+
+    def test_reduces_to_flat_when_free(self, sim):
+        net = LinkContentionNetwork(
+            sim, 2, latency_cycles=3.0, cycles_per_word=0.0
+        )
+        times = []
+
+        def consumer():
+            yield net.mailbox(1).get()
+            times.append(sim.now)
+
+        sim.process(consumer())
+        net.send(Parcel.request(0, 1))
+        sim.run()
+        assert times == [3.0]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            LinkContentionNetwork(sim, 2, -1.0)
+        with pytest.raises(ValueError):
+            LinkContentionNetwork(sim, 2, 1.0, cycles_per_word=-1.0)

@@ -1,0 +1,131 @@
+"""Tests for the parcel-study node models (block sampling, CPU states)."""
+
+import numpy as np
+import pytest
+
+from repro import ParcelParams
+from repro.core.parcels import BlockSampler, NodeCpu
+from repro.core.parcels.node import BUSY, IDLE, MEMORY
+from repro.desim import Simulator
+
+
+class TestBlockSampler:
+    def test_deterministic_block_expectations(self):
+        p = ParcelParams(remote_fraction=0.2, ls_mix=0.3)
+        s = BlockSampler(p, None, stochastic=False)
+        b = s.sample()
+        assert b.remote
+        # 1/r = 5 accesses per remote txn: 4 local + 1 remote
+        assert b.local_accesses == pytest.approx(4.0)
+        # 5 accesses * (0.7/0.3) compute ops
+        assert b.compute_ops == pytest.approx(5.0 * 0.7 / 0.3)
+
+    def test_deterministic_zero_remote_uses_cap(self):
+        p = ParcelParams(
+            n_nodes=2, remote_fraction=0.0, max_block_accesses=100
+        )
+        s = BlockSampler(p, None, stochastic=False)
+        b = s.sample()
+        assert not b.remote
+        assert b.local_accesses == 100.0
+
+    def test_single_node_never_remote(self):
+        p = ParcelParams(n_nodes=1, remote_fraction=0.9)
+        s = BlockSampler(p, None, stochastic=False)
+        assert not s.sample().remote
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ValueError):
+            BlockSampler(ParcelParams(), None, stochastic=True)
+
+    def test_stochastic_statistics_converge(self, rng):
+        p = ParcelParams(remote_fraction=0.25, ls_mix=0.3)
+        s = BlockSampler(p, rng, stochastic=True)
+        blocks = [s.sample() for _ in range(20_000)]
+        accesses = np.array(
+            [b.local_accesses + (1 if b.remote else 0) for b in blocks]
+        )
+        computes = np.array([b.compute_ops for b in blocks])
+        assert accesses.mean() == pytest.approx(4.0, rel=0.05)  # 1/0.25
+        # compute ops per access = (1-mix)/mix
+        assert computes.sum() / accesses.sum() == pytest.approx(
+            0.7 / 0.3, rel=0.05
+        )
+
+    def test_stochastic_remote_every_block_at_r1(self, rng):
+        p = ParcelParams(remote_fraction=1.0)
+        s = BlockSampler(p, rng, stochastic=True)
+        for _ in range(100):
+            b = s.sample()
+            assert b.remote
+            assert b.local_accesses == 0.0
+
+    def test_pure_memory_mix_no_compute(self, rng):
+        p = ParcelParams(ls_mix=1.0, remote_fraction=0.5)
+        s = BlockSampler(p, rng, stochastic=True)
+        assert s.sample().compute_ops == 0.0
+
+    def test_geometric_cap_respected(self, rng):
+        p = ParcelParams(remote_fraction=0.001, max_block_accesses=10)
+        s = BlockSampler(p, rng, stochastic=True)
+        for _ in range(50):
+            b = s.sample()
+            assert b.local_accesses <= 10
+
+
+class TestNodeCpu:
+    def test_idle_to_busy_to_idle_accounting(self):
+        sim = Simulator()
+        cpu = NodeCpu(sim, "cpu")
+
+        def worker():
+            req = cpu.acquire()
+            yield req
+            cpu.set_state(BUSY)
+            yield sim.timeout(4.0)
+            cpu.set_state(MEMORY)
+            yield sim.timeout(6.0)
+            cpu.release(req)
+
+        sim.process(worker())
+        sim.run()
+        sim.run(until=20.0)
+        assert cpu.timer.total(BUSY, sim.now) == pytest.approx(4.0)
+        assert cpu.timer.total(MEMORY, sim.now) == pytest.approx(6.0)
+        assert cpu.timer.total(IDLE, sim.now) == pytest.approx(10.0)
+        assert cpu.idle_fraction(sim.now) == pytest.approx(0.5)
+
+    def test_no_idle_between_back_to_back_holders(self):
+        sim = Simulator()
+        cpu = NodeCpu(sim, "cpu")
+
+        def worker():
+            req = cpu.acquire()
+            yield req
+            cpu.set_state(BUSY)
+            yield sim.timeout(5.0)
+            cpu.release(req)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert cpu.timer.total(IDLE, sim.now) == pytest.approx(0.0)
+        assert cpu.timer.total(BUSY, sim.now) == pytest.approx(10.0)
+
+    def test_serialization_of_holders(self):
+        sim = Simulator()
+        cpu = NodeCpu(sim, "cpu")
+        grants = []
+
+        def worker(tag):
+            req = cpu.acquire()
+            yield req
+            grants.append((tag, sim.now))
+            cpu.set_state(BUSY)
+            yield sim.timeout(3.0)
+            cpu.release(req)
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert grants == [("a", 0.0), ("b", 3.0)]

@@ -1,0 +1,127 @@
+"""Tests for parcel structures (paper Fig. 8) and the action registry."""
+
+import pytest
+
+from repro.core.parcels import (
+    ActionRegistry,
+    ActionSpec,
+    Continuation,
+    DEFAULT_ACTIONS,
+    Parcel,
+    ParcelKind,
+    default_registry,
+    next_transaction_id,
+)
+
+
+class TestParcelStructure:
+    def test_request_constructor_allocates_transaction(self):
+        p = Parcel.request(0, 3, target_address=0x1000, action="load")
+        assert p.kind == ParcelKind.REQUEST
+        assert p.source == 0
+        assert p.destination == 3
+        assert p.continuation is not None
+        assert p.continuation.node == 0
+        assert p.expects_reply
+
+    def test_one_way_request(self):
+        p = Parcel.request(1, 2, action="store", want_reply=False)
+        assert p.continuation is None
+        assert not p.expects_reply
+
+    def test_transaction_ids_unique(self):
+        ids = {next_transaction_id() for _ in range(100)}
+        assert len(ids) == 100
+        a = Parcel.request(0, 1)
+        b = Parcel.request(0, 1)
+        assert (
+            a.continuation.transaction_id != b.continuation.transaction_id
+        )
+
+    def test_reply_routes_to_continuation(self):
+        p = Parcel.request(5, 2, action="amo.add", operands=(1.0,))
+        r = p.reply(operands=(41.0,))
+        assert r.kind == ParcelKind.REPLY
+        assert r.source == 2
+        assert r.destination == 5
+        assert r.continuation == p.continuation
+        assert r.operands == (41.0,)
+        assert not r.expects_reply
+
+    def test_reply_without_continuation_raises(self):
+        p = Parcel.request(0, 1, want_reply=False)
+        with pytest.raises(ValueError):
+            p.reply()
+
+    def test_injection_stamp_copy(self):
+        p = Parcel.request(0, 1)
+        stamped = p.with_injection_time(42.0)
+        assert stamped.injected_at == 42.0
+        assert p.injected_at is None  # frozen original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Parcel(kind="bogus", source=0, destination=1)
+        with pytest.raises(ValueError):
+            Parcel(kind=ParcelKind.REQUEST, source=-1, destination=0)
+        with pytest.raises(ValueError):
+            Parcel(kind=ParcelKind.REQUEST, source=0, destination=1,
+                   size_words=0)
+        with pytest.raises(ValueError):
+            Continuation(node=-1, transaction_id=1)
+
+
+class TestActionSpec:
+    def test_service_cycles(self):
+        spec = ActionSpec("x", memory_accesses=2, compute_cycles=3.0)
+        assert spec.service_cycles(30.0) == pytest.approx(63.0)
+
+    def test_defaults_cover_paper_range(self):
+        names = {a.name for a in DEFAULT_ACTIONS}
+        # "simple memory reads and writes, through atomic arithmetic
+        # memory operations, to remote method invocations"
+        assert {"load", "store", "amo.add", "method"} <= names
+
+    def test_store_is_one_way(self):
+        reg = default_registry()
+        assert not reg["store"].produces_reply
+        assert reg["load"].produces_reply
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionSpec("")
+        with pytest.raises(ValueError):
+            ActionSpec("x", memory_accesses=-1)
+        with pytest.raises(ValueError):
+            ActionSpec("x", compute_cycles=-1.0)
+
+
+class TestActionRegistry:
+    def test_lookup_and_contains(self):
+        reg = default_registry()
+        assert "load" in reg
+        assert reg["load"].memory_accesses == 1
+        assert len(reg) == len(DEFAULT_ACTIONS)
+
+    def test_unknown_action_keyerror_lists_known(self):
+        reg = default_registry()
+        with pytest.raises(KeyError, match="load"):
+            reg["fused.multiply.add"]
+
+    def test_register_and_replace(self):
+        reg = ActionRegistry()
+        spec = ActionSpec("custom", 2, 1.0)
+        reg.register(spec)
+        assert reg["custom"] is spec
+        with pytest.raises(ValueError):
+            reg.register(ActionSpec("custom", 1, 0.0))
+        reg.register(ActionSpec("custom", 1, 0.0), replace=True)
+        assert reg["custom"].memory_accesses == 1
+
+    def test_names_sorted(self):
+        reg = default_registry()
+        assert reg.names() == sorted(reg.names())
+
+    def test_iteration(self):
+        reg = default_registry()
+        assert {s.name for s in reg} == set(reg.names())

@@ -1,0 +1,125 @@
+"""Tests for the Fig. 11 / Fig. 12 sweeps (reduced grids for speed)."""
+
+import numpy as np
+import pytest
+
+from repro import ParcelParams
+from repro.core.parcels import (
+    PAPER_NODE_COUNTS_FIG12,
+    PAPER_PARALLELISM_LEVELS,
+    figure11_sweep,
+    figure12_sweep,
+    overhead_ablation_sweep,
+)
+
+BASE = ParcelParams(n_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return figure11_sweep(
+        BASE,
+        parallelism_levels=(1, 16),
+        remote_fractions=(0.1, 0.5),
+        latencies=(10.0, 1000.0),
+        horizon_cycles=8_000.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12_sweep(
+        BASE,
+        node_counts=(1, 4, 16),
+        parallelism_levels=(1, 4, 16),
+        horizon_cycles=6_000.0,
+    )
+
+
+class TestFigure11:
+    def test_paper_parallelism_levels_are_six(self):
+        """'six major experiments differing in terms of the amount of
+        parallelism'."""
+        assert len(PAPER_PARALLELISM_LEVELS) == 6
+
+    def test_panel_structure(self, fig11):
+        assert set(fig11.panels) == {1, 16}
+        g = fig11.panel(16)
+        assert g.rows == (0.1, 0.5)
+        assert g.cols == (10.0, 1000.0)
+
+    def test_high_parallelism_beats_low(self, fig11):
+        assert np.all(
+            fig11.panel(16).values[:, 1] > fig11.panel(1).values[:, 1]
+        )
+
+    def test_ratio_regimes(self, fig11):
+        # low P, short latency: no meaningful gain
+        assert fig11.panel(1).values[0, 0] < 1.1
+        # high P, long latency, heavy remote: big gain
+        assert fig11.panel(16).values[1, 1] > 5.0
+
+    def test_rows_export_includes_parallelism(self, fig11):
+        rows = fig11.to_rows()
+        assert len(rows) == 2 * 2 * 2
+        assert {r["parallelism"] for r in rows} == {1, 16}
+
+    def test_extrema_helpers(self, fig11):
+        assert fig11.min_ratio() <= fig11.max_ratio()
+
+
+class TestFigure12:
+    def test_includes_the_16_node_case(self):
+        """The paper: 'We didn't successfully complete the 16 node case.'
+        The reproduction includes N=16 in its default grid."""
+        assert 16 in PAPER_NODE_COUNTS_FIG12
+
+    def test_panel_structure(self, fig12):
+        assert set(fig12.panels) == {1, 4, 16}
+        g = fig12.panel(4)
+        assert g.values.shape == (2, 3)  # test row + control row
+
+    def test_control_idle_flat_across_parallelism(self, fig12):
+        g = fig12.panel(4)
+        assert np.allclose(g.values[1], g.values[1, 0])
+
+    def test_test_idle_decreases_with_parallelism(self, fig12):
+        g = fig12.panel(4)
+        assert g.values[0, 0] >= g.values[0, -1]
+
+    def test_sufficient_parallelism_idles_below_control(self, fig12):
+        g = fig12.panel(4)
+        assert g.values[0, -1] < g.values[1, -1]
+
+    def test_single_node_idle_near_zero_both(self, fig12):
+        g = fig12.panel(1)
+        assert np.all(g.values < 0.05)
+
+    def test_rows_export(self, fig12):
+        rows = fig12.to_rows()
+        assert {r["n_nodes"] for r in rows} == {1, 4, 16}
+
+
+class TestOverheadAblation:
+    def test_ratio_degrades_with_overhead(self):
+        g = overhead_ablation_sweep(
+            ParcelParams(
+                n_nodes=4, parallelism=16, remote_fraction=0.2,
+                latency_cycles=300.0,
+            ),
+            overheads=(0.0, 8.0, 32.0),
+            horizon_cycles=8_000.0,
+        )
+        vals = g.values[0]
+        assert vals[0] > vals[-1]
+
+    def test_heavy_overhead_can_reverse(self):
+        g = overhead_ablation_sweep(
+            ParcelParams(
+                n_nodes=4, parallelism=1, remote_fraction=0.5,
+                latency_cycles=10.0,
+            ),
+            overheads=(0.0, 32.0),
+            horizon_cycles=8_000.0,
+        )
+        assert g.values[0, -1] < 1.0

@@ -1,0 +1,166 @@
+"""Integration tests for the paired parcel/message-passing systems.
+
+These encode the qualitative findings of the paper's §4.3: large gains
+with ample parallelism and latency, parity or reversal at low parallelism
+and short latency, and the idle-time behavior of Fig. 12.
+"""
+
+import pytest
+
+from repro import ParcelParams
+from repro.core.parcels import (
+    compare_systems,
+    simulate_message_passing,
+    simulate_parcels,
+)
+
+HORIZON = 20_000.0
+
+
+class TestControlSystem:
+    def test_work_components_positive(self):
+        r = simulate_message_passing(ParcelParams(), HORIZON)
+        assert r.useful_ops > 0
+        assert r.local_accesses > 0
+        assert r.serviced_accesses == 0.0  # folded into the flat delay
+        assert r.total_work == r.useful_ops + r.local_accesses
+
+    def test_state_fractions_partition(self):
+        r = simulate_message_passing(ParcelParams(), HORIZON)
+        assert (
+            r.busy_fraction + r.memory_fraction + r.idle_fraction
+            == pytest.approx(1.0, abs=1e-9)
+        )
+
+    def test_idle_grows_with_latency(self):
+        base = ParcelParams(remote_fraction=0.2)
+        idles = [
+            simulate_message_passing(
+                base.with_(latency_cycles=lat), HORIZON
+            ).idle_fraction
+            for lat in (10.0, 100.0, 1000.0)
+        ]
+        assert idles[0] < idles[1] < idles[2]
+
+    def test_no_remote_no_idle(self):
+        r = simulate_message_passing(
+            ParcelParams(remote_fraction=0.0), HORIZON
+        )
+        assert r.idle_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_reproducible(self):
+        a = simulate_message_passing(ParcelParams(), HORIZON, seed=3)
+        b = simulate_message_passing(ParcelParams(), HORIZON, seed=3)
+        assert a.total_work == b.total_work
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            simulate_message_passing(ParcelParams(), 0.0)
+
+
+class TestParcelSystem:
+    def test_work_includes_serviced_accesses(self):
+        r = simulate_parcels(ParcelParams(parallelism=8), HORIZON)
+        assert r.serviced_accesses > 0
+        assert r.parcels_sent > 0
+
+    def test_state_fractions_partition(self):
+        r = simulate_parcels(ParcelParams(parallelism=4), HORIZON)
+        assert (
+            r.busy_fraction + r.memory_fraction + r.idle_fraction
+            == pytest.approx(1.0, abs=1e-9)
+        )
+
+    def test_requests_eventually_serviced(self):
+        r = simulate_parcels(ParcelParams(parallelism=4), HORIZON)
+        # every serviced access corresponds to a request parcel; replies
+        # double the parcel count (load replies)
+        assert r.serviced_accesses <= r.remote_requests
+        assert r.parcels_sent >= r.remote_requests
+
+    def test_idle_shrinks_with_parallelism(self):
+        base = ParcelParams(remote_fraction=0.2, latency_cycles=1000.0)
+        idles = [
+            simulate_parcels(
+                base.with_(parallelism=p), HORIZON
+            ).idle_fraction
+            for p in (1, 4, 32)
+        ]
+        assert idles[0] > idles[1] > idles[2]
+        assert idles[2] < 0.05  # "idle time drops virtually to zero"
+
+    def test_single_node_runs_local_only(self):
+        r = simulate_parcels(
+            ParcelParams(n_nodes=1, parallelism=4, remote_fraction=0.5),
+            HORIZON,
+        )
+        assert r.parcels_sent == 0
+        assert r.idle_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_deterministic_mode_runs(self):
+        r = simulate_parcels(
+            ParcelParams(n_nodes=4, parallelism=2), 5_000.0,
+            stochastic=False,
+        )
+        assert r.total_work > 0
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            simulate_parcels(ParcelParams(), -5.0)
+
+
+class TestPaperFindings:
+    """The qualitative shape of Fig. 11 (see DESIGN.md §4)."""
+
+    def test_big_gain_with_parallelism_and_latency(self):
+        """'with sufficient parallelism and ... significant system-wide
+        latency, the parcel split-transaction test systems perform much
+        better ... sometimes exceeding an order of magnitude'."""
+        params = ParcelParams(
+            parallelism=64, remote_fraction=0.5, latency_cycles=1000.0
+        )
+        cmp = compare_systems(params, HORIZON)
+        assert cmp.ratio > 10.0
+
+    def test_small_or_reversed_at_low_parallelism_short_latency(self):
+        """'performance advantage is small or in fact reversed ...
+        particularly true when there is little parallelism and short
+        system latencies'."""
+        params = ParcelParams(
+            parallelism=1, remote_fraction=0.2, latency_cycles=10.0
+        )
+        cmp = compare_systems(params, HORIZON)
+        assert cmp.ratio < 1.05
+
+    def test_ratio_increases_with_latency_at_high_parallelism(self):
+        base = ParcelParams(parallelism=64, remote_fraction=0.2)
+        ratios = [
+            compare_systems(
+                base.with_(latency_cycles=lat), HORIZON
+            ).ratio
+            for lat in (10.0, 100.0, 1000.0)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_ratio_increases_with_parallelism_at_high_latency(self):
+        base = ParcelParams(remote_fraction=0.2, latency_cycles=1000.0)
+        ratios = [
+            compare_systems(base.with_(parallelism=p), HORIZON).ratio
+            for p in (1, 4, 16)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_idle_contrast_fig12(self):
+        """Test-system idle -> 0 with parallelism while the control system
+        'experiences relatively high idle time'."""
+        params = ParcelParams(
+            parallelism=32, remote_fraction=0.2, latency_cycles=1000.0
+        )
+        cmp = compare_systems(params, HORIZON)
+        assert cmp.test.idle_fraction < 0.05
+        assert cmp.control.idle_fraction > 0.5
+
+    def test_comparison_to_dict(self):
+        cmp = compare_systems(ParcelParams(n_nodes=2), 2_000.0)
+        d = cmp.to_dict()
+        assert {"ratio", "test_work", "control_work"} <= set(d)

@@ -1,0 +1,101 @@
+"""Tests for the Table 1 and parcel parameter sets."""
+
+import pytest
+
+from repro import ParcelParams, Table1Params
+
+
+class TestTable1Params:
+    def test_defaults_match_paper_table1(self):
+        p = Table1Params()
+        assert p.total_work == 100_000_000
+        assert p.hwp_cycle_ns == 1.0
+        assert p.lwp_cycle_cycles == 5.0
+        assert p.hwp_memory_cycles == 90.0
+        assert p.hwp_cache_cycles == 2.0
+        assert p.lwp_memory_cycles == 30.0
+        assert p.miss_rate == 0.1
+        assert p.ls_mix == 0.30
+
+    def test_lwp_cycle_ns_derived(self):
+        assert Table1Params().lwp_cycle_ns == 5.0
+        assert Table1Params(hwp_cycle_ns=2.0).lwp_cycle_ns == 10.0
+
+    def test_frozen_and_hashable(self):
+        p = Table1Params()
+        with pytest.raises(Exception):
+            p.miss_rate = 0.5  # type: ignore[misc]
+        assert hash(p) == hash(Table1Params())
+
+    def test_with_creates_modified_copy(self):
+        p = Table1Params().with_(miss_rate=0.2)
+        assert p.miss_rate == 0.2
+        assert Table1Params().miss_rate == 0.1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("total_work", 0),
+            ("hwp_cycle_ns", 0.0),
+            ("lwp_cycle_cycles", 0.5),
+            ("hwp_cache_cycles", 0.5),
+            ("hwp_memory_cycles", -1.0),
+            ("lwp_memory_cycles", -1.0),
+            ("miss_rate", 1.5),
+            ("control_miss_rate", -0.1),
+            ("ls_mix", 2.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            Table1Params(**{field: value})
+
+    def test_to_dict_round_trip(self):
+        d = Table1Params().to_dict()
+        assert d["total_work"] == 100_000_000
+        assert Table1Params(**d) == Table1Params()
+
+    def test_paper_rows_cover_table(self):
+        rows = Table1Params.paper_rows()
+        symbols = [r[0] for r in rows]
+        assert symbols == [
+            "W", "%WH", "%WL", "THcycle", "TLcycle",
+            "TMH", "TCH", "TML", "Pmiss", "mixl/s",
+        ]
+
+
+class TestParcelParams:
+    def test_defaults_valid(self):
+        p = ParcelParams()
+        assert p.n_nodes == 8
+        assert p.round_trip_cycles == 200.0
+
+    def test_single_node_kills_remote_fraction(self):
+        p = ParcelParams(n_nodes=1, remote_fraction=0.5)
+        assert p.effective_remote_fraction == 0.0
+        assert ParcelParams(n_nodes=2, remote_fraction=0.5).effective_remote_fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_nodes", 0),
+            ("parallelism", 0),
+            ("remote_fraction", 1.5),
+            ("latency_cycles", -1.0),
+            ("memory_cycles", -1.0),
+            ("ls_mix", 0.0),
+            ("send_overhead_cycles", -0.5),
+            ("receive_overhead_cycles", -0.5),
+            ("context_switch_cycles", -0.5),
+            ("max_block_accesses", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            ParcelParams(**{field: value})
+
+    def test_with_and_to_dict(self):
+        p = ParcelParams().with_(latency_cycles=500.0)
+        assert p.latency_cycles == 500.0
+        d = p.to_dict()
+        assert ParcelParams(**d) == p

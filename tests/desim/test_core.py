@@ -1,0 +1,151 @@
+"""Unit tests for the simulation kernel (run/step/clock semantics)."""
+
+import pytest
+
+from repro.desim import (
+    EmptySchedule,
+    SchedulingError,
+    Simulator,
+    Tracer,
+)
+
+
+class TestClock:
+    def test_starts_at_start_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=10.0).now == 10.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.timeout(7.0)
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+
+    def test_len_counts_pending(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert len(sim) == 2
+        sim.run()
+        assert len(sim) == 0
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(EmptySchedule):
+            sim.step()
+
+    def test_schedule_into_past_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SchedulingError):
+            sim.schedule(ev, delay=-0.5)
+
+
+class TestRunUntilTime:
+    def test_run_until_number_advances_clock_exactly(self, sim):
+        sim.timeout(3.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_events_at_horizon_are_processed(self, sim):
+        fired = []
+        sim.timeout(10.0).add_callback(lambda e: fired.append(sim.now))
+        sim.run(until=10.0)
+        assert fired == [10.0]
+
+    def test_events_beyond_horizon_untouched(self, sim):
+        fired = []
+        sim.timeout(10.1).add_callback(lambda e: fired.append(sim.now))
+        sim.run(until=10.0)
+        assert fired == []
+        assert len(sim) == 1
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=5.0)
+        with pytest.raises(SchedulingError):
+            sim.run(until=2.0)
+
+    def test_run_can_resume(self, sim):
+        log = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+                log.append(sim.now)
+
+        sim.process(ticker())
+        sim.run(until=3.0)
+        assert log == [1.0, 2.0, 3.0]
+        sim.run(until=5.0)
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, sim):
+        def proc():
+            yield sim.timeout(2.0)
+            return "finished"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "finished"
+        assert sim.now == 2.0
+
+    def test_later_events_left_pending(self, sim):
+        sim.timeout(100.0)
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        sim.run(until=p)
+        assert sim.now == 1.0
+        assert len(sim) >= 1
+
+    def test_already_processed_event_returns_immediately(self, sim):
+        t = sim.timeout(1.0, value="v")
+        sim.run()
+        assert sim.run(until=t) == "v"
+
+    def test_failed_until_event_raises(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise RuntimeError("died")
+
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="died"):
+            sim.run(until=p)
+
+    def test_starved_until_event_raises_runtime_error(self, sim):
+        ev = sim.event()  # never triggered
+        sim.timeout(1.0)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            sim.run(until=ev)
+
+
+class TestRunToExhaustion:
+    def test_run_drains_all_events(self, sim):
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 10.0
+        assert len(sim) == 0
+
+
+class TestTracing:
+    def test_trace_records_through_simulator(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.trace("custom.kind", detail=1)
+        assert len(tracer) == 1
+        rec = list(tracer)[0]
+        assert rec.kind == "custom.kind"
+        assert rec.fields["detail"] == 1
+
+    def test_trace_noop_without_tracer(self, sim):
+        sim.trace("ignored", x=1)  # must not raise
+
+    def test_repr(self, sim):
+        assert "Simulator" in repr(sim)

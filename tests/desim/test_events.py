@@ -1,0 +1,193 @@
+"""Unit tests for desim event primitives."""
+
+import pytest
+
+from repro.desim import (
+    AllOf,
+    AnyOf,
+    Event,
+    SchedulingError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+        assert ev.ok is None
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SchedulingError):
+            _ = ev.value
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok is True
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callbacks_run_on_processing(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("payload")
+        assert seen == []  # not yet processed
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_add_callback_after_processed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        assert ev.processed
+        with pytest.raises(SchedulingError):
+            ev.add_callback(lambda e: None)
+
+    def test_unhandled_failure_surfaces_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("unhandled"))
+        with pytest.raises(ValueError, match="unhandled"):
+            sim.run()
+
+    def test_defused_failure_does_not_surface(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("handled"))
+        ev.defuse()
+        sim.run()  # no raise
+
+    def test_trigger_copies_outcome(self, sim):
+        src = sim.event()
+        dst = sim.event()
+        src.succeed("v")
+        dst.trigger(src)
+        assert dst.value == "v"
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, sim):
+        times = []
+        t = sim.timeout(5.0, value="done")
+        t.add_callback(lambda e: times.append((sim.now, e.value)))
+        sim.run()
+        assert times == [(5.0, "done")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_allowed(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed
+
+    def test_timeouts_process_in_time_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay, value=delay).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_order(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0, value=tag).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        t1 = sim.timeout(1.0, value=1)
+        t2 = sim.timeout(2.0, value=2)
+        done = AllOf(sim, [t1, t2])
+        sim.run()
+        assert done.triggered
+        assert done.value == {t1: 1, t2: 2}
+
+    def test_all_of_completion_time(self, sim):
+        t1 = sim.timeout(1.0)
+        t2 = sim.timeout(5.0)
+        done = sim.all_of([t1, t2])
+        fired = []
+        done.add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_any_of_fires_on_first(self, sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(9.0, value="slow")
+        first = sim.any_of([t1, t2])
+        fired = []
+        first.add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+        assert t1 in first.value
+
+    def test_empty_all_of_succeeds_immediately(self, sim):
+        done = sim.all_of([])
+        assert done.triggered
+        assert done.value == {}
+
+    def test_condition_propagates_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        bad.fail(RuntimeError("sub-event died"))
+        cond = AllOf(sim, [good, bad])
+        with pytest.raises(RuntimeError, match="sub-event died"):
+            sim.run()
+        assert cond.triggered
+        assert cond.ok is False
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator()
+        t = other.timeout(1.0)
+        with pytest.raises(SchedulingError):
+            AnyOf(sim, [t])
+
+    def test_condition_with_already_processed_event(self, sim):
+        t1 = sim.timeout(1.0, value="x")
+        sim.run()
+        assert t1.processed
+        t2 = sim.timeout(1.0, value="y")
+        done = AllOf(sim, [t1, t2])
+        sim.run()
+        assert done.triggered
+        assert done.value[t1] == "x"
+
+
+class TestReprs:
+    def test_event_repr_states(self, sim):
+        ev = sim.event()
+        assert "pending" in repr(ev)
+        ev.succeed()
+        assert "ok" in repr(ev)
+
+    def test_timeout_repr(self, sim):
+        assert "5.0" in repr(Timeout(sim, 5.0))

@@ -1,0 +1,240 @@
+"""Unit tests for generator-driven processes."""
+
+import pytest
+
+from repro.desim import Interrupt, SchedulingError, Simulator
+
+
+class TestBasicExecution:
+    def test_process_runs_and_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(3.0)
+            return "result"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.triggered
+        assert p.value == "result"
+        assert sim.now == 3.0
+
+    def test_process_receives_event_values(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "hello"
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            yield sim.timeout(3.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 6.0
+
+    def test_process_is_yieldable(self, sim):
+        """A process event can be awaited by another process (join)."""
+
+        def child():
+            yield sim.timeout(4.0)
+            return "child-val"
+
+        def parent():
+            value = yield sim.process(child())
+            return value
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "child-val"
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((name, sim.now))
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 3.0))
+        sim.run()
+        # at t=6.0 both fire; b's timeout was scheduled earlier (t=3 vs
+        # t=4), so insertion order puts b first
+        assert log == [
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 4.0),
+            ("b", 6.0),
+            ("a", 6.0),
+            ("b", 9.0),
+        ]
+
+    def test_creation_order_preserved_at_same_time(self, sim):
+        log = []
+
+        def worker(tag):
+            log.append(tag)
+            yield sim.timeout(0.0)
+
+        for tag in "xyz":
+            sim.process(worker(tag))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises(self, sim):
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        sim.process(proc())
+        with pytest.raises(TypeError, match="must yield Event"):
+            sim.run()
+
+    def test_yielding_foreign_event_raises(self, sim):
+        other = Simulator()
+
+        def proc():
+            yield other.timeout(1.0)
+
+        sim.process(proc())
+        with pytest.raises(SchedulingError, match="different simulator"):
+            sim.run()
+
+    def test_yield_already_processed_event_continues_immediately(self, sim):
+        ev = sim.timeout(1.0, value="early")
+
+        def proc():
+            yield sim.timeout(5.0)  # ev processed long before
+            got = yield ev
+            return (got, sim.now)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == ("early", 5.0)
+
+
+class TestFailures:
+    def test_exception_in_process_fails_process_event(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("model bug")
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="model bug"):
+            sim.run()
+
+    def test_waiter_receives_thrown_exception(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "caught: child died"
+
+    def test_failed_event_thrown_into_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError:
+                return "handled"
+
+        p = sim.process(proc())
+        ev.fail(RuntimeError("injected"))
+        sim.run()
+        assert p.value == "handled"
+
+    def test_unhandled_event_failure_propagates_through_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            yield ev
+
+        sim.process(proc())
+        ev.fail(RuntimeError("no handler"))
+        with pytest.raises(RuntimeError, match="no handler"):
+            sim.run()
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_process(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                return ("interrupted", sim.now, i.cause)
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(5.0)
+            p.interrupt(cause="wake up")
+
+        sim.process(interrupter())
+        sim.run()
+        assert p.value == ("interrupted", 5.0, "wake up")
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SchedulingError):
+            p.interrupt()
+
+    def test_interrupted_process_can_rewait(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                yield sim.timeout(2.0)
+                return sim.now
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(5.0)
+            p.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert p.value == 7.0
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(interrupter())
+        with pytest.raises(Interrupt):
+            sim.run()
+
+    def test_alive_property(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.alive
+        sim.run()
+        assert not p.alive

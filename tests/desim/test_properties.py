@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for the DES engine invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.desim import (
+    RandomStreams,
+    Resource,
+    Simulator,
+    StateTimer,
+    Store,
+    Tally,
+    TimeWeighted,
+)
+
+delays = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestTimeMonotonicity:
+    @given(st.lists(delays, min_size=1, max_size=50))
+    def test_callbacks_fire_in_nondecreasing_time(self, ds):
+        sim = Simulator()
+        seen = []
+        for d in ds:
+            sim.timeout(d).add_callback(lambda e: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(ds)
+
+    @given(st.lists(delays, min_size=1, max_size=30))
+    def test_final_clock_is_max_delay(self, ds):
+        sim = Simulator()
+        for d in ds:
+            sim.timeout(d)
+        sim.run()
+        assert sim.now == max(ds)
+
+    @given(st.lists(delays, min_size=2, max_size=20), delays)
+    def test_run_until_partitions_events(self, ds, horizon):
+        sim = Simulator()
+        fired = []
+        for d in ds:
+            sim.timeout(d, value=d).add_callback(
+                lambda e: fired.append(e.value)
+            )
+        sim.run(until=horizon)
+        assert sorted(fired) == sorted(d for d in ds if d <= horizon)
+        assert sim.now == horizon
+
+
+class TestResourceConservation:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_grants_equal_requests_and_capacity_never_exceeded(
+        self, capacity, holds
+    ):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        max_in_use = [0]
+        completions = [0]
+
+        def user(hold):
+            with res.request() as req:
+                yield req
+                max_in_use[0] = max(max_in_use[0], res.count)
+                yield sim.timeout(hold)
+            completions[0] += 1
+
+        for h in holds:
+            sim.process(user(h))
+        sim.run()
+        assert completions[0] == len(holds)
+        assert max_in_use[0] <= capacity
+        assert res.count == 0
+        assert res.queued == 0
+        assert res.wait_times.count == len(holds)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_unit_resource_serializes_total_time(self, holds):
+        """With capacity 1 and all requests at t=0, completion time is the
+        sum of the hold times (no overlap, no lost time)."""
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def user(hold):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(hold)
+
+        for h in holds:
+            sim.process(user(h))
+        sim.run()
+        assert sim.now == math.fsum(holds) or abs(
+            sim.now - math.fsum(holds)
+        ) < 1e-9
+
+
+class TestStoreConservation:
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    def test_items_delivered_exactly_once_in_order(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def producer():
+            for it in items:
+                yield store.put(it)
+
+        def consumer():
+            for _ in items:
+                received.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == items
+        assert store.level == 0
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_bounded_store_conserves_items(self, items, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        received = []
+
+        def producer():
+            for it in items:
+                yield store.put(it)
+
+        def consumer():
+            while len(received) < len(items):
+                yield sim.timeout(1.0)
+                received.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == items
+
+
+class TestStatisticsIdentities:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    def test_tally_matches_numpy(self, xs):
+        t = Tally()
+        t.record_many(xs)
+        np.testing.assert_allclose(t.mean, np.mean(xs), rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(
+            t.variance, np.var(xs, ddof=1), rtol=1e-6, atol=1e-6
+        )
+        assert t.minimum == min(xs)
+        assert t.maximum == max(xs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_time_weighted_integral_additivity(self, steps):
+        """Integral over [0, T] equals the sum of piecewise areas."""
+        tw = TimeWeighted(initial=0.0)
+        now = 0.0
+        expected = 0.0
+        value = 0.0
+        for dt, v in steps:
+            expected += value * dt
+            now += dt
+            tw.update(v, now)
+            value = v
+        np.testing.assert_allclose(
+            tw.integral(), expected, rtol=1e-9, atol=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_state_timer_fractions_partition_unity(self, transitions):
+        st_timer = StateTimer("a", now=0.0)
+        now = 0.0
+        for state, dt in transitions:
+            now += dt
+            st_timer.transition(state, now)
+        end = now + 1.0
+        total = sum(st_timer.totals(end).values())
+        np.testing.assert_allclose(total, end, rtol=1e-9)
+
+
+class TestRngDeterminism:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    @settings(max_examples=25)
+    def test_streams_reproducible(self, seed, name):
+        a = RandomStreams(seed).stream(name).random(4)
+        b = RandomStreams(seed).stream(name).random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,284 @@
+"""Unit tests for Resource / PriorityResource service centers."""
+
+import pytest
+
+from repro.desim import PriorityResource, Resource, SchedulingError
+
+
+class TestBasicAcquisition:
+    def test_immediate_grant_under_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        granted = []
+
+        def user():
+            req = res.request()
+            yield req
+            granted.append(sim.now)
+            yield sim.timeout(5.0)
+            res.release(req)
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        assert granted == [0.0, 0.0]
+
+    def test_fifo_queueing(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(user("a", 3.0))
+        sim.process(user("b", 2.0))
+        sim.process(user("c", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 3.0), ("c", 5.0)]
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_count_and_queued(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        def waiter():
+            req = res.request()
+            yield req
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.count == 1
+        assert res.queued == 1
+        sim.run()
+        assert res.count == 0
+        assert res.queued == 0
+
+    def test_release_ungranted_raises(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5.0)
+            res.release(req)
+
+        def impatient():
+            yield sim.timeout(1.0)
+            req = res.request()  # queued, not granted
+            with pytest.raises(SchedulingError):
+                res.release(req)
+            res.cancel(req)
+
+        sim.process(holder())
+        sim.process(impatient())
+        sim.run()
+
+    def test_double_release_raises(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user():
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(SchedulingError):
+                res.release(req)
+
+        sim.process(user())
+        sim.run()
+
+    def test_context_manager_releases(self, sim):
+        res = Resource(sim, capacity=1)
+        times = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(2.0)
+            times.append(sim.now)
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        assert times == [2.0, 4.0]
+
+    def test_cancel_waiting_request(self, sim):
+        res = Resource(sim, capacity=1)
+        served = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        def quitter():
+            yield sim.timeout(1.0)
+            req = res.request()
+            yield sim.timeout(2.0)  # give up before grant
+            res.cancel(req)
+
+        def patient():
+            yield sim.timeout(1.5)
+            req = res.request()
+            yield req
+            served.append(sim.now)
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(quitter())
+        sim.process(patient())
+        sim.run()
+        # quitter cancelled, so patient is served right when holder releases
+        assert served == [10.0]
+
+
+class TestStatistics:
+    def test_utilization_single_user(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user():
+            req = res.request()
+            yield req
+            yield sim.timeout(4.0)
+            res.release(req)
+
+        sim.process(user())
+        sim.run()
+        sim.run(until=8.0)
+        assert res.utilization(sim.now) == pytest.approx(0.5)
+
+    def test_wait_times_tally(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user(hold):
+            req = res.request()
+            yield req
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(user(3.0))
+        sim.process(user(1.0))
+        sim.run()
+        assert res.wait_times.count == 2
+        assert res.wait_times.mean == pytest.approx(1.5)  # (0 + 3)/2
+
+    def test_total_requests_counted(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def user():
+            with res.request() as req:
+                yield req
+
+        for _ in range(5):
+            sim.process(user())
+        sim.run()
+        assert res.total_requests == 5
+
+    def test_queue_length_time_average(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        def waiter():
+            with res.request() as req:
+                yield req
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        # one waiter queued for the full 10 of 10 time units
+        assert res.queue_length.time_average(sim.now) == pytest.approx(1.0)
+
+
+class TestPriorityResource:
+    def test_priority_order_beats_fifo(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5.0)
+            res.release(req)
+
+        def user(tag, prio, delay):
+            yield sim.timeout(delay)
+            req = res.request(priority=prio)
+            yield req
+            order.append(tag)
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(user("low", 10, 1.0))
+        sim.process(user("high", 0, 2.0))  # arrives later, higher priority
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_equal_priority_fifo(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5.0)
+            res.release(req)
+
+        def user(tag, delay):
+            yield sim.timeout(delay)
+            req = res.request(priority=1)
+            yield req
+            order.append(tag)
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(user("first", 1.0))
+        sim.process(user("second", 2.0))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_cancel_in_priority_queue(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5.0)
+            res.release(req)
+
+        def quitter():
+            yield sim.timeout(1.0)
+            req = res.request(priority=0)
+            yield sim.timeout(1.0)
+            res.cancel(req)
+
+        def patient():
+            yield sim.timeout(1.5)
+            req = res.request(priority=5)
+            yield req
+            order.append(sim.now)
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(quitter())
+        sim.process(patient())
+        sim.run()
+        assert order == [5.0]

@@ -1,0 +1,128 @@
+"""Unit tests for random streams and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.desim import (
+    Bernoulli,
+    Deterministic,
+    DiscreteChoice,
+    Erlang,
+    Exponential,
+    Geometric,
+    RandomStreams,
+    Uniform,
+    as_distribution,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        s = RandomStreams(7)
+        assert s.stream("a") is s.stream("a")
+
+    def test_reproducible_across_factories(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        s = RandomStreams(7)
+        a = s.stream("x").random(5)
+        b = s.stream("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_namespaced_equals_prefixed(self):
+        parent = RandomStreams(3)
+        child = parent.spawn("lwp.4")
+        a = child.stream("memory").random(3)
+        b = RandomStreams(3).stream("lwp.4.memory").random(3)
+        assert np.array_equal(a, b)
+
+
+class TestDistributions:
+    def test_deterministic(self, rng):
+        d = Deterministic(4.2)
+        assert d.sample(rng) == 4.2
+        assert d.mean == 4.2
+        assert np.all(d.sample_many(rng, 5) == 4.2)
+
+    def test_exponential_mean(self, rng):
+        d = Exponential(mean=10.0)
+        xs = d.sample_many(rng, 50_000)
+        assert float(xs.mean()) == pytest.approx(10.0, rel=0.05)
+        assert d.mean == 10.0
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_uniform_bounds_and_mean(self, rng):
+        d = Uniform(2.0, 6.0)
+        xs = d.sample_many(rng, 10_000)
+        assert xs.min() >= 2.0 and xs.max() < 6.0
+        assert d.mean == 4.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 1.0)
+
+    def test_erlang_mean_and_lower_cv(self, rng):
+        d = Erlang(k=4, mean=8.0)
+        xs = d.sample_many(rng, 50_000)
+        assert float(xs.mean()) == pytest.approx(8.0, rel=0.05)
+        # CV^2 of Erlang-k is 1/k
+        cv2 = float(xs.var() / xs.mean() ** 2)
+        assert cv2 == pytest.approx(0.25, rel=0.1)
+
+    def test_erlang_validation(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            Erlang(2, -1.0)
+
+    def test_geometric_support_and_mean(self, rng):
+        d = Geometric(0.25)
+        xs = d.sample_many(rng, 50_000)
+        assert xs.min() >= 1.0
+        assert float(xs.mean()) == pytest.approx(4.0, rel=0.05)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            Geometric(0.0)
+        with pytest.raises(ValueError):
+            Geometric(1.5)
+
+    def test_bernoulli(self, rng):
+        d = Bernoulli(0.3)
+        xs = d.sample_many(rng, 50_000)
+        assert set(np.unique(xs)) <= {0.0, 1.0}
+        assert float(xs.mean()) == pytest.approx(0.3, abs=0.01)
+
+    def test_discrete_choice(self, rng):
+        d = DiscreteChoice([1.0, 10.0], [0.9, 0.1])
+        assert d.mean == pytest.approx(1.9)
+        xs = d.sample_many(rng, 20_000)
+        assert float(xs.mean()) == pytest.approx(1.9, rel=0.05)
+
+    def test_discrete_choice_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteChoice([], [])
+        with pytest.raises(ValueError):
+            DiscreteChoice([1.0, 2.0], [0.5, 0.6])
+        with pytest.raises(ValueError):
+            DiscreteChoice([1.0, 2.0], [1.0])
+
+    def test_as_distribution_coercion(self):
+        d = as_distribution(3.0)
+        assert isinstance(d, Deterministic)
+        assert d.mean == 3.0
+        e = Exponential(1.0)
+        assert as_distribution(e) is e
+        with pytest.raises(TypeError):
+            as_distribution("nope")  # type: ignore[arg-type]

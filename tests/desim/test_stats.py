@@ -1,0 +1,206 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.desim import (
+    BatchMeans,
+    Counter,
+    StateTimer,
+    Tally,
+    TimeWeighted,
+    t_quantile,
+)
+
+
+class TestTally:
+    def test_empty_tally_nans(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+        assert math.isnan(t.minimum)
+
+    def test_basic_moments(self):
+        t = Tally("x")
+        t.record_many([1.0, 2.0, 3.0, 4.0])
+        assert t.count == 4
+        assert t.mean == pytest.approx(2.5)
+        assert t.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert t.minimum == 1.0
+        assert t.maximum == 4.0
+        assert t.total == 10.0
+
+    def test_welford_matches_numpy_large(self, rng):
+        data = rng.normal(1e6, 3.0, size=10_000)
+        t = Tally()
+        t.record_many(data)
+        assert t.mean == pytest.approx(float(np.mean(data)), rel=1e-12)
+        assert t.std == pytest.approx(float(np.std(data, ddof=1)), rel=1e-9)
+
+    def test_single_observation(self):
+        t = Tally()
+        t.record(5.0)
+        assert t.mean == 5.0
+        assert math.isnan(t.variance)
+
+    def test_confidence_interval_contains_mean(self, rng):
+        t = Tally()
+        t.record_many(rng.normal(10.0, 1.0, size=500))
+        lo, hi = t.confidence_interval(0.99)
+        assert lo < t.mean < hi
+        assert hi - lo < 1.0
+
+    def test_ci_undefined_below_two(self):
+        t = Tally()
+        t.record(1.0)
+        lo, hi = t.confidence_interval()
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_merge_equals_combined(self, rng):
+        a_data = rng.normal(0, 1, 100)
+        b_data = rng.normal(5, 2, 200)
+        a, b, combined = Tally(), Tally(), Tally()
+        a.record_many(a_data)
+        b.record_many(b_data)
+        combined.record_many(np.concatenate([a_data, b_data]))
+        merged = a.merge(b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = Tally()
+        a.record_many([1.0, 2.0])
+        merged = a.merge(Tally())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    def test_to_dict_roundtrip_fields(self):
+        t = Tally("svc")
+        t.record(2.0)
+        d = t.to_dict()
+        assert d["name"] == "svc"
+        assert d["count"] == 1
+
+
+class TestTimeWeighted:
+    def test_integral_piecewise_constant(self):
+        tw = TimeWeighted(initial=2.0)
+        tw.update(4.0, 5.0)   # 2.0 for [0,5)
+        tw.update(0.0, 10.0)  # 4.0 for [5,10)
+        assert tw.integral() == pytest.approx(2 * 5 + 4 * 5)
+        assert tw.time_average(10.0) == pytest.approx(3.0)
+
+    def test_integral_with_open_interval(self):
+        tw = TimeWeighted(initial=1.0)
+        tw.update(3.0, 2.0)
+        assert tw.integral(4.0) == pytest.approx(1 * 2 + 3 * 2)
+
+    def test_time_backwards_raises(self):
+        tw = TimeWeighted()
+        tw.update(1.0, 5.0)
+        with pytest.raises(ValueError):
+            tw.update(2.0, 4.0)
+
+    def test_add_delta(self):
+        tw = TimeWeighted(initial=1.0)
+        tw.add(2.0, 1.0)
+        assert tw.value == 3.0
+
+    def test_min_max_tracking(self):
+        tw = TimeWeighted(initial=5.0)
+        tw.update(-1.0, 1.0)
+        tw.update(10.0, 2.0)
+        assert tw.minimum == -1.0
+        assert tw.maximum == 10.0
+
+    def test_empty_window_nan(self):
+        tw = TimeWeighted()
+        assert math.isnan(tw.time_average(0.0))
+
+
+class TestCounter:
+    def test_increment_and_rate(self):
+        c = Counter("ops")
+        c.increment()
+        c.increment(4)
+        assert c.count == 5
+        assert c.rate(10.0) == pytest.approx(0.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestBatchMeans:
+    def test_batches_formed(self):
+        bm = BatchMeans(batch_size=2)
+        for x in [1.0, 3.0, 5.0, 7.0, 9.0]:
+            bm.record(x)
+        assert bm.complete_batches == 2
+        assert bm.mean == pytest.approx((2.0 + 6.0) / 2)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchMeans(0)
+
+    def test_ci_narrows_with_batches(self, rng):
+        bm = BatchMeans(batch_size=50)
+        for x in rng.normal(3.0, 1.0, 5000):
+            bm.record(x)
+        lo, hi = bm.confidence_interval(0.95)
+        assert lo < 3.0 < hi
+
+
+class TestStateTimer:
+    def test_totals_accumulate(self):
+        st = StateTimer("idle", now=0.0)
+        st.transition("busy", 2.0)
+        st.transition("idle", 5.0)
+        st.transition("busy", 7.0)
+        totals = st.totals(10.0)
+        assert totals["idle"] == pytest.approx(2.0 + 2.0)
+        assert totals["busy"] == pytest.approx(3.0 + 3.0)
+
+    def test_fraction(self):
+        st = StateTimer("idle")
+        st.transition("busy", 4.0)
+        assert st.fraction("idle", 10.0) == pytest.approx(0.4)
+        assert st.fraction("busy", 10.0) == pytest.approx(0.6)
+
+    def test_fractions_sum_to_one(self):
+        st = StateTimer("a")
+        st.transition("b", 1.0)
+        st.transition("c", 4.0)
+        fracs = [st.fraction(s, 8.0) for s in ("a", "b", "c")]
+        assert sum(fracs) == pytest.approx(1.0)
+
+    def test_time_backwards_raises(self):
+        st = StateTimer("idle", now=5.0)
+        with pytest.raises(ValueError):
+            st.transition("busy", 4.0)
+
+    def test_total_open_interval(self):
+        st = StateTimer("busy")
+        assert st.total("busy", now=3.0) == pytest.approx(3.0)
+        assert st.total("idle", now=3.0) == 0.0
+
+
+class TestTQuantile:
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        assert t_quantile(0.95, 9) == pytest.approx(
+            float(stats.t.ppf(0.975, 9))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_quantile(1.5, 10)
+        with pytest.raises(ValueError):
+            t_quantile(0.95, 0)

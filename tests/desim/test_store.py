@@ -1,0 +1,207 @@
+"""Unit tests for Store / FilterStore mailboxes."""
+
+import pytest
+
+from repro.desim import FilterStore, Store
+
+
+class TestStoreBasics:
+    def test_put_then_get_fifo(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 5.0)]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            log.append(("put1", sim.now))
+            yield store.put(2)  # blocked until a get
+            log.append(("put2", sim.now))
+
+        def consumer():
+            yield sim.timeout(3.0)
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put1", 0.0) in log
+        assert ("got", 1, 3.0) in log
+        assert ("put2", 3.0) in log
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_level_and_counts(self, sim):
+        store = Store(sim)
+
+        def producer():
+            yield store.put("x")
+            yield store.put("y")
+
+        sim.process(producer())
+        sim.run()
+        assert store.level == 2
+        assert store.total_puts == 2
+        assert store.total_gets == 0
+
+    def test_multiple_consumers_fifo(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("first")
+            yield store.put("second")
+
+        sim.process(consumer("c1"))
+        sim.process(consumer("c2"))
+        sim.process(producer())
+        sim.run()
+        assert got == [("c1", "first"), ("c2", "second")]
+
+    def test_occupancy_time_average(self, sim):
+        store = Store(sim)
+
+        def scenario():
+            yield store.put("x")
+            yield sim.timeout(4.0)
+            yield store.get()
+            yield sim.timeout(4.0)
+
+        sim.process(scenario())
+        sim.run()
+        assert store.occupancy.time_average(sim.now) == pytest.approx(0.5)
+
+    def test_consumer_wait_tally(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            yield store.get()
+
+        def producer():
+            yield sim.timeout(7.0)
+            yield store.put("v")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert store.waits.mean == pytest.approx(7.0)
+
+
+class TestFilterStore:
+    def test_get_matching_selects_by_predicate(self, sim):
+        store = FilterStore(sim)
+        got = []
+
+        def producer():
+            yield store.put({"id": 1})
+            yield store.put({"id": 2})
+            yield store.put({"id": 3})
+
+        def consumer():
+            item = yield store.get_matching(lambda m: m["id"] == 2)
+            got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [{"id": 2}]
+        assert store.level == 2  # 1 and 3 remain
+
+    def test_matching_blocks_until_item_arrives(self, sim):
+        store = FilterStore(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get_matching(lambda x: x > 10)
+            got.append((item, sim.now))
+
+        def producer():
+            yield store.put(1)
+            yield sim.timeout(2.0)
+            yield store.put(50)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(50, 2.0)]
+
+    def test_plain_get_still_fifo(self, sim):
+        store = FilterStore(sim)
+        got = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_mixed_filter_and_plain_consumers(self, sim):
+        store = FilterStore(sim)
+        got = {}
+
+        def plain():
+            got["plain"] = yield store.get()
+
+        def filtered():
+            got["filtered"] = yield store.get_matching(
+                lambda x: x == "special"
+            )
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("ordinary")
+            yield store.put("special")
+
+        sim.process(plain())
+        sim.process(filtered())
+        sim.process(producer())
+        sim.run()
+        assert got == {"plain": "ordinary", "filtered": "special"}

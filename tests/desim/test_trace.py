@@ -1,0 +1,49 @@
+"""Unit tests for the tracer."""
+
+from repro.desim import Tracer
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        tr = Tracer()
+        tr.record(1.0, "a", {"x": 1})
+        tr.record(2.0, "b", {"y": 2})
+        recs = list(tr)
+        assert [r.kind for r in recs] == ["a", "b"]
+        assert recs[0].time == 1.0
+
+    def test_kind_filter(self):
+        tr = Tracer(kinds={"keep"})
+        tr.record(1.0, "keep", {})
+        tr.record(2.0, "drop", {})
+        assert len(tr) == 1
+        assert tr.of_kind("drop") == []
+
+    def test_ring_buffer_bound(self):
+        tr = Tracer(max_records=3)
+        for i in range(5):
+            tr.record(float(i), "k", {"i": i})
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [r.fields["i"] for r in tr] == [2, 3, 4]
+
+    def test_to_rows_flattens(self):
+        tr = Tracer()
+        tr.record(1.5, "evt", {"node": 3})
+        rows = tr.to_rows()
+        assert rows == [{"time": 1.5, "kind": "evt", "node": 3}]
+
+    def test_clear(self):
+        tr = Tracer(max_records=1)
+        tr.record(0.0, "a", {})
+        tr.record(1.0, "b", {})
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+
+    def test_fields_copied(self):
+        tr = Tracer()
+        payload = {"mutable": 1}
+        tr.record(0.0, "a", payload)
+        payload["mutable"] = 2
+        assert list(tr)[0].fields["mutable"] == 1

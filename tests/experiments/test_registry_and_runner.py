@@ -1,0 +1,110 @@
+"""Tests for the experiment registry, runner, and artifact export."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    render_report,
+    run_experiment,
+    save_artifacts,
+)
+
+EXPECTED_NAMES = {
+    "table1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "validation",
+    "figure11",
+    "figure12",
+    "bandwidth",
+    "ablation-overhead",
+    "ablation-sections",
+    "calibration",
+    "extension-overlap",
+    "ablation-imbalance",
+    "ablation-network",
+    "extension-energy",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(experiment_names()) == EXPECTED_NAMES
+
+    def test_get_experiment(self):
+        exp = get_experiment("table1")
+        assert exp.name == "table1"
+        assert "Table 1" in exp.title
+
+    def test_unknown_experiment_lists_available(self):
+        with pytest.raises(KeyError, match="figure7"):
+            get_experiment("figure99")
+
+    def test_all_experiments_have_metadata(self):
+        for exp in all_experiments():
+            assert exp.paper_reference
+            assert exp.description
+
+
+class TestResults:
+    @pytest.fixture(scope="class")
+    def table1_result(self):
+        return run_experiment("table1", ExperimentConfig(quick=True))
+
+    def test_result_passes(self, table1_result):
+        assert table1_result.passed
+        assert table1_result.failed_checks() == []
+
+    def test_tables_present(self, table1_result):
+        assert "table1" in table1_result.tables
+        assert len(table1_result.tables["table1"]) == 10  # paper rows
+
+    def test_render_report_contains_sections(self, table1_result):
+        report = render_report(table1_result)
+        assert "Table 1" in report
+        assert "[PASS]" in report
+        assert "NB" in report
+
+    def test_failed_checks_listed(self):
+        result = ExperimentResult(
+            name="x", title="t", paper_reference="r",
+            tables={}, plots={}, summary=[],
+            checks={"good": True, "bad": False},
+        )
+        assert not result.passed
+        assert result.failed_checks() == ["bad"]
+
+    def test_save_artifacts(self, table1_result, tmp_path):
+        written = save_artifacts(table1_result, tmp_path)
+        assert (tmp_path / "table1" / "table1.csv").exists()
+        assert (tmp_path / "table1" / "report.txt").exists()
+        assert len(written) == len(table1_result.tables) + 1
+
+    def test_run_writes_artifacts_via_config(self, tmp_path):
+        run_experiment(
+            "bandwidth",
+            ExperimentConfig(quick=True, out_dir=tmp_path),
+        )
+        assert (tmp_path / "bandwidth" / "claims.csv").exists()
+
+
+class TestQuickExperimentsPass:
+    """Every experiment passes its shape checks in quick mode.
+
+    This is the core integration guarantee: the reproduction regenerates
+    each paper artifact with the paper's qualitative findings intact.
+    """
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_experiment_passes(self, name):
+        result = run_experiment(name, ExperimentConfig(quick=True))
+        assert result.passed, (
+            f"{name} failed checks: {result.failed_checks()}"
+        )
+        assert result.tables  # every experiment exports data
+        assert result.summary

@@ -1,0 +1,126 @@
+"""Tests for the assembler and instruction encoding."""
+
+import pytest
+
+from repro.isa import AssemblyError, Instruction, OPCODES, assemble
+
+
+class TestInstruction:
+    def test_valid_construction(self):
+        i = Instruction("add", (1, 2, 3))
+        assert i.spec.kind == "alu"
+        assert str(i) == "add r1, r2, r3"
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instruction("fma", (1, 2, 3))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="expects"):
+            Instruction("add", (1, 2))
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError, match="register index"):
+            Instruction("add", (16, 0, 0))
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Instruction("jmp", (-1,))
+
+    def test_halt_has_no_operands(self):
+        i = Instruction("halt", ())
+        assert str(i) == "halt"
+
+    def test_opcode_table_consistent(self):
+        for name, spec in OPCODES.items():
+            assert spec.name == name
+            assert spec.kind in {"alu", "memory", "branch", "thread"}
+            assert set(spec.operands) <= {"R", "I", "L"}
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        prog = assemble(
+            """
+            li r1, 5
+            addi r1, r1, -2
+            halt
+            """
+        )
+        assert len(prog) == 3
+        assert prog.instructions[0].op == "li"
+        assert prog.instructions[1].args == (1, 1, -2)
+
+    def test_labels_forward_and_backward(self):
+        prog = assemble(
+            """
+            start:
+            jmp end
+            jmp start
+            end:
+            halt
+            """
+        )
+        assert prog.labels == {"start": 0, "end": 2}
+        assert prog.instructions[0].args == (2,)
+        assert prog.instructions[1].args == (0,)
+
+    def test_label_prefixing_instruction(self):
+        prog = assemble("loop: jmp loop")
+        assert prog.labels["loop"] == 0
+
+    def test_comments_stripped(self):
+        prog = assemble(
+            """
+            li r1, 1   # a comment
+            halt       ; another comment
+            """
+        )
+        assert len(prog) == 2
+
+    def test_hex_and_signed_immediates(self):
+        prog = assemble("li r1, 0x10\nli r2, -7\nhalt")
+        assert prog.instructions[0].args == (1, 16)
+        assert prog.instructions[1].args == (2, -7)
+
+    def test_word_directive(self):
+        prog = assemble(
+            """
+            .word 100 1 2 3
+            halt
+            """
+        )
+        assert prog.data == ((100, 1), (101, 2), (102, 3))
+
+    def test_entry_lookup(self):
+        prog = assemble("a: halt\nb: halt")
+        assert prog.entry("b") == 1
+        assert prog.entry() == 0
+        with pytest.raises(KeyError, match="unknown label"):
+            prog.entry("zzz")
+
+    def test_numeric_label_operand(self):
+        prog = assemble("jmp 0")
+        assert prog.instructions[0].args == (0,)
+
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("bogus r1, r2", "unknown opcode"),
+            ("li r99, 1", "expected register"),
+            ("li r1", "expects 2 operands"),
+            ("li r1, r2", "expected integer"),
+            ("x: halt\nx: halt", "duplicate label"),
+            ("jmp nowhere", "undefined label"),
+            (".word 5", "at least one value"),
+            (".bss 100", "unknown directive"),
+            ("ld r1, r2, xx", "expected integer"),
+        ],
+    )
+    def test_errors_have_line_numbers(self, source, match):
+        with pytest.raises(AssemblyError, match=match):
+            assemble(source)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("li r1, 1\nli r2, 2\nbogus\n")

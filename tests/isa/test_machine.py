@@ -1,0 +1,239 @@
+"""Tests for the functional PIM machine: single-node semantics."""
+
+import pytest
+
+from repro.isa import IsaParams, IsaRuntimeError, PimSystem, assemble
+
+
+def run_program(source, r1=0, r2=0, params=None):
+    """Assemble, run on one node, return (registers, result, system)."""
+    system = PimSystem(params or IsaParams(n_nodes=1, words_per_node=1024))
+    system.load(assemble(source))
+    system.spawn(0, "", r1=r1, r2=r2)
+    result = system.run()
+    threads = system.completed_threads()
+    assert threads, "thread did not complete"
+    return threads[-1].registers, result, system
+
+
+class TestAluSemantics:
+    def test_li_add_sub(self):
+        regs, _, _ = run_program(
+            "li r3, 10\nli r4, 3\nadd r5, r3, r4\nsub r6, r3, r4\nhalt"
+        )
+        assert regs[5] == 13
+        assert regs[6] == 7
+
+    def test_mul_and_logic(self):
+        regs, _, _ = run_program(
+            """
+            li r3, 6
+            li r4, 7
+            mul r5, r3, r4
+            and r6, r3, r4
+            or  r7, r3, r4
+            xor r8, r3, r4
+            halt
+            """
+        )
+        assert regs[5] == 42
+        assert regs[6] == 6 & 7
+        assert regs[7] == 6 | 7
+        assert regs[8] == 6 ^ 7
+
+    def test_shifts(self):
+        regs, _, _ = run_program(
+            "li r3, 1\nli r4, 10\nsll r5, r3, r4\nsrl r6, r5, r4\nhalt"
+        )
+        assert regs[5] == 1024
+        assert regs[6] == 1
+
+    def test_comparisons(self):
+        regs, _, _ = run_program(
+            """
+            li r3, -5
+            li r4, 5
+            slt r5, r3, r4
+            slt r6, r4, r3
+            slti r7, r3, 0
+            halt
+            """
+        )
+        assert regs[5] == 1
+        assert regs[6] == 0
+        assert regs[7] == 1
+
+    def test_r0_hardwired_zero(self):
+        regs, _, _ = run_program("li r0, 99\nadd r3, r0, r0\nhalt")
+        assert regs[0] == 0
+        assert regs[3] == 0
+
+    def test_64bit_wraparound(self):
+        regs, _, _ = run_program(
+            """
+            li r3, 0x7fffffffffffffff
+            li r4, 1
+            add r5, r3, r4       # overflows to INT64_MIN
+            halt
+            """
+        )
+        assert regs[5] == -(2**63)
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        regs, _, _ = run_program(
+            """
+            li r3, 5
+            li r4, 0
+            loop:
+            add r4, r4, r3
+            addi r3, r3, -1
+            bne r3, r0, loop
+            halt
+            """
+        )
+        assert regs[4] == 15
+
+    def test_branch_kinds(self):
+        regs, _, _ = run_program(
+            """
+            li r3, 2
+            li r4, 2
+            beq r3, r4, eq_taken
+            li r5, 111
+            eq_taken:
+            blt r0, r3, lt_taken
+            li r6, 222
+            lt_taken:
+            bge r3, r4, ge_taken
+            li r7, 333
+            ge_taken:
+            halt
+            """
+        )
+        assert regs[5] == 0  # skipped
+        assert regs[6] == 0  # skipped
+        assert regs[7] == 0  # skipped
+
+    def test_pc_falls_off_end_raises(self):
+        with pytest.raises(IsaRuntimeError, match="fell off"):
+            run_program("li r1, 1")  # no halt
+
+    def test_runaway_guard(self):
+        params = IsaParams(
+            n_nodes=1, words_per_node=64, max_thread_instructions=100
+        )
+        with pytest.raises(IsaRuntimeError, match="runaway"):
+            run_program("spin: jmp spin", params=params)
+
+
+class TestLocalMemory:
+    def test_store_then_load(self):
+        regs, _, system = run_program(
+            """
+            li r3, 77
+            li r4, 50
+            st r3, r4, 0
+            ld r5, r4, 0
+            halt
+            """
+        )
+        assert regs[5] == 77
+        assert system.read_word(50) == 77
+
+    def test_ld_st_offsets(self):
+        regs, _, _ = run_program(
+            """
+            li r4, 100
+            li r3, 5
+            st r3, r4, 3      # mem[103] = 5
+            ld r5, r4, 3
+            halt
+            """
+        )
+        assert regs[5] == 5
+
+    def test_amo_fetch_add(self):
+        regs, _, system = run_program(
+            """
+            li r4, 60
+            li r3, 10
+            st r3, r4, 0
+            li r5, 7
+            amo r6, r4, r5
+            ld r7, r4, 0
+            halt
+            """
+        )
+        assert regs[6] == 10  # old value
+        assert regs[7] == 17  # updated
+
+    def test_out_of_range_address_fails(self):
+        with pytest.raises(IsaRuntimeError, match="outside global memory"):
+            run_program("li r4, 99999\nld r3, r4, 0\nhalt")
+
+    def test_timing_memory_vs_alu(self):
+        """A load costs memory_cycles *instead of* the issue cycle (the
+        Table 1 convention: TML replaces TLcycle for loads/stores)."""
+        _, res_mem, _ = run_program("li r4, 5\nld r3, r4, 0\nhalt")
+        _, res_alu, _ = run_program("li r4, 5\nadd r3, r4, r4\nhalt")
+        p = IsaParams()
+        assert res_mem.cycles - res_alu.cycles == pytest.approx(
+            p.memory_cycles - p.issue_cycles
+        )
+
+
+class TestThreading:
+    def test_spawn_runs_concurrently(self):
+        regs, result, system = run_program(
+            """
+            li r3, 20          # flag address
+            li r4, 1
+            spawn child, r3, r4
+            wait:
+            ld r5, r3, 0
+            beq r5, r0, wait
+            halt
+            child:
+            st r2, r1, 0       # store r2 (=1) at flag address
+            halt
+            """
+        )
+        assert result.threads_completed == 2
+        assert system.read_word(20) == 1
+
+    def test_spawn_passes_registers(self):
+        system = PimSystem(IsaParams(n_nodes=1, words_per_node=256))
+        system.load(
+            assemble(
+                """
+                main:
+                li r3, 30
+                li r4, 42
+                spawn child, r3, r4
+                halt
+                child:
+                st r2, r1, 0   # mem[r1] = r2
+                halt
+                """
+            )
+        )
+        system.spawn(0, "main")
+        system.run()
+        assert system.read_word(30) == 42
+
+    def test_host_api_validation(self):
+        system = PimSystem(IsaParams(n_nodes=1, words_per_node=64))
+        with pytest.raises(IsaRuntimeError, match="load a program"):
+            system.spawn(0, "")
+        system.load(assemble("halt"))
+        with pytest.raises(IsaRuntimeError, match="no such node"):
+            system.spawn(5, "")
+
+    def test_instruction_accounting(self):
+        _, result, _ = run_program("li r3, 1\nld r4, r3, 0\nhalt")
+        assert result.instructions == 3
+        assert result.instruction_mix["memory"] == 1
+        assert result.instruction_mix["alu"] == 1
+        assert result.instruction_mix["thread"] == 1

@@ -1,0 +1,199 @@
+"""Tests for multi-node execution: parcels, global memory, kernels."""
+
+import pytest
+
+from repro.desim import Tracer
+from repro.isa import (
+    IsaParams,
+    PimSystem,
+    assemble,
+    gups_program,
+    parallel_sum_program,
+    pointer_chase_program,
+    vector_sum_program,
+)
+
+SMALL = IsaParams(n_nodes=2, words_per_node=64, latency_cycles=50.0)
+
+
+class TestGlobalAddressing:
+    def test_owner_mapping(self):
+        p = IsaParams(n_nodes=4, words_per_node=100)
+        assert p.owner(0) == 0
+        assert p.owner(99) == 0
+        assert p.owner(100) == 1
+        assert p.owner(399) == 3
+        assert p.local_offset(250) == 50
+
+    def test_host_read_write_cross_node(self):
+        system = PimSystem(SMALL)
+        system.write_word(100, 1234)  # node 1
+        assert system.read_word(100) == 1234
+        assert system.nodes[1].read_local(36) == 1234
+
+    def test_write_block_spans_nodes(self):
+        system = PimSystem(SMALL)
+        system.write_block(62, [1, 2, 3, 4])  # crosses the 64-word line
+        assert system.read_block(62, 4) == [1, 2, 3, 4]
+        assert system.nodes[0].read_local(63) == 2
+        assert system.nodes[1].read_local(0) == 3
+
+
+class TestRemoteOperations:
+    def test_remote_load(self):
+        system = PimSystem(SMALL)
+        system.load(assemble("ld r3, r1, 0\nli r4, 8\nst r3, r4, 0\nhalt"))
+        system.write_word(100, 55)  # on node 1
+        system.spawn(0, "", r1=100)
+        result = system.run()
+        assert system.read_word(8) == 55
+        assert result.remote_accesses == 1
+        assert result.parcels_sent == 2  # request + reply
+
+    def test_remote_store(self):
+        system = PimSystem(SMALL)
+        system.load(assemble("li r3, 99\nst r3, r1, 0\nhalt"))
+        system.spawn(0, "", r1=100)
+        system.run()
+        assert system.read_word(100) == 99
+
+    def test_remote_amo_atomic_under_contention(self):
+        """Two nodes fetch-add the same remote counter; total must be
+        exact (parcel servicing serializes at the owner)."""
+        system = PimSystem(
+            IsaParams(n_nodes=4, words_per_node=64, latency_cycles=10.0)
+        )
+        system.load(
+            assemble(
+                """
+                li r4, 1
+                loop:
+                amo r5, r1, r4
+                addi r2, r2, -1
+                bne r2, r0, loop
+                halt
+                """
+            )
+        )
+        counter = 32  # lives on node 0
+        for node in (1, 2, 3):
+            system.spawn(node, "", r1=counter, r2=10)
+        system.run()
+        assert system.read_word(counter) == 30
+
+    def test_remote_latency_charged(self):
+        fast = PimSystem(
+            IsaParams(n_nodes=2, words_per_node=64, latency_cycles=10.0)
+        )
+        slow = PimSystem(
+            IsaParams(n_nodes=2, words_per_node=64, latency_cycles=500.0)
+        )
+        src = "ld r3, r1, 0\nhalt"
+        for system in (fast, slow):
+            system.load(assemble(src))
+            system.spawn(0, "", r1=100)
+        t_fast = fast.run().cycles
+        t_slow = slow.run().cycles
+        # round trip difference = 2 * (500 - 10)
+        assert t_slow - t_fast == pytest.approx(980.0)
+
+    def test_invoke_spawns_at_owner(self):
+        system = PimSystem(SMALL)
+        system.load(
+            assemble(
+                """
+                main:
+                invoke r1, remote_fn, r2
+                halt
+                remote_fn:
+                st r2, r1, 0      # runs on the owner of r1
+                halt
+                """
+            )
+        )
+        system.spawn(0, "main", r1=100, r2=77)
+        result = system.run()
+        assert system.read_word(100) == 77
+        # the store executed on node 1 (local), not via remote parcel
+        assert system.nodes[1].local_accesses == 1
+        assert result.threads_completed == 2
+
+    def test_parcel_traffic_traced(self):
+        tracer = Tracer(kinds={"parcel.send"})
+        system = PimSystem(SMALL, tracer=tracer)
+        system.load(assemble("ld r3, r1, 0\nhalt"))
+        system.spawn(0, "", r1=100)
+        system.run()
+        assert len(tracer) == 2  # request + reply
+
+
+class TestKernels:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_vector_sum(self, n_nodes):
+        k = vector_sum_program()
+        system = PimSystem(
+            IsaParams(n_nodes=n_nodes, words_per_node=1024 // n_nodes)
+        )
+        k.launch(system)
+        system.run()
+        assert k.verify(system)
+
+    @pytest.mark.parametrize("n_nodes", [1, 4])
+    def test_pointer_chase(self, n_nodes):
+        k = pointer_chase_program()
+        system = PimSystem(
+            IsaParams(n_nodes=n_nodes, words_per_node=1024 // n_nodes)
+        )
+        k.launch(system)
+        system.run()
+        assert k.verify(system)
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_parallel_sum(self, n_nodes):
+        k = parallel_sum_program()
+        system = PimSystem(
+            IsaParams(n_nodes=n_nodes, words_per_node=1024 // n_nodes)
+        )
+        k.launch(system)
+        system.run()
+        assert k.verify(system)
+
+    @pytest.mark.parametrize("n_nodes", [1, 4])
+    def test_gups_conserves_updates(self, n_nodes):
+        k = gups_program()
+        system = PimSystem(
+            IsaParams(n_nodes=n_nodes, words_per_node=1024 // n_nodes)
+        )
+        k.launch(system)
+        system.run()
+        assert k.verify(system)
+
+    def test_pointer_chase_slower_with_latency(self):
+        """The no-locality chain is latency-bound: raising network latency
+        must slow it down proportionally to its remote accesses."""
+        k = pointer_chase_program()
+        cycles = {}
+        for lat in (10.0, 1000.0):
+            system = PimSystem(
+                IsaParams(n_nodes=4, words_per_node=256, latency_cycles=lat)
+            )
+            k.launch(system)
+            cycles[lat] = system.run().cycles
+        assert cycles[1000.0] > cycles[10.0] * 2
+
+    def test_parallel_sum_uses_parcels_on_multinode(self):
+        k = parallel_sum_program()
+        system = PimSystem(IsaParams(n_nodes=4, words_per_node=64))
+        k.launch(system)
+        result = system.run()
+        assert result.parcels_sent > 0
+        assert k.verify(system)
+
+    def test_measured_statistics_exposed(self):
+        k = gups_program()
+        system = PimSystem(IsaParams(n_nodes=4, words_per_node=256))
+        k.launch(system)
+        result = system.run()
+        assert 0.0 <= result.remote_access_fraction <= 1.0
+        assert 0.0 < result.memory_mix < 1.0
+        assert len(result.per_node_idle) == 4

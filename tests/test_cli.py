@@ -1,0 +1,55 @@
+"""Tests for the repro-pim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_args(self):
+        args = build_parser().parse_args(
+            ["run", "table1", "figure7", "--seed", "3", "--full"]
+        )
+        assert args.names == ["table1", "figure7"]
+        assert args.seed == 3
+        assert args.full
+
+    def test_out_dir(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "table1", "--out", str(tmp_path)]
+        )
+        assert args.out == tmp_path
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_exit_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out
+        assert "Fig. 7" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "all shape checks passed" in out
+
+    def test_unknown_experiment_exit_2(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "figure7" in err  # lists available
+
+    def test_run_with_artifacts(self, tmp_path, capsys):
+        assert (
+            main(["run", "bandwidth", "--out", str(tmp_path)]) == 0
+        )
+        assert (tmp_path / "bandwidth" / "report.txt").exists()

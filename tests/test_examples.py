@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in-process (runpy) with stdout captured, and key
+output markers are asserted so regressions in the public API surface
+show up here before a user hits them.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Break-even node count NB = 3.125", "work ratio"],
+    "design_space_exploration.py": [
+        "break-even node count vs host cache miss rate",
+        "PIM nodes",
+    ],
+    "latency_hiding_parcels.py": ["saturation parallelism", "P_sat"],
+    "irregular_kernels_on_pim.py": ["pointer_chase", "parallel_sum"],
+    "calibrated_design_point.py": [
+        "calibrated break-even node count",
+        "recommendation",
+    ],
+}
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script, capsys, monkeypatch):
+    # examples must be deterministic and self-contained
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in out, f"{script} output missing {marker!r}"

@@ -1,0 +1,113 @@
+"""Cross-subsystem integration tests.
+
+These tie the package's layers together the way the paper's argument
+does: the *same* phenomenon must show up in the closed forms, the
+statistical DES, and the functional ISA machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ParcelParams, Table1Params
+from repro.core.hwlw import nb_parameter, time_relative
+from repro.core.parcels import compare_systems
+from repro.isa import (
+    IsaParams,
+    PimSystem,
+    assemble,
+)
+from repro.workloads import calibrate, standard_kernels
+
+
+class TestLatencyHidingAcrossModels:
+    """More outstanding parcels -> less idle, in both the statistical
+    system model and the functional machine."""
+
+    def _isa_idle(self, n_threads: int, latency: float = 400.0) -> float:
+        """Idle fraction of node 0 running n_threads remote-heavy
+        threads against node 1."""
+        system = PimSystem(
+            IsaParams(
+                n_nodes=2, words_per_node=256, latency_cycles=latency
+            )
+        )
+        # each thread fetch-adds a remote counter repeatedly
+        system.load(
+            assemble(
+                """
+                li r4, 1
+                loop:
+                amo r5, r1, r4
+                addi r2, r2, -1
+                bne r2, r0, loop
+                halt
+                """
+            )
+        )
+        for t in range(n_threads):
+            system.spawn(0, "", r1=300 + t, r2=8)  # node-1 addresses
+        result = system.run()
+        return result.per_node_idle[0]
+
+    def test_functional_machine_hides_latency_with_threads(self):
+        idle_1 = self._isa_idle(1)
+        idle_4 = self._isa_idle(4)
+        idle_16 = self._isa_idle(16)
+        assert idle_1 > idle_4 > idle_16
+
+    def test_statistical_model_agrees_in_direction(self):
+        base = ParcelParams(
+            n_nodes=2, remote_fraction=0.5, latency_cycles=400.0
+        )
+        idles = [
+            compare_systems(
+                base.with_(parallelism=p), 10_000.0
+            ).test.idle_fraction
+            for p in (1, 4, 16)
+        ]
+        assert idles[0] > idles[1] > idles[2]
+
+
+class TestCalibrationFeedsTheModels:
+    """Trace-derived parameters flow into both studies end to end."""
+
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        return calibrate(standard_kernels(accesses=3_000))
+
+    def test_calibrated_table1_drives_partitioning_model(self, calibrated):
+        params = calibrated.table1
+        nb = nb_parameter(params)
+        assert nb > 0
+        # beyond the calibrated NB the PIM system must win
+        n = int(np.ceil(nb)) + 1
+        assert float(
+            time_relative(calibrated.lwp_fraction, n, params)
+        ) < 1.0
+
+    def test_calibrated_parcels_drive_latency_model(self, calibrated):
+        params = calibrated.parcels.with_(
+            n_nodes=4, parallelism=32, latency_cycles=1000.0
+        )
+        cmp = compare_systems(params, 10_000.0)
+        # a data-intensive calibrated mix has plenty to hide
+        assert cmp.ratio > 2.0
+
+
+class TestConsistentParameterization:
+    """Table 1 and the parcel study share the LWP's memory character."""
+
+    def test_shared_memory_cycles(self):
+        assert Table1Params().lwp_memory_cycles == pytest.approx(
+            ParcelParams().memory_cycles
+        )
+        assert Table1Params().ls_mix == pytest.approx(
+            ParcelParams().ls_mix
+        )
+
+    def test_isa_defaults_match_study_defaults(self):
+        isa = IsaParams()
+        assert isa.memory_cycles == Table1Params().lwp_memory_cycles
+        assert isa.send_overhead_cycles == (
+            ParcelParams().send_overhead_cycles
+        )

@@ -1,0 +1,124 @@
+"""Tests for ASCII plotting, table formatting and CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import SweepGrid
+from repro.viz import (
+    format_markdown_table,
+    format_table,
+    grid_plot,
+    line_plot,
+    read_csv,
+    write_csv,
+)
+
+
+class TestLinePlot:
+    def test_contains_markers_title_legend(self):
+        out = line_plot(
+            [1.0, 2.0, 3.0],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="demo",
+            xlabel="x-axis",
+            ylabel="y",
+        )
+        assert "demo" in out
+        assert "legend: o a   x b" in out
+        assert "x-axis" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_tick_values(self):
+        out = line_plot([0.0, 10.0], {"s": [5.0, 50.0]})
+        assert "0" in out and "10" in out
+        assert "50" in out and "5" in out
+
+    def test_log_axes(self):
+        out = line_plot(
+            [1.0, 10.0, 100.0],
+            {"s": [1.0, 100.0, 10000.0]},
+            logx=True,
+            logy=True,
+        )
+        assert "1e+04" in out or "10000" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot([0.0, 1.0], {"s": [1.0, 2.0]}, logx=True)
+
+    def test_flat_series_ok(self):
+        out = line_plot([1.0, 2.0], {"s": [5.0, 5.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1.0], {})
+        with pytest.raises(ValueError):
+            line_plot([1.0, 2.0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([1.0, 2.0], {"s": [1.0, 2.0]}, width=2)
+
+    def test_grid_plot_series_per_row(self):
+        g = SweepGrid(
+            "g", "n", (1.0, 2.0), "x", (0.0, 1.0),
+            np.array([[1.0, 2.0], [3.0, 4.0]]), "v",
+        )
+        out = grid_plot(g, row_format=lambda v: f"{v:.0f}")
+        assert "n=1" in out and "n=2" in out
+        out_t = grid_plot(g, transpose=True)
+        assert "x=0" in out_t
+
+
+class TestTables:
+    ROWS = [
+        {"name": "a", "value": 1.5, "flag": True},
+        {"name": "bb", "value": float("nan"), "flag": False},
+    ]
+
+    def test_format_table_alignment(self):
+        out = format_table(self.ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "yes" in lines[2]
+        assert "-" in lines[3]  # NaN renders as dash
+
+    def test_column_selection_and_order(self):
+        out = format_table(self.ROWS, columns=["value", "name"])
+        assert out.splitlines()[0].startswith("value")
+
+    def test_scientific_for_extremes(self):
+        out = format_table([{"v": 1.23e9}])
+        assert "1.230e+09" in out
+
+    def test_markdown_table(self):
+        out = format_markdown_table(self.ROWS)
+        assert out.splitlines()[0] == "| name | value | flag |"
+        assert out.splitlines()[1] == "|---|---|---|"
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+
+class TestCsvIo:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(tmp_path / "sub" / "data.csv", rows)
+        assert path.exists()
+        back = read_csv(path)
+        assert back == [
+            {"a": "1", "b": "2.5"},
+            {"a": "3", "b": "4.5"},
+        ]
+
+    def test_missing_keys_filled_blank(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        path = write_csv(tmp_path / "d.csv", rows)
+        back = read_csv(path)
+        assert back[0]["b"] == ""
+        assert back[1]["b"] == "9"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", [])

@@ -1,0 +1,112 @@
+"""Tests for the synthetic address-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    blocked_reuse_trace,
+    gups_trace,
+    mixed_trace,
+    pointer_chase_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+
+class TestSequentialAndStrided:
+    def test_sequential_unit_stride(self):
+        t = sequential_trace(5, start=100, word_bytes=8)
+        assert list(t) == [100, 108, 116, 124, 132]
+
+    def test_strided(self):
+        t = strided_trace(4, stride_bytes=256)
+        assert list(t) == [0, 256, 512, 768]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(-1)
+        with pytest.raises(ValueError):
+            strided_trace(4, 0)
+
+
+class TestRandomAndGups:
+    def test_random_within_footprint(self):
+        t = random_trace(10_000, footprint_bytes=4096, seed=1)
+        assert t.min() >= 0
+        assert t.max() < 4096
+        assert np.all(t % 8 == 0)  # word aligned
+
+    def test_random_reproducible(self):
+        a = random_trace(100, 1 << 20, seed=5)
+        b = random_trace(100, 1 << 20, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_gups_alias(self):
+        a = gups_trace(100, 1 << 20, seed=5)
+        b = random_trace(100, 1 << 20, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_trace(10, footprint_bytes=4)
+
+
+class TestPointerChase:
+    def test_visits_distinct_nodes_before_repeating(self):
+        t = pointer_chase_trace(64, footprint_bytes=64 * 16, node_bytes=16)
+        assert len(np.unique(t)) == 64  # full permutation first
+
+    def test_wraps_after_full_cycle(self):
+        t = pointer_chase_trace(130, footprint_bytes=64 * 16, node_bytes=16)
+        assert np.array_equal(t[:64], t[64:128])
+
+    def test_alignment(self):
+        t = pointer_chase_trace(50, 1 << 16, node_bytes=16)
+        assert np.all(t % 16 == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pointer_chase_trace(10, footprint_bytes=8, node_bytes=16)
+
+
+class TestBlockedReuse:
+    def test_block_swept_repeatedly(self):
+        t = blocked_reuse_trace(
+            n=16, block_bytes=32, reuse_factor=2, word_bytes=8
+        )
+        # block of 4 words swept twice, then next block
+        assert list(t[:8]) == [0, 8, 16, 24, 0, 8, 16, 24]
+        assert list(t[8:12]) == [32, 40, 48, 56]
+
+    def test_exact_length(self):
+        t = blocked_reuse_trace(100, 64, 3)
+        assert len(t) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocked_reuse_trace(10, 4, 1)
+        with pytest.raises(ValueError):
+            blocked_reuse_trace(10, 64, 0)
+
+
+class TestMixedTrace:
+    def test_draws_from_both_sources(self):
+        a = sequential_trace(100, start=0)
+        b = sequential_trace(100, start=1_000_000)
+        m = mixed_trace([a, b], [0.5, 0.5], n=200, seed=0)
+        assert np.any(m < 1000)
+        assert np.any(m >= 1_000_000)
+        assert len(m) == 200
+
+    def test_degenerate_weight(self):
+        a = sequential_trace(10, start=0)
+        b = sequential_trace(10, start=999)
+        m = mixed_trace([a, b], [1.0, 0.0], n=20, seed=0)
+        assert np.all(m < 999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_trace([], [], 10)
+        with pytest.raises(ValueError):
+            mixed_trace([sequential_trace(5)], [-1.0], 10)

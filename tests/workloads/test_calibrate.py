@@ -1,0 +1,124 @@
+"""Tests for kernel models and parameter calibration."""
+
+import numpy as np
+import pytest
+
+from repro import ParcelParams, Table1Params
+from repro.workloads import (
+    KernelModel,
+    calibrate,
+    kernel_by_name,
+    sequential_trace,
+    standard_kernels,
+)
+
+# small trace size keeps reuse-distance analysis fast in tests
+SMALL = 4_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate(standard_kernels(accesses=SMALL))
+
+
+class TestKernelModels:
+    def test_suite_composition(self):
+        names = [k.name for k in standard_kernels(accesses=64)]
+        assert names == [
+            "dense_tiled", "stream", "spmv_irregular", "gups",
+            "pointer_chase",
+        ]
+
+    def test_kernel_by_name(self):
+        k = kernel_by_name("gups", accesses=64)
+        assert k.name == "gups"
+        with pytest.raises(KeyError):
+            kernel_by_name("fft", accesses=64)
+
+    def test_operations_derived_from_mix(self):
+        k = kernel_by_name("gups", accesses=300)
+        assert k.operations == round(300 / k.ls_mix)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelModel(
+                name="x", description="", ls_mix=0.0,
+                trace=sequential_trace(4),
+                remote_fraction_distributed=0.1,
+                expected_locality="low",
+            )
+        with pytest.raises(ValueError):
+            KernelModel(
+                name="x", description="", ls_mix=0.5,
+                trace=sequential_trace(0),
+                remote_fraction_distributed=0.1,
+                expected_locality="low",
+            )
+        with pytest.raises(ValueError):
+            KernelModel(
+                name="x", description="", ls_mix=0.5,
+                trace=sequential_trace(4),
+                remote_fraction_distributed=0.1,
+                expected_locality="medium",
+            )
+
+
+class TestCalibration:
+    def test_measured_locality_matches_design_intent(self, result):
+        """Each archetype lands on the side the paper's intuition puts
+        it — the calibration validates the partitioning story."""
+        for k in result.kernels:
+            assert k.locality == k.kernel.expected_locality, k.kernel.name
+
+    def test_derived_parameters_plausible(self, result):
+        # high-locality side: good cache behavior (paper assumes 0.1)
+        assert result.hwp_miss_rate < 0.2
+        # no-reuse side: poor cache behavior (paper assumes 1.0)
+        assert result.control_miss_rate > 0.6
+        # mixes near Table 1's 0.30
+        assert 0.2 < result.ls_mix < 0.6
+        # a data-intensive suite puts most operations on PIM
+        assert 0.4 < result.lwp_fraction <= 1.0
+        assert 0.0 < result.remote_fraction <= 1.0
+
+    def test_emitted_param_objects(self, result):
+        assert isinstance(result.table1, Table1Params)
+        assert isinstance(result.parcels, ParcelParams)
+        assert result.table1.miss_rate == pytest.approx(
+            min(max(result.hwp_miss_rate, 0), 1)
+        )
+        assert result.parcels.remote_fraction == pytest.approx(
+            result.remote_fraction
+        )
+        # machine-side parameters preserved from the base
+        assert result.table1.lwp_memory_cycles == 30.0
+
+    def test_weights_shift_lwp_fraction(self):
+        kernels = standard_kernels(accesses=SMALL)
+        heavy_dense = calibrate(kernels, weights=[10, 1, 1, 1, 1])
+        heavy_gups = calibrate(kernels, weights=[1, 1, 1, 10, 1])
+        assert heavy_dense.lwp_fraction < heavy_gups.lwp_fraction
+
+    def test_weight_validation(self):
+        kernels = standard_kernels(accesses=256)
+        with pytest.raises(ValueError):
+            calibrate(kernels, weights=[1.0])
+        with pytest.raises(ValueError):
+            calibrate(kernels, weights=[-1, 1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            calibrate([])
+
+    def test_rows_export(self, result):
+        rows = result.to_rows()
+        assert len(rows) == len(result.kernels) + 1
+        assert rows[-1]["kernel"] == "== derived =="
+
+    def test_all_low_locality_suite(self):
+        kernels = [
+            k for k in standard_kernels(accesses=SMALL)
+            if k.expected_locality == "low"
+        ]
+        res = calibrate(kernels)
+        assert res.lwp_fraction == 1.0
+        # no high-locality kernels: falls back to the paper's Pmiss
+        assert res.table1.miss_rate == pytest.approx(0.1)

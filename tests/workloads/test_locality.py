@@ -1,0 +1,125 @@
+"""Tests for reuse-distance analysis and locality profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    blocked_reuse_trace,
+    profile_trace,
+    random_trace,
+    reuse_distances,
+    sequential_trace,
+)
+
+
+class TestReuseDistances:
+    def test_cold_misses_are_minus_one(self):
+        d = reuse_distances([0, 64, 128], line_bytes=64)
+        assert list(d) == [-1, -1, -1]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = reuse_distances([0, 0, 0], line_bytes=64)
+        assert list(d) == [-1, 0, 0]
+
+    def test_classic_stack_distance_example(self):
+        # lines: A B C A -> A's reuse sees 2 distinct lines (B, C)
+        d = reuse_distances([0, 64, 128, 0], line_bytes=64)
+        assert list(d) == [-1, -1, -1, 2]
+
+    def test_line_granularity_groups_words(self):
+        # two words in the same 64B line: second access is a reuse
+        d = reuse_distances([0, 8], line_bytes=64)
+        assert list(d) == [-1, 0]
+        # word granularity separates them
+        d = reuse_distances([0, 8], line_bytes=8)
+        assert list(d) == [-1, -1]
+
+    def test_lru_stack_property(self):
+        # A B A B: each reuse sees exactly 1 distinct other line
+        d = reuse_distances([0, 64, 0, 64], line_bytes=64)
+        assert list(d) == [-1, -1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reuse_distances([0], line_bytes=0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=40),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distance_bounded_by_distinct_lines(self, lines):
+        addrs = [l * 64 for l in lines]
+        d = reuse_distances(addrs, line_bytes=64)
+        n_distinct = len(set(lines))
+        assert np.all(d < n_distinct)
+        assert np.all(d >= -1)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=60),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_fully_associative_lru_cache(self, lines):
+        """An access hits a fully-associative LRU cache of C lines iff
+        its stack distance is in [0, C)."""
+        from repro.arch.cache import SetAssociativeCache
+
+        addrs = [l * 64 for l in lines]
+        capacity = 8
+        d = reuse_distances(addrs, line_bytes=64)
+        cache = SetAssociativeCache(
+            size_bytes=capacity * 64, line_bytes=64, associativity=capacity
+        )
+        hits = [cache.access(a) for a in addrs]
+        predicted = [(0 <= dist < capacity) for dist in d]
+        assert hits == predicted
+
+
+class TestProfileTrace:
+    def test_streaming_profile(self):
+        p = profile_trace(sequential_trace(4096))
+        # spatial locality -> good cache hit rate (7/8 line hits)
+        assert p.cache_hit_rate > 0.8
+        # but no temporal reuse at word granularity
+        assert p.temporal_locality_score < 0.01
+        assert p.classify() == "low"
+
+    def test_tiled_profile(self):
+        p = profile_trace(
+            blocked_reuse_trace(4096, block_bytes=4096, reuse_factor=8)
+        )
+        assert p.temporal_locality_score > 0.8
+        assert p.classify() == "high"
+        assert p.cache_hit_rate > 0.9
+
+    def test_random_huge_footprint_profile(self):
+        p = profile_trace(random_trace(4096, 1 << 28, seed=0))
+        assert p.temporal_locality_score < 0.05
+        assert p.cache_hit_rate < 0.05
+        assert p.classify() == "low"
+
+    def test_profile_fields_consistent(self):
+        p = profile_trace(sequential_trace(1000))
+        assert p.accesses == 1000
+        assert 0.0 <= p.cold_fraction <= 1.0
+        assert p.distinct_lines == 125  # 1000 words / 8 per line
+
+    def test_reuse_windows_monotone(self):
+        p = profile_trace(
+            blocked_reuse_trace(2048, block_bytes=8192, reuse_factor=4)
+        )
+        values = [p.reuse_fraction_within[w] for w in (16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace([])
