@@ -1,0 +1,43 @@
+"""Smoke benchmark: trace replay throughput of the memory-system model.
+
+Times a 100k-request streaming replay through :class:`MemorySystem`
+(the dominant cost of every memsys experiment) and asserts the §2.1
+analytic cross-check before timing, so the benchmark doubles as an
+end-to-end correctness smoke test at scale.
+"""
+
+import pytest
+
+from repro.arch.dram import macro_bandwidth_bits_per_sec
+from repro.memsys import MemSysConfig, MemorySystem, synthesize_trace
+
+N_REQUESTS = 100_000
+
+
+def replay_streaming(n):
+    config = MemSysConfig(n_channels=2, scheme="channel-interleaved")
+    trace = synthesize_trace("sequential", n, config)
+    return config, MemorySystem(config).replay(trace)
+
+
+def test_bench_100k_request_replay(benchmark):
+    config, stats = benchmark.pedantic(
+        replay_streaming, args=(N_REQUESTS,), rounds=1, iterations=1
+    )
+    assert stats.n_requests == N_REQUESTS
+    # two channels of interleaved streaming: ~2x one macro's bandwidth
+    analytic = 2 * macro_bandwidth_bits_per_sec(config.timing)
+    assert stats.sustained_bits_per_sec == pytest.approx(
+        analytic, rel=0.05
+    )
+
+
+def test_bench_random_replay_20k(benchmark):
+    def run():
+        config = MemSysConfig()
+        trace = synthesize_trace("random", 20_000, config, seed=0)
+        return MemorySystem(config).replay(trace)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.n_requests == 20_000
+    assert stats.row_hit_rate < 0.2  # random traffic defeats the row buffer

@@ -16,6 +16,7 @@ ratio parameter) that the cache/locality experiments feed.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 __all__ = [
@@ -169,8 +170,6 @@ def min_macros_for_bandwidth(
     if target_bits_per_sec <= 0:
         raise ValueError("target bandwidth must be positive")
     per_macro = macro_bandwidth_bits_per_sec(timing, row_hit_ratio)
-    import math
-
     return int(math.ceil(target_bits_per_sec / per_macro))
 
 

@@ -11,6 +11,16 @@ Commands
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 ``--out DIR`` (write CSV tables + reports per experiment).
+
+Examples
+--------
+``repro-pim run table1``
+    Regenerate the paper's Table 1 parameters.
+``repro-pim run memsys_bandwidth``
+    Replay synthetic traces through the banked :mod:`repro.memsys`
+    simulator and cross-validate against the analytic DRAM model.
+``repro-pim all --full --out results/``
+    Full-size grids for every artifact, with CSV + report export.
 """
 
 from __future__ import annotations

@@ -1,0 +1,252 @@
+"""Experiment ``memsys_bandwidth``: trace-driven memory-system sweeps.
+
+Replays synthetic access traces through :mod:`repro.memsys` and
+cross-validates the simulated sustained bandwidth against the §2.1
+closed forms of :mod:`repro.arch.dram`:
+
+* single-macro streaming under FR-FCFS must land within 5% of
+  :func:`~repro.arch.dram.macro_bandwidth_bits_per_sec`;
+* a random trace must match the generalized row-hit-ratio model at its
+  *measured* hit rate;
+* sweeping address-interleaving schemes shows channel interleaving
+  scaling bandwidth with channel count;
+* FR-FCFS harvests row hits that FCFS forfeits on a row-interleaved
+  stream;
+* PIM all-bank mode reclaims the aggregate row-buffer bandwidth of
+  every bank on the channel — the paper's "hidden bandwidth", now
+  observed in simulation rather than derived.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..arch.dram import (
+    DramMacroTiming,
+    effective_access_time_ns,
+    macro_bandwidth_bits_per_sec,
+)
+from ..memsys import (
+    Coordinates,
+    MemRequest,
+    MemSysConfig,
+    MemorySystem,
+    Op,
+    SCHEMES,
+    synthesize_trace,
+)
+from .registry import ExperimentConfig, ExperimentResult, register
+
+
+def _replay(config: MemSysConfig, requests: _t.Sequence[MemRequest]):
+    return MemorySystem(config).replay(requests)
+
+
+def _fresh(requests: _t.Sequence[MemRequest]) -> _t.List[MemRequest]:
+    """Copy a trace so each replay starts from clean runtime state."""
+    return [MemRequest(r.op, r.addr) for r in requests]
+
+
+def _row_interleaved_trace(
+    config: MemSysConfig, n: int
+) -> _t.List[MemRequest]:
+    """Pages of two rows of one bank, interleaved — poison for FCFS."""
+    amap = config.address_map()
+    pages = [
+        amap.encode(Coordinates(row=row, column=col))
+        for col in range(config.timing.pages_per_row)
+        for row in (1, 2)
+    ]
+    return [
+        MemRequest(Op.READ, pages[i % len(pages)]) for i in range(n)
+    ]
+
+
+def _pim_trace(config: MemSysConfig, n: int) -> _t.List[MemRequest]:
+    """All-bank PIM commands sweeping rows column-by-column."""
+    amap = config.address_map()
+    pages_per_row = config.timing.pages_per_row
+    requests = []
+    for i in range(n):
+        row = (i // pages_per_row) % config.rows_per_bank
+        column = i % pages_per_row
+        addr = amap.encode(Coordinates(row=row, column=column))
+        requests.append(MemRequest(Op.PIM, addr))
+    return requests
+
+
+@register(
+    name="memsys_bandwidth",
+    title="Trace-Driven Memory System vs. the §2.1 Bandwidth Model",
+    paper_reference="§2.1 (simulated)",
+    description=(
+        "Replays synthetic traces through the banked repro.memsys "
+        "simulator, sweeping address mappings, access patterns, and "
+        "scheduling policies, and cross-validates sustained bandwidth "
+        "against the analytic DRAM-macro model."
+    ),
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n = 2_000 if config.quick else 20_000
+    timing = DramMacroTiming()
+    analytic_stream = macro_bandwidth_bits_per_sec(timing)
+
+    # ------------------------------------------------------------------
+    # 1. single-macro cross-validation against the closed forms
+    # ------------------------------------------------------------------
+    single = MemSysConfig(n_channels=1, bankgroups=1, banks_per_group=1)
+    stream = _replay(
+        single, synthesize_trace("sequential", n, single)
+    )
+    stream_err = (
+        abs(stream.sustained_bits_per_sec - analytic_stream)
+        / analytic_stream
+    )
+    random_stats = _replay(
+        single,
+        synthesize_trace("random", n, single, seed=config.seed),
+    )
+    analytic_random = timing.page_bits / (
+        effective_access_time_ns(timing, random_stats.row_hit_rate) * 1e-9
+    )
+    random_err = (
+        abs(random_stats.sustained_bits_per_sec - analytic_random)
+        / analytic_random
+    )
+    cross_validation = [
+        {
+            "pattern": "sequential",
+            "simulated_gbit_per_s": stream.sustained_bits_per_sec / 1e9,
+            "analytic_gbit_per_s": analytic_stream / 1e9,
+            "rel_err_pct": 100 * stream_err,
+            "row_hit_rate": stream.row_hit_rate,
+        },
+        {
+            "pattern": "random",
+            "simulated_gbit_per_s": (
+                random_stats.sustained_bits_per_sec / 1e9
+            ),
+            "analytic_gbit_per_s": analytic_random / 1e9,
+            "rel_err_pct": 100 * random_err,
+            "row_hit_rate": random_stats.row_hit_rate,
+        },
+    ]
+
+    # ------------------------------------------------------------------
+    # 2. address-mapping scheme x access-pattern sweep
+    # ------------------------------------------------------------------
+    sweep_rows = []
+    scheme_bw: _t.Dict[_t.Tuple[str, str], float] = {}
+    for scheme in sorted(SCHEMES):
+        sys_config = MemSysConfig(scheme=scheme)
+        for pattern in ("sequential", "strided", "random"):
+            trace = synthesize_trace(
+                pattern, n, sys_config, seed=config.seed
+            )
+            stats = _replay(sys_config, trace)
+            scheme_bw[(scheme, pattern)] = stats.sustained_bits_per_sec
+            sweep_rows.append(
+                {
+                    "scheme": scheme,
+                    "pattern": pattern,
+                    "gbit_per_s": stats.sustained_bits_per_sec / 1e9,
+                    "row_hit_rate": stats.row_hit_rate,
+                    "mean_latency_ns": stats.mean_queue_latency_ns,
+                    "mean_queue_len": stats.mean_queue_length,
+                }
+            )
+    interleave_gain = (
+        scheme_bw[("channel-interleaved", "sequential")]
+        / scheme_bw[("row-major", "sequential")]
+    )
+
+    # ------------------------------------------------------------------
+    # 3. scheduling-policy comparison on a row-interleaved stream
+    # ------------------------------------------------------------------
+    policy_rows = []
+    policy_hits = {}
+    base = MemSysConfig(n_channels=1, bankgroups=1, banks_per_group=1)
+    conflict_trace = _row_interleaved_trace(base, n)
+    for policy in ("fcfs", "frfcfs"):
+        sys_config = MemSysConfig(
+            n_channels=1, bankgroups=1, banks_per_group=1, policy=policy
+        )
+        stats = _replay(sys_config, _fresh(conflict_trace))
+        policy_hits[policy] = stats.row_hit_rate
+        policy_rows.append(
+            {
+                "policy": policy,
+                "row_hit_rate": stats.row_hit_rate,
+                "gbit_per_s": stats.sustained_bits_per_sec / 1e9,
+                "mean_latency_ns": stats.mean_queue_latency_ns,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # 4. PIM all-bank mode vs host streaming on one channel
+    # ------------------------------------------------------------------
+    one_channel = MemSysConfig(n_channels=1)
+    host = _replay(
+        one_channel, synthesize_trace("sequential", n, one_channel)
+    )
+    pim = _replay(one_channel, _pim_trace(one_channel, n))
+    pim_speedup = (
+        pim.sustained_bits_per_sec / host.sustained_bits_per_sec
+    )
+    pim_rows = [
+        {
+            "mode": "host streaming (1 bank at a time)",
+            "gbit_per_s": host.sustained_bits_per_sec / 1e9,
+            "speedup": 1.0,
+        },
+        {
+            "mode": (
+                f"PIM all-bank ({one_channel.banks_per_channel} banks)"
+            ),
+            "gbit_per_s": pim.sustained_bits_per_sec / 1e9,
+            "speedup": pim_speedup,
+        },
+    ]
+
+    checks = {
+        "streaming FR-FCFS within 5% of analytic model": (
+            stream_err < 0.05
+        ),
+        "random trace matches hit-ratio model within 10%": (
+            random_err < 0.10
+        ),
+        "FR-FCFS row-hit rate exceeds FCFS": (
+            policy_hits["frfcfs"] > policy_hits["fcfs"]
+        ),
+        "channel interleaving scales sequential bandwidth": (
+            interleave_gain > 1.5
+        ),
+        "PIM all-bank reclaims multi-bank bandwidth": (
+            pim_speedup > 0.9 * one_channel.banks_per_channel
+        ),
+    }
+    return ExperimentResult(
+        name="memsys_bandwidth",
+        title="Trace-Driven Memory System vs. the §2.1 Bandwidth Model",
+        paper_reference="§2.1 (simulated)",
+        tables={
+            "cross_validation": cross_validation,
+            "scheme_pattern_sweep": sweep_rows,
+            "policy_comparison": policy_rows,
+            "pim_mode": pim_rows,
+        },
+        plots={},
+        summary=[
+            f"simulated streaming bandwidth "
+            f"{stream.sustained_bits_per_sec / 1e9:.1f} Gbit/s vs "
+            f"analytic {analytic_stream / 1e9:.1f} Gbit/s "
+            f"({100 * stream_err:.2f}% off)",
+            f"channel interleaving gains {interleave_gain:.2f}x on a "
+            "sequential stream",
+            f"FR-FCFS row-hit rate {policy_hits['frfcfs']:.2f} vs FCFS "
+            f"{policy_hits['fcfs']:.2f} on a row-interleaved stream",
+            f"PIM all-bank mode sustains {pim_speedup:.1f}x the host "
+            "streaming bandwidth of the same channel",
+        ],
+        checks=checks,
+    )

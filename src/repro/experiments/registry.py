@@ -107,6 +107,7 @@ _MODULES = (
     "exp_calibration",
     "exp_extensions",
     "exp_energy",
+    "exp_memsys",
 )
 
 

@@ -1,0 +1,116 @@
+"""Per-bank row-buffer state machine.
+
+Each bank is one on-chip DRAM macro of the §2.1 model: a grid of rows,
+one of which may be latched in the row buffer.  An access to the open
+row costs one page access (2 ns with paper timings); opening a closed
+bank costs a row activation (20 ns) first; switching rows additionally
+pays an explicit precharge, which defaults to 0 because the paper's
+conservative 20 ns row-access figure already subsumes it (keeping the
+simulated streaming bandwidth exactly equal to
+:func:`repro.arch.dram.macro_bandwidth_bits_per_sec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..arch.dram import DramMacroTiming
+
+__all__ = ["BankAccess", "Bank"]
+
+#: Row-buffer outcomes.
+HIT = "hit"
+MISS = "miss"
+CONFLICT = "conflict"
+
+
+@dataclasses.dataclass(frozen=True)
+class BankAccess:
+    """Result of one bank access: latency and row-buffer outcome."""
+
+    latency_ns: float
+    outcome: str
+
+
+class Bank:
+    """Row-buffer state machine over :class:`DramMacroTiming`.
+
+    Parameters
+    ----------
+    timing:
+        Macro timing (paper defaults if omitted).
+    precharge_ns:
+        Explicit precharge cost charged on a row conflict before the new
+        activation; 0 by default (folded into ``row_access_ns``).
+    name:
+        Label used in stats and repr.
+    """
+
+    __slots__ = (
+        "timing", "precharge_ns", "name",
+        "open_row", "hits", "misses", "conflicts",
+    )
+
+    def __init__(
+        self,
+        timing: _t.Optional[DramMacroTiming] = None,
+        precharge_ns: float = 0.0,
+        name: str = "bank",
+    ) -> None:
+        if precharge_ns < 0:
+            raise ValueError("precharge_ns must be >= 0")
+        self.timing = timing or DramMacroTiming()
+        self.precharge_ns = float(precharge_ns)
+        self.name = name
+        #: Currently latched row, or ``None`` when the bank is closed.
+        self.open_row: _t.Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    def is_hit(self, row: int) -> bool:
+        """Would accessing ``row`` hit the open row buffer?"""
+        return self.open_row == row
+
+    def access(self, row: int) -> BankAccess:
+        """Access one page of ``row``, updating state and counters."""
+        if self.open_row == row:
+            self.hits += 1
+            return BankAccess(self.timing.page_access_ns, HIT)
+        if self.open_row is None:
+            self.misses += 1
+            latency = self.timing.row_access_ns + self.timing.page_access_ns
+            self.open_row = row
+            return BankAccess(latency, MISS)
+        self.conflicts += 1
+        latency = (
+            self.precharge_ns
+            + self.timing.row_access_ns
+            + self.timing.page_access_ns
+        )
+        self.open_row = row
+        return BankAccess(latency, CONFLICT)
+
+    def precharge(self) -> None:
+        """Close the row buffer (e.g. between PIM kernels or refresh)."""
+        self.open_row = None
+
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.conflicts
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses served from the open row buffer."""
+        n = self.accesses
+        return self.hits / n if n else float("nan")
+
+    def __repr__(self) -> str:
+        row = "closed" if self.open_row is None else f"row={self.open_row}"
+        return (
+            f"<Bank {self.name!r} {row} "
+            f"h/m/c={self.hits}/{self.misses}/{self.conflicts}>"
+        )

@@ -1,0 +1,240 @@
+"""Per-channel memory controllers as desim processes.
+
+Each channel owns a request queue and a set of banks.  The controller
+process repeatedly picks a queued request under its scheduling policy,
+drives the target bank's row-buffer state machine, holds the channel for
+the access latency, and completes the request:
+
+* **FCFS** serves strictly in arrival order — the baseline that pays a
+  row activation whenever consecutive requests touch different rows.
+* **FR-FCFS** (first-ready, first-come-first-served) serves the oldest
+  request that *hits* an open row buffer, falling back to the oldest
+  request overall — the standard policy that harvests row locality from
+  an interleaved stream (Rixner et al.), and the one real PIM memory
+  controllers such as HBM-PIM's use.
+
+PIM requests are all-bank operations: every bank of the channel executes
+the access in lockstep (latency is the slowest bank's), so one command
+moves ``n_banks`` pages — the bandwidth-reclaiming broadcast mode.
+
+Statistics flow through :mod:`repro.desim.stats`: a :class:`Tally` of
+request latencies, a :class:`TimeWeighted` queue length, a
+:class:`StateTimer` for busy/idle utilization, and :class:`Counter`\\ s
+of completed requests and delivered bits.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..desim import Counter, StateTimer, Tally, TimeWeighted
+from ..desim.events import Event
+from .bank import Bank
+from .request import MemRequest, Op
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..desim.core import Simulator
+
+__all__ = ["FCFS", "FRFCFS", "POLICIES", "ChannelController"]
+
+#: Scheduling policy names.
+FCFS = "fcfs"
+FRFCFS = "frfcfs"
+POLICIES = (FCFS, FRFCFS)
+
+
+class ChannelController:
+    """Request queue + scheduler + banks for one channel.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock (ns) the controller runs on.
+    channel_id:
+        Index of this channel in the system.
+    banks:
+        The channel's banks, flattened across bankgroups.
+    policy:
+        ``"fcfs"`` or ``"frfcfs"``.
+    queue_depth:
+        Maximum queued requests; injectors wait on
+        :meth:`space_event` when the queue is full (backpressure).
+    banks_per_group:
+        Banks per bankgroup, for flattening decoded coordinates into
+        the ``banks`` list; defaults to ``len(banks)`` (one group).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        channel_id: int,
+        banks: _t.Sequence[Bank],
+        policy: str = FRFCFS,
+        queue_depth: int = 16,
+        banks_per_group: _t.Optional[int] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; available: {POLICIES}"
+            )
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if not banks:
+            raise ValueError("a channel needs at least one bank")
+        self.sim = sim
+        self.channel_id = channel_id
+        self.banks = list(banks)
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.banks_per_group = (
+            len(self.banks) if banks_per_group is None else banks_per_group
+        )
+        if not 1 <= self.banks_per_group <= len(self.banks):
+            raise ValueError(
+                f"banks_per_group={self.banks_per_group} must be in "
+                f"[1, {len(self.banks)}]"
+            )
+
+        self.pending: _t.List[MemRequest] = []
+        self._wakeup: _t.Optional[Event] = None
+        self._space_waiters: _t.List[Event] = []
+
+        name = f"ch{channel_id}"
+        self.latency = Tally(f"{name}.latency")
+        self.queue_len = TimeWeighted(f"{name}.queue", 0.0, sim.now)
+        self.utilization = StateTimer("idle", sim.now, f"{name}.state")
+        self.completed = Counter(f"{name}.requests", sim.now)
+        self.bits_delivered = Counter(f"{name}.bits", sim.now)
+
+        self.process = sim.process(self._run(), name=f"memctrl.{name}")
+
+    # ------------------------------------------------------------------
+    # queue admission
+    # ------------------------------------------------------------------
+    @property
+    def has_space(self) -> bool:
+        return len(self.pending) < self.queue_depth
+
+    def space_event(self) -> Event:
+        """Event that succeeds the next time a queue slot frees up."""
+        event = self.sim.event()
+        self._space_waiters.append(event)
+        return event
+
+    def enqueue(self, request: MemRequest) -> Event:
+        """Admit ``request``; returns its completion event.
+
+        Raises
+        ------
+        OverflowError
+            If the queue is full — callers must respect
+            :attr:`has_space` / :meth:`space_event`.
+        """
+        if not self.has_space:
+            raise OverflowError(
+                f"channel {self.channel_id} queue full "
+                f"(depth {self.queue_depth})"
+            )
+        request.arrival = self.sim.now
+        request.done = self.sim.event()
+        self.pending.append(request)
+        self.queue_len.update(len(self.pending), self.sim.now)
+        self.sim.trace(
+            "memsys.enqueue", channel=self.channel_id, addr=request.addr,
+            op=request.op.value,
+        )
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return request.done
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _select(self) -> MemRequest:
+        """Pick the next request under the configured policy."""
+        if self.policy == FRFCFS:
+            for request in self.pending:  # oldest row hit first
+                coords = request.coords
+                if coords is None or request.op is Op.PIM:
+                    continue
+                bank = self.banks[self._bank_index(coords)]
+                if bank.is_hit(coords.row):
+                    return request
+        return self.pending[0]
+
+    def _bank_index(self, coords) -> int:
+        return coords.flat_bank(self.banks_per_group) % len(self.banks)
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def _serve(self, request: MemRequest) -> float:
+        """Drive the bank state machine(s); returns the access latency."""
+        coords = request.coords
+        assert coords is not None
+        page_bits = self.banks[0].timing.page_bits
+        if request.op is Op.PIM:
+            # All-bank broadcast: every bank accesses the row in
+            # lockstep; the channel is held for the slowest bank.
+            latency = 0.0
+            worst = "hit"
+            for bank in self.banks:
+                access = bank.access(coords.row)
+                if access.latency_ns > latency:
+                    latency = access.latency_ns
+                    worst = access.outcome
+            request.outcome = worst
+            request.bits = page_bits * len(self.banks)
+            return latency
+        bank = self.banks[self._bank_index(coords)]
+        access = bank.access(coords.row)
+        request.outcome = access.outcome
+        request.bits = page_bits
+        return access.latency_ns
+
+    def _run(self):
+        """Controller main loop (a desim process)."""
+        sim = self.sim
+        while True:
+            if not self.pending:
+                self.utilization.transition("idle", sim.now)
+                self._wakeup = sim.event()
+                yield self._wakeup
+                self._wakeup = None
+            self.utilization.transition("busy", sim.now)
+            request = self._select()
+            self.pending.remove(request)
+            self.queue_len.update(len(self.pending), sim.now)
+            waiters, self._space_waiters = self._space_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+            request.start_service = sim.now
+            latency = self._serve(request)
+            yield sim.timeout(latency)
+            request.finish = sim.now
+            self.latency.record(request.latency)
+            self.completed.increment()
+            self.bits_delivered.increment(request.bits)
+            sim.trace(
+                "memsys.complete", channel=self.channel_id,
+                addr=request.addr, outcome=request.outcome,
+                latency=request.latency,
+            )
+            done = request.done
+            assert done is not None
+            done.succeed(request)
+
+    # ------------------------------------------------------------------
+    @property
+    def row_hit_rate(self) -> float:
+        """Aggregate row-hit rate over the channel's banks."""
+        hits = sum(b.hits for b in self.banks)
+        total = sum(b.accesses for b in self.banks)
+        return hits / total if total else float("nan")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChannelController ch{self.channel_id} {self.policy} "
+            f"banks={len(self.banks)} pending={len(self.pending)}>"
+        )

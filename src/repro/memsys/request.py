@@ -1,0 +1,96 @@
+"""Memory-system request records.
+
+A :class:`MemRequest` is one transaction presented to the memory system:
+a host read or write of one transaction granule, or a PIM all-bank
+operation that commands every bank of the target channel in lockstep
+(the HBM-PIM "AB mode" — the mechanism by which processing-in-memory
+reclaims the aggregate row-buffer bandwidth of all banks at once).
+
+Requests double as trace records: the trace layer serializes only
+``(op, addr)``; the runtime fields (coordinates, timestamps, completion
+event) are filled in during replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..desim.events import Event
+    from .addrmap import Coordinates
+
+__all__ = ["Op", "MemRequest"]
+
+
+class Op(enum.Enum):
+    """Request kind, with its single-letter trace mnemonic as value."""
+
+    READ = "R"
+    WRITE = "W"
+    PIM = "P"
+
+    @classmethod
+    def from_mnemonic(cls, token: str) -> "Op":
+        try:
+            return cls(token.upper())
+        except ValueError:
+            raise ValueError(
+                f"unknown trace op {token!r}; expected one of "
+                f"{[op.value for op in cls]}"
+            ) from None
+
+
+@dataclasses.dataclass
+class MemRequest:
+    """One transaction, from trace record to completed access.
+
+    Attributes
+    ----------
+    op, addr:
+        The trace-visible payload: request kind and byte address.
+    coords:
+        Decoded coordinates, set when the system routes the request.
+    arrival, start_service, finish:
+        Simulation timestamps (ns), ``nan`` until reached.
+    outcome:
+        Row-buffer outcome ("hit" / "miss" / "conflict"), set at service.
+    bits:
+        Data bits moved by the completed access (PIM all-bank requests
+        move one page per bank).
+    done:
+        Completion event, created by the controller at enqueue.
+    """
+
+    op: Op
+    addr: int
+    coords: _t.Optional["Coordinates"] = None
+    arrival: float = math.nan
+    start_service: float = math.nan
+    finish: float = math.nan
+    outcome: _t.Optional[str] = None
+    bits: int = 0
+    done: _t.Optional["Event"] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, Op):
+            self.op = Op.from_mnemonic(str(self.op))
+        self.addr = int(self.addr)
+        if self.addr < 0:
+            raise ValueError(f"address must be non-negative, got {self.addr}")
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-finish latency in ns (``nan`` until completed)."""
+        return self.finish - self.arrival
+
+    def same_payload(self, other: "MemRequest") -> bool:
+        """Trace-level equality: op and address only."""
+        return self.op is other.op and self.addr == other.addr
+
+    def __repr__(self) -> str:
+        return f"<MemRequest {self.op.value} {self.addr:#x}>"

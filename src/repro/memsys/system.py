@@ -1,0 +1,326 @@
+"""The top-level trace-driven memory system.
+
+:class:`MemorySystem` ties an :class:`~repro.memsys.addrmap.AddressMap`
+to a set of per-channel controllers (each with its banks) on one
+:class:`~repro.desim.Simulator` clock, replays request streams with
+bounded-queue backpressure, and reduces the per-channel
+:mod:`repro.desim.stats` collectors into a :class:`MemSysStats` summary:
+sustained bandwidth, row-hit rate, and queue latency — the simulated
+counterparts of the §2.1 closed forms in :mod:`repro.arch.dram`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from ..arch.dram import DramMacroTiming
+from ..desim import Simulator
+from .addrmap import AddressMap, SCHEMES
+from .bank import Bank
+from .controller import FRFCFS, POLICIES, ChannelController
+from .request import MemRequest, Op
+
+__all__ = ["MemSysConfig", "MemSysStats", "MemorySystem"]
+
+
+def _log2(value: int, what: str) -> int:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MemSysConfig:
+    """Geometry, timing, and policy of one simulated memory system.
+
+    Attributes
+    ----------
+    n_channels, bankgroups, banks_per_group:
+        Resource counts (powers of two); total banks per channel is
+        ``bankgroups * banks_per_group``.
+    rows_per_bank:
+        Rows per bank (power of two); sets the row field width.
+    timing:
+        Per-bank macro timing (paper defaults if omitted); the column
+        field width and transaction size derive from ``page_bits``.
+    precharge_ns:
+        Explicit row-conflict precharge (0 matches the analytic model).
+    scheme:
+        Address-interleaving scheme name (see
+        :data:`repro.memsys.addrmap.SCHEMES`).
+    policy:
+        Controller scheduling policy (``"fcfs"`` / ``"frfcfs"``).
+    queue_depth:
+        Per-channel request-queue depth.
+    """
+
+    n_channels: int = 2
+    bankgroups: int = 2
+    banks_per_group: int = 2
+    rows_per_bank: int = 16384
+    timing: DramMacroTiming = dataclasses.field(
+        default_factory=DramMacroTiming
+    )
+    precharge_ns: float = 0.0
+    scheme: str = "row-major"
+    policy: str = FRFCFS
+    queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; available: "
+                f"{sorted(SCHEMES)}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; available: {POLICIES}"
+            )
+        self.address_map()  # validates the power-of-two geometry
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.bankgroups * self.banks_per_group
+
+    @property
+    def transaction_bytes(self) -> int:
+        """Bytes per transaction: one page of the row buffer."""
+        return self.timing.page_bits // 8
+
+    def address_map(self) -> AddressMap:
+        """The bit-field map implied by this geometry."""
+        return AddressMap.from_scheme(
+            self.scheme,
+            channel_bits=_log2(self.n_channels, "n_channels"),
+            bankgroup_bits=_log2(self.bankgroups, "bankgroups"),
+            bank_bits=_log2(self.banks_per_group, "banks_per_group"),
+            row_bits=_log2(self.rows_per_bank, "rows_per_bank"),
+            column_bits=_log2(
+                self.timing.pages_per_row, "pages_per_row"
+            ),
+            offset_bits=_log2(
+                max(1, self.transaction_bytes), "transaction bytes"
+            ),
+        )
+
+
+@dataclasses.dataclass
+class MemSysStats:
+    """Replay summary, reduced from the desim collectors."""
+
+    n_requests: int
+    total_bits: int
+    makespan_ns: float
+    sustained_bits_per_sec: float
+    row_hit_rate: float
+    row_hits: int
+    row_misses: int
+    row_conflicts: int
+    mean_queue_latency_ns: float
+    #: Time-averaged queue length per channel (averaged over channels,
+    #: like :attr:`channel_utilization`).
+    mean_queue_length: float
+    channel_utilization: float
+    per_channel: _t.List[dict]
+
+    def to_rows(self) -> _t.List[dict]:
+        """Per-channel table rows for CSV/report export."""
+        return self.per_channel
+
+    def summary(self) -> dict:
+        """Flat system-level row for CSV/report export."""
+        return {
+            "requests": self.n_requests,
+            "sustained_gbit_per_s": self.sustained_bits_per_sec / 1e9,
+            "row_hit_rate": self.row_hit_rate,
+            "mean_latency_ns": self.mean_queue_latency_ns,
+            "mean_queue_length": self.mean_queue_length,
+            "utilization": self.channel_utilization,
+            "makespan_ns": self.makespan_ns,
+        }
+
+
+class MemorySystem:
+    """Banked, multi-channel memory system on a desim clock.
+
+    Parameters
+    ----------
+    config:
+        Geometry/timing/policy; defaults to :class:`MemSysConfig`.
+    sim:
+        An existing simulator to share a clock with other models; a
+        private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        config: _t.Optional[MemSysConfig] = None,
+        sim: _t.Optional[Simulator] = None,
+    ) -> None:
+        self.config = config or MemSysConfig()
+        # an idle Simulator is falsy (it has __len__), so test identity
+        self.sim = sim if sim is not None else Simulator()
+        self.addr_map = self.config.address_map()
+        self._replayed = False
+        self.controllers: _t.List[ChannelController] = []
+        for channel in range(self.config.n_channels):
+            banks = [
+                Bank(
+                    self.config.timing,
+                    self.config.precharge_ns,
+                    name=f"ch{channel}.b{index}",
+                )
+                for index in range(self.config.banks_per_channel)
+            ]
+            self.controllers.append(
+                ChannelController(
+                    self.sim,
+                    channel,
+                    banks,
+                    policy=self.config.policy,
+                    queue_depth=self.config.queue_depth,
+                    banks_per_group=self.config.banks_per_group,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    def route(self, request: MemRequest) -> ChannelController:
+        """Decode the request's coordinates; return its controller."""
+        request.coords = self.addr_map.decode(request.addr)
+        return self.controllers[request.coords.channel]
+
+    def submit(self, request: MemRequest):
+        """Route and enqueue one request; returns its completion event.
+
+        The caller must respect queue backpressure (see
+        :meth:`ChannelController.has_space`); :meth:`replay` does.
+        """
+        return self.route(request).enqueue(request)
+
+    def pim_broadcast(self, row: int) -> _t.List[MemRequest]:
+        """Issue one PIM all-bank request per channel for ``row``.
+
+        Convenience for chip-wide PIM kernels; returns the requests.
+        """
+        requests = []
+        for channel in range(self.config.n_channels):
+            coords = dataclasses.replace(
+                self.addr_map.decode(0), channel=channel, row=row
+            )
+            request = MemRequest(Op.PIM, self.addr_map.encode(coords))
+            self.submit(request)
+            requests.append(request)
+        return requests
+
+    # ------------------------------------------------------------------
+    # trace replay
+    # ------------------------------------------------------------------
+    def _injector(self, requests: _t.Sequence[MemRequest]):
+        for request in requests:
+            controller = self.route(request)
+            while not controller.has_space:
+                yield controller.space_event()
+            controller.enqueue(request)
+
+    def replay(self, requests: _t.Sequence[MemRequest]) -> MemSysStats:
+        """Replay ``requests`` back-to-back; run to completion.
+
+        Requests are injected in order as queue slots free up (bounded
+        by ``config.queue_depth`` per channel), modeling an open queue
+        fed at line rate — the sustained-bandwidth regime of §2.1.
+        """
+        requests = list(requests)
+        if not requests:
+            raise ValueError("cannot replay an empty request stream")
+        if self._replayed:
+            raise RuntimeError(
+                "this MemorySystem has already replayed a trace; its "
+                "counters are cumulative — build a fresh MemorySystem "
+                "per trace"
+            )
+        self._replayed = True
+        self.sim.process(self._injector(requests), name="memsys.injector")
+        self.sim.run()
+        unfinished = [r for r in requests if math.isnan(r.finish)]
+        if unfinished:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"{len(unfinished)} request(s) never completed"
+            )
+        return self.gather_stats()
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def gather_stats(self) -> MemSysStats:
+        """Reduce controller/bank collectors into a summary."""
+        now = self.sim.now
+        per_channel = []
+        latency = None
+        total_bits = 0
+        n_requests = 0
+        hits = misses = conflicts = 0
+        queue_len_sum = 0.0
+        busy_sum = 0.0
+        for controller in self.controllers:
+            banks = controller.banks
+            hits += sum(b.hits for b in banks)
+            misses += sum(b.misses for b in banks)
+            conflicts += sum(b.conflicts for b in banks)
+            total_bits += controller.bits_delivered.count
+            n_requests += controller.completed.count
+            latency = (
+                controller.latency
+                if latency is None
+                else latency.merge(controller.latency)
+            )
+            mean_queue = controller.queue_len.time_average(now)
+            queue_len_sum += 0.0 if math.isnan(mean_queue) else mean_queue
+            busy = controller.utilization.fraction("busy", now)
+            busy_sum += 0.0 if math.isnan(busy) else busy
+            per_channel.append(
+                {
+                    "channel": controller.channel_id,
+                    "requests": controller.completed.count,
+                    "row_hit_rate": controller.row_hit_rate,
+                    "mean_latency_ns": controller.latency.mean,
+                    "gbit_delivered": controller.bits_delivered.count / 1e9,
+                }
+            )
+        accesses = hits + misses + conflicts
+        return MemSysStats(
+            n_requests=n_requests,
+            total_bits=total_bits,
+            makespan_ns=now,
+            sustained_bits_per_sec=(
+                total_bits / (now * 1e-9) if now > 0 else math.nan
+            ),
+            row_hit_rate=hits / accesses if accesses else math.nan,
+            row_hits=hits,
+            row_misses=misses,
+            row_conflicts=conflicts,
+            mean_queue_latency_ns=(
+                latency.mean if latency is not None else math.nan
+            ),
+            mean_queue_length=(
+                queue_len_sum / len(self.controllers)
+                if self.controllers
+                else math.nan
+            ),
+            channel_utilization=(
+                busy_sum / len(self.controllers)
+                if self.controllers
+                else math.nan
+            ),
+            per_channel=per_channel,
+        )
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (
+            f"<MemorySystem {c.n_channels}ch x "
+            f"{c.banks_per_channel}banks {c.scheme} {c.policy}>"
+        )

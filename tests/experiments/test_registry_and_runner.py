@@ -29,6 +29,7 @@ EXPECTED_NAMES = {
     "ablation-imbalance",
     "ablation-network",
     "extension-energy",
+    "memsys_bandwidth",
 }
 
 

@@ -1,0 +1,75 @@
+"""Tests for the per-bank row-buffer state machine."""
+
+import math
+
+import pytest
+
+from repro.arch.dram import DramMacroTiming
+from repro.memsys import Bank
+
+
+class TestStateMachine:
+    def test_first_access_is_a_miss_paying_activation(self):
+        bank = Bank()
+        access = bank.access(7)
+        assert access.outcome == "miss"
+        assert access.latency_ns == pytest.approx(20.0 + 2.0)
+        assert bank.open_row == 7
+
+    def test_same_row_hits_at_page_rate(self):
+        bank = Bank()
+        bank.access(7)
+        access = bank.access(7)
+        assert access.outcome == "hit"
+        assert access.latency_ns == pytest.approx(2.0)
+
+    def test_row_switch_is_a_conflict(self):
+        bank = Bank(precharge_ns=10.0)
+        bank.access(7)
+        access = bank.access(8)
+        assert access.outcome == "conflict"
+        assert access.latency_ns == pytest.approx(10.0 + 20.0 + 2.0)
+        assert bank.open_row == 8
+
+    def test_precharge_closes_the_row(self):
+        bank = Bank()
+        bank.access(7)
+        bank.precharge()
+        assert bank.open_row is None
+        assert bank.access(7).outcome == "miss"
+
+    def test_is_hit_does_not_mutate(self):
+        bank = Bank()
+        bank.access(3)
+        assert bank.is_hit(3)
+        assert not bank.is_hit(4)
+        assert bank.accesses == 1
+
+
+class TestCounters:
+    def test_hit_rate(self):
+        bank = Bank()
+        bank.access(1)              # miss
+        for _ in range(7):
+            bank.access(1)          # hits
+        bank.access(2)              # conflict
+        assert bank.hits == 7
+        assert bank.misses == 1
+        assert bank.conflicts == 1
+        assert bank.row_hit_rate == pytest.approx(7 / 9)
+
+    def test_empty_hit_rate_nan(self):
+        assert math.isnan(Bank().row_hit_rate)
+
+    def test_rejects_negative_precharge(self):
+        with pytest.raises(ValueError):
+            Bank(precharge_ns=-1.0)
+
+    def test_custom_timing(self):
+        timing = DramMacroTiming(
+            row_bits=1024, page_bits=128,
+            row_access_ns=10.0, page_access_ns=1.0,
+        )
+        bank = Bank(timing)
+        assert bank.access(0).latency_ns == pytest.approx(11.0)
+        assert bank.access(0).latency_ns == pytest.approx(1.0)
