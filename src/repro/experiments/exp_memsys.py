@@ -14,7 +14,15 @@ closed forms of :mod:`repro.arch.dram`:
   stream;
 * PIM all-bank mode reclaims the aggregate row-buffer bandwidth of
   every bank on the channel — the paper's "hidden bandwidth", now
-  observed in simulation rather than derived.
+  observed in simulation rather than derived;
+* the event-free fast-path replay engine
+  (:mod:`repro.memsys.fastpath`) reproduces the event engine's
+  statistics on the same traces — the cross-check that lets every other
+  sweep here run on the fast path.
+
+The sweeps themselves replay through ``engine="auto"`` (the fast path),
+which is what makes the full-size grids cheap; the equivalence section
+replays a sample of traces through *both* engines and asserts agreement.
 """
 
 from __future__ import annotations
@@ -208,6 +216,58 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         },
     ]
 
+    # ------------------------------------------------------------------
+    # 5. engine cross-validation: event vs. fast path on shared traces
+    # ------------------------------------------------------------------
+    engine_rows = []
+    engines_agree = True
+    eq_n = min(n, 5_000)  # the event engine is the slow side here
+    for pattern in ("sequential", "strided", "random"):
+        eq_config = MemSysConfig(scheme="channel-interleaved")
+        eq_trace = synthesize_trace(
+            pattern, eq_n, eq_config, seed=config.seed
+        )
+        event_stats = MemorySystem(eq_config).replay(
+            _fresh(eq_trace), engine="event"
+        )
+        fast_system = MemorySystem(eq_config)
+        fast_stats = fast_system.replay(
+            _fresh(eq_trace), engine="fast"
+        )
+        event_summary = event_stats.summary()
+        fast_summary = fast_stats.summary()
+        deviation = max(
+            (
+                abs(fast_summary[key] - value)
+                / (abs(value) if value else 1.0)
+                for key, value in event_summary.items()
+            ),
+            default=0.0,
+        )
+        counters_equal = (
+            fast_stats.n_requests == event_stats.n_requests
+            and fast_stats.total_bits == event_stats.total_bits
+            and fast_stats.row_hits == event_stats.row_hits
+            and fast_stats.row_misses == event_stats.row_misses
+            and fast_stats.row_conflicts == event_stats.row_conflicts
+        )
+        engines_agree = (
+            engines_agree and counters_equal and deviation < 1e-9
+        )
+        engine_rows.append(
+            {
+                "pattern": pattern,
+                "fast_tier": fast_system.last_replay_engine,
+                "event_gbit_per_s": (
+                    event_stats.sustained_bits_per_sec / 1e9
+                ),
+                "fast_gbit_per_s": (
+                    fast_stats.sustained_bits_per_sec / 1e9
+                ),
+                "max_rel_deviation": deviation,
+            }
+        )
+
     checks = {
         "streaming FR-FCFS within 5% of analytic model": (
             stream_err < 0.05
@@ -224,6 +284,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "PIM all-bank reclaims multi-bank bandwidth": (
             pim_speedup > 0.9 * one_channel.banks_per_channel
         ),
+        "fast-path engine matches event-engine stats": engines_agree,
     }
     return ExperimentResult(
         name="memsys_bandwidth",
@@ -234,6 +295,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "scheme_pattern_sweep": sweep_rows,
             "policy_comparison": policy_rows,
             "pim_mode": pim_rows,
+            "engine_equivalence": engine_rows,
         },
         plots={},
         summary=[
@@ -247,6 +309,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"{policy_hits['fcfs']:.2f} on a row-interleaved stream",
             f"PIM all-bank mode sustains {pim_speedup:.1f}x the host "
             "streaming bandwidth of the same channel",
+            "fast-path replay engine "
+            + ("matches" if engines_agree else "DIVERGES from")
+            + " the event engine on every cross-checked trace",
         ],
         checks=checks,
     )

@@ -17,12 +17,34 @@ import typing as _t
 
 from ..arch.dram import DramMacroTiming
 
-__all__ = ["BankAccess", "Bank"]
+__all__ = ["BankAccess", "Bank", "latency_table"]
 
 #: Row-buffer outcomes.
 HIT = "hit"
 MISS = "miss"
 CONFLICT = "conflict"
+
+#: Outcomes in the packed-code order used by the fast-path engine.
+OUTCOMES = (HIT, MISS, CONFLICT)
+
+
+def latency_table(
+    timing: DramMacroTiming, precharge_ns: float = 0.0
+) -> _t.Dict[str, float]:
+    """Outcome -> access latency (ns) for one bank.
+
+    The single source of the per-outcome service times: both the
+    event-driven :meth:`Bank.access` state machine and the closed-form
+    fast-path engine read from this table, so the two engines charge
+    bit-identical latencies.
+    """
+    return {
+        HIT: timing.page_access_ns,
+        MISS: timing.row_access_ns + timing.page_access_ns,
+        CONFLICT: (
+            precharge_ns + timing.row_access_ns + timing.page_access_ns
+        ),
+    }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,7 +71,7 @@ class Bank:
 
     __slots__ = (
         "timing", "precharge_ns", "name",
-        "open_row", "hits", "misses", "conflicts",
+        "open_row", "hits", "misses", "conflicts", "_latency_ns",
     )
 
     def __init__(
@@ -63,6 +85,10 @@ class Bank:
         self.timing = timing or DramMacroTiming()
         self.precharge_ns = float(precharge_ns)
         self.name = name
+        #: Outcome -> access latency, fixed by the timing parameters.
+        #: Shared with the fast-path engine so both engines charge
+        #: bit-identical service times.
+        self._latency_ns = latency_table(self.timing, self.precharge_ns)
         #: Currently latched row, or ``None`` when the bank is closed.
         self.open_row: _t.Optional[int] = None
         self.hits = 0
@@ -78,20 +104,14 @@ class Bank:
         """Access one page of ``row``, updating state and counters."""
         if self.open_row == row:
             self.hits += 1
-            return BankAccess(self.timing.page_access_ns, HIT)
+            return BankAccess(self._latency_ns[HIT], HIT)
         if self.open_row is None:
             self.misses += 1
-            latency = self.timing.row_access_ns + self.timing.page_access_ns
             self.open_row = row
-            return BankAccess(latency, MISS)
+            return BankAccess(self._latency_ns[MISS], MISS)
         self.conflicts += 1
-        latency = (
-            self.precharge_ns
-            + self.timing.row_access_ns
-            + self.timing.page_access_ns
-        )
         self.open_row = row
-        return BankAccess(latency, CONFLICT)
+        return BankAccess(self._latency_ns[CONFLICT], CONFLICT)
 
     def precharge(self) -> None:
         """Close the row buffer (e.g. between PIM kernels or refresh)."""

@@ -121,6 +121,18 @@ class ChannelController:
         self._space_waiters.append(event)
         return event
 
+    def _admit(self, request: MemRequest, now: float) -> None:
+        """Timestamp and queue ``request`` at ``now``, updating stats.
+
+        The admission bookkeeping shared by the event engine (via
+        :meth:`enqueue`) and the fast-path replay engine (which drives
+        the controller with an incremental ready-time scan instead of a
+        simulator clock).
+        """
+        request.arrival = now
+        self.pending.append(request)
+        self.queue_len.update(len(self.pending), now)
+
     def enqueue(self, request: MemRequest) -> Event:
         """Admit ``request``; returns its completion event.
 
@@ -135,10 +147,8 @@ class ChannelController:
                 f"channel {self.channel_id} queue full "
                 f"(depth {self.queue_depth})"
             )
-        request.arrival = self.sim.now
         request.done = self.sim.event()
-        self.pending.append(request)
-        self.queue_len.update(len(self.pending), self.sim.now)
+        self._admit(request, self.sim.now)
         self.sim.trace(
             "memsys.enqueue", channel=self.channel_id, addr=request.addr,
             op=request.op.value,
@@ -192,6 +202,29 @@ class ChannelController:
         request.bits = page_bits
         return access.latency_ns
 
+    def _begin_service(self, now: float) -> _t.Tuple[MemRequest, float]:
+        """Dequeue the next request at ``now`` and drive its banks.
+
+        The service-start sequence shared by both engines: busy
+        transition, policy selection, queue-length update, and the bank
+        state-machine access.  Returns ``(request, latency_ns)``; the
+        caller owns the passage of time (a desim timeout for the event
+        engine, ready-time arithmetic for the fast path).
+        """
+        self.utilization.transition("busy", now)
+        request = self._select()
+        self.pending.remove(request)
+        self.queue_len.update(len(self.pending), now)
+        request.start_service = now
+        return request, self._serve(request)
+
+    def _finish_service(self, request: MemRequest, now: float) -> None:
+        """Record the completion of ``request`` at ``now``."""
+        request.finish = now
+        self.latency.record(request.latency)
+        self.completed.increment()
+        self.bits_delivered.increment(request.bits)
+
     def _run(self):
         """Controller main loop (a desim process)."""
         sim = self.sim
@@ -201,21 +234,13 @@ class ChannelController:
                 self._wakeup = sim.event()
                 yield self._wakeup
                 self._wakeup = None
-            self.utilization.transition("busy", sim.now)
-            request = self._select()
-            self.pending.remove(request)
-            self.queue_len.update(len(self.pending), sim.now)
+            request, latency = self._begin_service(sim.now)
             waiters, self._space_waiters = self._space_waiters, []
             for waiter in waiters:
                 if not waiter.triggered:
                     waiter.succeed()
-            request.start_service = sim.now
-            latency = self._serve(request)
             yield sim.timeout(latency)
-            request.finish = sim.now
-            self.latency.record(request.latency)
-            self.completed.increment()
-            self.bits_delivered.increment(request.bits)
+            self._finish_service(request, sim.now)
             sim.trace(
                 "memsys.complete", channel=self.channel_id,
                 addr=request.addr, outcome=request.outcome,

@@ -1,0 +1,542 @@
+"""Event-free fast-path replay engine.
+
+The desim event engine replays a trace by scheduling two events per
+request (a queue wakeup and a service timeout) through a generator-based
+process kernel — faithful, observable, and ~50k requests/s.  Every
+quantity it produces, however, is *determined* by the trace and the
+configuration: service durations follow from per-bank row sequences,
+service starts are back-to-back while a queue is busy, and arrivals are
+pinned to queue-slot releases by the bounded-queue injector.  This
+module exploits that determinism to replay traces at millions of
+requests per second while producing the same :class:`MemSysStats`.
+
+It is organized as two tiers behind one entry point,
+:func:`replay_fast`:
+
+**Tier 1 — vectorized closed form.**  Banks are reduced to plain
+``(open_row, ready_at_ns)`` records advanced by array arithmetic:
+
+* per-channel FIFO service order is assumed, row-buffer outcomes are
+  computed in one vectorized pass (previous-same-bank row comparison —
+  an open-row streak of ``L`` requests costs one activation plus ``L``
+  batched page spans, charged by a single ``cumsum``), and service
+  finishes follow as ``F = cumsum(durations)``;
+* arrivals follow from the bounded queue: the ``m``-th request of a
+  channel is admitted exactly when the ``(m - depth)``-th service
+  *starts* (that dequeue frees its slot), so ``A[m] = S[m - depth]``
+  and queue latency is an incremental ready-time scan, not a simulated
+  clock.
+
+Two *certificates* — exact, conservative, and themselves vectorized —
+decide whether the closed form reproduces the event engine:
+
+1. *FIFO certificate* (FR-FCFS only): at every selection whose head is
+   not a row hit, no request in the queue window (the next
+   ``queue_depth - 1`` same-channel requests — exactly the engine's
+   visible queue) hits its bank's open row.  When that holds, FR-FCFS
+   never reorders and the FIFO outcome arrays are exact.  FCFS and
+   pure-PIM channels (the all-bank scan skips PIM requests) are FIFO by
+   construction.
+2. *Line-rate certificate*: the arrival candidates ``A[m] = S[m-depth]``
+   must be non-decreasing in trace order.  Then the injector never
+   stalls one channel on another's full queue, every selection finds a
+   non-empty queue, and the closed-form times solve the engine's
+   recurrences exactly (bit-for-bit: ``cumsum`` performs the same
+   left-to-right float additions the event clock does).
+
+Streaming, strided, and PIM all-bank traces pass both certificates.
+
+**Tier 2 — exact incremental replay.**  Traces that fail a certificate
+(e.g. random traffic, whose channel imbalance starves queues and whose
+stray row hits let FR-FCFS reorder) fall back to a lean discrete replay
+that reproduces the event engine's ``(time, priority, insertion)``
+scheduling order with three plain tuple kinds on a heap — no Event
+objects, no generators, no process bookkeeping — driving the *same*
+controller bookkeeping (:meth:`ChannelController._admit` /
+``_begin_service`` / ``_finish_service``) and the same Bank state
+machines, so its statistics are bit-identical to the event engine's by
+construction, at roughly twice its speed.
+
+Differences from the event engine (both tiers):
+
+* no per-event trace records are emitted (``engine="auto"`` therefore
+  only picks the fast path when no tracer is attached);
+* ``MemRequest.done`` completion events are not created;
+* per-request runtime fields (coords, timestamps, outcome, bits) are
+  written back for object traces but not for
+  :class:`~repro.memsys.trace.PackedTrace` inputs, which never
+  materialize request objects at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as _t
+
+import numpy as np
+
+from .addrmap import Coordinates
+from .bank import OUTCOMES, latency_table
+from .controller import FRFCFS
+from .request import MemRequest, OPS_BY_CODE, Op
+from .trace import PackedTrace
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .system import MemorySystem, MemSysStats
+
+__all__ = ["replay_fast"]
+
+#: Outcome codes, aligned with :data:`repro.memsys.bank.OUTCOMES`.
+_HIT, _MISS, _CONFLICT = 0, 1, 2
+_PIM_CODE = Op.PIM.code
+
+#: Tier-2 scheduling vocabulary, mirroring the desim heap discipline.
+_URGENT, _NORMAL = 0, 1
+_COMPLETE, _INJECT, _WAKEUP = 0, 1, 2
+
+
+def replay_fast(
+    system: "MemorySystem",
+    trace: _t.Union[_t.Sequence[MemRequest], PackedTrace],
+) -> "MemSysStats":
+    """Replay ``trace`` through ``system`` without scheduling events.
+
+    Called by :meth:`MemorySystem.replay` with ``engine="fast"`` (or
+    ``"auto"``); picks the vectorized closed form when its certificates
+    hold and the exact incremental replay otherwise.  Populates the
+    system's controllers and banks with the same counters the event
+    engine would leave behind, advances the simulator clock to the
+    replay makespan, and reduces statistics through the shared
+    :meth:`MemorySystem.gather_stats`.
+    """
+    if isinstance(trace, PackedTrace):
+        requests: _t.Optional[_t.List[MemRequest]] = None
+        op_codes = trace.op_codes.astype(np.int64)
+        addrs = trace.addrs
+    else:
+        requests = list(trace)
+        n = len(requests)
+        op_codes = np.fromiter(
+            (r.op.code for r in requests), dtype=np.int64, count=n
+        )
+        addrs = np.fromiter(
+            (r.addr for r in requests), dtype=np.int64, count=n
+        )
+    fields = system.addr_map.decode_fields(addrs)
+    config = system.config
+    n_banks = config.banks_per_channel
+    flat_bank = (
+        fields["bankgroup"] * config.banks_per_group + fields["bank"]
+    ) % n_banks
+
+    plan = _vector_plan(
+        system, op_codes, fields["channel"], flat_bank, fields["row"]
+    )
+    if plan is not None:
+        makespan = _commit_vector_plan(system, plan)
+        system.last_replay_engine = "fast-vectorized"
+        if requests is not None:
+            _write_back(requests, fields, plan)
+    else:
+        if requests is None:
+            requests = [
+                MemRequest(OPS_BY_CODE[code], addr)
+                for code, addr in zip(
+                    op_codes.tolist(), addrs.tolist()
+                )
+            ]
+        _assign_coords(requests, fields)
+        makespan = _replay_exact(system, requests, fields["channel"])
+        system.last_replay_engine = "fast-exact"
+    system.sim._now = makespan
+    return system.gather_stats()
+
+
+# ----------------------------------------------------------------------
+# Tier 1: vectorized closed form
+# ----------------------------------------------------------------------
+def _vector_plan(
+    system: "MemorySystem",
+    op_codes: np.ndarray,
+    channel: np.ndarray,
+    flat_bank: np.ndarray,
+    row: np.ndarray,
+) -> _t.Optional[_t.List[_t.Optional[dict]]]:
+    """Try to solve the whole replay in closed form.
+
+    Returns one record per channel (``None`` entries for idle channels)
+    with FIFO outcome codes and the ``A``/``S``/``F`` time arrays, or
+    ``None`` when a certificate fails and the exact tier must run.
+    """
+    config = system.config
+    depth = config.queue_depth
+    n = op_codes.shape[0]
+    table = latency_table(config.timing, config.precharge_ns)
+    latencies = np.array([table[name] for name in OUTCOMES])
+    n_banks = config.banks_per_channel
+    page_bits = config.timing.page_bits
+    arrivals_global = np.zeros(n)
+    plan: _t.List[_t.Optional[dict]] = []
+    for ch in range(config.n_channels):
+        idx = np.nonzero(channel == ch)[0]
+        n_c = int(idx.shape[0])
+        if n_c == 0:
+            plan.append(None)
+            continue
+        bank_c = flat_bank[idx]
+        row_c = row[idx]
+        pim = op_codes[idx] == _PIM_CODE
+        any_pim = bool(pim.any())
+        if any_pim and not bool(pim.all()):
+            return None  # mixed host/PIM stream: exact tier only
+        if any_pim:
+            # All-bank lockstep: every bank holds the previous PIM row,
+            # so outcomes are uniform across banks and follow from the
+            # row stream alone.
+            outcome = np.empty(n_c, dtype=np.int64)
+            outcome[0] = _MISS
+            if n_c > 1:
+                outcome[1:] = np.where(
+                    row_c[1:] == row_c[:-1], _HIT, _CONFLICT
+                )
+            bits_per_request = page_bits * n_banks
+            bank_counts = np.tile(
+                np.bincount(outcome, minlength=3), (n_banks, 1)
+            )
+            open_final: _t.List[_t.Optional[int]] = (
+                [int(row_c[-1])] * n_banks
+            )
+        else:
+            # FIFO row-buffer outcomes: compare each request's row with
+            # the previous request on the same bank (stable sort groups
+            # banks while preserving service order within each).
+            order = np.argsort(bank_c, kind="stable")
+            sorted_bank = bank_c[order]
+            sorted_row = row_c[order]
+            prev_sorted = np.full(n_c, -1, dtype=np.int64)
+            if n_c > 1:
+                same = sorted_bank[1:] == sorted_bank[:-1]
+                prev_sorted[1:][same] = sorted_row[:-1][same]
+            prev_row = np.empty(n_c, dtype=np.int64)
+            prev_row[order] = prev_sorted
+            outcome = np.where(
+                row_c == prev_row,
+                _HIT,
+                np.where(prev_row < 0, _MISS, _CONFLICT),
+            )
+            bits_per_request = page_bits
+            bank_counts = np.bincount(
+                bank_c * 3 + outcome, minlength=3 * n_banks
+            ).reshape(n_banks, 3)
+            open_final = [None] * n_banks
+            group_ends = np.nonzero(
+                np.r_[sorted_bank[1:] != sorted_bank[:-1], True]
+            )[0]
+            for end in group_ends.tolist():
+                open_final[int(sorted_bank[end])] = int(sorted_row[end])
+            if (
+                config.policy == FRFCFS
+                and depth > 1
+                and not _fifo_certificate(
+                    bank_c, row_c, outcome, depth, n_banks
+                )
+            ):
+                return None
+        durations = latencies[outcome]
+        finish = np.cumsum(durations)
+        start = np.empty(n_c)
+        start[0] = 0.0
+        start[1:] = finish[:-1]
+        arrival = np.zeros(n_c)
+        if n_c > depth:
+            arrival[depth:] = start[: n_c - depth]
+        arrivals_global[idx] = arrival
+        plan.append(
+            {
+                "idx": idx,
+                "outcome": outcome,
+                "arrival": arrival,
+                "start": start,
+                "finish": finish,
+                "bits": bits_per_request,
+                "bank_counts": bank_counts,
+                "open_final": open_final,
+            }
+        )
+    # Line-rate certificate: slot-release arrival candidates must be
+    # non-decreasing in trace order, or the injector would have stalled
+    # some channel behind another's full queue.
+    if n > 1 and bool(np.any(np.diff(arrivals_global) < 0)):
+        return None
+    return plan
+
+
+def _fifo_certificate(
+    bank_c: np.ndarray,
+    row_c: np.ndarray,
+    outcome: np.ndarray,
+    depth: int,
+    n_banks: int,
+) -> bool:
+    """Would FR-FCFS ever reorder this channel's FIFO stream?
+
+    At a selection whose queue head *is* a row hit, FR-FCFS picks the
+    oldest hit — the head itself.  So reordering can only start at a
+    selection with a non-hit head and some younger queued request
+    hitting its bank's open row.  The queue visible at the selection of
+    request ``k`` is exactly requests ``k+1 .. k+depth-1`` of the same
+    channel (the ``k+depth``-th slot is released by this very dequeue
+    and its admission is processed after the selection), so the check
+    below is exact while states still follow FIFO — and the first
+    would-be deviation is necessarily detected.
+    """
+    heads = np.nonzero(outcome != _HIT)[0]
+    if heads.size == 0:
+        return True
+    n_c = bank_c.shape[0]
+    # open_at_head[i, b]: row open in bank b just before serving
+    # heads[i] — evaluated only at the (sparse) non-hit selections, via
+    # a binary search into each bank's occurrence list.
+    open_at_head = np.full((heads.shape[0], n_banks), -1, dtype=np.int64)
+    for b in range(n_banks):
+        occurrences = np.nonzero(bank_c == b)[0]
+        if occurrences.size == 0:
+            continue
+        before = np.searchsorted(occurrences, heads)  # strictly before
+        has_prior = before > 0
+        open_at_head[has_prior, b] = row_c[
+            occurrences[before[has_prior] - 1]
+        ]
+    for offset in range(1, depth):
+        queued = heads + offset
+        in_range = queued < n_c
+        if not bool(in_range.any()):
+            break
+        at = np.nonzero(in_range)[0]
+        queued = queued[in_range]
+        if bool(
+            np.any(row_c[queued] == open_at_head[at, bank_c[queued]])
+        ):
+            return False
+    return True
+
+
+def _commit_vector_plan(
+    system: "MemorySystem", plan: _t.List[_t.Optional[dict]]
+) -> float:
+    """Write the closed-form results into the system's collectors.
+
+    Fills each controller's tally/counter/time-weighted collectors and
+    each bank's outcome counters with the values the event engine would
+    have accumulated, so :meth:`MemorySystem.gather_stats` (and any
+    post-replay introspection of banks or controllers) sees the same
+    state.  Returns the replay makespan.
+    """
+    makespan = 0.0
+    for controller, data in zip(system.controllers, plan):
+        if data is None:
+            # the engine's idle controller: one zero-width transition
+            controller.utilization.transition("idle", 0.0)
+            continue
+        arrival = data["arrival"]
+        start = data["start"]
+        finish = data["finish"]
+        n_c = arrival.shape[0]
+        latency = finish - arrival
+        tally = controller.latency
+        mean = latency.mean()
+        tally._n = n_c
+        tally._sum = float(latency.sum())
+        tally._mean = float(mean)
+        tally._m2 = float(np.square(latency - mean).sum())
+        tally._min = float(latency.min())
+        tally._max = float(latency.max())
+        controller.completed._count = n_c
+        controller.bits_delivered._count = int(data["bits"]) * n_c
+        queue = controller.queue_len
+        queue._integral = float((start - arrival).sum())
+        queue._value = 0.0
+        queue._last = float(start[-1])
+        queue._min = 0.0
+        # Under the line-rate certificate every dequeue's freed slot is
+        # refilled at the same instant, so the peak occupancy is the
+        # full queue (or the whole trace, when it fits in one fill).
+        queue._max = float(min(n_c, system.config.queue_depth))
+        busy_until = float(finish[-1])
+        utilization = controller.utilization
+        utilization._totals = {"idle": 0.0, "busy": busy_until}
+        utilization._state = "idle"
+        utilization._since = busy_until
+        for bank, counts, open_row in zip(
+            controller.banks, data["bank_counts"], data["open_final"]
+        ):
+            bank.hits = int(counts[_HIT])
+            bank.misses = int(counts[_MISS])
+            bank.conflicts = int(counts[_CONFLICT])
+            bank.open_row = open_row
+        makespan = max(makespan, busy_until)
+    return makespan
+
+
+def _write_back(
+    requests: _t.List[MemRequest],
+    fields: _t.Dict[str, np.ndarray],
+    plan: _t.List[_t.Optional[dict]],
+) -> None:
+    """Fill per-request runtime fields from the closed-form arrays."""
+    n = len(requests)
+    arrival = np.empty(n)
+    start = np.empty(n)
+    finish = np.empty(n)
+    outcome = np.empty(n, dtype=np.int64)
+    bits = np.empty(n, dtype=np.int64)
+    for data in plan:
+        if data is None:
+            continue
+        idx = data["idx"]
+        arrival[idx] = data["arrival"]
+        start[idx] = data["start"]
+        finish[idx] = data["finish"]
+        outcome[idx] = data["outcome"]
+        bits[idx] = data["bits"]
+    columns = [
+        fields["channel"].tolist(),
+        fields["bankgroup"].tolist(),
+        fields["bank"].tolist(),
+        fields["row"].tolist(),
+        fields["column"].tolist(),
+        arrival.tolist(),
+        start.tolist(),
+        finish.tolist(),
+        outcome.tolist(),
+        bits.tolist(),
+    ]
+    for request, ch, bg, bk, ro, col, arr, st, fin, out, nbits in zip(
+        requests, *columns
+    ):
+        request.coords = Coordinates(ch, bg, bk, ro, col)
+        request.arrival = arr
+        request.start_service = st
+        request.finish = fin
+        request.outcome = OUTCOMES[out]
+        request.bits = nbits
+
+
+# ----------------------------------------------------------------------
+# Tier 2: exact incremental replay
+# ----------------------------------------------------------------------
+def _assign_coords(
+    requests: _t.List[MemRequest], fields: _t.Dict[str, np.ndarray]
+) -> None:
+    """Vectorized-decode counterpart of per-request ``system.route``."""
+    for request, ch, bg, bk, ro, col in zip(
+        requests,
+        fields["channel"].tolist(),
+        fields["bankgroup"].tolist(),
+        fields["bank"].tolist(),
+        fields["row"].tolist(),
+        fields["column"].tolist(),
+    ):
+        request.coords = Coordinates(ch, bg, bk, ro, col)
+
+
+def _replay_exact(
+    system: "MemorySystem",
+    requests: _t.List[MemRequest],
+    channel: np.ndarray,
+) -> float:
+    """Replay with the event engine's exact scheduling order, eventless.
+
+    A heap of plain ``(time, priority, seq, kind, channel, request)``
+    tuples reproduces the desim calendar's ``(time, priority,
+    insertion-order)`` discipline for the only three occurrences that
+    carry state: request completions, injector resumptions (a freed
+    queue slot), and controller wakeups (an enqueue into an idle
+    channel).  All statistics flow through the same controller and bank
+    methods the event engine uses, in the same order, with the same
+    timestamps — so the resulting stats are bit-identical.  Returns the
+    replay makespan.
+    """
+    controllers = system.controllers
+    depth = system.config.queue_depth
+    for controller in controllers:
+        # mirror each controller process's startup idle transition
+        controller.utilization.transition("idle", 0.0)
+    idle = [True] * len(controllers)
+    woken = [False] * len(controllers)
+    heap: _t.List[tuple] = []
+    push = heapq.heappush
+    seq = itertools.count()
+    channel_of = channel.tolist()
+    n = len(requests)
+    cursor = 0  # next request the injector will admit
+    blocked_on = -1  # channel whose full queue blocks the injector
+    now = 0.0
+
+    push(heap, (0.0, _URGENT, next(seq), _INJECT, -1, None))
+    while heap:
+        now, _prio, _seq, kind, ch, request = heapq.heappop(heap)
+        if kind == _COMPLETE:
+            controller = controllers[ch]
+            controller._finish_service(request, now)
+            if controller.pending:
+                served, latency = controller._begin_service(now)
+                if blocked_on == ch:
+                    blocked_on = -1
+                    push(
+                        heap,
+                        (now, _NORMAL, next(seq), _INJECT, -1, None),
+                    )
+                push(
+                    heap,
+                    (
+                        now + latency,
+                        _NORMAL,
+                        next(seq),
+                        _COMPLETE,
+                        ch,
+                        served,
+                    ),
+                )
+            else:
+                controller.utilization.transition("idle", now)
+                idle[ch] = True
+                woken[ch] = False
+        elif kind == _INJECT:
+            while cursor < n:
+                target = channel_of[cursor]
+                controller = controllers[target]
+                if len(controller.pending) >= depth:
+                    blocked_on = target
+                    break
+                controller._admit(requests[cursor], now)
+                if idle[target] and not woken[target]:
+                    woken[target] = True
+                    push(
+                        heap,
+                        (now, _NORMAL, next(seq), _WAKEUP, target, None),
+                    )
+                cursor += 1
+            else:
+                blocked_on = -1
+        else:  # _WAKEUP
+            idle[ch] = False
+            woken[ch] = False
+            controller = controllers[ch]
+            served, latency = controller._begin_service(now)
+            if blocked_on == ch:
+                blocked_on = -1
+                push(heap, (now, _NORMAL, next(seq), _INJECT, -1, None))
+            push(
+                heap,
+                (
+                    now + latency,
+                    _NORMAL,
+                    next(seq),
+                    _COMPLETE,
+                    ch,
+                    served,
+                ),
+            )
+    return now

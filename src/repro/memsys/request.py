@@ -22,7 +22,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from ..desim.events import Event
     from .addrmap import Coordinates
 
-__all__ = ["Op", "MemRequest"]
+__all__ = ["Op", "OPS_BY_CODE", "MemRequest"]
 
 
 class Op(enum.Enum):
@@ -41,6 +41,16 @@ class Op(enum.Enum):
                 f"unknown trace op {token!r}; expected one of "
                 f"{[op.value for op in cls]}"
             ) from None
+
+    @property
+    def code(self) -> int:
+        """Small-integer encoding used by packed (array-backed) traces."""
+        return _OP_CODES[self]
+
+
+#: ``Op`` in packed-code order: ``OPS_BY_CODE[op.code] is op``.
+OPS_BY_CODE = (Op.READ, Op.WRITE, Op.PIM)
+_OP_CODES = {op: code for code, op in enumerate(OPS_BY_CODE)}
 
 
 @dataclasses.dataclass

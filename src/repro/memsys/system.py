@@ -21,8 +21,12 @@ from .addrmap import AddressMap, SCHEMES
 from .bank import Bank
 from .controller import FRFCFS, POLICIES, ChannelController
 from .request import MemRequest, Op
+from .trace import PackedTrace
 
-__all__ = ["MemSysConfig", "MemSysStats", "MemorySystem"]
+__all__ = ["ENGINES", "MemSysConfig", "MemSysStats", "MemorySystem"]
+
+#: Replay engine names accepted by :meth:`MemorySystem.replay`.
+ENGINES = ("event", "fast", "auto")
 
 
 def _log2(value: int, what: str) -> int:
@@ -77,6 +81,14 @@ class MemSysConfig:
         if self.policy not in POLICIES:
             raise ValueError(
                 f"unknown policy {self.policy!r}; available: {POLICIES}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.precharge_ns < 0:
+            raise ValueError(
+                f"precharge_ns must be >= 0, got {self.precharge_ns}"
             )
         self.address_map()  # validates the power-of-two geometry
 
@@ -161,9 +173,14 @@ class MemorySystem:
     ) -> None:
         self.config = config or MemSysConfig()
         # an idle Simulator is falsy (it has __len__), so test identity
+        self._private_sim = sim is None
         self.sim = sim if sim is not None else Simulator()
         self.addr_map = self.config.address_map()
         self._replayed = False
+        #: Which engine the last :meth:`replay` used: ``"event"``,
+        #: ``"fast-vectorized"``, or ``"fast-exact"`` (``None`` before
+        #: any replay).
+        self.last_replay_engine: _t.Optional[str] = None
         self.controllers: _t.List[ChannelController] = []
         for channel in range(self.config.n_channels):
             banks = [
@@ -226,15 +243,46 @@ class MemorySystem:
                 yield controller.space_event()
             controller.enqueue(request)
 
-    def replay(self, requests: _t.Sequence[MemRequest]) -> MemSysStats:
+    def replay(
+        self,
+        requests: _t.Union[_t.Sequence[MemRequest], PackedTrace],
+        engine: str = "auto",
+    ) -> MemSysStats:
         """Replay ``requests`` back-to-back; run to completion.
 
         Requests are injected in order as queue slots free up (bounded
         by ``config.queue_depth`` per channel), modeling an open queue
         fed at line rate — the sustained-bandwidth regime of §2.1.
+
+        Parameters
+        ----------
+        requests:
+            A sequence of :class:`MemRequest` objects or a
+            :class:`~repro.memsys.trace.PackedTrace`.
+        engine:
+            * ``"event"`` — the desim event engine: every request is a
+              scheduled process step; per-event trace hooks fire; every
+              per-request runtime field is filled in.
+            * ``"fast"`` — the event-free fast path
+              (:mod:`repro.memsys.fastpath`): closed-form ready-time
+              arithmetic, identical ``MemSysStats``, orders of magnitude
+              faster.  Per-request runtime fields are filled in only for
+              object traces (never for :class:`PackedTrace` inputs), and
+              no per-event trace records are emitted.
+            * ``"auto"`` (default) — the fast path whenever no per-event
+              trace hooks are installed (``sim.tracer is None``), the
+              simulator is private to this system, and its clock is
+              untouched (``sim.now == 0``); the event engine otherwise
+              (a shared or already-advanced clock, or an attached
+              tracer, implies the caller wants the event calendar).
         """
-        requests = list(requests)
-        if not requests:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {ENGINES}"
+            )
+        if not isinstance(requests, PackedTrace):
+            requests = list(requests)
+        if len(requests) == 0:
             raise ValueError("cannot replay an empty request stream")
         if self._replayed:
             raise RuntimeError(
@@ -242,7 +290,30 @@ class MemorySystem:
                 "counters are cumulative — build a fresh MemorySystem "
                 "per trace"
             )
+        if engine == "auto":
+            engine = (
+                "fast"
+                if self._private_sim
+                and self.sim.tracer is None
+                and self.sim.now == 0.0
+                else "event"
+            )
+        if engine == "fast":
+            from .fastpath import replay_fast
+
+            if self.sim.now != 0.0:
+                raise RuntimeError(
+                    "the fast-path engine requires a fresh simulator "
+                    f"clock (sim.now={self.sim.now!r}); use "
+                    "engine='event' on an already-advanced simulator"
+                )
+            self._replayed = True
+            return replay_fast(self, requests)
         self._replayed = True
+
+        if isinstance(requests, PackedTrace):
+            requests = requests.to_requests()
+        self.last_replay_engine = "event"
         self.sim.process(self._injector(requests), name="memsys.injector")
         self.sim.run()
         unfinished = [r for r in requests if math.isnan(r.finish)]

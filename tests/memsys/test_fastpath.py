@@ -1,0 +1,339 @@
+"""Engine-equivalence suite: event engine vs. the event-free fast path.
+
+Every combination of interleaving scheme x scheduling policy x access
+pattern (plus PIM all-bank traces) is replayed through both engines and
+the resulting :class:`MemSysStats` must agree: integer counters and
+bit-exact core times exactly, derived float aggregates within float
+tolerance (the fast path computes means by vectorized summation instead
+of streaming Welford updates, which differs only in the last ulps).
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.desim import Simulator
+from repro.desim.trace import Tracer
+from repro.memsys import (
+    Coordinates,
+    MemRequest,
+    MemSysConfig,
+    MemorySystem,
+    Op,
+    PackedTrace,
+    SCHEMES,
+    synthesize_trace,
+)
+
+SCHEME_NAMES = sorted(SCHEMES)
+POLICY_NAMES = ("fcfs", "frfcfs")
+PATTERN_NAMES = ("sequential", "strided", "random")
+REL = 1e-9
+
+
+def fresh(trace):
+    return [MemRequest(r.op, r.addr) for r in trace]
+
+
+def pim_all_bank_trace(config, n):
+    """All-bank PIM commands round-robining channels, sweeping rows."""
+    amap = config.address_map()
+    pages = config.timing.pages_per_row
+    requests = []
+    for i in range(n):
+        k = i // config.n_channels
+        coords = Coordinates(
+            channel=i % config.n_channels,
+            row=(k // pages) % config.rows_per_bank,
+            column=k % pages,
+        )
+        requests.append(MemRequest(Op.PIM, amap.encode(coords)))
+    return requests
+
+
+def replay_both(config, trace):
+    """Replay one trace through both engines on fresh systems."""
+    event_stats = MemorySystem(config).replay(fresh(trace), engine="event")
+    fast_system = MemorySystem(config)
+    fast_stats = fast_system.replay(fresh(trace), engine="fast")
+    return event_stats, fast_stats, fast_system
+
+
+def assert_stats_equivalent(event_stats, fast_stats, rel=REL):
+    """Stat-for-stat comparison; ``rel=None`` demands bit-exactness."""
+
+    def check(actual, expected, key):
+        if isinstance(expected, int):
+            assert actual == expected, key
+        elif math.isnan(expected):
+            assert math.isnan(actual), key
+        elif rel is None:
+            assert actual == expected, key
+        else:
+            assert actual == pytest.approx(expected, rel=rel), key
+
+    event_dict = dataclasses.asdict(event_stats)
+    fast_dict = dataclasses.asdict(fast_stats)
+    event_channels = event_dict.pop("per_channel")
+    fast_channels = fast_dict.pop("per_channel")
+    for key, expected in event_dict.items():
+        check(fast_dict[key], expected, key)
+    # the core quantities are reproduced bit-for-bit, not just closely
+    assert fast_stats.makespan_ns == event_stats.makespan_ns
+    assert (
+        fast_stats.sustained_bits_per_sec
+        == event_stats.sustained_bits_per_sec
+    )
+    assert len(fast_channels) == len(event_channels)
+    for expected_row, actual_row in zip(event_channels, fast_channels):
+        for key, expected in expected_row.items():
+            check(actual_row[key], expected, key)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    def test_scheme_policy_pattern_grid(self, scheme, policy, pattern):
+        config = MemSysConfig(scheme=scheme, policy=policy)
+        trace = synthesize_trace(
+            pattern, 1500, config, seed=11, write_fraction=0.25
+        )
+        event_stats, fast_stats, _ = replay_both(config, trace)
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_pim_all_bank(self, policy):
+        config = MemSysConfig(n_channels=2, policy=policy)
+        trace = pim_all_bank_trace(config, 1024)
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_mixed_host_and_pim_trace(self):
+        config = MemSysConfig(n_channels=1)
+        host = synthesize_trace("sequential", 512, config)
+        pim = pim_all_bank_trace(config, 512)
+        trace = [
+            r for pair in zip(host, pim) for r in pair
+        ]
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        # mixed streams reset all-bank state: only the exact tier applies
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_small_and_sub_queue_depth_traces(self):
+        config = MemSysConfig()
+        for n in (1, 3, config.queue_depth, config.queue_depth + 1):
+            trace = synthesize_trace("sequential", n, config)
+            event_stats, fast_stats, _ = replay_both(config, trace)
+            assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_queue_depth_one(self):
+        config = MemSysConfig(queue_depth=1, n_channels=2)
+        trace = synthesize_trace("random", 600, config, seed=9)
+        event_stats, fast_stats, _ = replay_both(config, trace)
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_explicit_precharge(self):
+        config = MemSysConfig(
+            n_channels=1, bankgroups=1, banks_per_group=1,
+            precharge_ns=7.5,
+        )
+        trace = synthesize_trace("random", 800, config, seed=2)
+        event_stats, fast_stats, _ = replay_both(config, trace)
+        assert_stats_equivalent(event_stats, fast_stats)
+
+
+class TestTierSelection:
+    def test_streaming_uses_vectorized_tier(self):
+        config = MemSysConfig(n_channels=2, scheme="channel-interleaved")
+        system = MemorySystem(config)
+        system.replay(
+            synthesize_trace("sequential", 2048, config), engine="fast"
+        )
+        assert system.last_replay_engine == "fast-vectorized"
+
+    def test_random_frfcfs_uses_exact_tier(self):
+        config = MemSysConfig(
+            n_channels=2, scheme="channel-interleaved", policy="frfcfs"
+        )
+        system = MemorySystem(config)
+        system.replay(
+            synthesize_trace("random", 2048, config, seed=1),
+            engine="fast",
+        )
+        assert system.last_replay_engine == "fast-exact"
+
+    def test_exact_tier_is_bit_identical(self):
+        """The exact tier replicates the event calendar's scheduling
+        order, so even float aggregates match bit-for-bit."""
+        config = MemSysConfig(policy="frfcfs")
+        trace = synthesize_trace(
+            "random", 2000, config, seed=4, write_fraction=0.3
+        )
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats, rel=None)
+
+
+class TestEngineSelection:
+    def test_auto_picks_fast_on_private_sim(self):
+        config = MemSysConfig()
+        system = MemorySystem(config)
+        system.replay(synthesize_trace("sequential", 64, config))
+        assert system.last_replay_engine.startswith("fast")
+
+    def test_auto_picks_event_on_advanced_private_clock(self):
+        """A private sim whose clock already moved (e.g. via submit +
+        run) must fall back to the event engine, not raise."""
+        config = MemSysConfig()
+        system = MemorySystem(config)
+        system.submit(MemRequest(Op.READ, 0))
+        system.sim.run()
+        assert system.sim.now > 0.0
+        stats = system.replay(synthesize_trace("sequential", 64, config))
+        assert system.last_replay_engine == "event"
+        assert stats.n_requests == 65  # the submitted request counts too
+
+    def test_auto_picks_event_on_shared_sim(self):
+        config = MemSysConfig()
+        system = MemorySystem(config, sim=Simulator())
+        system.replay(synthesize_trace("sequential", 64, config))
+        assert system.last_replay_engine == "event"
+
+    def test_auto_picks_event_with_tracer(self):
+        config = MemSysConfig()
+        system = MemorySystem(config)
+        system.sim.tracer = Tracer()
+        system.replay(synthesize_trace("sequential", 64, config))
+        assert system.last_replay_engine == "event"
+
+    def test_unknown_engine_rejected(self):
+        config = MemSysConfig()
+        with pytest.raises(ValueError, match="unknown engine"):
+            MemorySystem(config).replay(
+                synthesize_trace("sequential", 16, config),
+                engine="warp",
+            )
+
+    def test_fast_engine_requires_fresh_clock(self):
+        sim = Simulator()
+
+        def ticker():
+            yield sim.timeout(5.0)
+
+        sim.process(ticker())
+        sim.run()
+        config = MemSysConfig()
+        system = MemorySystem(config, sim=sim)
+        with pytest.raises(RuntimeError, match="fresh simulator clock"):
+            system.replay(
+                synthesize_trace("sequential", 16, config),
+                engine="fast",
+            )
+
+    def test_second_replay_rejected_on_fast_engine(self):
+        config = MemSysConfig()
+        system = MemorySystem(config)
+        system.replay(
+            synthesize_trace("sequential", 16, config), engine="fast"
+        )
+        with pytest.raises(RuntimeError, match="fresh MemorySystem"):
+            system.replay(
+                synthesize_trace("sequential", 16, config),
+                engine="fast",
+            )
+
+
+class TestFastPathSideEffects:
+    def test_request_fields_written_back(self):
+        """Object traces get the same per-request runtime fields from
+        both engines, in both fast tiers."""
+        for pattern, expected_tier in (
+            ("sequential", "fast-vectorized"),
+            ("random", "fast-exact"),
+        ):
+            config = MemSysConfig(
+                scheme="channel-interleaved", policy="frfcfs"
+            )
+            trace = synthesize_trace(pattern, 2048, config, seed=8)
+            event_trace = fresh(trace)
+            MemorySystem(config).replay(event_trace, engine="event")
+            fast_trace = fresh(trace)
+            fast_system = MemorySystem(config)
+            fast_system.replay(fast_trace, engine="fast")
+            assert fast_system.last_replay_engine == expected_tier
+            for event_req, fast_req in zip(event_trace, fast_trace):
+                assert fast_req.coords == event_req.coords
+                assert fast_req.arrival == event_req.arrival
+                assert fast_req.start_service == event_req.start_service
+                assert fast_req.finish == event_req.finish
+                assert fast_req.outcome == event_req.outcome
+                assert fast_req.bits == event_req.bits
+
+    def test_queue_length_extremes_match_event_engine(self):
+        """The vectorized tier's queue-occupancy min/max bookkeeping
+        (not part of MemSysStats) must agree with the event engine."""
+        config = MemSysConfig(n_channels=2, scheme="channel-interleaved")
+        for n in (4, config.queue_depth, 2048):
+            trace = synthesize_trace("sequential", n, config)
+            event_system = MemorySystem(config)
+            event_system.replay(fresh(trace), engine="event")
+            fast_system = MemorySystem(config)
+            fast_system.replay(fresh(trace), engine="fast")
+            assert fast_system.last_replay_engine == "fast-vectorized"
+            for event_ctrl, fast_ctrl in zip(
+                event_system.controllers, fast_system.controllers
+            ):
+                assert (
+                    fast_ctrl.queue_len.maximum
+                    == event_ctrl.queue_len.maximum
+                )
+                assert (
+                    fast_ctrl.queue_len.minimum
+                    == event_ctrl.queue_len.minimum
+                )
+
+    def test_bank_state_matches_event_engine(self):
+        config = MemSysConfig()
+        trace = synthesize_trace("random", 500, config, seed=6)
+        event_system = MemorySystem(config)
+        event_system.replay(fresh(trace), engine="event")
+        fast_system = MemorySystem(config)
+        fast_system.replay(fresh(trace), engine="fast")
+        for event_ctrl, fast_ctrl in zip(
+            event_system.controllers, fast_system.controllers
+        ):
+            for event_bank, fast_bank in zip(
+                event_ctrl.banks, fast_ctrl.banks
+            ):
+                assert fast_bank.open_row == event_bank.open_row
+                assert fast_bank.hits == event_bank.hits
+                assert fast_bank.misses == event_bank.misses
+                assert fast_bank.conflicts == event_bank.conflicts
+
+    def test_packed_trace_replay_matches_object_replay(self):
+        config = MemSysConfig(n_channels=2, scheme="channel-interleaved")
+        objects = synthesize_trace(
+            "sequential", 1024, config, write_fraction=0.5, seed=3
+        )
+        packed = PackedTrace.from_requests(objects)
+        object_stats = MemorySystem(config).replay(
+            fresh(objects), engine="fast"
+        )
+        packed_stats = MemorySystem(config).replay(packed, engine="fast")
+        assert dataclasses.asdict(packed_stats) == dataclasses.asdict(
+            object_stats
+        )
+
+    def test_packed_trace_through_event_engine(self):
+        config = MemSysConfig()
+        packed = synthesize_trace(
+            "sequential", 256, config, packed=True
+        )
+        system = MemorySystem(config)
+        stats = system.replay(packed, engine="event")
+        assert system.last_replay_engine == "event"
+        assert stats.n_requests == 256

@@ -50,6 +50,16 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="scheme"):
             MemSysConfig(scheme="diagonal")
 
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            MemSysConfig(queue_depth=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            MemSysConfig(queue_depth=-3)
+
+    def test_rejects_negative_precharge(self):
+        with pytest.raises(ValueError, match="precharge_ns"):
+            MemSysConfig(precharge_ns=-1.0)
+
     def test_controller_rejects_bad_depth(self, sim):
         from repro.memsys import Bank
 
@@ -208,6 +218,13 @@ class TestSystemBehavior:
             assert req.arrival <= req.start_service <= req.finish
             assert req.outcome in {"hit", "miss", "conflict"}
             assert req.bits == config.timing.page_bits
+
+    def test_replay_accepts_iterators(self):
+        config = single_macro()
+        stats = MemorySystem(config).replay(
+            iter(synthesize_trace("sequential", 32, config))
+        )
+        assert stats.n_requests == 32
 
     def test_stats_reduction_shapes(self):
         config = MemSysConfig()

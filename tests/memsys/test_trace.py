@@ -1,13 +1,16 @@
 """Tests for the trace format and synthetic trace generation."""
 
+import numpy as np
 import pytest
 
 from repro.memsys import (
     MemRequest,
     MemSysConfig,
     Op,
+    PackedTrace,
     TRACE_PATTERNS,
     format_trace,
+    iter_trace,
     parse_trace,
     synthesize_trace,
     write_trace,
@@ -100,3 +103,94 @@ class TestSynthesize:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             synthesize_trace("sequential", 0)
+
+    def test_packed_output_matches_list_output(self):
+        config = MemSysConfig()
+        objects = synthesize_trace(
+            "random", 300, config, seed=5, write_fraction=0.4
+        )
+        packed = synthesize_trace(
+            "random", 300, config, seed=5, write_fraction=0.4,
+            packed=True,
+        )
+        assert isinstance(packed, PackedTrace)
+        assert len(packed) == len(objects)
+        assert all(
+            a.same_payload(b) for a, b in zip(packed, objects)
+        )
+
+
+class TestPackedTrace:
+    def test_round_trip_through_requests(self):
+        original = [
+            MemRequest(Op.READ, 0x1A00),
+            MemRequest(Op.WRITE, 0x1A20),
+            MemRequest(Op.PIM, 0),
+        ]
+        packed = PackedTrace.from_requests(original)
+        assert len(packed) == 3
+        rebuilt = packed.to_requests()
+        assert all(
+            a.same_payload(b) for a, b in zip(original, rebuilt)
+        )
+        assert packed == PackedTrace.from_requests(rebuilt)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            PackedTrace(
+                np.zeros(2, np.uint8), np.zeros(3, np.int64)
+            )
+        with pytest.raises(ValueError, match="op code"):
+            PackedTrace(
+                np.array([9], np.uint8), np.array([0], np.int64)
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            PackedTrace(
+                np.array([0], np.uint8), np.array([-8], np.int64)
+            )
+
+    def test_text_round_trip(self, tmp_path):
+        packed = synthesize_trace(
+            "random", 64, seed=1, write_fraction=0.5, packed=True
+        )
+        path = write_trace(tmp_path / "packed.trace", packed)
+        assert parse_trace(path, packed=True) == packed
+
+
+class TestLazyStreaming:
+    def test_iter_trace_is_lazy(self):
+        """The parser must pull lines on demand, not slurp them."""
+        consumed = []
+
+        def lines():
+            for i in range(100):
+                consumed.append(i)
+                yield f"R {32 * i:#x}"
+
+        stream = iter_trace(lines())
+        first = next(stream)
+        assert first.addr == 0
+        assert len(consumed) == 1
+
+    def test_iter_trace_streams_files_line_by_line(self, tmp_path):
+        path = write_trace(
+            tmp_path / "big.trace",
+            (MemRequest(Op.READ, 32 * i) for i in range(1000)),
+        )
+        addrs = [r.addr for r in iter_trace(path)]
+        assert addrs == [32 * i for i in range(1000)]
+
+    def test_write_trace_accepts_generators(self, tmp_path):
+        path = write_trace(
+            tmp_path / "gen.trace",
+            (MemRequest(Op.WRITE, 64 * i) for i in range(10)),
+        )
+        reqs = parse_trace(path)
+        assert [r.addr for r in reqs] == [64 * i for i in range(10)]
+        assert all(r.op is Op.WRITE for r in reqs)
+
+    def test_iter_trace_reports_line_numbers(self):
+        stream = iter_trace("R 0x20\nX 0x40\n")
+        next(stream)
+        with pytest.raises(ValueError, match="unknown trace op"):
+            next(stream)

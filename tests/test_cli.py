@@ -28,6 +28,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_replay_command_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "replay", str(tmp_path / "a.trace"),
+                "--engine", "fast",
+                "--scheme", "channel-interleaved",
+                "--policy", "fcfs",
+                "--channels", "4",
+                "--queue-depth", "8",
+            ]
+        )
+        assert args.command == "replay"
+        assert args.engine == "fast"
+        assert args.scheme == "channel-interleaved"
+        assert args.policy == "fcfs"
+        assert args.channels == 4
+        assert args.queue_depth == 8
+
+    def test_replay_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["replay", "a.trace", "--engine", "warp"]
+            )
+
 
 class TestMain:
     def test_list_exit_zero(self, capsys):
@@ -53,3 +77,32 @@ class TestMain:
             main(["run", "bandwidth", "--out", str(tmp_path)]) == 0
         )
         assert (tmp_path / "bandwidth" / "report.txt").exists()
+
+    def test_replay_trace_file(self, tmp_path, capsys):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(n_channels=2)
+        path = write_trace(
+            tmp_path / "demo.trace",
+            synthesize_trace("sequential", 128, config),
+        )
+        assert main(["replay", str(path), "--engine", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "128 requests" in out
+        assert "fast-" in out
+        assert "sustained_gbit_per_s" in out
+
+    def test_replay_missing_file_exit_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.trace")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_replay_bad_config_exit_2(self, tmp_path, capsys):
+        from repro.memsys import MemRequest, Op, write_trace
+
+        path = write_trace(
+            tmp_path / "one.trace", [MemRequest(Op.READ, 0)]
+        )
+        assert (
+            main(["replay", str(path), "--channels", "3"]) == 2
+        )
+        assert "replay failed" in capsys.readouterr().err
