@@ -29,6 +29,7 @@ from repro.memsys import MemSysConfig, MemorySystem, synthesize_trace
 
 N_EVENT = 100_000
 N_FAST = 1_000_000
+N_RANDOM = 200_000
 #: Acceptance floors for the fast path (ISSUE 2).
 MIN_FAST_REQUESTS_PER_SEC = 1_000_000
 MIN_SPEEDUP_OVER_EVENT = 20.0
@@ -93,6 +94,25 @@ def test_bench_1m_fastpath_replay(benchmark):
     assert fast_rate >= MIN_SPEEDUP_OVER_EVENT * event_rate
 
 
+def run_random(n=N_RANDOM):
+    """Replay ``n`` random-traffic requests through the exact tier.
+
+    Random traffic fails the fast path's closed-form certificates, so
+    this times the batched-heap exact fallback — the satellite lever
+    the ISSUE-3 perf item targets.
+    """
+    config = MemSysConfig()
+    trace = synthesize_trace("random", n, config, seed=0, packed=True)
+    system = MemorySystem(config)
+    started = time.perf_counter()
+    stats = system.replay(trace, engine="fast")
+    elapsed = time.perf_counter() - started
+    assert system.last_replay_engine == "fast-exact"
+    assert stats.n_requests == n
+    assert stats.row_hit_rate < 0.2
+    return n / elapsed
+
+
 def test_bench_random_replay_20k(benchmark):
     def run():
         config = MemSysConfig()
@@ -121,12 +141,15 @@ def main(argv=None) -> int:
     run_fast()
     fast_rate = max(run_fast() for _ in range(3))
     event_rate = run_event()
+    random_rate = max(run_random() for _ in range(3))
     record = {
         "benchmark": "memsys_replay_throughput",
         "fast_requests": N_FAST,
         "fast_requests_per_sec": round(fast_rate),
         "event_requests": N_EVENT,
         "event_requests_per_sec": round(event_rate),
+        "random_requests": N_RANDOM,
+        "random_requests_per_sec": round(random_rate),
         "speedup": round(fast_rate / event_rate, 1),
         "floor_requests_per_sec": MIN_FAST_REQUESTS_PER_SEC,
         "passed": bool(

@@ -1,0 +1,124 @@
+"""Benchmark: PIM kernel execution-pipeline throughput.
+
+Times the full :mod:`repro.pimexec` pipeline — functional all-bank
+execution (every dynamic CRF instruction runs in every bank) plus the
+replay of the generated mixed host+PIM request stream through the
+banked memory system — on a large ``vector-sum`` kernel, and records
+the simulated host-vs-PIM speedup of every built-in kernel.
+
+Each run asserts bit-exact correctness of the per-bank register state
+against the NumPy reference before timing counts, so the benchmark
+doubles as an at-scale end-to-end check.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_pimexec.py
+--json BENCH_pimexec.json``) to emit a machine-readable record; CI does
+this every push, next to ``BENCH_memsys.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.memsys import MemorySystem
+from repro.pimexec import KERNEL_NAMES, PimExecMachine, build_kernel
+
+#: Vector length for the timed pipeline run (4096 all-bank commands).
+N_VALUES = 262_144
+#: Acceptance floors.
+MIN_COMMANDS_PER_SEC = 2_000
+MIN_VECTOR_SUM_SPEEDUP = 1.5
+
+
+def run_pipeline(n=N_VALUES):
+    """Time execute+replay of a ``vector-sum`` kernel of ``n`` values.
+
+    Returns ``(commands_per_sec, values_per_sec, result)``.
+    """
+    kernel = build_kernel("vector-sum", n=n)
+    machine = PimExecMachine(kernel.config)
+    kernel.setup(machine)  # data staging is untimed
+    machine.reset_requests()
+    started = time.perf_counter()
+    kernel.execute(machine)
+    result = machine.replay()
+    elapsed = time.perf_counter() - started
+    assert kernel.check(machine), "bank state diverged from NumPy"
+    return result.n_pim / elapsed, n / elapsed, result
+
+
+def kernel_speedups(n=8_192):
+    """Simulated host-vs-PIM speedup of every built-in kernel."""
+    from repro.pimexec import compare_host_pim
+
+    rows = []
+    for name in KERNEL_NAMES:
+        kwargs = {"n_cols": n // 64} if name == "gemv" else {"n": n}
+        comparison = compare_host_pim(build_kernel(name, **kwargs))
+        assert comparison.correct, name
+        rows.append(
+            {
+                "kernel": name,
+                "host_ns": comparison.host.makespan_ns,
+                "pim_ns": comparison.pim.makespan_ns,
+                "speedup": round(comparison.speedup, 2),
+            }
+        )
+    return rows
+
+
+def test_bench_pipeline(benchmark):
+    commands_rate, _values_rate, result = benchmark.pedantic(
+        run_pipeline, rounds=1, iterations=1
+    )
+    # one all-bank command per slot per channel:
+    # N / (16 lanes * 8 units) slots, 2 channels
+    assert result.n_pim == N_VALUES // (16 * 8) * 2
+    assert commands_rate >= MIN_COMMANDS_PER_SEC
+
+
+def test_bench_kernel_speedups(benchmark):
+    rows = benchmark.pedantic(kernel_speedups, rounds=1, iterations=1)
+    by_name = {row["kernel"]: row["speedup"] for row in rows}
+    assert by_name["vector-sum"] >= MIN_VECTOR_SUM_SPEEDUP
+    assert sum(s > 1.0 for s in by_name.values()) >= 2
+
+
+def main(argv=None) -> int:
+    """Measure the pipeline and optionally write a JSON record."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the throughput record to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    run_pipeline(n=32_768)  # warm-up
+    commands_rate, values_rate, result = max(
+        (run_pipeline() for _ in range(3)), key=lambda r: r[0]
+    )
+    speedups = kernel_speedups()
+    record = {
+        "benchmark": "pimexec_pipeline_throughput",
+        "vector_sum_values": N_VALUES,
+        "all_bank_commands_per_sec": round(commands_rate),
+        "values_per_sec": round(values_rate),
+        "replay_engine": result.engine,
+        "kernel_speedups": speedups,
+        "floor_commands_per_sec": MIN_COMMANDS_PER_SEC,
+        "passed": bool(
+            commands_rate >= MIN_COMMANDS_PER_SEC
+            and sum(r["speedup"] > 1.0 for r in speedups) >= 2
+        ),
+    }
+    print(json.dumps(record, indent=2))
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

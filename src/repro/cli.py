@@ -12,6 +12,10 @@ Commands
     Replay a text trace file through the banked memory system and print
     its summary statistics (engine selectable: ``event``, ``fast``, or
     ``auto``).
+``repro-pim pimexec [--kernel NAME | --trace FILE]``
+    Execute built-in PIM kernels on the per-bank execution units and
+    compare against host-only twins, or replay an HBM-PIMulator-style
+    program trace (``R/W GPR|CFR|MEM``, ``AB W``, ``PIM …``).
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 ``--out DIR`` (write CSV tables + reports per experiment).
@@ -26,6 +30,9 @@ Examples
 ``repro-pim replay app.trace --engine fast --scheme channel-interleaved``
     Replay a million-request trace in well under a second through the
     event-free fast path.
+``repro-pim pimexec --kernel gemv --n 128``
+    Run the GEMV microkernel on the per-bank execution units and report
+    the host-vs-PIM execution times.
 ``repro-pim all --full --out results/``
     Full-size grids for every artifact, with CSV + report export.
 """
@@ -116,6 +123,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=16, metavar="N",
         help="per-channel request-queue depth (default: 16)",
     )
+
+    pimexec_p = sub.add_parser(
+        "pimexec",
+        help=(
+            "run PIM kernels on the per-bank execution units, or "
+            "replay an HBM-PIMulator program trace"
+        ),
+    )
+    pimexec_p.add_argument(
+        "--kernel", default="all", metavar="NAME",
+        help="kernel to run: vector-sum, axpy, gemv, or all (default)",
+    )
+    pimexec_p.add_argument(
+        "--n", type=int, default=4096, metavar="N",
+        help="problem size: vector length (vector-sum/axpy) or matrix "
+        "columns for gemv scaled as N/32 (default: 4096)",
+    )
+    pimexec_p.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="FILE",
+        help="replay an HBM-PIMulator-style program trace instead of "
+        "running built-in kernels",
+    )
+    pimexec_p.add_argument(
+        "--engine", choices=("event", "fast", "auto"), default="auto",
+        help="replay engine (default: auto)",
+    )
+    pimexec_p.add_argument(
+        "--seed", type=int, default=0, help="kernel data RNG seed"
+    )
     return parser
 
 
@@ -163,12 +199,95 @@ def _replay_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pimexec_command(args: argparse.Namespace) -> int:
+    """Run PIM kernels (or replay a program trace); print a report."""
+    from .pimexec import (
+        KERNEL_NAMES,
+        PimExecMachine,
+        build_kernel,
+        compare_host_pim,
+        parse_pim_program,
+    )
+
+    if args.trace is not None:
+        if not args.trace.exists():
+            print(f"no such trace file: {args.trace}", file=sys.stderr)
+            return 2
+        try:
+            program = parse_pim_program(args.trace)
+            machine = PimExecMachine()
+            program.execute(machine)
+            result = machine.replay(engine=args.engine)
+        except (ValueError, RuntimeError) as error:
+            print(f"pimexec replay failed: {error}", file=sys.stderr)
+            return 2
+        print(f"trace:    {args.trace} ({len(program)} records)")
+        print(f"records:  {program.counts()}")
+        print(
+            f"requests: {result.n_requests} "
+            f"(pim={result.n_pim} broadcast={result.n_broadcast} "
+            f"host={result.n_host})"
+        )
+        print(f"engine:   {result.engine}")
+        print(f"makespan: {result.makespan_ns:.1f} ns")
+        return 0
+
+    names = (
+        list(KERNEL_NAMES) if args.kernel == "all" else [args.kernel]
+    )
+    unknown = [n for n in names if n not in KERNEL_NAMES]
+    if unknown:
+        print(
+            f"unknown kernel(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(KERNEL_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = []
+    header = (
+        f"{'kernel':12s} {'host_ns':>10s} {'pim_ns':>10s} "
+        f"{'speedup':>8s} {'correct':>8s}"
+    )
+    print(header)
+    for name in names:
+        kwargs = (
+            {"n_cols": max(1, args.n // 32)}
+            if name == "gemv"
+            else {"n": args.n}
+        )
+        try:
+            kernel = build_kernel(name, seed=args.seed, **kwargs)
+            comparison = compare_host_pim(kernel, engine=args.engine)
+        except (ValueError, RuntimeError) as error:
+            print(f"pimexec {name} failed: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"{name:12s} {comparison.host.makespan_ns:10.0f} "
+            f"{comparison.pim.makespan_ns:10.0f} "
+            f"{comparison.speedup:8.2f} "
+            f"{'yes' if comparison.correct else 'NO':>8s}"
+        )
+        if not comparison.correct:
+            failures.append(name)
+    if failures:
+        print(
+            f"bank state diverged from NumPy for: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "replay":
         return _replay_command(args)
+
+    if args.command == "pimexec":
+        return _pimexec_command(args)
 
     if args.command == "list":
         for exp in all_experiments():

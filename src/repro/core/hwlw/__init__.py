@@ -7,7 +7,10 @@ Contents:
 * :mod:`~repro.core.hwlw.workload` — the Fig. 4 phased statistical workload;
 * :mod:`~repro.core.hwlw.simulation` — the queuing simulation of Figs. 1–3;
 * :mod:`~repro.core.hwlw.sweep` — parameter sweeps for Figs. 5–7;
-* :mod:`~repro.core.hwlw.validation` — sim-vs-analytic accuracy (§3.1.2).
+* :mod:`~repro.core.hwlw.validation` — sim-vs-analytic accuracy (§3.1.2);
+* :mod:`~repro.core.hwlw.tml` — ``TML`` derived from simulated
+  :mod:`repro.memsys` per-request latencies instead of the Table 1
+  constant.
 """
 
 from .analytic import (
@@ -46,6 +49,7 @@ from .sweep import (
     figure7_normalized_time_sweep,
     section_ablation_sweep,
 )
+from .tml import TmlDerivation, derive_tml_params
 from .validation import (
     ValidationPoint,
     ValidationReport,
@@ -78,6 +82,8 @@ __all__ = [
     "figure6_response_time_sweep",
     "figure7_normalized_time_sweep",
     "section_ablation_sweep",
+    "TmlDerivation",
+    "derive_tml_params",
     "ValidationPoint",
     "ValidationReport",
     "validate_against_analytic",

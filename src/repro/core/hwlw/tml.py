@@ -1,0 +1,113 @@
+"""Deriving ``TML`` from the simulated memory system.
+
+Table 1 fixes the LWP's memory access time at a constant
+``TML = 30`` cycles.  With :mod:`repro.memsys` in the tree that number
+no longer has to be assumed: the LWP sits beside one DRAM macro, so its
+average access time is exactly the per-access bank occupancy a
+single-bank simulated replay measures on no-locality traffic.  This
+module closes that ROADMAP loop — the HWP/LWP study's ``TML`` can now
+come from measured per-request latencies instead of the Table 1
+constant.
+
+The derivation replays a trace through a one-channel, one-bank system
+at line rate: the bank is never idle, so ``makespan / n_requests`` is
+the mean per-access service time (activation + page transfer, weighted
+by the measured row-buffer outcome mix) — the simulated counterpart of
+the paper's 30-cycle figure.  Feeding it back through
+:meth:`~repro.core.params.Table1Params.with_` yields a parameter set
+whose break-even node count ``NB`` reflects the simulated memory
+system rather than the assumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ...memsys import MemSysConfig, MemorySystem, MemSysStats
+from ...memsys.trace import synthesize_trace
+from ..params import Table1Params
+
+__all__ = ["TmlDerivation", "derive_tml_params"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TmlDerivation:
+    """A measured ``TML`` and the parameter set it produces.
+
+    Attributes
+    ----------
+    params:
+        ``base_params`` with ``lwp_memory_cycles`` replaced by the
+        measured value.
+    tml_cycles:
+        The measured mean per-access time, in HWP cycles.
+    tml_ns:
+        The same, in nanoseconds.
+    pattern:
+        Trace pattern the measurement replayed.
+    row_hit_rate:
+        Measured row-buffer hit rate of the replay.
+    n_requests:
+        Requests replayed.
+    """
+
+    params: Table1Params
+    tml_cycles: float
+    tml_ns: float
+    pattern: str
+    row_hit_rate: float
+    n_requests: int
+
+
+def derive_tml_params(
+    base_params: _t.Optional[Table1Params] = None,
+    *,
+    config: _t.Optional[MemSysConfig] = None,
+    pattern: str = "random",
+    n: int = 4_096,
+    seed: int = 0,
+) -> TmlDerivation:
+    """Measure ``TML`` by replaying ``pattern`` traffic on one bank.
+
+    Parameters
+    ----------
+    base_params:
+        Parameter set to update (Table 1 defaults if omitted).
+    config:
+        Memory-system configuration; defaults to a single-channel,
+        single-bank geometry with paper timing — the LWP's local macro.
+        Multi-bank configs are reduced to their timing/policy on the
+        same single-bank geometry (``TML`` is a per-macro quantity).
+    pattern:
+        Trace pattern (``"random"`` is the no-temporal-locality traffic
+        the paper assigns to the LWPs; ``"sequential"`` gives the
+        streaming lower bound).
+    n:
+        Requests to replay.
+    seed:
+        RNG seed for the stochastic patterns.
+    """
+    base_params = base_params or Table1Params()
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if config is None:
+        config = MemSysConfig(
+            n_channels=1, bankgroups=1, banks_per_group=1
+        )
+    else:
+        config = dataclasses.replace(
+            config, n_channels=1, bankgroups=1, banks_per_group=1
+        )
+    trace = synthesize_trace(pattern, n, config, seed=seed, packed=True)
+    stats: MemSysStats = MemorySystem(config).replay(trace)
+    tml_ns = stats.makespan_ns / stats.n_requests
+    tml_cycles = tml_ns / base_params.hwp_cycle_ns
+    return TmlDerivation(
+        params=base_params.with_(lwp_memory_cycles=tml_cycles),
+        tml_cycles=tml_cycles,
+        tml_ns=tml_ns,
+        pattern=pattern,
+        row_hit_rate=stats.row_hit_rate,
+        n_requests=stats.n_requests,
+    )

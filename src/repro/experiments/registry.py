@@ -108,6 +108,7 @@ _MODULES = (
     "exp_extensions",
     "exp_energy",
     "exp_memsys",
+    "exp_pimexec",
 )
 
 

@@ -10,9 +10,11 @@ buffer — at the request level:
   mapping (channel / bankgroup / bank / row / column) with pluggable
   interleaving schemes, à la the HBM-PIM physical-address layout;
 * :mod:`~repro.memsys.bank` — per-bank row-buffer state machines driven
-  by :class:`~repro.arch.dram.DramMacroTiming`;
-* :mod:`~repro.memsys.request` — host read/write and PIM all-bank
-  request records;
+  by :class:`~repro.arch.dram.DramMacroTiming`, with open-page (rows
+  stay latched) and closed-page (auto-precharge after every access)
+  row policies;
+* :mod:`~repro.memsys.request` — host read/write, PIM all-bank, and AB
+  register-broadcast request records;
 * :mod:`~repro.memsys.controller` — per-channel request queues with FCFS
   and FR-FCFS scheduling, running as :mod:`repro.desim` processes;
 * :mod:`~repro.memsys.system` — the top-level :class:`MemorySystem`
@@ -23,6 +25,13 @@ buffer — at the request level:
   synthetic trace generation from :mod:`repro.workloads.access_patterns`;
 * :mod:`~repro.memsys.fastpath` — the event-free fast-path replay
   engine.
+
+The :mod:`repro.pimexec` layer builds on this package to make the
+memory system *executable*: per-bank PIM execution units (HBM-PIM-style
+CRF/GRF/SRF register files) run microkernels whose every command is an
+all-bank column access replayed here, with register and microcode
+writes travelling as :attr:`Op.AB <repro.memsys.request.Op>` broadcast
+requests that occupy a channel without touching row buffers.
 
 Replay engines
 --------------
@@ -62,7 +71,7 @@ True
 """
 
 from .addrmap import AddressMap, Coordinates, SCHEMES
-from .bank import Bank, BankAccess
+from .bank import Bank, BankAccess, ROW_POLICIES
 from .controller import ChannelController, FCFS, FRFCFS, POLICIES
 from .request import MemRequest, Op
 from .system import ENGINES, MemSysConfig, MemSysStats, MemorySystem
@@ -82,6 +91,7 @@ __all__ = [
     "SCHEMES",
     "Bank",
     "BankAccess",
+    "ROW_POLICIES",
     "ChannelController",
     "FCFS",
     "FRFCFS",

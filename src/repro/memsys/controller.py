@@ -16,6 +16,10 @@ the access latency, and completes the request:
 PIM requests are all-bank operations: every bank of the channel executes
 the access in lockstep (latency is the slowest bank's), so one command
 moves ``n_banks`` pages — the bandwidth-reclaiming broadcast mode.
+AB requests are all-bank *register* broadcasts (CRF microcode, SRF/GRF
+register writes for the per-bank PIM execution units of
+:mod:`repro.pimexec`): they hold the channel for one column access and
+move one page of command payload, but never touch the row buffers.
 
 Statistics flow through :mod:`repro.desim.stats`: a :class:`Tally` of
 request latencies, a :class:`TimeWeighted` queue length, a
@@ -127,9 +131,20 @@ class ChannelController:
         The admission bookkeeping shared by the event engine (via
         :meth:`enqueue`) and the fast-path replay engine (which drives
         the controller with an incremental ready-time scan instead of a
-        simulator clock).
+        simulator clock).  The request's flat bank index is resolved
+        here, once, so the FR-FCFS selection scan (the replay hot path)
+        does not re-derive it per candidate per selection.
         """
         request.arrival = now
+        coords = request.coords
+        op = request.op
+        request.bank_index = (
+            self._bank_index(coords)
+            if coords is not None
+            and op is not Op.PIM
+            and op is not Op.AB
+            else None
+        )
         self.pending.append(request)
         self.queue_len.update(len(self.pending), now)
 
@@ -163,12 +178,18 @@ class ChannelController:
     def _select(self) -> MemRequest:
         """Pick the next request under the configured policy."""
         if self.policy == FRFCFS:
+            ab = Op.AB
+            banks = self.banks
             for request in self.pending:  # oldest row hit first
-                coords = request.coords
-                if coords is None or request.op is Op.PIM:
+                if request.op is ab:
+                    # register broadcasts change PIM execution state:
+                    # never reorder a younger row hit across one
+                    break
+                index = request.bank_index
+                if index is None:  # all-bank PIM, or unrouted
                     continue
-                bank = self.banks[self._bank_index(coords)]
-                if bank.is_hit(coords.row):
+                # inlined Bank.is_hit: this scan is the replay hot path
+                if banks[index].open_row == request.coords.row:
                     return request
         return self.pending[0]
 
@@ -183,6 +204,12 @@ class ChannelController:
         coords = request.coords
         assert coords is not None
         page_bits = self.banks[0].timing.page_bits
+        if request.op is Op.AB:
+            # All-bank register broadcast: one column access on the
+            # command/data bus, no row-buffer interaction in any bank.
+            request.outcome = "broadcast"
+            request.bits = page_bits
+            return self.banks[0].timing.page_access_ns
         if request.op is Op.PIM:
             # All-bank broadcast: every bank accesses the row in
             # lockstep; the channel is held for the slowest bank.
@@ -196,8 +223,12 @@ class ChannelController:
             request.outcome = worst
             request.bits = page_bits * len(self.banks)
             return latency
-        bank = self.banks[self._bank_index(coords)]
-        access = bank.access(coords.row)
+        index = (
+            request.bank_index
+            if request.bank_index is not None
+            else self._bank_index(coords)
+        )
+        access = self.banks[index].access(coords.row)
         request.outcome = access.outcome
         request.bits = page_bits
         return access.latency_ns

@@ -77,7 +77,7 @@ import typing as _t
 import numpy as np
 
 from .addrmap import Coordinates
-from .bank import OUTCOMES, latency_table
+from .bank import CLOSED, OUTCOMES, latency_table
 from .controller import FRFCFS
 from .request import MemRequest, OPS_BY_CODE, Op
 from .trace import PackedTrace
@@ -90,6 +90,7 @@ __all__ = ["replay_fast"]
 #: Outcome codes, aligned with :data:`repro.memsys.bank.OUTCOMES`.
 _HIT, _MISS, _CONFLICT = 0, 1, 2
 _PIM_CODE = Op.PIM.code
+_AB_CODE = Op.AB.code
 
 #: Tier-2 scheduling vocabulary, mirroring the desim heap discipline.
 _URGENT, _NORMAL = 0, 1
@@ -130,9 +131,14 @@ def replay_fast(
         fields["bankgroup"] * config.banks_per_group + fields["bank"]
     ) % n_banks
 
-    plan = _vector_plan(
-        system, op_codes, fields["channel"], flat_bank, fields["row"]
-    )
+    if bool(np.any(op_codes == _AB_CODE)):
+        # register-broadcast traffic (mixed host/PIM command streams):
+        # always the exact tier, which drives the controller's _serve
+        plan = None
+    else:
+        plan = _vector_plan(
+            system, op_codes, fields["channel"], flat_bank, fields["row"]
+        )
     if plan is not None:
         makespan = _commit_vector_plan(system, plan)
         system.last_replay_engine = "fast-vectorized"
@@ -190,7 +196,22 @@ def _vector_plan(
         any_pim = bool(pim.any())
         if any_pim and not bool(pim.all()):
             return None  # mixed host/PIM stream: exact tier only
-        if any_pim:
+        if config.row_policy == CLOSED:
+            # Auto-precharge: every access activates a fresh row — all
+            # misses, never a hit or conflict, so FR-FCFS has nothing
+            # to hoist (FIFO by construction) and all banks end closed.
+            outcome = np.full(n_c, _MISS, dtype=np.int64)
+            open_final = [None] * n_banks
+            bank_counts = np.zeros((n_banks, 3), dtype=np.int64)
+            if any_pim:
+                bits_per_request = page_bits * n_banks
+                bank_counts[:, _MISS] = n_c
+            else:
+                bits_per_request = page_bits
+                bank_counts[:, _MISS] = np.bincount(
+                    bank_c, minlength=n_banks
+                )
+        elif any_pim:
             # All-bank lockstep: every bank holds the previous PIM row,
             # so outcomes are uniform across banks and follow from the
             # row stream alone.
@@ -457,6 +478,15 @@ def _replay_exact(
     methods the event engine uses, in the same order, with the same
     timestamps — so the resulting stats are bit-identical.  Returns the
     replay makespan.
+
+    Occurrences are drained in *rounds*: each outer iteration reads the
+    heap's earliest timestamp once and pops every candidate ready at
+    that instant (completions, the injector resumption they release,
+    and the wakeups those admissions trigger all coincide in this
+    workload), so the common completion→inject→wakeup cascade costs one
+    round instead of three top-of-loop passes.  Pops stay globally
+    ordered by ``(time, priority, seq)`` — a round is just the
+    same-time prefix of the calendar — so the statistics are unchanged.
     """
     controllers = system.controllers
     depth = system.config.queue_depth
@@ -475,12 +505,61 @@ def _replay_exact(
     now = 0.0
 
     push(heap, (0.0, _URGENT, next(seq), _INJECT, -1, None))
+    pop = heapq.heappop
     while heap:
-        now, _prio, _seq, kind, ch, request = heapq.heappop(heap)
-        if kind == _COMPLETE:
-            controller = controllers[ch]
-            controller._finish_service(request, now)
-            if controller.pending:
+        round_time = heap[0][0]
+        while heap and heap[0][0] == round_time:
+            now, _prio, _seq, kind, ch, request = pop(heap)
+            if kind == _COMPLETE:
+                controller = controllers[ch]
+                controller._finish_service(request, now)
+                if controller.pending:
+                    served, latency = controller._begin_service(now)
+                    if blocked_on == ch:
+                        blocked_on = -1
+                        push(
+                            heap,
+                            (now, _NORMAL, next(seq), _INJECT, -1, None),
+                        )
+                    push(
+                        heap,
+                        (
+                            now + latency,
+                            _NORMAL,
+                            next(seq),
+                            _COMPLETE,
+                            ch,
+                            served,
+                        ),
+                    )
+                else:
+                    controller.utilization.transition("idle", now)
+                    idle[ch] = True
+                    woken[ch] = False
+            elif kind == _INJECT:
+                while cursor < n:
+                    target = channel_of[cursor]
+                    controller = controllers[target]
+                    if len(controller.pending) >= depth:
+                        blocked_on = target
+                        break
+                    controller._admit(requests[cursor], now)
+                    if idle[target] and not woken[target]:
+                        woken[target] = True
+                        push(
+                            heap,
+                            (
+                                now, _NORMAL, next(seq), _WAKEUP,
+                                target, None,
+                            ),
+                        )
+                    cursor += 1
+                else:
+                    blocked_on = -1
+            else:  # _WAKEUP
+                idle[ch] = False
+                woken[ch] = False
+                controller = controllers[ch]
                 served, latency = controller._begin_service(now)
                 if blocked_on == ch:
                     blocked_on = -1
@@ -499,44 +578,4 @@ def _replay_exact(
                         served,
                     ),
                 )
-            else:
-                controller.utilization.transition("idle", now)
-                idle[ch] = True
-                woken[ch] = False
-        elif kind == _INJECT:
-            while cursor < n:
-                target = channel_of[cursor]
-                controller = controllers[target]
-                if len(controller.pending) >= depth:
-                    blocked_on = target
-                    break
-                controller._admit(requests[cursor], now)
-                if idle[target] and not woken[target]:
-                    woken[target] = True
-                    push(
-                        heap,
-                        (now, _NORMAL, next(seq), _WAKEUP, target, None),
-                    )
-                cursor += 1
-            else:
-                blocked_on = -1
-        else:  # _WAKEUP
-            idle[ch] = False
-            woken[ch] = False
-            controller = controllers[ch]
-            served, latency = controller._begin_service(now)
-            if blocked_on == ch:
-                blocked_on = -1
-                push(heap, (now, _NORMAL, next(seq), _INJECT, -1, None))
-            push(
-                heap,
-                (
-                    now + latency,
-                    _NORMAL,
-                    next(seq),
-                    _COMPLETE,
-                    ch,
-                    served,
-                ),
-            )
     return now

@@ -26,11 +26,22 @@ __all__ = ["Op", "OPS_BY_CODE", "MemRequest"]
 
 
 class Op(enum.Enum):
-    """Request kind, with its single-letter trace mnemonic as value."""
+    """Request kind, with its single-letter trace mnemonic as value.
+
+    ``READ`` / ``WRITE`` are host transactions of one granule; ``PIM``
+    is an all-bank row operation (every bank of the channel in
+    lockstep); ``AB`` is an all-bank *register broadcast* — the
+    HBM-PIM ``AB W`` command that writes CRF microcode, SRF scalars, or
+    GRF vectors into every bank's PIM execution unit.  A broadcast
+    occupies the channel for one column access but never touches the
+    row buffers (no activation), which is how real HBM-PIM register
+    writes behave.
+    """
 
     READ = "R"
     WRITE = "W"
     PIM = "P"
+    AB = "A"
 
     @classmethod
     def from_mnemonic(cls, token: str) -> "Op":
@@ -49,7 +60,7 @@ class Op(enum.Enum):
 
 
 #: ``Op`` in packed-code order: ``OPS_BY_CODE[op.code] is op``.
-OPS_BY_CODE = (Op.READ, Op.WRITE, Op.PIM)
+OPS_BY_CODE = (Op.READ, Op.WRITE, Op.PIM, Op.AB)
 _OP_CODES = {op: code for code, op in enumerate(OPS_BY_CODE)}
 
 
@@ -63,6 +74,10 @@ class MemRequest:
         The trace-visible payload: request kind and byte address.
     coords:
         Decoded coordinates, set when the system routes the request.
+    bank_index:
+        Flat in-channel bank index, cached by the controller at
+        admission (``None`` for all-bank PIM/AB requests) so the
+        FR-FCFS scan does not re-derive it per selection.
     arrival, start_service, finish:
         Simulation timestamps (ns), ``nan`` until reached.
     outcome:
@@ -77,6 +92,7 @@ class MemRequest:
     op: Op
     addr: int
     coords: _t.Optional["Coordinates"] = None
+    bank_index: _t.Optional[int] = None
     arrival: float = math.nan
     start_service: float = math.nan
     finish: float = math.nan

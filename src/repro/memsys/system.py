@@ -18,7 +18,7 @@ import typing as _t
 from ..arch.dram import DramMacroTiming
 from ..desim import Simulator
 from .addrmap import AddressMap, SCHEMES
-from .bank import Bank
+from .bank import Bank, OPEN, ROW_POLICIES
 from .controller import FRFCFS, POLICIES, ChannelController
 from .request import MemRequest, Op
 from .trace import PackedTrace
@@ -58,6 +58,10 @@ class MemSysConfig:
         Controller scheduling policy (``"fcfs"`` / ``"frfcfs"``).
     queue_depth:
         Per-channel request-queue depth.
+    row_policy:
+        Row-buffer management: ``"open"`` (default) keeps rows latched
+        between accesses, ``"closed"`` auto-precharges after every
+        access (each access pays a fresh activation, none a conflict).
     """
 
     n_channels: int = 2
@@ -71,6 +75,7 @@ class MemSysConfig:
     scheme: str = "row-major"
     policy: str = FRFCFS
     queue_depth: int = 16
+    row_policy: str = OPEN
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -85,6 +90,11 @@ class MemSysConfig:
         if self.queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.row_policy not in ROW_POLICIES:
+            raise ValueError(
+                f"unknown row_policy {self.row_policy!r}; available: "
+                f"{ROW_POLICIES}"
             )
         if self.precharge_ns < 0:
             raise ValueError(
@@ -188,6 +198,7 @@ class MemorySystem:
                     self.config.timing,
                     self.config.precharge_ns,
                     name=f"ch{channel}.b{index}",
+                    row_policy=self.config.row_policy,
                 )
                 for index in range(self.config.banks_per_channel)
             ]

@@ -1,0 +1,393 @@
+"""The executable PIM machine: execution units over the memory system.
+
+:class:`PimExecMachine` instantiates one
+:class:`~repro.pimexec.regfile.BankExecUnit` per bank of a
+:class:`~repro.memsys.MemSysConfig` geometry and one
+:class:`~repro.pimexec.sequencer.CommandSequencer` per channel, and
+plays host: every host-side action (bank writes, register broadcasts,
+CRF loads, kernel column walks) both mutates the functional state and
+appends the memory request the action costs.  :meth:`replay` then runs
+the accumulated request stream through a fresh
+:class:`~repro.memsys.MemorySystem`, so kernel time is measured by the
+same banked controllers, address map, and row-buffer state machines as
+any other trace — PIM kernel cycles pay real activation, page-access,
+and queueing costs.
+
+Request vocabulary (see :class:`repro.memsys.request.Op`):
+
+* ``READ``/``WRITE`` — host single-bank transactions (data staging,
+  result collection);
+* ``AB`` — all-bank register/command accesses (CRF microcode words,
+  SRF/GRF broadcasts, GRF readback): one column access on the channel,
+  no row-buffer interaction;
+* ``PIM`` — one all-bank column access per dynamic kernel instruction,
+  executing one CRF slot in every bank in lockstep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..memsys import (
+    Coordinates,
+    MemRequest,
+    MemSysConfig,
+    MemorySystem,
+    MemSysStats,
+    Op,
+)
+from .commands import GRF_REGS, PimCommand, PimExecError, SRF_REGS
+from .regfile import BankExecUnit
+from .sequencer import CommandSequencer
+
+__all__ = ["PimExecMachine", "PimExecResult", "page_encoder"]
+
+#: Hardware lane width in bits: HBM-PIM computes on 16-bit words.
+LANE_BITS = 16
+
+
+def page_encoder(
+    config: MemSysConfig,
+) -> _t.Callable[[int, int, int, int], int]:
+    """``(channel, flat_bank, row, col) -> byte address`` for a geometry.
+
+    The single flat-bank-to-coordinates convention shared by the
+    machine and the kernel host-trace builders (one cached
+    :class:`~repro.memsys.AddressMap`, so per-request encoding costs no
+    map construction).
+    """
+    amap = config.address_map()
+    per_group = config.banks_per_group
+
+    def encode(channel: int, flat_bank: int, row: int, col: int) -> int:
+        return amap.encode(
+            Coordinates(
+                channel=channel,
+                bankgroup=flat_bank // per_group,
+                bank=flat_bank % per_group,
+                row=row,
+                column=col,
+            )
+        )
+
+    return encode
+
+
+@dataclasses.dataclass
+class PimExecResult:
+    """Outcome of replaying a machine's request stream.
+
+    Attributes
+    ----------
+    stats:
+        The full :class:`~repro.memsys.MemSysStats` of the replay.
+    engine:
+        Which replay engine/tier served it.
+    n_requests, n_pim, n_broadcast, n_host:
+        Request mix of the replayed stream.
+    """
+
+    stats: MemSysStats
+    engine: _t.Optional[str]
+    n_requests: int
+    n_pim: int
+    n_broadcast: int
+    n_host: int
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.stats.makespan_ns
+
+
+class PimExecMachine:
+    """Per-bank PIM execution units over a banked memory system.
+
+    Parameters
+    ----------
+    config:
+        Memory-system geometry/timing/policy (paper defaults if
+        omitted).  The page width fixes the vector lane count:
+        ``page_bits // 16`` 16-bit hardware lanes (modeled as float64).
+    """
+
+    def __init__(self, config: _t.Optional[MemSysConfig] = None) -> None:
+        self.config = config or MemSysConfig()
+        self.lanes = self.config.timing.page_bits // LANE_BITS
+        if self.lanes < 1:
+            raise ValueError(
+                f"page_bits={self.config.timing.page_bits} too narrow "
+                f"for {LANE_BITS}-bit lanes"
+            )
+        self.addr_map = self.config.address_map()
+        self.units: _t.List[_t.List[BankExecUnit]] = [
+            [
+                BankExecUnit(self.lanes, name=f"ch{ch}.b{bank}")
+                for bank in range(self.config.banks_per_channel)
+            ]
+            for ch in range(self.config.n_channels)
+        ]
+        self.sequencers = [
+            CommandSequencer()
+            for _ in range(self.config.n_channels)
+        ]
+        self._encode = page_encoder(self.config)
+        #: The accumulated request stream (cleared by
+        #: :meth:`reset_requests`, consumed by :meth:`replay`).
+        self.requests: _t.List[MemRequest] = []
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_channels(self) -> int:
+        return self.config.n_channels
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.config.banks_per_channel
+
+    @property
+    def total_units(self) -> int:
+        return self.n_channels * self.banks_per_channel
+
+    def unit(self, channel: int, flat_bank: int) -> BankExecUnit:
+        return self.units[channel][flat_bank]
+
+    def iter_units(
+        self,
+    ) -> _t.Iterator[_t.Tuple[int, int, BankExecUnit]]:
+        """Yield ``(channel, flat_bank, unit)`` in address order."""
+        for ch, row in enumerate(self.units):
+            for bank, unit in enumerate(row):
+                yield ch, bank, unit
+
+    def encode(
+        self, channel: int, flat_bank: int, row: int, col: int
+    ) -> int:
+        """Byte address of a page, from flat in-channel bank index."""
+        return self._encode(channel, flat_bank, row, col)
+
+    def _emit(self, op: Op, addr: int) -> MemRequest:
+        request = MemRequest(op, addr)
+        self.requests.append(request)
+        return request
+
+    def _channels(
+        self, channels: _t.Optional[_t.Sequence[int]]
+    ) -> _t.List[int]:
+        return (
+            list(range(self.n_channels))
+            if channels is None
+            else list(channels)
+        )
+
+    # ------------------------------------------------------------------
+    # host-side actions (functional effect + request cost)
+    # ------------------------------------------------------------------
+    def write_bank(
+        self,
+        channel: int,
+        flat_bank: int,
+        row: int,
+        col: int,
+        values: _t.Sequence[float],
+    ) -> None:
+        """Host write of one page into one bank."""
+        self.unit(channel, flat_bank).store_page(row, col, values)
+        self._emit(Op.WRITE, self.encode(channel, flat_bank, row, col))
+
+    def read_bank(
+        self, channel: int, flat_bank: int, row: int, col: int
+    ) -> np.ndarray:
+        """Host read of one page from one bank."""
+        self._emit(Op.READ, self.encode(channel, flat_bank, row, col))
+        return self.unit(channel, flat_bank).load_page(row, col)
+
+    def broadcast_scalar(
+        self,
+        channel: int,
+        index: int,
+        value: float,
+        row: int = 0,
+        col: int = 0,
+    ) -> None:
+        """AB-mode write of ``SRF[index]`` in every bank of a channel.
+
+        ``row``/``col`` only shape the broadcast's address (useful to
+        keep it adjacent to the kernel's next data access); AB requests
+        never touch row buffers.
+        """
+        if not 0 <= index < SRF_REGS:
+            raise PimExecError(
+                f"SRF index {index} out of range [0, {SRF_REGS})"
+            )
+        for unit in self.units[channel]:
+            unit.srf[index] = float(value)
+        self._emit(Op.AB, self.encode(channel, 0, row, col))
+
+    def broadcast_page(
+        self,
+        channel: int,
+        space: str,
+        index: int,
+        values: _t.Sequence[float],
+        row: int = 0,
+        col: int = 0,
+    ) -> None:
+        """AB-mode write of one GRF register in every bank of a channel."""
+        if not 0 <= index < GRF_REGS:
+            raise PimExecError(
+                f"GRF index {index} out of range [0, {GRF_REGS})"
+            )
+        page = np.asarray(values, dtype=np.float64)
+        if page.shape != (self.lanes,):
+            raise PimExecError(
+                f"broadcast page must have {self.lanes} lanes, got "
+                f"shape {page.shape}"
+            )
+        for unit in self.units[channel]:
+            if space == "grf_a":
+                unit.grf_a[index] = page
+            elif space == "grf_b":
+                unit.grf_b[index] = page
+            else:
+                raise PimExecError(
+                    f"broadcast space must be grf_a/grf_b, got {space!r}"
+                )
+        self._emit(Op.AB, self.encode(channel, 0, row, col))
+
+    def read_grf(
+        self, channel: int, flat_bank: int, space: str, index: int
+    ) -> np.ndarray:
+        """Read back one GRF register (an AB-mode column access)."""
+        if not 0 <= index < GRF_REGS:
+            raise PimExecError(
+                f"GRF index {index} out of range [0, {GRF_REGS})"
+            )
+        unit = self.unit(channel, flat_bank)
+        if space == "grf_a":
+            value = unit.grf_a[index]
+        elif space == "grf_b":
+            value = unit.grf_b[index]
+        else:
+            raise PimExecError(
+                f"read_grf space must be grf_a/grf_b, got {space!r}"
+            )
+        self._emit(Op.AB, self.encode(channel, flat_bank, 0, 0))
+        return value.copy()
+
+    def load_kernel(
+        self,
+        commands: _t.Sequence[PimCommand],
+        channels: _t.Optional[_t.Sequence[int]] = None,
+    ) -> None:
+        """Broadcast a microkernel into the CRF of each channel.
+
+        Costs one AB register write per CRF slot per channel (the
+        microcode download HBM-PIM performs before every kernel).
+        """
+        commands = list(commands)
+        for channel in self._channels(channels):
+            self.sequencers[channel].load(commands)
+            for _ in commands:
+                self._emit(Op.AB, self.encode(channel, 0, 0, 0))
+
+    # ------------------------------------------------------------------
+    # kernel execution
+    # ------------------------------------------------------------------
+    def _step(
+        self, channel: int, command: PimCommand, row: int, col: int
+    ) -> None:
+        for unit in self.units[channel]:
+            unit.execute(command, row, col)
+        self._emit(Op.PIM, self.encode(channel, 0, row, col))
+
+    def pim_step(
+        self, channel: int, command: PimCommand, row: int, col: int
+    ) -> None:
+        """Execute one command in every bank of ``channel`` at (row, col).
+
+        The single-step escape hatch for host-sequenced kernels (e.g.
+        GEMV, which re-broadcasts an SRF scalar between steps); looped
+        kernels go through :meth:`load_kernel` + :meth:`run_kernel`.
+        """
+        if command.is_control:
+            raise PimExecError(
+                f"{command.opcode.value} is sequencer control, not a "
+                "bank operation"
+            )
+        self._step(channel, command, row, col)
+
+    def run_kernel(
+        self,
+        walk: _t.Union[
+            _t.Sequence[_t.Tuple[int, int]],
+            _t.Mapping[int, _t.Sequence[_t.Tuple[int, int]]],
+        ],
+        channels: _t.Optional[_t.Sequence[int]] = None,
+    ) -> int:
+        """Run the loaded CRF kernel to ``EXIT`` on each channel.
+
+        ``walk`` is the column-access schedule: one ``(row, col)``
+        sequence shared by every channel, or a per-channel mapping.
+        Channels advance round-robin, one dynamic instruction each, so
+        their all-bank request streams interleave and the memory system
+        serves them concurrently.  Returns the total number of dynamic
+        instructions executed (all channels).
+        """
+        targets = self._channels(channels)
+        if isinstance(walk, _t.Mapping):
+            walks = {ch: walk[ch] for ch in targets}
+        else:
+            walks = {ch: walk for ch in targets}
+        steppers = {
+            ch: self.sequencers[ch].run(walks[ch]) for ch in targets
+        }
+        executed = 0
+        active = list(targets)
+        while active:
+            still_running = []
+            for channel in active:
+                step = next(steppers[channel], None)
+                if step is None:
+                    continue
+                command, row, col = step
+                self._step(channel, command, row, col)
+                executed += 1
+                still_running.append(channel)
+            active = still_running
+        return executed
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def reset_requests(self) -> None:
+        """Drop the accumulated request stream (e.g. after data load)."""
+        self.requests = []
+
+    def replay(self, engine: str = "auto") -> PimExecResult:
+        """Replay the accumulated stream through a fresh MemorySystem."""
+        if not self.requests:
+            raise PimExecError("no requests accumulated to replay")
+        requests = [MemRequest(r.op, r.addr) for r in self.requests]
+        system = MemorySystem(self.config)
+        stats = system.replay(requests, engine=engine)
+        ops = [r.op for r in requests]
+        return PimExecResult(
+            stats=stats,
+            engine=system.last_replay_engine,
+            n_requests=len(requests),
+            n_pim=sum(op is Op.PIM for op in ops),
+            n_broadcast=sum(op is Op.AB for op in ops),
+            n_host=sum(op in (Op.READ, Op.WRITE) for op in ops),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PimExecMachine {self.n_channels}ch x "
+            f"{self.banks_per_channel}units lanes={self.lanes} "
+            f"requests={len(self.requests)}>"
+        )

@@ -1,0 +1,434 @@
+"""HBM-PIMulator program-trace frontend.
+
+Parses the program-trace dialect of HBM-PIMulator (see
+``example.trace`` / ``all_inst.trace`` in that project) into structured
+records, annotates per-record dependencies, and lowers the program to
+the mixed host+PIM request stream the banked memory system replays::
+
+    # comments and blank lines are ignored
+    W MEM 0 2 8          # host write: channel 0, bank 2, row 8
+    R MEM 0 2 8          # host read of the same location
+    W GPR 0              # host fills a staging register page
+    W CFR 0 1            # host writes config register 0 := 1
+    AB W                 # all-bank broadcast of the staged page
+    PIM MAC GRF,8 BANK,0,3,1 SRF,0   # one all-bank MAC at row 3 col 1
+    PIM NOP
+    PIM EXIT
+
+Record vocabulary
+-----------------
+* ``R|W MEM ch bank row`` — a host transaction to an explicit bank
+  location;
+* ``R|W <address>`` and ``SB R|W <address>`` — single-bank host
+  transactions by raw physical address;
+* ``R|W GPR i`` — staging-register traffic, mapped to a reserved
+  *GPR aperture* row (the highest row of bank 0).  The aperture is one
+  row wide, so indices wrap onto its ``pages_per_row`` columns
+  (``col = i % pages_per_row``): register *identity* — used by the
+  dependency annotations — is always the raw index, while the lowered
+  address only shapes timing (wrapped registers share a page and hit
+  the open aperture row, like consecutive staging writes in hardware);
+* ``R|W CFR i [data]`` — configuration-register traffic (reserved
+  aperture row below the GPR row, same wrap rule);
+* ``AB W`` — an all-bank register broadcast (:attr:`Op.AB`);
+* ``PIM <opcode> [operands]`` — one dynamic PIM instruction per line
+  (the trace is the *unrolled* instruction stream, so ``JUMP``/``EXIT``
+  are control markers that cost no column access).
+
+Dependencies
+------------
+Each record may name the index of the latest earlier record it must
+follow: PIM instructions depend on the most recent kernel/config write
+(``AB W`` or ``W CFR``), ``AB W`` depends on the ``W GPR`` that staged
+its payload, and reads depend on the matching earlier write (same MEM
+location / GPR index / CFR index).  Replay injects requests in program
+order, so the annotated dependencies are satisfied by construction —
+they exist so schedulers that *do* reorder (or future out-of-order
+frontends) know what must not move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pathlib
+import typing as _t
+
+from ..memsys import Coordinates, MemRequest, MemSysConfig, Op
+from .commands import PimCommand, PimExecError, PimOpcode, parse_command
+from .machine import PimExecMachine
+
+__all__ = [
+    "ProgramRecord",
+    "PimProgram",
+    "parse_pim_program",
+]
+
+#: Record kinds.
+MEM = "mem"
+GPR = "gpr"
+CFR = "cfr"
+AB = "ab"
+SB = "sb"
+PIM = "pim"
+
+
+@dataclasses.dataclass
+class ProgramRecord:
+    """One parsed trace line."""
+
+    lineno: int
+    kind: str
+    write: bool = False
+    channel: int = 0
+    bank: int = 0
+    row: int = 0
+    index: int = 0
+    data: _t.Optional[int] = None
+    addr: _t.Optional[int] = None
+    command: _t.Optional[PimCommand] = None
+    #: Index (into the record list) of the latest earlier record this
+    #: one must follow, or ``None`` if unconstrained.
+    depends_on: _t.Optional[int] = None
+
+
+class PimProgram:
+    """A parsed HBM-PIMulator program trace."""
+
+    def __init__(self, records: _t.Sequence[ProgramRecord]) -> None:
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def counts(self) -> _t.Dict[str, int]:
+        """Record-kind histogram (for reports and tests)."""
+        out: _t.Dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def _apertures(self, config: MemSysConfig) -> _t.Tuple[int, int]:
+        """(gpr_row, cfr_row): reserved register-aperture rows."""
+        return config.rows_per_bank - 1, config.rows_per_bank - 2
+
+    def _lowered(
+        self, config: MemSysConfig, channel: int = 0
+    ) -> _t.Iterator[
+        _t.Tuple[ProgramRecord, _t.Optional[Op], int, int, int]
+    ]:
+        """Yield ``(record, op, addr, row, col)`` per record.
+
+        ``op`` is ``None`` for control markers that cost no request
+        (``PIM JUMP`` / ``PIM EXIT``).
+
+        Raises
+        ------
+        ValueError
+            On out-of-range coordinates/addresses, with the trace line
+            number in the message.
+        """
+        amap = config.address_map()
+        ppr = config.timing.pages_per_row
+        gpr_row, cfr_row = self._apertures(config)
+        per_group = config.banks_per_group
+        row, col = 0, 0  # last PIM column access
+        for record in self.records:
+            lineno = record.lineno
+            if record.kind == MEM:
+                if not 0 <= record.channel < config.n_channels:
+                    raise ValueError(
+                        f"trace line {lineno}: channel {record.channel} "
+                        f"out of range [0, {config.n_channels})"
+                    )
+                if not 0 <= record.bank < config.banks_per_channel:
+                    raise ValueError(
+                        f"trace line {lineno}: bank {record.bank} out "
+                        f"of range [0, {config.banks_per_channel})"
+                    )
+                if not 0 <= record.row < config.rows_per_bank:
+                    raise ValueError(
+                        f"trace line {lineno}: row {record.row} out of "
+                        f"range [0, {config.rows_per_bank})"
+                    )
+                addr = amap.encode(
+                    Coordinates(
+                        channel=record.channel,
+                        bankgroup=record.bank // per_group,
+                        bank=record.bank % per_group,
+                        row=record.row,
+                        column=0,
+                    )
+                )
+                yield record, (
+                    Op.WRITE if record.write else Op.READ
+                ), addr, record.row, 0
+            elif record.kind in (GPR, CFR):
+                # one-row apertures: the index wraps onto the row's
+                # columns (address/timing only — dependency tracking
+                # keys on the raw index, never the wrapped address)
+                aperture = gpr_row if record.kind == GPR else cfr_row
+                addr = amap.encode(
+                    Coordinates(
+                        channel=channel,
+                        row=aperture,
+                        column=record.index % ppr,
+                    )
+                )
+                yield record, (
+                    Op.WRITE if record.write else Op.READ
+                ), addr, aperture, record.index % ppr
+            elif record.kind == SB:
+                assert record.addr is not None
+                if record.addr >= amap.capacity_bytes:
+                    raise ValueError(
+                        f"trace line {lineno}: address "
+                        f"{record.addr:#x} beyond the "
+                        f"{amap.capacity_bytes:#x}-byte address map"
+                    )
+                yield record, (
+                    Op.WRITE if record.write else Op.READ
+                ), record.addr, 0, 0
+            elif record.kind == AB:
+                addr = amap.encode(
+                    Coordinates(channel=channel, row=row, column=col)
+                )
+                yield record, Op.AB, addr, row, col
+            else:  # PIM
+                command = _t.cast(PimCommand, record.command)
+                if command.is_control:
+                    yield record, None, 0, row, col
+                    continue
+                explicit = command.explicit_bank
+                if explicit is not None:
+                    row = explicit.row  # type: ignore[assignment]
+                    col = explicit.col  # type: ignore[assignment]
+                if not 0 <= row < config.rows_per_bank:
+                    raise ValueError(
+                        f"trace line {lineno}: PIM row {row} out of "
+                        f"range [0, {config.rows_per_bank})"
+                    )
+                if not 0 <= col < ppr:
+                    raise ValueError(
+                        f"trace line {lineno}: PIM column {col} out of "
+                        f"range [0, {ppr})"
+                    )
+                addr = amap.encode(
+                    Coordinates(channel=channel, row=row, column=col)
+                )
+                yield record, Op.PIM, addr, row, col
+
+    def to_requests(
+        self, config: _t.Optional[MemSysConfig] = None, channel: int = 0
+    ) -> _t.List[MemRequest]:
+        """Lower the program to its memory-request stream.
+
+        PIM/AB records target ``channel`` (HBM-PIMulator traces record
+        the lockstep command stream of one representative channel).
+        """
+        config = config or MemSysConfig()
+        return [
+            MemRequest(op, addr)
+            for _record, op, addr, _row, _col in self._lowered(
+                config, channel
+            )
+            if op is not None
+        ]
+
+    def execute(
+        self, machine: PimExecMachine, channel: int = 0
+    ) -> _t.Dict[int, int]:
+        """Run the program on ``machine`` (functional + request stream).
+
+        PIM instructions execute on every bank of ``channel`` in
+        lockstep (mutating GRF/SRF/bank state); host records append
+        their requests without functional effect (the text format
+        carries no data payloads — stage bank contents through
+        :meth:`PimExecMachine.write_bank` first, untimed, via
+        :meth:`PimExecMachine.reset_requests`).  Returns the
+        ``{cfr_index: data}`` writes seen, for config-register checks.
+        """
+        cfr: _t.Dict[int, int] = {}
+        for record, op, addr, row, col in self._lowered(
+            machine.config, channel
+        ):
+            if record.kind == PIM:
+                command = _t.cast(PimCommand, record.command)
+                if command.is_control:
+                    continue
+                machine.pim_step(channel, command, row, col)
+            elif op is not None:
+                machine.requests.append(MemRequest(op, addr))
+                if record.kind == CFR and record.write:
+                    cfr[record.index] = (
+                        record.data if record.data is not None else 0
+                    )
+        return cfr
+
+    def __repr__(self) -> str:
+        return f"<PimProgram records={len(self.records)} {self.counts()}>"
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _source_lines(
+    source: _t.Union[str, pathlib.Path, _t.Iterable[str]]
+) -> _t.Iterator[str]:
+    if isinstance(source, pathlib.Path):
+        with source.open("r") as handle:
+            yield from handle
+    elif isinstance(source, str):
+        yield from io.StringIO(source)
+    else:
+        yield from source
+
+
+def _int_field(token: str, lineno: int, what: str) -> int:
+    try:
+        value = int(token.strip('"'), 0)
+    except ValueError:
+        raise ValueError(
+            f"trace line {lineno}: bad {what} {token!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"trace line {lineno}: negative {what} {token!r}"
+        )
+    return value
+
+
+def parse_pim_program(
+    source: _t.Union[str, pathlib.Path, _t.Iterable[str]]
+) -> PimProgram:
+    """Parse an HBM-PIMulator program trace.
+
+    Accepts a :class:`~pathlib.Path` (streamed), a ``str`` of trace
+    *content*, or any iterable of lines; ``#`` comments and blank lines
+    are ignored.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (unknown record forms, bad integers, wrong
+        arity, malformed PIM commands), with the 1-based line number.
+    """
+    records: _t.List[ProgramRecord] = []
+    last_config: _t.Optional[int] = None  # latest AB W / W CFR
+    last_gpr_any: _t.Optional[int] = None
+    last_gpr: _t.Dict[int, int] = {}
+    last_cfr: _t.Dict[int, int] = {}
+    last_mem: _t.Dict[_t.Tuple[int, int, int], int] = {}
+
+    for lineno, raw in enumerate(_source_lines(source), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0].upper()
+        index = len(records)
+        if head == "PIM":
+            try:
+                command = parse_command(" ".join(tokens[1:]))
+            except PimExecError as error:
+                raise ValueError(
+                    f"trace line {lineno}: {error}"
+                ) from None
+            record = ProgramRecord(
+                lineno, PIM, command=command, depends_on=last_config
+            )
+        elif head == "AB":
+            if len(tokens) != 2 or tokens[1].upper() != "W":
+                raise ValueError(
+                    f"trace line {lineno}: expected 'AB W', got {raw!r}"
+                )
+            record = ProgramRecord(
+                lineno, AB, write=True, depends_on=last_gpr_any
+            )
+            last_config = index
+        elif head in ("R", "W", "SB"):
+            if head == "SB":
+                if len(tokens) != 3 or tokens[1].upper() not in ("R", "W"):
+                    raise ValueError(
+                        f"trace line {lineno}: expected "
+                        f"'SB R|W ADDRESS', got {raw!r}"
+                    )
+                write = tokens[1].upper() == "W"
+                rest = tokens[2:]
+            else:
+                write = head == "W"
+                rest = tokens[1:]
+            if not rest:
+                raise ValueError(
+                    f"trace line {lineno}: truncated record {raw!r}"
+                )
+            target = rest[0].upper()
+            if target == "GPR":
+                if len(rest) != 2:
+                    raise ValueError(
+                        f"trace line {lineno}: expected "
+                        f"'{head} GPR INDEX', got {raw!r}"
+                    )
+                idx = _int_field(rest[1], lineno, "GPR index")
+                record = ProgramRecord(
+                    lineno, GPR, write=write, index=idx,
+                    depends_on=None if write else last_gpr.get(idx),
+                )
+                if write:
+                    last_gpr[idx] = index
+                    last_gpr_any = index
+            elif target == "CFR":
+                if len(rest) not in (2, 3):
+                    raise ValueError(
+                        f"trace line {lineno}: expected "
+                        f"'{head} CFR INDEX [DATA]', got {raw!r}"
+                    )
+                idx = _int_field(rest[1], lineno, "CFR index")
+                data = (
+                    _int_field(rest[2], lineno, "CFR data")
+                    if len(rest) == 3
+                    else None
+                )
+                record = ProgramRecord(
+                    lineno, CFR, write=write, index=idx, data=data,
+                    depends_on=None if write else last_cfr.get(idx),
+                )
+                if write:
+                    last_cfr[idx] = index
+                    last_config = index
+            elif target == "MEM":
+                if len(rest) != 4:
+                    raise ValueError(
+                        f"trace line {lineno}: expected "
+                        f"'{head} MEM CHANNEL BANK ROW', got {raw!r}"
+                    )
+                ch = _int_field(rest[1], lineno, "channel")
+                bank = _int_field(rest[2], lineno, "bank")
+                row = _int_field(rest[3], lineno, "row")
+                key = (ch, bank, row)
+                record = ProgramRecord(
+                    lineno, MEM, write=write,
+                    channel=ch, bank=bank, row=row,
+                    depends_on=None if write else last_mem.get(key),
+                )
+                if write:
+                    last_mem[key] = index
+            elif len(rest) == 1:
+                addr = _int_field(rest[0], lineno, "address")
+                record = ProgramRecord(
+                    lineno, SB, write=write, addr=addr
+                )
+            else:
+                raise ValueError(
+                    f"trace line {lineno}: unknown record form {raw!r}"
+                )
+        else:
+            raise ValueError(
+                f"trace line {lineno}: unknown record {tokens[0]!r} "
+                "(expected R/W/SB/AB/PIM)"
+            )
+        records.append(record)
+    return PimProgram(records)

@@ -1,0 +1,165 @@
+"""Per-bank PIM execution unit: register files + bank data array.
+
+Each :class:`BankExecUnit` is the compute logic HBM-PIM places beside
+one DRAM bank: two vector register files (GRF_A/GRF_B, 8 registers of
+one page each), a scalar register file (SRF, 8 entries, broadcast over
+lanes when read), and functional access to the bank's own data array.
+A page is ``lanes`` values — the 256-bit row-buffer page of the §2.1
+macro carries 16 16-bit words in hardware; the model stores values as
+``float64`` so results can be compared bit-exactly against a NumPy
+reference performing the same operations in the same order.
+
+The unit is purely *functional*: it executes commands and mutates
+state, but knows nothing about time.  Timing comes from the
+:class:`~repro.pimexec.machine.PimExecMachine`, which emits one
+:class:`~repro.memsys.request.MemRequest` per executed command through
+the banked memory system.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from .commands import (
+    BANK,
+    GRF_A,
+    GRF_B,
+    GRF_REGS,
+    Operand,
+    PimCommand,
+    PimExecError,
+    PimOpcode,
+    SRF,
+    SRF_REGS,
+)
+
+__all__ = ["BankExecUnit"]
+
+
+class BankExecUnit:
+    """Execution unit and functional data store of one bank.
+
+    Parameters
+    ----------
+    lanes:
+        Values per page (page width over the 16-bit hardware word).
+    name:
+        Label for error messages and repr.
+    """
+
+    __slots__ = (
+        "lanes", "name", "grf_a", "grf_b", "srf", "memory",
+        "commands_executed",
+    )
+
+    def __init__(self, lanes: int, name: str = "unit") -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = int(lanes)
+        self.name = name
+        self.grf_a = np.zeros((GRF_REGS, self.lanes))
+        self.grf_b = np.zeros((GRF_REGS, self.lanes))
+        self.srf = np.zeros(SRF_REGS)
+        #: Functional bank contents: ``(row, col) -> page`` (sparse;
+        #: unwritten pages read as zeros).
+        self.memory: _t.Dict[_t.Tuple[int, int], np.ndarray] = {}
+        self.commands_executed = 0
+
+    # ------------------------------------------------------------------
+    # bank data array
+    # ------------------------------------------------------------------
+    def load_page(self, row: int, col: int) -> np.ndarray:
+        """One page of the bank array (zeros if never written)."""
+        page = self.memory.get((row, col))
+        if page is None:
+            return np.zeros(self.lanes)
+        return page.copy()
+
+    def store_page(
+        self, row: int, col: int, values: _t.Sequence[float]
+    ) -> None:
+        page = np.asarray(values, dtype=np.float64)
+        if page.shape != (self.lanes,):
+            raise PimExecError(
+                f"{self.name}: page must have {self.lanes} lanes, got "
+                f"shape {page.shape}"
+            )
+        self.memory[(int(row), int(col))] = page.copy()
+
+    # ------------------------------------------------------------------
+    # operand access
+    # ------------------------------------------------------------------
+    def _coords(
+        self, operand: Operand, row: int, col: int
+    ) -> _t.Tuple[int, int]:
+        if operand.row is not None:
+            return operand.row, _t.cast(int, operand.col)
+        return row, col
+
+    def read_operand(
+        self, operand: Operand, row: int, col: int
+    ) -> np.ndarray:
+        if operand.space == BANK:
+            return self.load_page(*self._coords(operand, row, col))
+        if operand.space == GRF_A:
+            return self.grf_a[operand.index]
+        if operand.space == GRF_B:
+            return self.grf_b[operand.index]
+        assert operand.space == SRF
+        return np.full(self.lanes, self.srf[operand.index])
+
+    def write_operand(
+        self, operand: Operand, value: np.ndarray, row: int, col: int
+    ) -> None:
+        if operand.space == BANK:
+            self.store_page(*self._coords(operand, row, col), value)
+        elif operand.space == GRF_A:
+            self.grf_a[operand.index] = value
+        elif operand.space == GRF_B:
+            self.grf_b[operand.index] = value
+        else:  # pragma: no cover - guarded by PimCommand validation
+            raise PimExecError("SRF cannot be a command destination")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    _MAD_DEFAULT_ADDEND = Operand(SRF, 1)  # HBM-PIM's SRF_M
+
+    def execute(self, command: PimCommand, row: int = 0, col: int = 0) -> None:
+        """Execute one non-control command at column access (row, col)."""
+        opcode = command.opcode
+        if command.is_control:
+            raise PimExecError(
+                f"{opcode.value} is sequencer control, not a bank "
+                "operation"
+            )
+        self.commands_executed += 1
+        if opcode is PimOpcode.NOP:
+            return
+        dst = _t.cast(Operand, command.dst)
+        src0 = self.read_operand(_t.cast(Operand, command.src0), row, col)
+        if opcode in (PimOpcode.MOV, PimOpcode.FILL):
+            self.write_operand(dst, src0.copy(), row, col)
+            return
+        src1 = self.read_operand(_t.cast(Operand, command.src1), row, col)
+        if opcode is PimOpcode.ADD:
+            result = src0 + src1
+        elif opcode is PimOpcode.MUL:
+            result = src0 * src1
+        elif opcode is PimOpcode.MAC:
+            result = self.read_operand(dst, row, col) + src0 * src1
+        else:  # MAD
+            addend = self.read_operand(
+                command.src2 or self._MAD_DEFAULT_ADDEND, row, col
+            )
+            result = src0 * src1 + addend
+        self.write_operand(dst, result, row, col)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BankExecUnit {self.name!r} lanes={self.lanes} "
+            f"pages={len(self.memory)} "
+            f"executed={self.commands_executed}>"
+        )

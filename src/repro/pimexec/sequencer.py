@@ -1,0 +1,142 @@
+"""Command sequencer: the CRF and its lockstep dynamic execution.
+
+HBM-PIM kernels execute in *all-bank* mode: the host writes a
+microkernel into the Command Register File (broadcast to every bank of
+a channel), then issues a stream of column accesses; each access makes
+every bank execute one CRF slot in lockstep, with ``JUMP`` looping the
+program counter and ``EXIT`` ending the kernel.  The address of the
+triggering access supplies the ``BANK`` operand's row/column — so the
+host-side "column walk" is simultaneously the kernel's data schedule
+and its memory-request stream.
+
+:class:`CommandSequencer` reproduces exactly that: :meth:`run` takes a
+column walk (an iterable of ``(row, col)``) and yields one
+``(command, row, col)`` step per dynamic non-control instruction.
+Instructions that touch ``BANK`` implicitly consume the next walk
+entry; register-only instructions repeat the previous address (a
+row-buffer hit — the column access still occupies the channel, which
+is how kernel cycles pay real command-bus time).  ``JUMP``/``EXIT``
+are sequencer-internal and consume no access.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .commands import CRF_SIZE, PimCommand, PimExecError, PimOpcode
+
+__all__ = ["CommandSequencer"]
+
+
+class CommandSequencer:
+    """CRF storage plus the dynamic instruction stream it generates.
+
+    Parameters
+    ----------
+    crf_size:
+        CRF capacity in command slots (HBM-PIM: 32).
+    max_steps:
+        Safety bound on dynamic non-control instructions per kernel
+        (guards against missing ``EXIT`` / runaway ``JUMP`` loops).
+    """
+
+    def __init__(
+        self, crf_size: int = CRF_SIZE, max_steps: int = 10_000_000
+    ) -> None:
+        if crf_size < 1:
+            raise ValueError("crf_size must be >= 1")
+        self.crf_size = crf_size
+        self.max_steps = max_steps
+        self.crf: _t.List[PimCommand] = []
+
+    # ------------------------------------------------------------------
+    def load(self, commands: _t.Iterable[PimCommand]) -> None:
+        """Load a microkernel into the CRF.
+
+        Raises
+        ------
+        PimExecError
+            If the kernel exceeds the CRF capacity, contains no
+            ``EXIT``, or a ``JUMP`` targets a slot outside the kernel.
+        """
+        program = list(commands)
+        if len(program) > self.crf_size:
+            raise PimExecError(
+                f"kernel has {len(program)} commands; CRF holds "
+                f"{self.crf_size}"
+            )
+        if not any(c.opcode is PimOpcode.EXIT for c in program):
+            raise PimExecError("kernel must contain an EXIT command")
+        for slot, command in enumerate(program):
+            if (
+                command.opcode is PimOpcode.JUMP
+                and command.target >= len(program)
+            ):
+                raise PimExecError(
+                    f"CRF slot {slot}: JUMP target {command.target} "
+                    f"outside the {len(program)}-command kernel"
+                )
+        self.crf = program
+
+    # ------------------------------------------------------------------
+    def run(
+        self, walk: _t.Iterable[_t.Tuple[int, int]]
+    ) -> _t.Iterator[_t.Tuple[PimCommand, int, int]]:
+        """Yield ``(command, row, col)`` per dynamic instruction.
+
+        ``walk`` supplies the column-access addresses consumed by
+        commands with implicit ``BANK`` operands; other commands repeat
+        the previous address (initially row 0, column 0).
+
+        Raises
+        ------
+        PimExecError
+            If no kernel is loaded, the PC runs off the CRF end, the
+            walk is exhausted while a ``BANK`` command still needs an
+            address, or ``max_steps`` is exceeded.
+        """
+        if not self.crf:
+            raise PimExecError("no kernel loaded in the CRF")
+        walk_iter = iter(walk)
+        row, col = 0, 0
+        pc = 0
+        steps = 0
+        remaining: _t.Dict[int, int] = {}  # active JUMP slot -> left
+        while True:
+            if pc >= len(self.crf):
+                raise PimExecError(
+                    "program counter ran off the CRF end without EXIT"
+                )
+            command = self.crf[pc]
+            if command.opcode is PimOpcode.EXIT:
+                return
+            if command.opcode is PimOpcode.JUMP:
+                left = remaining.get(pc, command.count)
+                if left > 0:
+                    remaining[pc] = left - 1
+                    pc = command.target
+                else:
+                    remaining[pc] = command.count  # re-arm for re-entry
+                    pc += 1
+                continue
+            steps += 1
+            if steps > self.max_steps:
+                raise PimExecError(
+                    f"kernel exceeded max_steps={self.max_steps} "
+                    "dynamic instructions (missing EXIT?)"
+                )
+            if command.uses_implicit_bank:
+                try:
+                    row, col = next(walk_iter)
+                except StopIteration:
+                    raise PimExecError(
+                        f"column walk exhausted at dynamic step {steps} "
+                        f"({command})"
+                    ) from None
+            yield command, row, col
+            pc += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CommandSequencer crf={len(self.crf)}/{self.crf_size}>"
+        )

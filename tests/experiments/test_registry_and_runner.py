@@ -30,6 +30,7 @@ EXPECTED_NAMES = {
     "ablation-network",
     "extension-energy",
     "memsys_bandwidth",
+    "pimexec",
 }
 
 

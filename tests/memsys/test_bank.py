@@ -61,6 +61,24 @@ class TestCounters:
     def test_empty_hit_rate_nan(self):
         assert math.isnan(Bank().row_hit_rate)
 
+    def test_closed_policy_every_access_is_a_miss(self):
+        bank = Bank(row_policy="closed")
+        miss_ns = (
+            bank.timing.row_access_ns + bank.timing.page_access_ns
+        )
+        for row in (5, 5, 7, 5):  # repeats would hit under open policy
+            access = bank.access(row)
+            assert access.outcome == "miss"
+            assert access.latency_ns == miss_ns
+        assert bank.open_row is None
+        assert bank.hits == 0 and bank.conflicts == 0
+        assert bank.misses == 4
+        assert not bank.is_hit(5)
+
+    def test_rejects_unknown_row_policy(self):
+        with pytest.raises(ValueError, match="row_policy"):
+            Bank(row_policy="adaptive")
+
     def test_rejects_negative_precharge(self):
         with pytest.raises(ValueError):
             Bank(precharge_ns=-1.0)

@@ -145,6 +145,47 @@ class TestEngineEquivalence:
         event_stats, fast_stats, _ = replay_both(config, trace)
         assert_stats_equivalent(event_stats, fast_stats)
 
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize(
+        "pattern", ("sequential", "strided", "random")
+    )
+    def test_closed_page_policy(self, policy, pattern):
+        config = MemSysConfig(policy=policy, row_policy="closed")
+        trace = synthesize_trace(
+            pattern, 1200, config, seed=5, write_fraction=0.25
+        )
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        # no hits exist to hoist: the closed form stays exact
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert fast_stats.row_hits == 0
+        assert fast_stats.row_conflicts == 0
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_closed_page_pim_all_bank(self, policy):
+        config = MemSysConfig(
+            n_channels=2, policy=policy, row_policy="closed"
+        )
+        trace = pim_all_bank_trace(config, 512)
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert fast_stats.row_hits == 0
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_ab_broadcast_stream_uses_exact_tier(self):
+        """Register-broadcast traffic always runs the exact tier and
+        matches the event engine bit-for-bit."""
+        config = MemSysConfig(n_channels=2)
+        host = synthesize_trace("sequential", 300, config)
+        trace = []
+        for i, request in enumerate(host):
+            trace.append(request)
+            if i % 3 == 0:
+                trace.append(MemRequest(Op.AB, request.addr))
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats, rel=None)
+
 
 class TestTierSelection:
     def test_streaming_uses_vectorized_tier(self):

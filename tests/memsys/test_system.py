@@ -60,6 +60,10 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="precharge_ns"):
             MemSysConfig(precharge_ns=-1.0)
 
+    def test_rejects_unknown_row_policy(self):
+        with pytest.raises(ValueError, match="row_policy"):
+            MemSysConfig(row_policy="adaptive")
+
     def test_controller_rejects_bad_depth(self, sim):
         from repro.memsys import Bank
 
@@ -200,6 +204,70 @@ class TestSystemBehavior:
         assert stats.sustained_bits_per_sec == pytest.approx(
             config.banks_per_channel * analytic, rel=0.05
         )
+
+    def test_closed_page_policy_flattens_every_access_to_a_miss(self):
+        config = single_macro(row_policy="closed")
+        stats = MemorySystem(config).replay(
+            synthesize_trace("sequential", 128, config)
+        )
+        assert stats.row_hits == 0
+        assert stats.row_conflicts == 0
+        assert stats.row_misses == 128
+        # every access pays a fresh activation: 22 ns per request
+        assert stats.makespan_ns == pytest.approx(128 * 22.0)
+
+    def test_closed_page_equals_open_on_no_reuse_traffic(self):
+        """With one access per row, the two policies cost the same."""
+        config_open = single_macro()
+        config_closed = single_macro(row_policy="closed")
+        amap = config_open.address_map()
+        trace = [
+            MemRequest(Op.READ, amap.encode(Coordinates(row=i)))
+            for i in range(64)
+        ]
+        open_stats = MemorySystem(config_open).replay(
+            [MemRequest(r.op, r.addr) for r in trace]
+        )
+        closed_stats = MemorySystem(config_closed).replay(
+            [MemRequest(r.op, r.addr) for r in trace]
+        )
+        assert (
+            closed_stats.makespan_ns == open_stats.makespan_ns
+        )
+
+    def test_ab_broadcast_served_at_page_rate_without_bank_state(self):
+        config = single_macro()
+        system = MemorySystem(config)
+        requests = [
+            MemRequest(Op.AB, 0),
+            MemRequest(Op.AB, 0),
+            MemRequest(Op.AB, 0),
+        ]
+        stats = system.replay(requests)
+        # one column access each, no activations anywhere
+        assert stats.makespan_ns == pytest.approx(
+            3 * config.timing.page_access_ns
+        )
+        assert stats.row_hits + stats.row_misses == 0
+        assert all(r.outcome == "broadcast" for r in requests)
+        assert stats.total_bits == 3 * config.timing.page_bits
+        bank = system.controllers[0].banks[0]
+        assert bank.open_row is None and bank.accesses == 0
+
+    def test_frfcfs_does_not_reorder_across_ab_broadcast(self):
+        """A younger row hit must not overtake a register broadcast."""
+        config = single_macro(queue_depth=8)
+        amap = config.address_map()
+        system = MemorySystem(config)
+        trace = [
+            MemRequest(Op.READ, amap.encode(Coordinates(row=1))),
+            MemRequest(Op.AB, 0),
+            MemRequest(Op.READ, amap.encode(Coordinates(row=1))),
+        ]
+        system.replay(trace, engine="event")
+        # service order is arrival order: the hit waits for the AB
+        assert trace[1].finish <= trace[2].start_service
+        assert trace[2].outcome == "hit"
 
     def test_pim_broadcast_reaches_every_channel(self):
         config = MemSysConfig(n_channels=2)

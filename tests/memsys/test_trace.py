@@ -43,6 +43,23 @@ class TestParse:
         with pytest.raises(ValueError, match="OP ADDRESS"):
             parse_trace("R 0x20 0x40")
 
+    def test_truncated_line_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 3.*OP ADDRESS"):
+            parse_trace("R 0x20\nW 0x40\nR\n")
+
+    def test_mnemonic_case_and_whitespace_tolerated(self):
+        reqs = parse_trace("  r 0x20\n\tw 64\n")
+        assert [r.op for r in reqs] == [Op.READ, Op.WRITE]
+
+    def test_ab_broadcast_mnemonic_round_trips(self):
+        reqs = parse_trace("A 0x40\n")
+        assert reqs[0].op is Op.AB
+        assert parse_trace(format_trace(reqs))[0].op is Op.AB
+
+    def test_malformed_mnemonic_reports_all_known_ops(self):
+        with pytest.raises(ValueError, match=r"\['R', 'W', 'P', 'A'\]"):
+            parse_trace("Q 0x20")
+
 
 class TestRoundTrip:
     def test_parse_write_parse(self, tmp_path):

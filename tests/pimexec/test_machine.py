@@ -1,0 +1,162 @@
+"""Tests for the PimExecMachine: requests, timing, engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.memsys import MemSysConfig, MemorySystem, MemRequest, Op
+from repro.pimexec import (
+    Operand,
+    PimCommand,
+    PimExecError,
+    PimExecMachine,
+    PimOpcode,
+)
+
+
+@pytest.fixture
+def machine():
+    return PimExecMachine(MemSysConfig())
+
+
+def sum_kernel(slots):
+    return [
+        PimCommand(
+            PimOpcode.ADD,
+            dst=Operand.grf_b(0),
+            src0=Operand.bank(),
+            src1=Operand.grf_b(0),
+        ),
+        PimCommand(PimOpcode.JUMP, target=0, count=slots - 1),
+        PimCommand(PimOpcode.EXIT),
+    ]
+
+
+class TestHostActions:
+    def test_lanes_derive_from_page_width(self, machine):
+        # 256-bit pages carry 16 16-bit hardware words
+        assert machine.lanes == 16
+
+    def test_write_bank_stores_and_emits_one_write(self, machine):
+        page = np.arange(16, dtype=float)
+        machine.write_bank(0, 2, 5, 1, page)
+        assert np.array_equal(machine.unit(0, 2).load_page(5, 1), page)
+        assert len(machine.requests) == 1
+        request = machine.requests[0]
+        assert request.op is Op.WRITE
+        coords = machine.addr_map.decode(request.addr)
+        assert (coords.channel, coords.row, coords.column) == (0, 5, 1)
+        assert coords.flat_bank(machine.config.banks_per_group) == 2
+
+    def test_broadcast_scalar_reaches_all_units_of_channel(self, machine):
+        machine.broadcast_scalar(1, 3, 2.5)
+        assert all(
+            unit.srf[3] == 2.5 for unit in machine.units[1]
+        )
+        assert all(unit.srf[3] == 0.0 for unit in machine.units[0])
+        assert machine.requests[-1].op is Op.AB
+
+    def test_broadcast_page_validates_width(self, machine):
+        with pytest.raises(PimExecError, match="lanes"):
+            machine.broadcast_page(0, "grf_a", 0, [1.0, 2.0])
+
+    def test_register_indices_range_checked(self, machine):
+        with pytest.raises(PimExecError, match="SRF index -1"):
+            machine.broadcast_scalar(0, -1, 2.0)
+        with pytest.raises(PimExecError, match="SRF index 8"):
+            machine.broadcast_scalar(0, 8, 2.0)
+        with pytest.raises(PimExecError, match="GRF index 8"):
+            machine.broadcast_page(0, "grf_a", 8, np.zeros(16))
+        with pytest.raises(PimExecError, match="GRF index -1"):
+            machine.read_grf(0, 0, "grf_b", -1)
+
+    def test_load_kernel_costs_one_ab_per_slot_per_channel(self, machine):
+        machine.load_kernel(sum_kernel(4))
+        assert len(machine.requests) == 3 * machine.n_channels
+        assert all(r.op is Op.AB for r in machine.requests)
+
+    def test_read_grf_returns_copy(self, machine):
+        machine.units[0][0].grf_b[0] = np.full(16, 7.0)
+        out = machine.read_grf(0, 0, "grf_b", 0)
+        out[0] = -1.0
+        assert machine.unit(0, 0).grf_b[0][0] == 7.0
+        assert machine.requests[-1].op is Op.AB
+
+
+class TestKernelExecution:
+    def test_run_kernel_executes_lockstep_on_all_banks(self, machine):
+        pages = np.arange(16, dtype=float)
+        for ch in range(machine.n_channels):
+            for bank in range(machine.banks_per_channel):
+                machine.unit(ch, bank).store_page(0, 0, pages * (bank + 1))
+        machine.load_kernel(sum_kernel(1))
+        executed = machine.run_kernel([(0, 0)])
+        assert executed == machine.n_channels  # one step per channel
+        for ch in range(machine.n_channels):
+            for bank in range(machine.banks_per_channel):
+                assert np.array_equal(
+                    machine.unit(ch, bank).grf_b[0], pages * (bank + 1)
+                )
+
+    def test_run_kernel_interleaves_channels(self, machine):
+        machine.load_kernel(sum_kernel(2))
+        machine.reset_requests()
+        machine.run_kernel([(0, 0), (0, 1)])
+        channels = [
+            machine.addr_map.decode(r.addr).channel
+            for r in machine.requests
+        ]
+        # round-robin: ch0, ch1, ch0, ch1 — not ch0, ch0, ch1, ch1
+        assert channels == [0, 1, 0, 1]
+
+    def test_pim_step_rejects_control(self, machine):
+        with pytest.raises(PimExecError, match="sequencer control"):
+            machine.pim_step(
+                0, PimCommand(PimOpcode.EXIT), 0, 0
+            )
+
+    def test_per_channel_walks(self, machine):
+        machine.load_kernel(sum_kernel(1), channels=[0])
+        machine.load_kernel(sum_kernel(2), channels=[1])
+        machine.reset_requests()
+        machine.run_kernel({0: [(0, 0)], 1: [(0, 0), (0, 1)]})
+        channels = [
+            machine.addr_map.decode(r.addr).channel
+            for r in machine.requests
+        ]
+        assert channels == [0, 1, 1]
+
+
+class TestReplay:
+    def test_replay_reports_request_mix(self, machine):
+        machine.write_bank(0, 0, 0, 0, np.zeros(16))
+        machine.broadcast_scalar(0, 0, 1.0)
+        machine.load_kernel(sum_kernel(1), channels=[0])
+        machine.run_kernel([(0, 0)], channels=[0])
+        result = machine.replay()
+        assert result.n_requests == len(machine.requests)
+        assert result.n_host == 1
+        assert result.n_broadcast == 1 + 3
+        assert result.n_pim == 1
+        assert result.makespan_ns > 0
+
+    def test_replay_requires_requests(self, machine):
+        with pytest.raises(PimExecError, match="no requests"):
+            machine.replay()
+
+    def test_mixed_stream_event_and_fast_agree_bit_exactly(self, machine):
+        machine.write_bank(0, 1, 2, 3, np.ones(16))
+        machine.broadcast_scalar(0, 0, 2.0)
+        machine.load_kernel(sum_kernel(3))
+        machine.run_kernel([(0, 0), (0, 1), (1, 0)])
+        fast = machine.replay(engine="fast")
+        event = machine.replay(engine="event")
+        assert fast.engine == "fast-exact"
+        assert event.stats.makespan_ns == fast.stats.makespan_ns
+        assert event.stats.total_bits == fast.stats.total_bits
+        assert event.stats.row_hits == fast.stats.row_hits
+
+    def test_replay_is_repeatable(self, machine):
+        machine.write_bank(0, 0, 0, 0, np.zeros(16))
+        first = machine.replay()
+        second = machine.replay()
+        assert first.stats.makespan_ns == second.stats.makespan_ns

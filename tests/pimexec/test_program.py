@@ -1,0 +1,190 @@
+"""Tests for the HBM-PIMulator program-trace frontend."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.memsys import MemSysConfig, MemorySystem, Op
+from repro.pimexec import PimExecMachine, parse_pim_program
+
+EXAMPLE = """\
+# Physical layout header, as in HBM-PIMulator example traces
+# R/W GPR [GPR_id]
+W MEM 0 2 8
+W MEM 1 2 9
+
+W GPR 0
+W GPR 1
+W CFR 0 1
+AB W
+
+PIM MAC GRF,8 BANK,0,3,0 SRF,0
+PIM ADD GRF,8 BANK,0,3,1 GRF,8
+PIM MUL GRF,9 BANK,0,3,2 GRF,8
+PIM NOP
+PIM JUMP
+PIM EXIT
+
+R MEM 0 2 8
+R GPR 0
+R CFR 0 1
+"""
+
+
+class TestParsing:
+    def test_counts_and_comment_blank_handling(self):
+        program = parse_pim_program(EXAMPLE)
+        assert program.counts() == {
+            "mem": 3, "gpr": 3, "cfr": 2, "ab": 1, "pim": 6,
+        }
+
+    def test_accepts_paths(self, tmp_path):
+        path = tmp_path / "program.trace"
+        path.write_text(EXAMPLE)
+        assert len(parse_pim_program(path)) == len(
+            parse_pim_program(EXAMPLE)
+        )
+
+    def test_raw_address_and_sb_records(self):
+        program = parse_pim_program("W 4096\nSB R 0x40\n")
+        assert [r.kind for r in program.records] == ["sb", "sb"]
+        assert program.records[0].write
+        assert not program.records[1].write
+
+    def test_cfr_quoted_index(self):
+        # the HBM-PIMulator docs quote the CFR id: R/W CFR "0" data
+        program = parse_pim_program('W CFR "0" 5\n')
+        record = program.records[0]
+        assert (record.index, record.data) == (0, 5)
+
+
+class TestDependencies:
+    def test_pim_depends_on_latest_kernel_write(self):
+        program = parse_pim_program(EXAMPLE)
+        records = program.records
+        ab_index = next(
+            i for i, r in enumerate(records) if r.kind == "ab"
+        )
+        for record in records:
+            if record.kind == "pim":
+                assert record.depends_on == ab_index
+
+    def test_reads_depend_on_matching_writes(self):
+        program = parse_pim_program(EXAMPLE)
+        records = program.records
+        mem_read = next(
+            r for r in records if r.kind == "mem" and not r.write
+        )
+        assert records[mem_read.depends_on].kind == "mem"
+        assert records[mem_read.depends_on].write
+        assert records[mem_read.depends_on].row == 8
+        gpr_read = next(
+            r for r in records if r.kind == "gpr" and not r.write
+        )
+        assert records[gpr_read.depends_on].write
+
+    def test_ab_depends_on_staging_gpr_write(self):
+        program = parse_pim_program(EXAMPLE)
+        records = program.records
+        ab = next(r for r in records if r.kind == "ab")
+        assert records[ab.depends_on].kind == "gpr"
+
+    def test_unmatched_read_has_no_dependency(self):
+        program = parse_pim_program("R MEM 0 0 5\n")
+        assert program.records[0].depends_on is None
+
+
+class TestErrors:
+    def test_unknown_record_with_line_number(self):
+        with pytest.raises(ValueError, match="trace line 2"):
+            parse_pim_program("W MEM 0 0 0\nFOO BAR\n")
+
+    def test_truncated_records(self):
+        with pytest.raises(ValueError, match="truncated"):
+            parse_pim_program("W\n")
+        with pytest.raises(ValueError, match="GPR INDEX"):
+            parse_pim_program("W GPR\n")
+        with pytest.raises(ValueError, match="CHANNEL BANK ROW"):
+            parse_pim_program("R MEM 0 1\n")
+
+    def test_bad_integers(self):
+        with pytest.raises(ValueError, match="bad channel"):
+            parse_pim_program("W MEM x 0 0\n")
+        with pytest.raises(ValueError, match="negative"):
+            parse_pim_program("W MEM -1 0 0\n")
+        with pytest.raises(ValueError, match="bad address"):
+            parse_pim_program("SB W zz\n")
+
+    def test_malformed_pim_commands_carry_line_numbers(self):
+        with pytest.raises(ValueError, match="trace line 1.*opcode"):
+            parse_pim_program("PIM FMA GRF,0 BANK SRF,0\n")
+        with pytest.raises(ValueError, match="trace line 2"):
+            parse_pim_program("PIM NOP\nPIM MAC GRF,0\n")
+
+    def test_malformed_ab(self):
+        with pytest.raises(ValueError, match="AB W"):
+            parse_pim_program("AB R\n")
+
+    def test_out_of_range_coordinates_at_lowering(self):
+        config = MemSysConfig()
+        with pytest.raises(ValueError, match="channel 9"):
+            parse_pim_program("W MEM 9 0 0\n").to_requests(config)
+        with pytest.raises(ValueError, match="bank 64"):
+            parse_pim_program("W MEM 0 64 0\n").to_requests(config)
+        with pytest.raises(ValueError, match="row"):
+            parse_pim_program("W MEM 0 0 999999\n").to_requests(config)
+        with pytest.raises(ValueError, match="PIM row"):
+            parse_pim_program(
+                "PIM FILL GRF,0 BANK,0,999999,0\n"
+            ).to_requests(config)
+        with pytest.raises(ValueError, match="beyond"):
+            parse_pim_program("W 0xffffffffff\n").to_requests(config)
+
+
+class TestLowering:
+    def test_request_mix_and_ops(self):
+        config = MemSysConfig()
+        program = parse_pim_program(EXAMPLE)
+        requests = parse_pim_program(EXAMPLE).to_requests(config)
+        # JUMP and EXIT cost no column access
+        assert len(requests) == len(program) - 2
+        ops = [r.op for r in requests]
+        assert ops.count(Op.PIM) == 4  # MAC, ADD, MUL, NOP
+        assert ops.count(Op.AB) == 1
+        assert ops.count(Op.WRITE) == 5
+        assert ops.count(Op.READ) == 3
+
+    def test_stream_replays_through_memory_system(self):
+        config = MemSysConfig()
+        requests = parse_pim_program(EXAMPLE).to_requests(config)
+        stats = MemorySystem(config).replay(requests)
+        assert stats.n_requests == len(requests)
+        assert stats.makespan_ns > 0
+
+
+class TestExecution:
+    def test_grf_state_matches_numpy_reference_bit_exactly(self):
+        machine = PimExecMachine(MemSysConfig())
+        lanes = machine.lanes
+        rng = np.random.default_rng(8)
+        pages = rng.standard_normal((3, lanes))
+        scalar = 1.5
+        for bank in range(machine.banks_per_channel):
+            unit = machine.unit(0, bank)
+            unit.srf[0] = scalar
+            for col in range(3):
+                unit.store_page(3, col, pages[col])
+        machine.reset_requests()
+        cfr = parse_pim_program(EXAMPLE).execute(machine)
+        assert cfr == {0: 1}
+        result = machine.replay()
+        assert result.n_pim == 4
+        # reference, in executed order:
+        grf_b0 = pages[0] * np.full(lanes, scalar)       # MAC into 0
+        grf_b0 = pages[1] + grf_b0                       # ADD
+        grf_b1 = pages[2] * grf_b0                       # MUL
+        for bank in range(machine.banks_per_channel):
+            unit = machine.unit(0, bank)
+            assert np.array_equal(unit.grf_b[0], grf_b0)
+            assert np.array_equal(unit.grf_b[1], grf_b1)

@@ -52,6 +52,24 @@ class TestParser:
                 ["replay", "a.trace", "--engine", "warp"]
             )
 
+    def test_pimexec_command_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "pimexec", "--kernel", "gemv", "--n", "256",
+                "--engine", "fast", "--seed", "7",
+            ]
+        )
+        assert args.command == "pimexec"
+        assert args.kernel == "gemv"
+        assert args.n == 256
+        assert args.engine == "fast"
+        assert args.seed == 7
+        assert args.trace is None
+        trace_args = build_parser().parse_args(
+            ["pimexec", "--trace", str(tmp_path / "p.trace")]
+        )
+        assert trace_args.trace == tmp_path / "p.trace"
+
 
 class TestMain:
     def test_list_exit_zero(self, capsys):
@@ -106,3 +124,39 @@ class TestMain:
             main(["replay", str(path), "--channels", "3"]) == 2
         )
         assert "replay failed" in capsys.readouterr().err
+
+    def test_pimexec_kernel_run(self, capsys):
+        assert main(["pimexec", "--kernel", "vector-sum", "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "vector-sum" in out
+        assert "yes" in out  # the bit-exactness column
+
+    def test_pimexec_unknown_kernel_exit_2(self, capsys):
+        assert main(["pimexec", "--kernel", "fft"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kernel" in err
+        assert "gemv" in err
+
+    def test_pimexec_trace_replay(self, tmp_path, capsys):
+        path = tmp_path / "program.trace"
+        path.write_text(
+            "W MEM 0 0 3\nAB W\n"
+            "PIM MAC GRF,8 BANK,0,3,0 SRF,0\nPIM EXIT\n"
+        )
+        assert main(["pimexec", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 records" in out
+        assert "pim=1" in out
+
+    def test_pimexec_missing_trace_exit_2(self, tmp_path, capsys):
+        assert (
+            main(["pimexec", "--trace", str(tmp_path / "nope.trace")])
+            == 2
+        )
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_pimexec_malformed_trace_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_text("PIM FMA GRF,0 BANK SRF,0\n")
+        assert main(["pimexec", "--trace", str(path)]) == 2
+        assert "pimexec replay failed" in capsys.readouterr().err

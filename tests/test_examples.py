@@ -24,6 +24,10 @@ EXPECTED_MARKERS = {
         "calibrated break-even node count",
         "recommendation",
     ],
+    "pim_kernel_execution.py": [
+        "bank GRF contents bit-exact vs NumPy: True",
+        "speedup",
+    ],
 }
 
 
