@@ -11,7 +11,9 @@ Commands
 ``repro-pim replay TRACE``
     Replay a text trace file through the banked memory system and print
     its summary statistics (engine selectable: ``event``, ``fast``, or
-    ``auto``).
+    ``auto``; optional timestamped arrivals from the trace's third
+    column, refresh modeling via ``--trefi``/``--trfc``/
+    ``--refresh-granularity``).
 ``repro-pim pimexec [--kernel NAME | --trace FILE]``
     Execute built-in PIM kernels on the per-bank execution units and
     compare against host-only twins, or replay an HBM-PIMulator-style
@@ -100,7 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_p.add_argument(
         "trace", type=pathlib.Path, metavar="TRACE",
-        help="trace file (R/W/PIM + address per line)",
+        help="trace file (OP ADDRESS [TIMESTAMP_NS] per line; see "
+        "docs/trace-formats.md)",
     )
     replay_p.add_argument(
         "--engine", choices=("event", "fast", "auto"), default="auto",
@@ -122,6 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument(
         "--queue-depth", type=int, default=16, metavar="N",
         help="per-channel request-queue depth (default: 16)",
+    )
+    replay_p.add_argument(
+        "--trefi", type=float, default=0.0, metavar="NS",
+        help="refresh interval tREFI in ns (0 disables refresh "
+        "modeling; HBM2-class: 3900)",
+    )
+    replay_p.add_argument(
+        "--trfc", type=float, default=0.0, metavar="NS",
+        help="refresh cycle time tRFC in ns (HBM2-class: 350)",
+    )
+    replay_p.add_argument(
+        "--refresh-granularity",
+        choices=("per-rank", "per-bank"),
+        default="per-rank",
+        help="all-bank refresh stalling the channel (per-rank, "
+        "default) or staggered per-bank refresh the scheduler works "
+        "around (per-bank)",
     )
 
     pimexec_p = sub.add_parser(
@@ -176,6 +196,9 @@ def _replay_command(args: argparse.Namespace) -> int:
             scheme=args.scheme,
             policy=args.policy,
             queue_depth=args.queue_depth,
+            trefi_ns=args.trefi,
+            trfc_ns=args.trfc,
+            refresh_granularity=args.refresh_granularity,
         )
         trace = parse_trace(args.trace, packed=True)
         if len(trace) == 0:

@@ -98,6 +98,34 @@ class Simulator:
         """Create an event that triggers ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def at(self, when: float, value: object = None) -> Event:
+        """Create an event that triggers at *absolute* time ``when``.
+
+        Unlike ``timeout(when - now)``, the event fires at exactly the
+        float ``when`` — ``now + (when - now)`` can differ from ``when``
+        in the last ulps, which matters to models (like the memory
+        system's timestamped trace injector) that must reproduce trace
+        timestamps bit-for-bit across replay engines.
+
+        Raises
+        ------
+        SchedulingError
+            If ``when`` lies in the past.
+        """
+        when = float(when)
+        if when < self._now:
+            raise SchedulingError(
+                f"cannot schedule an event at {when!r}, in the past "
+                f"(now={self._now!r})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        heapq.heappush(
+            self._heap, (when, NORMAL, next(self._seq), event)
+        )
+        return event
+
     def process(
         self, generator: ProcessGenerator, name: _t.Optional[str] = None
     ) -> Process:

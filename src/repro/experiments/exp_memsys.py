@@ -15,10 +15,18 @@ closed forms of :mod:`repro.arch.dram`:
 * PIM all-bank mode reclaims the aggregate row-buffer bandwidth of
   every bank on the channel — the paper's "hidden bandwidth", now
   observed in simulation rather than derived;
+* refresh (tREFI/tRFC) costs sustained bandwidth in proportion to the
+  blackout fraction ``tRFC/tREFI`` under per-rank (all-bank) refresh,
+  while staggered per-bank refresh hides most of the overhead behind
+  accesses to other banks;
+* timestamped traces replay at their recorded arrival rate: a trace
+  slower than the channel's service rate sustains exactly its offered
+  load instead of the saturation bandwidth;
 * the event-free fast-path replay engine
   (:mod:`repro.memsys.fastpath`) reproduces the event engine's
-  statistics on the same traces — the cross-check that lets every other
-  sweep here run on the fast path.
+  statistics on the same traces — including refresh-fenced and
+  timestamped replays — the cross-check that lets every other sweep
+  here run on the fast path.
 
 The sweeps themselves replay through ``engine="auto"`` (the fast path),
 which is what makes the full-size grids cheap; the equivalence section
@@ -217,15 +225,124 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     ]
 
     # ------------------------------------------------------------------
-    # 5. engine cross-validation: event vs. fast path on shared traces
+    # 5. refresh overhead: tREFI/tRFC blackouts vs the ideal stream
+    # ------------------------------------------------------------------
+    #: HBM2-class refresh timings (ns).
+    trefi, trfc = 3900.0, 350.0
+    # bank-interleaved random traffic spreads over every bank, which is
+    # what lets staggered per-bank refresh work around the refreshing
+    # bank; the paper-default row-major random footprint stays inside
+    # one bank, where the two granularities coincide
+    refresh_base = MemSysConfig(n_channels=1, scheme="bank-interleaved")
+    ideal = _replay(
+        refresh_base,
+        synthesize_trace("random", n, refresh_base, seed=config.seed),
+    )
+    refresh_rows = []
+    refresh_bw = {}
+    for granularity in ("per-rank", "per-bank"):
+        refreshed_config = MemSysConfig(
+            n_channels=1,
+            scheme="bank-interleaved",
+            trefi_ns=trefi,
+            trfc_ns=trfc,
+            refresh_granularity=granularity,
+        )
+        stats = _replay(
+            refreshed_config,
+            synthesize_trace(
+                "random", n, refreshed_config, seed=config.seed
+            ),
+        )
+        overhead = 1 - stats.sustained_bits_per_sec / ideal.sustained_bits_per_sec
+        refresh_bw[granularity] = stats.sustained_bits_per_sec
+        refresh_rows.append(
+            {
+                "granularity": granularity,
+                "gbit_per_s": stats.sustained_bits_per_sec / 1e9,
+                "overhead_pct": 100 * overhead,
+                "blackout_pct": 100 * trfc / trefi,
+                "row_hit_rate": stats.row_hit_rate,
+            }
+        )
+    per_rank_overhead = (
+        1 - refresh_bw["per-rank"] / ideal.sustained_bits_per_sec
+    )
+    blackout_fraction = trfc / trefi
+
+    # ------------------------------------------------------------------
+    # 6. timestamped arrivals: offered load below saturation
+    # ------------------------------------------------------------------
+    paced_config = MemSysConfig(n_channels=1)
+    interarrival = 4 * paced_config.timing.page_access_ns  # ~25% load
+    line_rate = _replay(
+        paced_config, synthesize_trace("sequential", n, paced_config)
+    )
+    paced_trace = synthesize_trace(
+        "sequential", n, paced_config, interarrival_ns=interarrival
+    )
+    paced = _replay(paced_config, paced_trace)
+    offered = paced_config.timing.page_bits / (interarrival * 1e-9)
+    paced_rows = [
+        {
+            "arrivals": "line-rate",
+            "gbit_per_s": line_rate.sustained_bits_per_sec / 1e9,
+        },
+        {
+            "arrivals": f"timestamped ({interarrival:g} ns spacing)",
+            "gbit_per_s": paced.sustained_bits_per_sec / 1e9,
+            "offered_gbit_per_s": offered / 1e9,
+        },
+    ]
+    paced_err = abs(paced.sustained_bits_per_sec - offered) / offered
+
+    # ------------------------------------------------------------------
+    # 7. engine cross-validation: event vs. fast path on shared traces
     # ------------------------------------------------------------------
     engine_rows = []
     engines_agree = True
     eq_n = min(n, 5_000)  # the event engine is the slow side here
-    for pattern in ("sequential", "strided", "random"):
-        eq_config = MemSysConfig(scheme="channel-interleaved")
+    eq_cases = [
+        (pattern, MemSysConfig(scheme="channel-interleaved"), {})
+        for pattern in ("sequential", "strided", "random")
+    ]
+    eq_cases.append(
+        (
+            "sequential+refresh",
+            MemSysConfig(
+                scheme="channel-interleaved",
+                trefi_ns=trefi,
+                trfc_ns=trfc,
+            ),
+            {},
+        )
+    )
+    eq_cases.append(
+        (
+            "random+refresh(per-bank)",
+            MemSysConfig(
+                scheme="channel-interleaved",
+                trefi_ns=trefi,
+                trfc_ns=trfc,
+                refresh_granularity="per-bank",
+            ),
+            {},
+        )
+    )
+    eq_cases.append(
+        (
+            "sequential+timestamps",
+            MemSysConfig(scheme="channel-interleaved"),
+            {"interarrival_ns": interarrival},
+        )
+    )
+    for pattern, eq_config, synth_kwargs in eq_cases:
         eq_trace = synthesize_trace(
-            pattern, eq_n, eq_config, seed=config.seed
+            pattern.split("+", 1)[0],
+            eq_n,
+            eq_config,
+            seed=config.seed,
+            **synth_kwargs,
         )
         event_stats = MemorySystem(eq_config).replay(
             _fresh(eq_trace), engine="event"
@@ -284,6 +401,17 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "PIM all-bank reclaims multi-bank bandwidth": (
             pim_speedup > 0.9 * one_channel.banks_per_channel
         ),
+        "per-rank refresh overhead tracks tRFC/tREFI": (
+            0.5 * blackout_fraction
+            < per_rank_overhead
+            < 2.0 * blackout_fraction
+        ),
+        "per-bank refresh outperforms per-rank on host streams": (
+            refresh_bw["per-bank"] > refresh_bw["per-rank"]
+        ),
+        "timestamped trace sustains its offered load within 5%": (
+            paced_err < 0.05
+        ),
         "fast-path engine matches event-engine stats": engines_agree,
     }
     return ExperimentResult(
@@ -295,6 +423,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "scheme_pattern_sweep": sweep_rows,
             "policy_comparison": policy_rows,
             "pim_mode": pim_rows,
+            "refresh_overhead": refresh_rows,
+            "timestamped_arrivals": paced_rows,
             "engine_equivalence": engine_rows,
         },
         plots={},
@@ -309,6 +439,14 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"{policy_hits['fcfs']:.2f} on a row-interleaved stream",
             f"PIM all-bank mode sustains {pim_speedup:.1f}x the host "
             "streaming bandwidth of the same channel",
+            f"per-rank refresh (tREFI={trefi:g}, tRFC={trfc:g}) costs "
+            f"{100 * per_rank_overhead:.1f}% of streaming bandwidth "
+            f"(blackout fraction {100 * blackout_fraction:.1f}%); "
+            "per-bank staggering costs "
+            f"{100 * (1 - refresh_bw['per-bank'] / ideal.sustained_bits_per_sec):.1f}%",
+            f"timestamped trace at {interarrival:g} ns spacing "
+            f"sustains {paced.sustained_bits_per_sec / 1e9:.1f} Gbit/s "
+            f"(offered {offered / 1e9:.1f} Gbit/s)",
             "fast-path replay engine "
             + ("matches" if engines_agree else "DIVERGES from")
             + " the event engine on every cross-checked trace",

@@ -12,7 +12,9 @@ buffer — at the request level:
 * :mod:`~repro.memsys.bank` — per-bank row-buffer state machines driven
   by :class:`~repro.arch.dram.DramMacroTiming`, with open-page (rows
   stay latched) and closed-page (auto-precharge after every access)
-  row policies;
+  row policies, plus the tREFI/tRFC :class:`RefreshSchedule` (per-rank
+  blackouts, or staggered per-bank refresh the FR-FCFS scheduler works
+  around);
 * :mod:`~repro.memsys.request` — host read/write, PIM all-bank, and AB
   register-broadcast request records;
 * :mod:`~repro.memsys.controller` — per-channel request queues with FCFS
@@ -42,12 +44,15 @@ Replay engines
   request objects carry their full runtime history (~50k requests/s);
 * ``"fast"`` replays through closed-form ready-time arithmetic — banks
   are plain ``(open_row, ready_at_ns)`` records, open-row streaks are
-  charged as batched page-access spans, and FCFS/FR-FCFS ordering is
-  reproduced with an incremental ready-time scan (millions of
-  requests/s; ~4.5M/s measured on a 1M-request streaming replay, ~85x
-  the event engine).  Vectorized certificates decide per trace whether
-  the closed form is exact, with an exact bit-identical incremental
-  fallback for traces (e.g. random traffic) that fail one;
+  charged as batched page-access spans, FCFS/FR-FCFS ordering is
+  reproduced with an incremental ready-time scan, trace timestamps
+  solve a segmented Lindley recurrence, and refresh blackouts become
+  epoch-chunked ready-time fences (millions of requests/s; ~5M/s
+  measured on a 1M-request streaming replay, ~3M/s with per-rank
+  refresh on).  Vectorized certificates decide per trace whether the
+  closed form is exact, with an exact bit-identical incremental
+  fallback for traces (e.g. random traffic under FR-FCFS, per-bank
+  refresh, refresh combined with timestamps) that fail one;
 * ``"auto"`` (default) picks the fast path whenever no per-event trace
   hooks are installed (``sim.tracer is None``) and the simulator is
   private to the system with an untouched clock, and the event engine
@@ -56,9 +61,16 @@ Replay engines
 Both engines produce the same :class:`MemSysStats`: integer counters,
 makespan, and sustained bandwidth exactly, derived float aggregates to
 within ~1e-12 relative (the fast path sums vectorized instead of
-streaming Welford updates); ``tests/memsys/test_fastpath.py`` asserts
-this across every scheme x policy x pattern combination, including PIM
-all-bank traces.
+streaming Welford updates); ``tests/memsys/test_fastpath.py`` and
+``tests/memsys/test_refresh.py`` assert this across every scheme x
+policy x pattern x refresh granularity x arrival mode combination,
+including PIM all-bank traces.
+
+Traces are uniformly *line-rate* (each request injected as soon as its
+channel queue has space) or uniformly *timestamped* (an optional third
+trace column of non-decreasing arrival times in ns; see
+``docs/trace-formats.md``), and refresh is enabled by
+``MemSysConfig(trefi_ns=..., trfc_ns=...)``.
 
 Example
 -------
@@ -71,7 +83,13 @@ True
 """
 
 from .addrmap import AddressMap, Coordinates, SCHEMES
-from .bank import Bank, BankAccess, ROW_POLICIES
+from .bank import (
+    Bank,
+    BankAccess,
+    REFRESH_GRANULARITIES,
+    ROW_POLICIES,
+    RefreshSchedule,
+)
 from .controller import ChannelController, FCFS, FRFCFS, POLICIES
 from .request import MemRequest, Op
 from .system import ENGINES, MemSysConfig, MemSysStats, MemorySystem
@@ -91,7 +109,9 @@ __all__ = [
     "SCHEMES",
     "Bank",
     "BankAccess",
+    "REFRESH_GRANULARITIES",
     "ROW_POLICIES",
+    "RefreshSchedule",
     "ChannelController",
     "FCFS",
     "FRFCFS",

@@ -1,4 +1,4 @@
-"""Per-bank row-buffer state machine.
+"""Per-bank row-buffer state machine and the refresh schedule.
 
 Each bank is one on-chip DRAM macro of the §2.1 model: a grid of rows,
 one of which may be latched in the row buffer.  An access to the open
@@ -8,16 +8,53 @@ pays an explicit precharge, which defaults to 0 because the paper's
 conservative 20 ns row-access figure already subsumes it (keeping the
 simulated streaming bandwidth exactly equal to
 :func:`repro.arch.dram.macro_bandwidth_bits_per_sec`).
+
+Refresh (tREFI / tRFC)
+----------------------
+DRAM cells leak: every ``tREFI`` ns (the refresh interval) a refresh
+command must be issued, and the refreshed resource is unavailable for
+``tRFC`` ns (the refresh cycle time).  :class:`RefreshSchedule` models
+this as a *deterministic recurring fence* rather than an event source,
+so every replay engine — the desim event engine, the exact incremental
+fast path, and the vectorized closed-form fast path — derives identical
+blackout windows from pure arithmetic on the clock:
+
+* ``per-rank`` granularity (all-bank refresh, the HBM/Ramulator
+  default): at every boundary ``k * tREFI`` (k >= 1) *all* banks of
+  every channel refresh together; no service may *start* inside the
+  blackout ``[k*tREFI, k*tREFI + tRFC)``, and the refresh precharges
+  every row buffer (the next access to each bank pays a fresh
+  activation).
+* ``per-bank`` granularity (staggered/rolling refresh): bank ``b``
+  refreshes in its own slice ``[k*tREFI + b*tRFC, k*tREFI +
+  (b+1)*tRFC)``, so the channel keeps serving *other* banks while one
+  refreshes — only a request targeting the refreshing bank (or an
+  all-bank PIM/AB operation, which needs every bank) stalls.
+
+Fences gate service *starts* only: an access in flight when a boundary
+arrives completes normally (real controllers defer refresh behind an
+open transaction), and its bank's row buffer is invalidated before the
+next scheduling decision.  The sustained-bandwidth cost of per-rank
+refresh is therefore ~``tRFC/tREFI``, the classic refresh-overhead
+ratio, which ``exp_memsys`` checks against simulation.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 from ..arch.dram import DramMacroTiming
 
-__all__ = ["BankAccess", "Bank", "latency_table", "ROW_POLICIES"]
+__all__ = [
+    "BankAccess",
+    "Bank",
+    "latency_table",
+    "ROW_POLICIES",
+    "REFRESH_GRANULARITIES",
+    "RefreshSchedule",
+]
 
 #: Row-buffer outcomes.
 HIT = "hit"
@@ -31,6 +68,115 @@ OUTCOMES = (HIT, MISS, CONFLICT)
 OPEN = "open"
 CLOSED = "closed"
 ROW_POLICIES = (OPEN, CLOSED)
+
+#: Refresh granularities.
+PER_RANK = "per-rank"
+PER_BANK = "per-bank"
+REFRESH_GRANULARITIES = (PER_RANK, PER_BANK)
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshSchedule:
+    """Deterministic tREFI/tRFC blackout windows for one channel.
+
+    All replay engines compute refresh from this one schedule, with the
+    same float expressions, so blackout fences land bit-identically:
+
+    * ``epoch(now)`` counts elapsed refresh boundaries (``k`` such that
+      ``k * tREFI <= now``); crossing a boundary closes row buffers —
+      all banks at once (per-rank), or bank ``b`` at its staggered
+      slice start ``k*tREFI + b*tRFC`` (per-bank);
+    * the ``*_fence`` methods return the earliest instant a service may
+      begin: ``now`` outside a blackout, the blackout's end inside one.
+
+    Parameters
+    ----------
+    trefi_ns, trfc_ns:
+        Refresh interval and refresh cycle time (ns); ``trefi_ns > 0``.
+    granularity:
+        ``"per-rank"`` or ``"per-bank"``.
+    n_banks:
+        Banks per channel (sizes the per-bank stagger and the all-bank
+        sweep window).
+    """
+
+    trefi_ns: float
+    trfc_ns: float
+    granularity: str
+    n_banks: int
+
+    def __post_init__(self) -> None:
+        if not self.trefi_ns > 0:
+            raise ValueError(
+                f"trefi_ns must be > 0, got {self.trefi_ns}"
+            )
+        if not 0 <= self.trfc_ns < self.trefi_ns:
+            raise ValueError(
+                f"trfc_ns must satisfy 0 <= trfc_ns < trefi_ns, got "
+                f"trfc_ns={self.trfc_ns} trefi_ns={self.trefi_ns}"
+            )
+        if self.granularity not in REFRESH_GRANULARITIES:
+            raise ValueError(
+                f"unknown refresh granularity {self.granularity!r}; "
+                f"available: {REFRESH_GRANULARITIES}"
+            )
+        if self.n_banks < 1:
+            raise ValueError("n_banks must be >= 1")
+        if (
+            self.granularity == PER_BANK
+            and not self.n_banks * self.trfc_ns < self.trefi_ns
+        ):
+            raise ValueError(
+                "per-bank refresh needs n_banks * trfc_ns < trefi_ns "
+                f"(the rolling sweep must fit one interval), got "
+                f"{self.n_banks} * {self.trfc_ns} vs {self.trefi_ns}"
+            )
+
+    # ------------------------------------------------------------------
+    def epoch(self, now: float) -> int:
+        """Refresh boundaries elapsed by ``now`` (0 before the first)."""
+        return int(math.floor(now / self.trefi_ns))
+
+    def bank_epoch(self, now: float, bank: int) -> int:
+        """Refreshes *started* for ``bank`` by ``now`` (per-bank)."""
+        return int(
+            math.floor((now - bank * self.trfc_ns) / self.trefi_ns)
+        )
+
+    # ------------------------------------------------------------------
+    def rank_fence(self, now: float) -> float:
+        """Earliest service start at ``now`` under per-rank refresh."""
+        epoch = self.epoch(now)
+        if epoch >= 1:
+            end = epoch * self.trefi_ns + self.trfc_ns
+            if now < end:
+                return end
+        return now
+
+    def bank_fence(self, now: float, bank: int) -> float:
+        """Earliest service start for ``bank`` under per-bank refresh."""
+        epoch = self.bank_epoch(now, bank)
+        if epoch >= 1:
+            begin = epoch * self.trefi_ns + bank * self.trfc_ns
+            if begin <= now < begin + self.trfc_ns:
+                return begin + self.trfc_ns
+        return now
+
+    def all_bank_fence(self, now: float) -> float:
+        """Earliest all-bank (PIM/AB) start under per-bank refresh.
+
+        The staggered per-bank slices tile ``[k*tREFI, k*tREFI +
+        n_banks*tRFC)`` contiguously, so an all-bank operation — which
+        needs every bank simultaneously — waits out the whole sweep.
+        """
+        epoch = self.epoch(now)
+        if epoch >= 1:
+            end = (
+                epoch * self.trefi_ns + self.n_banks * self.trfc_ns
+            )
+            if now < end:
+                return end
+        return now
 
 
 def latency_table(

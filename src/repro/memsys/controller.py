@@ -21,6 +21,15 @@ register writes for the per-bank PIM execution units of
 :mod:`repro.pimexec`): they hold the channel for one column access and
 move one page of command payload, but never touch the row buffers.
 
+With a :class:`~repro.memsys.bank.RefreshSchedule` attached, every
+scheduling decision is gated by :meth:`ChannelController._service_delay`
+first: due refresh boundaries precharge their row buffers, and a
+selection that would start inside a blackout window stalls until the
+window ends (the whole channel under per-rank refresh; only requests
+touching the refreshing bank under per-bank refresh).  The gate is pure
+arithmetic on the clock, shared verbatim with the exact fast-path tier
+so both engines stall at bit-identical instants.
+
 Statistics flow through :mod:`repro.desim.stats`: a :class:`Tally` of
 request latencies, a :class:`TimeWeighted` queue length, a
 :class:`StateTimer` for busy/idle utilization, and :class:`Counter`\\ s
@@ -29,11 +38,12 @@ of completed requests and delivered bits.
 
 from __future__ import annotations
 
+import math
 import typing as _t
 
 from ..desim import Counter, StateTimer, Tally, TimeWeighted
 from ..desim.events import Event
-from .bank import Bank
+from .bank import Bank, PER_RANK, RefreshSchedule
 from .request import MemRequest, Op
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -66,6 +76,9 @@ class ChannelController:
     banks_per_group:
         Banks per bankgroup, for flattening decoded coordinates into
         the ``banks`` list; defaults to ``len(banks)`` (one group).
+    refresh:
+        Optional :class:`~repro.memsys.bank.RefreshSchedule`; ``None``
+        disables refresh modeling.
     """
 
     def __init__(
@@ -76,6 +89,7 @@ class ChannelController:
         policy: str = FRFCFS,
         queue_depth: int = 16,
         banks_per_group: _t.Optional[int] = None,
+        refresh: _t.Optional[RefreshSchedule] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -98,6 +112,19 @@ class ChannelController:
                 f"banks_per_group={self.banks_per_group} must be in "
                 f"[1, {len(self.banks)}]"
             )
+
+        if refresh is not None and refresh.n_banks != len(self.banks):
+            raise ValueError(
+                f"refresh schedule sized for {refresh.n_banks} banks "
+                f"but the channel has {len(self.banks)}"
+            )
+        self.refresh = refresh
+        #: Per-bank count of refresh boundaries already applied (row
+        #: closures are lazy: folded in before the next selection).
+        self._refresh_applied = [0] * len(self.banks)
+        #: Serviceable request staged by the per-bank refresh gate for
+        #: the selection that immediately follows it.
+        self._refresh_candidate: _t.Optional[MemRequest] = None
 
         self.pending: _t.List[MemRequest] = []
         self._wakeup: _t.Optional[Event] = None
@@ -173,10 +200,98 @@ class ChannelController:
         return request.done
 
     # ------------------------------------------------------------------
+    # refresh gate
+    # ------------------------------------------------------------------
+    def _service_delay(self, now: float) -> float:
+        """Refresh gate: apply due row closures, return the stall (ns).
+
+        Called before every scheduling decision, by the event engine and
+        the exact fast-path tier alike (same floats in, same floats
+        out).  Crossing a refresh boundary precharges the refreshed
+        banks' row buffers.  Under *per-rank* refresh a decision inside
+        the blackout window stalls the whole channel to the window's
+        end.  Under *per-bank* (staggered) refresh the gate is
+        refresh-aware the way real controllers are: FR-FCFS masks out
+        requests whose bank is mid-refresh and serves the oldest
+        serviceable row hit (else the oldest serviceable request), so
+        the channel keeps working around the refreshing bank; the
+        channel stalls only when nothing is serviceable — FCFS keeps
+        strict order and stalls on a blocked head, and the AB barrier
+        still lets nothing younger pass a register broadcast.  A
+        serviceable pick is staged for :meth:`_select` via
+        ``_refresh_candidate`` so the gate and the selection agree.
+        """
+        refresh = self.refresh
+        if refresh is None:
+            return 0.0
+        applied = self._refresh_applied
+        if refresh.granularity == PER_RANK:
+            epoch = refresh.epoch(now)
+            if epoch > applied[0]:
+                for bank in self.banks:
+                    bank.precharge()
+                for index in range(len(applied)):
+                    applied[index] = epoch
+            fence = refresh.rank_fence(now)
+            return fence - now if fence > now else 0.0
+        for index, bank in enumerate(self.banks):
+            epoch = refresh.bank_epoch(now, index)
+            if epoch >= 1 and epoch > applied[index]:
+                bank.precharge()
+                applied[index] = epoch
+        frfcfs = self.policy == FRFCFS
+        banks = self.banks
+        fallback: _t.Optional[MemRequest] = None
+        earliest = math.inf
+        head = self.pending[0]
+        for request in self.pending:
+            op = request.op
+            if op is Op.AB and request is not head:
+                # register-broadcast barrier cuts both ways: nothing
+                # younger passes it, and it passes nothing older
+                break
+            if op is Op.PIM or op is Op.AB:
+                fence = refresh.all_bank_fence(now)
+            else:
+                index = request.bank_index
+                if index is None:
+                    index = self._bank_index(request.coords)
+                fence = refresh.bank_fence(now, index)
+            if fence <= now:  # serviceable now
+                if fallback is None:
+                    fallback = request
+                if (
+                    frfcfs
+                    and op is not Op.PIM
+                    and op is not Op.AB
+                    and request.bank_index is not None
+                    and banks[request.bank_index].open_row
+                    == request.coords.row
+                ):
+                    # oldest serviceable row hit wins outright
+                    self._refresh_candidate = request
+                    return 0.0
+            else:
+                earliest = min(earliest, fence)
+            if op is Op.AB or not frfcfs:
+                # register-broadcast barrier; FCFS never looks past
+                # its head
+                break
+        if fallback is not None:
+            self._refresh_candidate = fallback
+            return 0.0
+        return earliest - now
+
+    # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def _select(self) -> MemRequest:
         """Pick the next request under the configured policy."""
+        candidate = self._refresh_candidate
+        if candidate is not None:
+            # the per-bank refresh gate already made this decision
+            self._refresh_candidate = None
+            return candidate
         if self.policy == FRFCFS:
             ab = Op.AB
             banks = self.banks
@@ -265,6 +380,12 @@ class ChannelController:
                 self._wakeup = sim.event()
                 yield self._wakeup
                 self._wakeup = None
+            delay = self._service_delay(sim.now)
+            if delay > 0.0:
+                # refresh blackout: stall, then re-evaluate (the queue
+                # may have grown and row buffers were precharged)
+                yield sim.timeout(delay)
+                continue
             request, latency = self._begin_service(sim.now)
             waiters, self._space_waiters = self._space_waiters, []
             for waiter in waiters:

@@ -5,10 +5,11 @@ request (a queue wakeup and a service timeout) through a generator-based
 process kernel — faithful, observable, and ~50k requests/s.  Every
 quantity it produces, however, is *determined* by the trace and the
 configuration: service durations follow from per-bank row sequences,
-service starts are back-to-back while a queue is busy, and arrivals are
-pinned to queue-slot releases by the bounded-queue injector.  This
-module exploits that determinism to replay traces at millions of
-requests per second while producing the same :class:`MemSysStats`.
+service starts are back-to-back while a queue is busy, arrivals are
+pinned to queue-slot releases (or to explicit trace timestamps), and
+refresh blackouts are a pure function of the clock.  This module
+exploits that determinism to replay traces at millions of requests per
+second while producing the same :class:`MemSysStats`.
 
 It is organized as two tiers behind one entry point,
 :func:`replay_fast`:
@@ -20,42 +21,68 @@ It is organized as two tiers behind one entry point,
   computed in one vectorized pass (previous-same-bank row comparison —
   an open-row streak of ``L`` requests costs one activation plus ``L``
   batched page spans, charged by a single ``cumsum``), and service
-  finishes follow as ``F = cumsum(durations)``;
-* arrivals follow from the bounded queue: the ``m``-th request of a
-  channel is admitted exactly when the ``(m - depth)``-th service
-  *starts* (that dequeue frees its slot), so ``A[m] = S[m - depth]``
-  and queue latency is an incremental ready-time scan, not a simulated
-  clock.
+  finishes follow as sequential prefix sums of the durations;
+* *line-rate* arrivals follow from the bounded queue: the ``m``-th
+  request of a channel is admitted exactly when the ``(m - depth)``-th
+  service *starts* (that dequeue frees its slot), so ``A[m] =
+  S[m - depth]``;
+* *timestamped* arrivals are taken from the trace: ``A[m] = T[m]``, and
+  service starts solve the Lindley recurrence ``S[j] = max(T[j],
+  F[j-1])`` — located with one vectorized running-max scan, then
+  recomputed per busy segment with the event engine's exact
+  left-to-right float additions (:func:`_segmented_service`);
+* *refresh* (per-rank tREFI/tRFC) appears as deterministic ready-time
+  fences: the service stream is chunked at refresh boundaries
+  (:func:`_chunked_refresh_channel`) — within an epoch starts are
+  back-to-back cumsums, each boundary precharges every row buffer (the
+  next chunk's outcome scan restarts from all-banks-closed), and a
+  start landing inside a blackout is pushed to its end with the same
+  float expression the event engine's stall timeout produces.
 
-Two *certificates* — exact, conservative, and themselves vectorized —
-decide whether the closed form reproduces the event engine:
+Exact, conservative, and themselves vectorized *certificates* decide
+whether the closed form reproduces the event engine:
 
 1. *FIFO certificate* (FR-FCFS only): at every selection whose head is
    not a row hit, no request in the queue window (the next
-   ``queue_depth - 1`` same-channel requests — exactly the engine's
-   visible queue) hits its bank's open row.  When that holds, FR-FCFS
-   never reorders and the FIFO outcome arrays are exact.  FCFS and
-   pure-PIM channels (the all-bank scan skips PIM requests) are FIFO by
-   construction.
-2. *Line-rate certificate*: the arrival candidates ``A[m] = S[m-depth]``
-   must be non-decreasing in trace order.  Then the injector never
-   stalls one channel on another's full queue, every selection finds a
-   non-empty queue, and the closed-form times solve the engine's
-   recurrences exactly (bit-for-bit: ``cumsum`` performs the same
-   left-to-right float additions the event clock does).
+   ``queue_depth - 1`` same-channel requests — a superset of the
+   engine's visible queue) hits its bank's open row.  When that holds,
+   FR-FCFS never reorders and the FIFO outcome arrays are exact.  FCFS
+   and pure-PIM channels (the all-bank scan skips PIM requests) are
+   FIFO by construction.  With refresh, the certificate runs per epoch
+   chunk (row buffers restart closed) with a ``depth - 1`` lookahead
+   into the next chunk.
+2. *Line-rate certificate* (untimestamped traces): the arrival
+   candidates ``A[m] = S[m - depth]`` must be non-decreasing in trace
+   order.  Then the injector never stalls one channel on another's
+   full queue and the closed-form times solve the engine's recurrences
+   exactly.  When it *fails* on a FIFO-certified trace (e.g. random
+   traffic under FCFS — the channel imbalance starves queues), the
+   arrivals are instead solved to a fixed point of the coupled
+   injector/service recurrences (:func:`_arrival_fixed_point`), which
+   converges to the event engine's exact values or falls back.
+3. *Backpressure certificate* (timestamped traces): every arrival must
+   find a free queue slot, ``T[j] >= S[j - depth]`` per channel; then
+   arrivals equal the trace timestamps exactly.
 
-Streaming, strided, and PIM all-bank traces pass both certificates.
+Streaming, strided, and PIM all-bank traces pass the certificates with
+or without refresh; timestamped traces pass whenever their arrival rate
+keeps queues from overflowing; FCFS random traffic is certified through
+the arrival fixed point.  Refresh at per-bank granularity, refresh
+combined with timestamps, and AB register-broadcast streams always take
+tier 2.
 
 **Tier 2 — exact incremental replay.**  Traces that fail a certificate
-(e.g. random traffic, whose channel imbalance starves queues and whose
-stray row hits let FR-FCFS reorder) fall back to a lean discrete replay
-that reproduces the event engine's ``(time, priority, insertion)``
-scheduling order with three plain tuple kinds on a heap — no Event
-objects, no generators, no process bookkeeping — driving the *same*
-controller bookkeeping (:meth:`ChannelController._admit` /
+(e.g. random traffic under FR-FCFS, whose stray row hits let the
+scheduler reorder) fall back to a lean discrete replay that reproduces
+the event engine's ``(time, priority, insertion)`` scheduling order
+with plain tuples on a heap — no Event objects, no generators, no
+process bookkeeping — driving the *same* controller bookkeeping
+(:meth:`ChannelController._admit` / ``_service_delay`` /
 ``_begin_service`` / ``_finish_service``) and the same Bank state
 machines, so its statistics are bit-identical to the event engine's by
-construction, at roughly twice its speed.
+construction.  Trace timestamps become absolute-time injector
+resumptions; refresh stalls become retry occurrences at the blackout
+end, gated by the same shared ``_service_delay`` arithmetic.
 
 Differences from the event engine (both tiers):
 
@@ -65,24 +92,33 @@ Differences from the event engine (both tiers):
 * per-request runtime fields (coords, timestamps, outcome, bits) are
   written back for object traces but not for
   :class:`~repro.memsys.trace.PackedTrace` inputs, which never
-  materialize request objects at all.
+  materialize request objects at all;
+* queue-occupancy extremes (``queue_len.minimum`` / ``maximum``, not
+  part of :class:`MemSysStats`) are exact under the line-rate
+  certificate; in the gapped tiers (timestamped / fixed-point
+  arrivals) same-instant interleavings of an admission with an
+  *earlier* request's dequeue are resolved admission-first and
+  clipped at the queue depth, which can differ from the event
+  calendar by one transient slot.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import typing as _t
 
 import numpy as np
 
 from .addrmap import Coordinates
-from .bank import CLOSED, OUTCOMES, latency_table
+from .bank import CLOSED, OUTCOMES, PER_RANK, latency_table
 from .controller import FRFCFS
 from .request import MemRequest, OPS_BY_CODE, Op
 from .trace import PackedTrace
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from .bank import RefreshSchedule
     from .system import MemorySystem, MemSysStats
 
 __all__ = ["replay_fast"]
@@ -94,7 +130,12 @@ _AB_CODE = Op.AB.code
 
 #: Tier-2 scheduling vocabulary, mirroring the desim heap discipline.
 _URGENT, _NORMAL = 0, 1
-_COMPLETE, _INJECT, _WAKEUP = 0, 1, 2
+_COMPLETE, _INJECT, _WAKEUP, _RETRY = 0, 1, 2, 3
+
+#: Iteration cap for the arrival fixed point (each iteration is one
+#: vectorized pass; stalled-arrival chains longer than this are rare
+#: enough to leave to the exact tier).
+_MAX_ARRIVAL_ITERS = 64
 
 
 def replay_fast(
@@ -115,6 +156,7 @@ def replay_fast(
         requests: _t.Optional[_t.List[MemRequest]] = None
         op_codes = trace.op_codes.astype(np.int64)
         addrs = trace.addrs
+        times = trace.times
     else:
         requests = list(trace)
         n = len(requests)
@@ -124,6 +166,15 @@ def replay_fast(
         addrs = np.fromiter(
             (r.addr for r in requests), dtype=np.int64, count=n
         )
+        # uniform presence was validated by MemorySystem.replay
+        if requests and requests[0].timestamp is not None:
+            times = np.fromiter(
+                (r.timestamp for r in requests),
+                dtype=np.float64,
+                count=n,
+            )
+        else:
+            times = None
     fields = system.addr_map.decode_fields(addrs)
     config = system.config
     n_banks = config.banks_per_channel
@@ -137,7 +188,12 @@ def replay_fast(
         plan = None
     else:
         plan = _vector_plan(
-            system, op_codes, fields["channel"], flat_bank, fields["row"]
+            system,
+            op_codes,
+            fields["channel"],
+            flat_bank,
+            fields["row"],
+            times,
         )
     if plan is not None:
         makespan = _commit_vector_plan(system, plan)
@@ -146,10 +202,15 @@ def replay_fast(
             _write_back(requests, fields, plan)
     else:
         if requests is None:
+            time_list: _t.Iterable[_t.Optional[float]] = (
+                times.tolist()
+                if times is not None
+                else itertools.repeat(None)
+            )
             requests = [
-                MemRequest(OPS_BY_CODE[code], addr)
-                for code, addr in zip(
-                    op_codes.tolist(), addrs.tolist()
+                MemRequest(OPS_BY_CODE[code], addr, when)
+                for code, addr, when in zip(
+                    op_codes.tolist(), addrs.tolist(), time_list
                 )
             ]
         _assign_coords(requests, fields)
@@ -168,6 +229,7 @@ def _vector_plan(
     channel: np.ndarray,
     flat_bank: np.ndarray,
     row: np.ndarray,
+    times: _t.Optional[np.ndarray],
 ) -> _t.Optional[_t.List[_t.Optional[dict]]]:
     """Try to solve the whole replay in closed form.
 
@@ -177,12 +239,21 @@ def _vector_plan(
     """
     config = system.config
     depth = config.queue_depth
+    refresh = config.refresh_schedule()
+    if refresh is not None and (
+        refresh.granularity != PER_RANK or times is not None
+    ):
+        # per-bank blackouts depend on the selected request, and fences
+        # interleaved with trace arrivals break the segmented solvers:
+        # both are served exactly by tier 2
+        return None
     n = op_codes.shape[0]
     table = latency_table(config.timing, config.precharge_ns)
     latencies = np.array([table[name] for name in OUTCOMES])
     n_banks = config.banks_per_channel
     page_bits = config.timing.page_bits
-    arrivals_global = np.zeros(n)
+    closed = config.row_policy == CLOSED
+    frfcfs = config.policy == FRFCFS
     plan: _t.List[_t.Optional[dict]] = []
     for ch in range(config.n_channels):
         idx = np.nonzero(channel == ch)[0]
@@ -196,101 +267,417 @@ def _vector_plan(
         any_pim = bool(pim.any())
         if any_pim and not bool(pim.all()):
             return None  # mixed host/PIM stream: exact tier only
-        if config.row_policy == CLOSED:
-            # Auto-precharge: every access activates a fresh row — all
-            # misses, never a hit or conflict, so FR-FCFS has nothing
-            # to hoist (FIFO by construction) and all banks end closed.
-            outcome = np.full(n_c, _MISS, dtype=np.int64)
-            open_final = [None] * n_banks
-            bank_counts = np.zeros((n_banks, 3), dtype=np.int64)
-            if any_pim:
-                bits_per_request = page_bits * n_banks
-                bank_counts[:, _MISS] = n_c
-            else:
-                bits_per_request = page_bits
-                bank_counts[:, _MISS] = np.bincount(
-                    bank_c, minlength=n_banks
-                )
-        elif any_pim:
-            # All-bank lockstep: every bank holds the previous PIM row,
-            # so outcomes are uniform across banks and follow from the
-            # row stream alone.
-            outcome = np.empty(n_c, dtype=np.int64)
-            outcome[0] = _MISS
-            if n_c > 1:
-                outcome[1:] = np.where(
-                    row_c[1:] == row_c[:-1], _HIT, _CONFLICT
-                )
-            bits_per_request = page_bits * n_banks
-            bank_counts = np.tile(
-                np.bincount(outcome, minlength=3), (n_banks, 1)
+        bits_per_request = page_bits * n_banks if any_pim else page_bits
+        check_fifo = (
+            frfcfs and depth > 1 and not any_pim and not closed
+        )
+        data: dict = {"idx": idx, "bits": bits_per_request}
+        if refresh is not None:
+            chunked = _chunked_refresh_channel(
+                refresh,
+                bank_c,
+                row_c,
+                any_pim,
+                closed,
+                latencies,
+                depth,
+                n_banks,
+                check_fifo,
             )
-            open_final: _t.List[_t.Optional[int]] = (
-                [int(row_c[-1])] * n_banks
-            )
+            if chunked is None:
+                return None
+            data.update(chunked)
+            data["segments"] = None  # line-rate: the channel never idles
         else:
-            # FIFO row-buffer outcomes: compare each request's row with
-            # the previous request on the same bank (stable sort groups
-            # banks while preserving service order within each).
-            order = np.argsort(bank_c, kind="stable")
-            sorted_bank = bank_c[order]
-            sorted_row = row_c[order]
-            prev_sorted = np.full(n_c, -1, dtype=np.int64)
-            if n_c > 1:
-                same = sorted_bank[1:] == sorted_bank[:-1]
-                prev_sorted[1:][same] = sorted_row[:-1][same]
-            prev_row = np.empty(n_c, dtype=np.int64)
-            prev_row[order] = prev_sorted
-            outcome = np.where(
-                row_c == prev_row,
-                _HIT,
-                np.where(prev_row < 0, _MISS, _CONFLICT),
+            outcome, bank_counts, open_final = _chunk_outcomes(
+                bank_c, row_c, any_pim, closed, n_banks
             )
-            bits_per_request = page_bits
-            bank_counts = np.bincount(
-                bank_c * 3 + outcome, minlength=3 * n_banks
-            ).reshape(n_banks, 3)
-            open_final = [None] * n_banks
-            group_ends = np.nonzero(
-                np.r_[sorted_bank[1:] != sorted_bank[:-1], True]
-            )[0]
-            for end in group_ends.tolist():
-                open_final[int(sorted_bank[end])] = int(sorted_row[end])
-            if (
-                config.policy == FRFCFS
-                and depth > 1
-                and not _fifo_certificate(
-                    bank_c, row_c, outcome, depth, n_banks
-                )
+            if check_fifo and not _fifo_certificate(
+                bank_c, row_c, outcome, depth, n_banks
             ):
                 return None
-        durations = latencies[outcome]
-        finish = np.cumsum(durations)
-        start = np.empty(n_c)
-        start[0] = 0.0
-        start[1:] = finish[:-1]
+            durations = latencies[outcome]
+            data.update(
+                outcome=outcome,
+                bank_counts=bank_counts,
+                open_final=open_final,
+                durations=durations,
+            )
+            if times is not None:
+                t_c = times[idx]
+                solved = _segmented_service(t_c, durations)
+                if solved is None:
+                    return None
+                start, finish, segments = solved
+                if n_c > depth and bool(
+                    np.any(t_c[depth:] < start[: n_c - depth])
+                ):
+                    # backpressure certificate: an arrival would find
+                    # its queue full — the injector would stall
+                    return None
+                data.update(
+                    arrival=t_c,
+                    start=start,
+                    finish=finish,
+                    segments=segments,
+                )
+            else:
+                finish = _seq_cumsum(0.0, durations)
+                start = np.empty(n_c)
+                start[0] = 0.0
+                start[1:] = finish[:-1]
+                data.update(start=start, finish=finish, segments=None)
+        plan.append(data)
+
+    if times is not None:
+        return plan
+
+    # Line-rate arrivals: A[m] = S[m - depth] per channel, valid when
+    # the candidates are non-decreasing in trace order (the injector
+    # never stalls one channel behind another's full queue).
+    arrivals_global = np.zeros(n)
+    for data in plan:
+        if data is None:
+            continue
+        idx = data["idx"]
+        start = data["start"]
+        n_c = idx.shape[0]
         arrival = np.zeros(n_c)
         if n_c > depth:
             arrival[depth:] = start[: n_c - depth]
+        data["arrival"] = arrival
         arrivals_global[idx] = arrival
-        plan.append(
-            {
-                "idx": idx,
-                "outcome": outcome,
-                "arrival": arrival,
-                "start": start,
-                "finish": finish,
-                "bits": bits_per_request,
-                "bank_counts": bank_counts,
-                "open_final": open_final,
-            }
-        )
-    # Line-rate certificate: slot-release arrival candidates must be
-    # non-decreasing in trace order, or the injector would have stalled
-    # some channel behind another's full queue.
-    if n > 1 and bool(np.any(np.diff(arrivals_global) < 0)):
+    if n <= 1 or not bool(np.any(np.diff(arrivals_global) < 0)):
+        return plan
+    if refresh is not None:
+        # fences inside the coupled arrival recurrence: exact tier
         return None
+    # The line-rate certificate failed on a FIFO-certified trace (FCFS,
+    # or FR-FCFS that passed the FIFO certificate): solve the coupled
+    # injector/service recurrences to their fixed point instead.
+    busy = [
+        (data["idx"], data["durations"])
+        for data in plan
+        if data is not None
+    ]
+    fixed = _arrival_fixed_point(n, busy, depth)
+    if fixed is None:
+        return None
+    arrivals, solved = fixed
+    cursor = 0
+    for data in plan:
+        if data is None:
+            continue
+        start, finish, segments = solved[cursor]
+        cursor += 1
+        data.update(
+            arrival=arrivals[data["idx"]],
+            start=start,
+            finish=finish,
+            segments=segments,
+        )
     return plan
+
+
+def _chunk_outcomes(
+    bank_c: np.ndarray,
+    row_c: np.ndarray,
+    any_pim: bool,
+    closed: bool,
+    n_banks: int,
+) -> _t.Tuple[np.ndarray, np.ndarray, _t.List[_t.Optional[int]]]:
+    """FIFO row-buffer outcomes for one all-banks-closed stream.
+
+    Returns ``(outcome codes, per-bank outcome counts, final open
+    rows)`` for a request slice served in order starting from closed
+    row buffers — a whole channel without refresh, or one refresh epoch
+    chunk (each boundary precharges every bank, so every chunk restarts
+    from the same state).
+    """
+    n_c = bank_c.shape[0]
+    if closed:
+        # Auto-precharge: every access activates a fresh row — all
+        # misses, never a hit or conflict, so FR-FCFS has nothing to
+        # hoist (FIFO by construction) and all banks end closed.
+        outcome = np.full(n_c, _MISS, dtype=np.int64)
+        bank_counts = np.zeros((n_banks, 3), dtype=np.int64)
+        if any_pim:
+            bank_counts[:, _MISS] = n_c
+        else:
+            bank_counts[:, _MISS] = np.bincount(
+                bank_c, minlength=n_banks
+            )
+        return outcome, bank_counts, [None] * n_banks
+    if any_pim:
+        # All-bank lockstep: every bank holds the previous PIM row, so
+        # outcomes are uniform across banks and follow from the row
+        # stream alone.
+        outcome = np.empty(n_c, dtype=np.int64)
+        outcome[0] = _MISS
+        if n_c > 1:
+            outcome[1:] = np.where(
+                row_c[1:] == row_c[:-1], _HIT, _CONFLICT
+            )
+        bank_counts = np.tile(
+            np.bincount(outcome, minlength=3), (n_banks, 1)
+        )
+        return outcome, bank_counts, [int(row_c[-1])] * n_banks
+    # FIFO row-buffer outcomes: compare each request's row with the
+    # previous request on the same bank (stable sort groups banks while
+    # preserving service order within each).
+    order = np.argsort(bank_c, kind="stable")
+    sorted_bank = bank_c[order]
+    sorted_row = row_c[order]
+    prev_sorted = np.full(n_c, -1, dtype=np.int64)
+    if n_c > 1:
+        same = sorted_bank[1:] == sorted_bank[:-1]
+        prev_sorted[1:][same] = sorted_row[:-1][same]
+    prev_row = np.empty(n_c, dtype=np.int64)
+    prev_row[order] = prev_sorted
+    outcome = np.where(
+        row_c == prev_row,
+        _HIT,
+        np.where(prev_row < 0, _MISS, _CONFLICT),
+    )
+    bank_counts = np.bincount(
+        bank_c * 3 + outcome, minlength=3 * n_banks
+    ).reshape(n_banks, 3)
+    open_final: _t.List[_t.Optional[int]] = [None] * n_banks
+    group_ends = np.nonzero(
+        np.r_[sorted_bank[1:] != sorted_bank[:-1], True]
+    )[0]
+    for end in group_ends.tolist():
+        open_final[int(sorted_bank[end])] = int(sorted_row[end])
+    return outcome, bank_counts, open_final
+
+
+def _chunked_refresh_channel(
+    refresh: "RefreshSchedule",
+    bank_c: np.ndarray,
+    row_c: np.ndarray,
+    any_pim: bool,
+    closed: bool,
+    latencies: np.ndarray,
+    depth: int,
+    n_banks: int,
+    check_fifo: bool,
+) -> _t.Optional[dict]:
+    """Line-rate service times under per-rank refresh, epoch by epoch.
+
+    Each refresh boundary precharges every row buffer, so the outcome
+    scan restarts from all-banks-closed at every chunk; a service start
+    landing inside the blackout ``[k*tREFI, k*tREFI + tRFC)`` is pushed
+    to its end with the event engine's own stall arithmetic
+    (``now + (fence - now)``).  The FIFO certificate runs once over the
+    whole channel on the refresh-aware outcomes, with chunk labels
+    cancelling open rows across boundaries (queue windows still cross
+    them).  Returns ``None`` when the FIFO certificate fails.
+    """
+    n_c = bank_c.shape[0]
+    trefi = refresh.trefi_ns
+    # at most trefi/min-duration services can *start* within one epoch
+    # (back-to-back starts are at least one service apart), bounding
+    # the outcome-scan window so the chunk loop stays O(n) overall
+    limit = int(trefi / float(latencies.min())) + 2
+    outcome = np.empty(n_c, dtype=np.int64)
+    start = np.empty(n_c)
+    finish = np.empty(n_c)
+    chunk_id = np.empty(n_c, dtype=np.int64)
+    bank_counts = np.zeros((n_banks, 3), dtype=np.int64)
+    open_final: _t.List[_t.Optional[int]] = [None] * n_banks
+    i = 0
+    chunk = 0
+    epoch_applied = 0
+    t = 0.0  # finish time of the previous service
+    while i < n_c:
+        s = t if i else 0.0
+        epoch = int(math.floor(s / trefi))
+        if epoch > epoch_applied:
+            epoch_applied = epoch  # the boundary closes every bank
+            fence = refresh.rank_fence(s)
+            if fence > s:
+                s = s + (fence - s)  # the engine's stall timeout
+        window = min(n_c - i, limit)
+        out_w, _counts_w, _open_w = _chunk_outcomes(
+            bank_c[i : i + window],
+            row_c[i : i + window],
+            any_pim,
+            closed,
+            n_banks,
+        )
+        f_w = _seq_cumsum(s, latencies[out_w])
+        s_w = np.empty(window)
+        s_w[0] = s
+        s_w[1:] = f_w[:-1]
+        crossed = np.floor(s_w / trefi) > epoch_applied
+        if bool(crossed.any()):
+            k = int(np.argmax(crossed))
+        elif window < n_c - i:  # pragma: no cover - defensive
+            # the window bound guarantees a boundary crossing before it
+            # runs out; bail to the exact tier rather than continue a
+            # chunk on stale bank state if float edges ever break that
+            return None
+        else:
+            k = window
+        if k == 0:  # pragma: no cover - defensive (float edge)
+            return None
+        bank_k = bank_c[i : i + k]
+        row_k = row_c[i : i + k]
+        out_k = out_w[:k]
+        if closed:
+            if any_pim:
+                bank_counts[:, _MISS] += k
+            else:
+                bank_counts[:, _MISS] += np.bincount(
+                    bank_k, minlength=n_banks
+                )
+        elif any_pim:
+            bank_counts += np.bincount(out_k, minlength=3)[None, :]
+            open_final = [int(row_k[-1])] * n_banks
+        else:
+            bank_counts += np.bincount(
+                bank_k * 3 + out_k, minlength=3 * n_banks
+            ).reshape(n_banks, 3)
+            # each chunk restarts from all-banks-closed, so the final
+            # open rows come from this chunk alone: in-order fancy
+            # assignment keeps the last write per bank
+            open_rows = np.full(n_banks, -1, dtype=np.int64)
+            open_rows[bank_k] = row_k
+            open_final = [
+                None if value < 0 else int(value)
+                for value in open_rows.tolist()
+            ]
+        outcome[i : i + k] = out_k
+        start[i : i + k] = s_w[:k]
+        finish[i : i + k] = f_w[:k]
+        chunk_id[i : i + k] = chunk
+        chunk += 1
+        t = float(f_w[k - 1])
+        i += k
+    if check_fifo and not _fifo_certificate(
+        bank_c, row_c, outcome, depth, n_banks, chunk_id=chunk_id
+    ):
+        return None
+    return {
+        "outcome": outcome,
+        "start": start,
+        "finish": finish,
+        "bank_counts": bank_counts,
+        "open_final": open_final,
+    }
+
+
+def _seq_cumsum(s: float, durations: np.ndarray) -> np.ndarray:
+    """Prefix sums of ``durations`` starting from ``s``.
+
+    Computed as one ``cumsum`` over ``[s, d0, d1, ...]``, which
+    performs exactly the left-to-right float additions the event
+    engine's ``now + latency`` clock does — the core of the fast
+    path's bit-exactness.
+    """
+    buffer = np.empty(durations.shape[0] + 1)
+    buffer[0] = s
+    buffer[1:] = durations
+    return np.cumsum(buffer)[1:]
+
+
+def _segmented_service(
+    earliest: np.ndarray, durations: np.ndarray
+) -> _t.Optional[_t.Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Solve ``S[j] = max(E[j], F[j-1])``, ``F = S + d`` exactly.
+
+    ``earliest`` is the per-request lower bound on service start (trace
+    timestamps, or injector admission times).  Busy segments are
+    located with one vectorized Lindley running-max scan (closed-form,
+    but float-associated differently than the engine), then finish
+    times are *recomputed* per segment with the engine's sequential
+    additions (:func:`_seq_cumsum`) and the segmentation is verified
+    against the exact values.  Returns ``(start, finish,
+    segment-start indices)``, or ``None`` if an ulp-level misordering
+    in the approximate scan produced an inconsistent segmentation (the
+    caller falls back to the exact tier).
+    """
+    n = durations.shape[0]
+    prefix = np.empty(n)
+    prefix[0] = 0.0
+    if n > 1:
+        np.cumsum(durations[:-1], out=prefix[1:])
+    approx_start = prefix + np.maximum.accumulate(earliest - prefix)
+    seg_mask = np.empty(n, dtype=bool)
+    seg_mask[0] = True
+    if n > 1:
+        seg_mask[1:] = earliest[1:] > approx_start[:-1] + durations[:-1]
+    seg_idx = np.nonzero(seg_mask)[0]
+    start = np.empty(n)
+    finish = np.empty(n)
+    if seg_idx.shape[0] == n:
+        # every request finds the channel idle (sparse arrivals): one
+        # elementwise pass, the same single addition the engine does
+        start[:] = earliest
+        np.add(earliest, durations, out=finish)
+    else:
+        bounds = np.r_[seg_idx, n].tolist()
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            f = _seq_cumsum(float(earliest[a]), durations[a:b])
+            finish[a:b] = f
+            start[a] = earliest[a]
+            start[a + 1 : b] = f[:-1]
+    if n > 1:
+        # a segment start must find the channel idle (E >= previous
+        # exact finish); a continuation must not (E <= it) — ties are
+        # value-identical either way, so only real misorderings fail
+        consistent = np.where(
+            seg_mask[1:],
+            earliest[1:] >= finish[:-1],
+            earliest[1:] <= finish[:-1],
+        )
+        if not bool(consistent.all()):
+            return None
+    return start, finish, seg_idx
+
+
+def _arrival_fixed_point(
+    n: int,
+    channels: _t.Sequence[_t.Tuple[np.ndarray, np.ndarray]],
+    depth: int,
+) -> _t.Optional[
+    _t.Tuple[
+        np.ndarray,
+        _t.List[_t.Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ]
+]:
+    """Solve the coupled injector/service recurrences by iteration.
+
+    Line-rate injection with bounded queues couples the channels: the
+    injector admits request ``m`` at ``A[m] = max(A[m-1], R[m])``
+    (``R[m]`` = the service start that frees its channel's queue slot),
+    while each channel serves FIFO at ``S[j] = max(A[j], F[j-1])``.
+    Both maps are monotone, so Kleene iteration from ``A = 0`` —
+    alternating exact per-channel service solves with the global
+    running-max admission scan — converges to the least fixed point,
+    which is exactly the event engine's trajectory (the values
+    propagate through ``max`` unchanged and the busy-segment sums use
+    the engine's own addition order).  Returns ``(arrivals, [(start,
+    finish, segments), ...])`` aligned with ``channels``, or ``None``
+    after :data:`_MAX_ARRIVAL_ITERS` without convergence.
+    """
+    arrivals = np.zeros(n)
+    for _ in range(_MAX_ARRIVAL_ITERS):
+        releases = np.zeros(n)
+        solved = []
+        for idx, durations in channels:
+            result = _segmented_service(arrivals[idx], durations)
+            if result is None:
+                return None
+            solved.append(result)
+            n_c = idx.shape[0]
+            if n_c > depth:
+                releases[idx[depth:]] = result[0][: n_c - depth]
+        updated = np.maximum.accumulate(releases)
+        if np.array_equal(updated, arrivals):
+            return arrivals, solved
+        arrivals = updated
+    return None
 
 
 def _fifo_certificate(
@@ -299,6 +686,7 @@ def _fifo_certificate(
     outcome: np.ndarray,
     depth: int,
     n_banks: int,
+    chunk_id: _t.Optional[np.ndarray] = None,
 ) -> bool:
     """Would FR-FCFS ever reorder this channel's FIFO stream?
 
@@ -306,11 +694,22 @@ def _fifo_certificate(
     oldest hit — the head itself.  So reordering can only start at a
     selection with a non-hit head and some younger queued request
     hitting its bank's open row.  The queue visible at the selection of
-    request ``k`` is exactly requests ``k+1 .. k+depth-1`` of the same
-    channel (the ``k+depth``-th slot is released by this very dequeue
-    and its admission is processed after the selection), so the check
-    below is exact while states still follow FIFO — and the first
-    would-be deviation is necessarily detected.
+    request ``k`` is at most requests ``k+1 .. k+depth-1`` of the same
+    channel (exactly those under line-rate injection — the
+    ``k+depth``-th slot is released by this very dequeue and its
+    admission is processed after the selection; a subset under
+    timestamped or stalled arrivals, so the check stays conservative),
+    making the check below exact-or-conservative while states still
+    follow FIFO — and the first would-be deviation is necessarily
+    detected.
+
+    With refresh enabled, ``chunk_id`` labels each request's epoch
+    chunk and ``outcome`` holds the refresh-aware (per-chunk) codes: a
+    previous same-bank access in an *earlier* chunk left nothing open
+    (the boundary precharged the bank), so it contributes no open row —
+    while the queue window still crosses chunk boundaries, because
+    requests of the next epoch are already queued at an in-chunk
+    selection.
     """
     heads = np.nonzero(outcome != _HIT)[0]
     if heads.size == 0:
@@ -326,9 +725,15 @@ def _fifo_certificate(
             continue
         before = np.searchsorted(occurrences, heads)  # strictly before
         has_prior = before > 0
-        open_at_head[has_prior, b] = row_c[
-            occurrences[before[has_prior] - 1]
-        ]
+        prior = occurrences[before[has_prior] - 1]
+        rows = row_c[prior]
+        if chunk_id is not None:
+            rows = np.where(
+                chunk_id[prior] == chunk_id[heads[has_prior]],
+                rows,
+                -1,
+            )
+        open_at_head[has_prior, b] = rows
     for offset in range(1, depth):
         queued = heads + offset
         in_range = queued < n_c
@@ -363,6 +768,7 @@ def _commit_vector_plan(
         arrival = data["arrival"]
         start = data["start"]
         finish = data["finish"]
+        segments = data["segments"]
         n_c = arrival.shape[0]
         latency = finish - arrival
         tally = controller.latency
@@ -380,13 +786,34 @@ def _commit_vector_plan(
         queue._value = 0.0
         queue._last = float(start[-1])
         queue._min = 0.0
-        # Under the line-rate certificate every dequeue's freed slot is
-        # refilled at the same instant, so the peak occupancy is the
-        # full queue (or the whole trace, when it fits in one fill).
-        queue._max = float(min(n_c, system.config.queue_depth))
         busy_until = float(finish[-1])
         utilization = controller.utilization
-        utilization._totals = {"idle": 0.0, "busy": busy_until}
+        if segments is None:
+            # line-rate: the queue never runs dry, so the channel is
+            # busy end to end and every dequeue's freed slot is
+            # refilled at the same instant — the peak occupancy is the
+            # full queue (or the whole trace, when it fits in one fill)
+            queue._max = float(min(n_c, system.config.queue_depth))
+            utilization._totals = {"idle": 0.0, "busy": busy_until}
+        else:
+            # gapped arrivals: occupancy after the j-th admission,
+            # counting earlier dequeues at the same instant as still
+            # pending (the admission-first calendar order), clipped at
+            # the queue depth a full queue cannot exceed
+            occupancy = np.arange(1, n_c + 1) - np.searchsorted(
+                start, arrival, side="left"
+            )
+            queue._max = float(
+                min(int(occupancy.max()), system.config.queue_depth)
+            )
+            seg_end = np.r_[segments[1:] - 1, n_c - 1]
+            busy_total = float(
+                (finish[seg_end] - start[segments]).sum()
+            )
+            utilization._totals = {
+                "idle": busy_until - busy_total,
+                "busy": busy_total,
+            }
         utilization._state = "idle"
         utilization._since = busy_until
         for bank, counts, open_row in zip(
@@ -471,13 +898,15 @@ def _replay_exact(
 
     A heap of plain ``(time, priority, seq, kind, channel, request)``
     tuples reproduces the desim calendar's ``(time, priority,
-    insertion-order)`` discipline for the only three occurrences that
-    carry state: request completions, injector resumptions (a freed
-    queue slot), and controller wakeups (an enqueue into an idle
-    channel).  All statistics flow through the same controller and bank
-    methods the event engine uses, in the same order, with the same
-    timestamps — so the resulting stats are bit-identical.  Returns the
-    replay makespan.
+    insertion-order)`` discipline for the only occurrences that carry
+    state: request completions, injector resumptions (a freed queue
+    slot, or a trace timestamp coming due), controller wakeups (an
+    enqueue into an idle channel), and refresh retries (a selection
+    stalled to the end of a blackout window).  All statistics flow
+    through the same controller and bank methods the event engine uses
+    — including the shared :meth:`ChannelController._service_delay`
+    refresh gate — in the same order, with the same timestamps, so the
+    resulting stats are bit-identical.  Returns the replay makespan.
 
     Occurrences are drained in *rounds*: each outer iteration reads the
     heap's earliest timestamp once and pops every candidate ready at
@@ -504,6 +933,24 @@ def _replay_exact(
     blocked_on = -1  # channel whose full queue blocks the injector
     now = 0.0
 
+    def attempt_service(ch: int, at: float) -> None:
+        """Start the next service on ``ch``, or schedule a refresh
+        retry — the mirrored body of the engine's gated service loop."""
+        nonlocal blocked_on
+        controller = controllers[ch]
+        delay = controller._service_delay(at)
+        if delay > 0.0:
+            push(heap, (at + delay, _NORMAL, next(seq), _RETRY, ch, None))
+            return
+        served, latency = controller._begin_service(at)
+        if blocked_on == ch:
+            blocked_on = -1
+            push(heap, (at, _NORMAL, next(seq), _INJECT, -1, None))
+        push(
+            heap,
+            (at + latency, _NORMAL, next(seq), _COMPLETE, ch, served),
+        )
+
     push(heap, (0.0, _URGENT, next(seq), _INJECT, -1, None))
     pop = heapq.heappop
     while heap:
@@ -514,36 +961,29 @@ def _replay_exact(
                 controller = controllers[ch]
                 controller._finish_service(request, now)
                 if controller.pending:
-                    served, latency = controller._begin_service(now)
-                    if blocked_on == ch:
-                        blocked_on = -1
-                        push(
-                            heap,
-                            (now, _NORMAL, next(seq), _INJECT, -1, None),
-                        )
-                    push(
-                        heap,
-                        (
-                            now + latency,
-                            _NORMAL,
-                            next(seq),
-                            _COMPLETE,
-                            ch,
-                            served,
-                        ),
-                    )
+                    attempt_service(ch, now)
                 else:
                     controller.utilization.transition("idle", now)
                     idle[ch] = True
                     woken[ch] = False
             elif kind == _INJECT:
+                blocked_on = -1
                 while cursor < n:
+                    pending_request = requests[cursor]
+                    when = pending_request.timestamp
+                    if when is not None and when > now:
+                        # mirror the injector's absolute-time wait
+                        push(
+                            heap,
+                            (when, _NORMAL, next(seq), _INJECT, -1, None),
+                        )
+                        break
                     target = channel_of[cursor]
                     controller = controllers[target]
                     if len(controller.pending) >= depth:
                         blocked_on = target
                         break
-                    controller._admit(requests[cursor], now)
+                    controller._admit(pending_request, now)
                     if idle[target] and not woken[target]:
                         woken[target] = True
                         push(
@@ -554,28 +994,10 @@ def _replay_exact(
                             ),
                         )
                     cursor += 1
-                else:
-                    blocked_on = -1
-            else:  # _WAKEUP
+            elif kind == _WAKEUP:
                 idle[ch] = False
                 woken[ch] = False
-                controller = controllers[ch]
-                served, latency = controller._begin_service(now)
-                if blocked_on == ch:
-                    blocked_on = -1
-                    push(
-                        heap,
-                        (now, _NORMAL, next(seq), _INJECT, -1, None),
-                    )
-                push(
-                    heap,
-                    (
-                        now + latency,
-                        _NORMAL,
-                        next(seq),
-                        _COMPLETE,
-                        ch,
-                        served,
-                    ),
-                )
+                attempt_service(ch, now)
+            else:  # _RETRY: a refresh stall expired; re-evaluate
+                attempt_service(ch, now)
     return now

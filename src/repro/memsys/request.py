@@ -6,9 +6,14 @@ operation that commands every bank of the target channel in lockstep
 (the HBM-PIM "AB mode" — the mechanism by which processing-in-memory
 reclaims the aggregate row-buffer bandwidth of all banks at once).
 
-Requests double as trace records: the trace layer serializes only
-``(op, addr)``; the runtime fields (coordinates, timestamps, completion
-event) are filled in during replay.
+Requests double as trace records: the trace layer serializes
+``(op, addr)`` plus an optional arrival *timestamp* (ns); the runtime
+fields (coordinates, service times, completion event) are filled in
+during replay.  An untimestamped request is injected at line rate (as
+soon as its queue has space); a timestamped one is additionally held
+back until its timestamp — the trace-driven arrival mode that replays
+application traces under their recorded traffic intensity instead of
+the saturation regime.
 """
 
 from __future__ import annotations
@@ -72,6 +77,12 @@ class MemRequest:
     ----------
     op, addr:
         The trace-visible payload: request kind and byte address.
+    timestamp:
+        Optional trace arrival time in ns: the earliest instant the
+        injector may present this request to its channel queue.
+        ``None`` (the default) means line-rate injection.  Part of the
+        trace payload, serialized by the trace layer; a replayed stream
+        must be uniformly timestamped or uniformly line-rate.
     coords:
         Decoded coordinates, set when the system routes the request.
     bank_index:
@@ -91,6 +102,7 @@ class MemRequest:
 
     op: Op
     addr: int
+    timestamp: _t.Optional[float] = None
     coords: _t.Optional["Coordinates"] = None
     bank_index: _t.Optional[int] = None
     arrival: float = math.nan
@@ -108,6 +120,16 @@ class MemRequest:
         self.addr = int(self.addr)
         if self.addr < 0:
             raise ValueError(f"address must be non-negative, got {self.addr}")
+        if self.timestamp is not None:
+            self.timestamp = float(self.timestamp)
+            if not (
+                self.timestamp >= 0.0
+                and math.isfinite(self.timestamp)
+            ):
+                raise ValueError(
+                    f"timestamp must be a non-negative finite value, "
+                    f"got {self.timestamp}"
+                )
 
     @property
     def latency(self) -> float:
@@ -115,8 +137,12 @@ class MemRequest:
         return self.finish - self.arrival
 
     def same_payload(self, other: "MemRequest") -> bool:
-        """Trace-level equality: op and address only."""
-        return self.op is other.op and self.addr == other.addr
+        """Trace-level equality: op, address, and timestamp only."""
+        return (
+            self.op is other.op
+            and self.addr == other.addr
+            and self.timestamp == other.timestamp
+        )
 
     def __repr__(self) -> str:
         return f"<MemRequest {self.op.value} {self.addr:#x}>"

@@ -18,7 +18,14 @@ import typing as _t
 from ..arch.dram import DramMacroTiming
 from ..desim import Simulator
 from .addrmap import AddressMap, SCHEMES
-from .bank import Bank, OPEN, ROW_POLICIES
+from .bank import (
+    Bank,
+    OPEN,
+    PER_RANK,
+    REFRESH_GRANULARITIES,
+    ROW_POLICIES,
+    RefreshSchedule,
+)
 from .controller import FRFCFS, POLICIES, ChannelController
 from .request import MemRequest, Op
 from .trace import PackedTrace
@@ -62,6 +69,17 @@ class MemSysConfig:
         Row-buffer management: ``"open"`` (default) keeps rows latched
         between accesses, ``"closed"`` auto-precharges after every
         access (each access pays a fresh activation, none a conflict).
+    trefi_ns, trfc_ns:
+        Refresh interval and refresh cycle time in ns.  The default
+        ``trefi_ns=0`` disables refresh modeling; with ``trefi_ns > 0``
+        every ``trefi_ns`` a refresh precharges row buffers and blacks
+        out its resource for ``trfc_ns`` (see
+        :class:`~repro.memsys.bank.RefreshSchedule`).  HBM2-class
+        numbers are ``trefi_ns=3900, trfc_ns=350``.
+    refresh_granularity:
+        ``"per-rank"`` (default: all banks of a channel refresh
+        together, the channel stalls) or ``"per-bank"`` (staggered:
+        only the refreshing bank is blocked).
     """
 
     n_channels: int = 2
@@ -76,6 +94,9 @@ class MemSysConfig:
     policy: str = FRFCFS
     queue_depth: int = 16
     row_policy: str = OPEN
+    trefi_ns: float = 0.0
+    trfc_ns: float = 0.0
+    refresh_granularity: str = PER_RANK
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -100,11 +121,43 @@ class MemSysConfig:
             raise ValueError(
                 f"precharge_ns must be >= 0, got {self.precharge_ns}"
             )
+        if self.trefi_ns < 0 or self.trfc_ns < 0:
+            raise ValueError(
+                f"trefi_ns and trfc_ns must be >= 0, got "
+                f"trefi_ns={self.trefi_ns} trfc_ns={self.trfc_ns}"
+            )
+        if self.trefi_ns == 0 and self.trfc_ns > 0:
+            raise ValueError(
+                "trfc_ns > 0 needs trefi_ns > 0 (refresh is enabled "
+                "by a positive refresh interval)"
+            )
+        if self.refresh_granularity not in REFRESH_GRANULARITIES:
+            raise ValueError(
+                f"unknown refresh_granularity "
+                f"{self.refresh_granularity!r}; available: "
+                f"{REFRESH_GRANULARITIES}"
+            )
+        self.refresh_schedule()  # validates tRFC against tREFI
         self.address_map()  # validates the power-of-two geometry
 
     @property
     def banks_per_channel(self) -> int:
         return self.bankgroups * self.banks_per_group
+
+    @property
+    def refresh_enabled(self) -> bool:
+        return self.trefi_ns > 0
+
+    def refresh_schedule(self) -> _t.Optional[RefreshSchedule]:
+        """The per-channel refresh schedule (``None`` when disabled)."""
+        if not self.refresh_enabled:
+            return None
+        return RefreshSchedule(
+            trefi_ns=self.trefi_ns,
+            trfc_ns=self.trfc_ns,
+            granularity=self.refresh_granularity,
+            n_banks=self.banks_per_channel,
+        )
 
     @property
     def transaction_bytes(self) -> int:
@@ -210,6 +263,7 @@ class MemorySystem:
                     policy=self.config.policy,
                     queue_depth=self.config.queue_depth,
                     banks_per_group=self.config.banks_per_group,
+                    refresh=self.config.refresh_schedule(),
                 )
             )
 
@@ -249,6 +303,12 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def _injector(self, requests: _t.Sequence[MemRequest]):
         for request in requests:
+            when = request.timestamp
+            if when is not None and when > self.sim.now:
+                # hold the stream until the trace arrival time; sim.at
+                # fires at exactly `when`, so arrival timestamps match
+                # the fast path bit-for-bit
+                yield self.sim.at(when)
             controller = self.route(request)
             while not controller.has_space:
                 yield controller.space_event()
@@ -259,11 +319,16 @@ class MemorySystem:
         requests: _t.Union[_t.Sequence[MemRequest], PackedTrace],
         engine: str = "auto",
     ) -> MemSysStats:
-        """Replay ``requests`` back-to-back; run to completion.
+        """Replay ``requests``; run to completion.
 
-        Requests are injected in order as queue slots free up (bounded
-        by ``config.queue_depth`` per channel), modeling an open queue
-        fed at line rate — the sustained-bandwidth regime of §2.1.
+        Untimestamped requests are injected in order as queue slots
+        free up (bounded by ``config.queue_depth`` per channel),
+        modeling an open queue fed at line rate — the
+        sustained-bandwidth regime of §2.1.  A uniformly *timestamped*
+        trace is additionally held to its recorded arrival times: each
+        request enters its queue no earlier than its timestamp (and no
+        earlier than its predecessors), replaying the trace's actual
+        traffic intensity.
 
         Parameters
         ----------
@@ -293,6 +358,7 @@ class MemorySystem:
             )
         if not isinstance(requests, PackedTrace):
             requests = list(requests)
+            self._validate_timestamps(requests)
         if len(requests) == 0:
             raise ValueError("cannot replay an empty request stream")
         if self._replayed:
@@ -333,6 +399,30 @@ class MemorySystem:
                 f"{len(unfinished)} request(s) never completed"
             )
         return self.gather_stats()
+
+    @staticmethod
+    def _validate_timestamps(requests: _t.Sequence[MemRequest]) -> None:
+        """Reject mixed or decreasing timestamps before any replay.
+
+        (:class:`PackedTrace` inputs validate at construction; this is
+        the object-trace counterpart.)
+        """
+        timed = sum(1 for r in requests if r.timestamp is not None)
+        if timed and timed != len(requests):
+            raise ValueError(
+                "trace mixes timestamped and untimestamped requests; "
+                "timestamp every request or none"
+            )
+        if timed:
+            last = 0.0
+            for index, request in enumerate(requests):
+                when = _t.cast(float, request.timestamp)
+                if when < last:
+                    raise ValueError(
+                        f"request {index}: timestamp {when!r} decreases "
+                        f"(previous was {last!r})"
+                    )
+                last = when
 
     # ------------------------------------------------------------------
     # statistics

@@ -372,7 +372,9 @@ class PimExecMachine:
         """Replay the accumulated stream through a fresh MemorySystem."""
         if not self.requests:
             raise PimExecError("no requests accumulated to replay")
-        requests = [MemRequest(r.op, r.addr) for r in self.requests]
+        requests = [
+            MemRequest(r.op, r.addr, r.timestamp) for r in self.requests
+        ]
         system = MemorySystem(self.config)
         stats = system.replay(requests, engine=engine)
         ops = [r.op for r in requests]

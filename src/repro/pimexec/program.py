@@ -35,6 +35,15 @@ Record vocabulary
   (the trace is the *unrolled* instruction stream, so ``JUMP``/``EXIT``
   are control markers that cost no column access).
 
+Any record may carry a trailing ``@<ns>`` issue timestamp (e.g.
+``R MEM 0 2 8 @120.5``): the lowered request then arrives at the
+memory system no earlier than that instant, replaying the program
+under its recorded issue cadence instead of line-rate injection.
+Timestamps must be non-decreasing and uniform — every record or none
+(control markers, which lower to no request, may omit theirs).
+Untimestamped programs can still be lowered at a fixed cadence via
+``to_requests(..., interarrival_ns=...)``.
+
 Dependencies
 ------------
 Each record may name the index of the latest earlier record it must
@@ -51,6 +60,7 @@ from __future__ import annotations
 
 import dataclasses
 import io
+import math
 import pathlib
 import typing as _t
 
@@ -90,6 +100,9 @@ class ProgramRecord:
     #: Index (into the record list) of the latest earlier record this
     #: one must follow, or ``None`` if unconstrained.
     depends_on: _t.Optional[int] = None
+    #: Issue timestamp (ns) from a trailing ``@<ns>`` token, or
+    #: ``None`` for line-rate issue.
+    timestamp: _t.Optional[float] = None
 
 
 class PimProgram:
@@ -221,22 +234,62 @@ class PimProgram:
                 )
                 yield record, Op.PIM, addr, row, col
 
+    @property
+    def timestamped(self) -> bool:
+        """Whether the program's request-lowering records carry ``@<ns>``.
+
+        Control markers (``PIM JUMP``/``EXIT``) lower to no request, so
+        — exactly like the parser's uniformity rule — a stamp on one of
+        them alone does not make the request stream timestamped.
+        """
+        return any(
+            record.timestamp is not None
+            for record in self.records
+            if record.kind != PIM
+            or not _t.cast(PimCommand, record.command).is_control
+        )
+
     def to_requests(
-        self, config: _t.Optional[MemSysConfig] = None, channel: int = 0
+        self,
+        config: _t.Optional[MemSysConfig] = None,
+        channel: int = 0,
+        *,
+        interarrival_ns: _t.Optional[float] = None,
+        start_ns: float = 0.0,
     ) -> _t.List[MemRequest]:
         """Lower the program to its memory-request stream.
 
         PIM/AB records target ``channel`` (HBM-PIMulator traces record
         the lockstep command stream of one representative channel).
+        Record ``@<ns>`` timestamps travel onto the lowered requests;
+        for untimestamped programs, ``interarrival_ns`` stamps the
+        ``i``-th emitted request at ``start_ns + i * interarrival_ns``
+        (a fixed issue cadence) instead.
         """
         config = config or MemSysConfig()
-        return [
-            MemRequest(op, addr)
-            for _record, op, addr, _row, _col in self._lowered(
-                config, channel
-            )
-            if op is not None
-        ]
+        if interarrival_ns is not None:
+            if self.timestamped:
+                raise ValueError(
+                    "program records carry '@<ns>' timestamps; "
+                    "interarrival_ns only applies to untimestamped "
+                    "programs"
+                )
+            if not interarrival_ns >= 0.0:
+                raise ValueError(
+                    f"interarrival_ns must be >= 0, got "
+                    f"{interarrival_ns}"
+                )
+        requests = []
+        for record, op, addr, _row, _col in self._lowered(
+            config, channel
+        ):
+            if op is None:
+                continue
+            when = record.timestamp
+            if interarrival_ns is not None:
+                when = start_ns + len(requests) * interarrival_ns
+            requests.append(MemRequest(op, addr, when))
+        return requests
 
     def execute(
         self, machine: PimExecMachine, channel: int = 0
@@ -260,8 +313,14 @@ class PimProgram:
                 if command.is_control:
                     continue
                 machine.pim_step(channel, command, row, col)
+                if record.timestamp is not None:
+                    # pim_step emitted exactly one all-bank request;
+                    # stamp it with the record's issue time
+                    machine.requests[-1].timestamp = record.timestamp
             elif op is not None:
-                machine.requests.append(MemRequest(op, addr))
+                machine.requests.append(
+                    MemRequest(op, addr, record.timestamp)
+                )
                 if record.kind == CFR and record.write:
                     cfr[record.index] = (
                         record.data if record.data is not None else 0
@@ -322,12 +381,33 @@ def parse_pim_program(
     last_gpr: _t.Dict[int, int] = {}
     last_cfr: _t.Dict[int, int] = {}
     last_mem: _t.Dict[_t.Tuple[int, int, int], int] = {}
+    last_time = 0.0
 
     for lineno, raw in enumerate(_source_lines(source), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         tokens = line.split()
+        when: _t.Optional[float] = None
+        if len(tokens) > 1 and tokens[-1].startswith("@"):
+            stamp = tokens.pop()
+            try:
+                when = float(stamp[1:])
+            except ValueError:
+                raise ValueError(
+                    f"trace line {lineno}: bad timestamp {stamp!r}"
+                ) from None
+            if not (when >= 0.0 and math.isfinite(when)):
+                raise ValueError(
+                    f"trace line {lineno}: timestamp {stamp!r} must "
+                    "be a non-negative finite value"
+                )
+            if when < last_time:
+                raise ValueError(
+                    f"trace line {lineno}: timestamp {stamp!r} "
+                    f"decreases (previous was {last_time!r})"
+                )
+            last_time = when
         head = tokens[0].upper()
         index = len(records)
         if head == "PIM":
@@ -430,5 +510,26 @@ def parse_pim_program(
                 f"trace line {lineno}: unknown record {tokens[0]!r} "
                 "(expected R/W/SB/AB/PIM)"
             )
+        record.timestamp = when
         records.append(record)
+
+    # a lowered request stream must be uniformly timestamped or
+    # uniformly line-rate; control markers lower to no request, so
+    # their (missing) timestamps don't count
+    lowered = [
+        record
+        for record in records
+        if record.kind != PIM
+        or not _t.cast(PimCommand, record.command).is_control
+    ]
+    timed = sum(1 for record in lowered if record.timestamp is not None)
+    if timed and timed != len(lowered):
+        offender = next(
+            record for record in lowered if record.timestamp is None
+        )
+        raise ValueError(
+            f"trace line {offender.lineno}: record lacks the '@<ns>' "
+            "timestamp carried by other records (timestamp every "
+            "request-lowering record or none)"
+        )
     return PimProgram(records)

@@ -149,3 +149,50 @@ class TestTracing:
 
     def test_repr(self, sim):
         assert "Simulator" in repr(sim)
+
+
+class TestAbsoluteTimeEvents:
+    def test_at_fires_at_exact_time(self, sim):
+        seen = []
+
+        def proc():
+            yield sim.at(7.25)
+            seen.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [7.25]
+
+    def test_at_value_passes_through(self, sim):
+        def proc():
+            value = yield sim.at(1.0, "payload")
+            return value
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.value == "payload"
+
+    def test_at_in_the_past_raises(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            sim.at(4.0)
+
+        sim.process(proc())
+        with pytest.raises(SchedulingError, match="past"):
+            sim.run()
+
+    def test_at_is_bit_exact_where_timeout_is_not(self):
+        """The motivating case: now + (when - now) can round away from
+        `when`; sim.at never does."""
+        sim = Simulator(start_time=1.5)
+        target = float(2**53 - 1)  # 1.5 + (target - 1.5) rounds to 2^53
+        assert sim.now + (target - sim.now) != target
+        times = []
+
+        def proc():
+            yield sim.at(target)
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [target]

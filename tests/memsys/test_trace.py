@@ -41,6 +41,12 @@ class TestParse:
 
     def test_wrong_arity_rejected(self):
         with pytest.raises(ValueError, match="OP ADDRESS"):
+            parse_trace("R 0x20 12.5 extra")
+
+    def test_third_column_must_be_a_timestamp(self):
+        # three tokens are valid syntax (timestamped trace), but the
+        # third must parse as a decimal timestamp
+        with pytest.raises(ValueError, match="bad timestamp"):
             parse_trace("R 0x20 0x40")
 
     def test_truncated_line_rejected_with_line_number(self):
@@ -211,3 +217,126 @@ class TestLazyStreaming:
         next(stream)
         with pytest.raises(ValueError, match="unknown trace op"):
             next(stream)
+
+
+class TestTimestamps:
+    """The optional third trace column: arrival timestamps in ns."""
+
+    def test_parse_timestamped_lines(self):
+        reqs = parse_trace("R 0x20 0.0\nW 64 12.5\nP 0x0 100\n")
+        assert [r.timestamp for r in reqs] == [0.0, 12.5, 100.0]
+
+    def test_round_trip_is_lossless(self, tmp_path):
+        original = [
+            MemRequest(Op.READ, 0x1A00, 0.0),
+            MemRequest(Op.WRITE, 0x1A20, 0.1 + 0.2),  # non-trivial float
+            MemRequest(Op.PIM, 0, 1e9 / 3),
+        ]
+        path = write_trace(tmp_path / "timed.trace", original)
+        reparsed = parse_trace(path)
+        assert all(
+            a.same_payload(b) for a, b in zip(original, reparsed)
+        )
+        assert [r.timestamp for r in reparsed] == [
+            r.timestamp for r in original
+        ]
+        assert format_trace(reparsed) == format_trace(original)
+
+    def test_untimestamped_lines_have_no_timestamp(self):
+        assert parse_trace("R 0x20\n")[0].timestamp is None
+
+    def test_mixed_presence_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2.*mixes"):
+            parse_trace("R 0x20 1.0\nW 0x40\n")
+        with pytest.raises(ValueError, match="line 2.*mixes"):
+            parse_trace("R 0x20\nW 0x40 1.0\n")
+
+    def test_decreasing_timestamp_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2.*decreases"):
+            parse_trace("R 0x20 5.0\nW 0x40 4.0\n")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="non-negative finite"):
+            parse_trace("R 0x20 -1.0\n")
+
+    @pytest.mark.parametrize("literal", ("nan", "inf"))
+    def test_non_finite_timestamp_rejected(self, literal):
+        with pytest.raises(ValueError, match="non-negative finite"):
+            parse_trace(f"R 0x20 {literal}\n")
+
+    def test_packed_infinite_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            PackedTrace(
+                np.array([0, 0], dtype=np.uint8),
+                np.array([0, 32], dtype=np.int64),
+                np.array([0.0, np.inf]),
+            )
+
+    def test_equal_timestamps_allowed(self):
+        reqs = parse_trace("R 0x20 7.0\nW 0x40 7.0\n")
+        assert [r.timestamp for r in reqs] == [7.0, 7.0]
+
+    def test_packed_trace_carries_times(self):
+        packed = PackedTrace(
+            np.array([0, 1], dtype=np.uint8),
+            np.array([0x20, 0x40], dtype=np.int64),
+            np.array([1.0, 2.0]),
+        )
+        reqs = packed.to_requests()
+        assert [r.timestamp for r in reqs] == [1.0, 2.0]
+        assert PackedTrace.from_requests(reqs) == packed
+        assert "timed" in repr(packed)
+
+    def test_packed_trace_time_validation(self):
+        ops = np.array([0, 0], dtype=np.uint8)
+        addrs = np.array([0, 32], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PackedTrace(ops, addrs, np.array([2.0, 1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            PackedTrace(ops, addrs, np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError, match="matching"):
+            PackedTrace(ops, addrs, np.array([1.0]))
+
+    def test_packed_equality_distinguishes_timed(self):
+        ops = np.array([0], dtype=np.uint8)
+        addrs = np.array([32], dtype=np.int64)
+        assert PackedTrace(ops, addrs) != PackedTrace(
+            ops, addrs, np.array([0.0])
+        )
+
+    def test_from_requests_rejects_mixed(self):
+        with pytest.raises(ValueError, match="mixes"):
+            PackedTrace.from_requests(
+                [MemRequest(Op.READ, 0, 1.0), MemRequest(Op.READ, 32)]
+            )
+
+    def test_synthesize_interarrival(self):
+        config = MemSysConfig()
+        reqs = synthesize_trace(
+            "sequential", 5, config, interarrival_ns=2.5, start_ns=10.0
+        )
+        assert [r.timestamp for r in reqs] == [
+            10.0, 12.5, 15.0, 17.5, 20.0,
+        ]
+        packed = synthesize_trace(
+            "sequential", 5, config, interarrival_ns=2.5,
+            start_ns=10.0, packed=True,
+        )
+        assert packed.times is not None
+        assert packed.times.tolist() == [10.0, 12.5, 15.0, 17.5, 20.0]
+
+    def test_synthesize_rejects_negative_interarrival(self):
+        with pytest.raises(ValueError, match="interarrival_ns"):
+            synthesize_trace("sequential", 4, interarrival_ns=-1.0)
+        with pytest.raises(ValueError, match="start_ns"):
+            synthesize_trace(
+                "sequential", 4, interarrival_ns=1.0, start_ns=-5.0
+            )
+
+    def test_request_timestamp_validation(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            MemRequest(Op.READ, 0, -1.0)
+        with pytest.raises(ValueError, match="timestamp"):
+            MemRequest(Op.READ, 0, float("nan"))
+        with pytest.raises(ValueError, match="timestamp"):
+            MemRequest(Op.READ, 0, float("inf"))

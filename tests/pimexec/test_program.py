@@ -188,3 +188,94 @@ class TestExecution:
             unit = machine.unit(0, bank)
             assert np.array_equal(unit.grf_b[0], grf_b0)
             assert np.array_equal(unit.grf_b[1], grf_b1)
+
+
+class TestTimestamps:
+    """The trailing ``@<ns>`` issue-timestamp column."""
+
+    PROGRAM = (
+        "W GPR 0 @0\n"
+        "AB W @8\n"
+        "W CFR 0 1 @16\n"
+        "PIM MAC GRF,8 BANK,0,3,1 SRF,0 @24\n"
+        "PIM EXIT\n"          # control marker: no request, no stamp
+        "R MEM 0 2 8 @40\n"
+    )
+
+    def test_records_carry_timestamps(self):
+        program = parse_pim_program(self.PROGRAM)
+        assert program.timestamped
+        stamps = [
+            r.timestamp for r in program.records if r.kind != "pim"
+        ]
+        assert stamps == [0.0, 8.0, 16.0, 40.0]
+
+    def test_lowered_requests_carry_timestamps(self):
+        program = parse_pim_program(self.PROGRAM)
+        requests = program.to_requests()
+        assert [r.timestamp for r in requests] == [
+            0.0, 8.0, 16.0, 24.0, 40.0,
+        ]
+
+    def test_execute_stamps_machine_requests(self):
+        from repro.pimexec import PimExecMachine
+
+        program = parse_pim_program(self.PROGRAM)
+        machine = PimExecMachine()
+        program.execute(machine)
+        assert [r.timestamp for r in machine.requests] == [
+            0.0, 8.0, 16.0, 24.0, 40.0,
+        ]
+        result = machine.replay()
+        assert result.n_requests == 5
+        assert result.makespan_ns >= 40.0
+
+    def test_mixed_timestamps_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2.*timestamp"):
+            parse_pim_program("W GPR 0 @0\nAB W\n")
+
+    def test_control_markers_may_omit_timestamps(self):
+        program = parse_pim_program(
+            "W GPR 0 @0\nAB W @4\nPIM NOP @8\nPIM EXIT\n"
+        )
+        assert program.timestamped
+
+    def test_bad_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="bad timestamp"):
+            parse_pim_program("W GPR 0 @zzz\n")
+
+    def test_decreasing_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="line 2.*decreases"):
+            parse_pim_program("W GPR 0 @9\nR GPR 0 @3\n")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="non-negative finite"):
+            parse_pim_program("W GPR 0 @-4\n")
+
+    def test_infinite_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="non-negative finite"):
+            parse_pim_program("W GPR 0 @inf\n")
+
+    def test_stamp_on_control_marker_alone_is_not_timestamped(self):
+        """Control markers lower to no request: a stamp on one alone
+        leaves the request stream line-rate, and interarrival_ns still
+        applies."""
+        program = parse_pim_program("W GPR 0\nPIM EXIT @5\n")
+        assert not program.timestamped
+        requests = program.to_requests(interarrival_ns=4.0)
+        assert [r.timestamp for r in requests] == [0.0]
+
+    def test_interarrival_stamps_untimestamped_programs(self):
+        program = parse_pim_program("W GPR 0\nAB W\nPIM NOP\nPIM EXIT\n")
+        requests = program.to_requests(interarrival_ns=5.0, start_ns=2.0)
+        assert [r.timestamp for r in requests] == [2.0, 7.0, 12.0]
+
+    def test_interarrival_conflicts_with_record_stamps(self):
+        program = parse_pim_program("W GPR 0 @0\nAB W @4\n")
+        with pytest.raises(ValueError, match="interarrival_ns"):
+            program.to_requests(interarrival_ns=5.0)
+
+    def test_negative_interarrival_rejected(self):
+        program = parse_pim_program("W GPR 0\n")
+        with pytest.raises(ValueError, match="interarrival_ns"):
+            program.to_requests(interarrival_ns=-1.0)

@@ -160,3 +160,76 @@ class TestMain:
         path.write_text("PIM FMA GRF,0 BANK SRF,0\n")
         assert main(["pimexec", "--trace", str(path)]) == 2
         assert "pimexec replay failed" in capsys.readouterr().err
+
+
+class TestReplayRefreshAndTimestamps:
+    def test_replay_with_refresh_knobs(self, tmp_path, capsys):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(n_channels=2)
+        path = write_trace(
+            tmp_path / "refresh.trace",
+            # long enough to cross several 3900 ns refresh boundaries
+            synthesize_trace("sequential", 8192, config),
+        )
+        assert main([
+            "replay", str(path),
+            "--trefi", "3900", "--trfc", "350",
+        ]) == 0
+        refreshed = capsys.readouterr().out
+        assert main(["replay", str(path)]) == 0
+        ideal = capsys.readouterr().out
+
+        def gbit(out):
+            for line in out.splitlines():
+                if line.startswith("sustained_gbit_per_s"):
+                    return float(line.split()[-1])
+            raise AssertionError(out)
+
+        assert gbit(refreshed) < gbit(ideal)
+
+    def test_replay_per_bank_granularity(self, tmp_path, capsys):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(n_channels=2)
+        path = write_trace(
+            tmp_path / "perbank.trace",
+            synthesize_trace("sequential", 128, config),
+        )
+        assert main([
+            "replay", str(path),
+            "--trefi", "3900", "--trfc", "350",
+            "--refresh-granularity", "per-bank",
+        ]) == 0
+        assert "fast-exact" in capsys.readouterr().out
+
+    def test_replay_invalid_refresh_exit_2(self, tmp_path, capsys):
+        from repro.memsys import MemRequest, Op, write_trace
+
+        path = write_trace(
+            tmp_path / "one.trace", [MemRequest(Op.READ, 0)]
+        )
+        assert main([
+            "replay", str(path), "--trefi", "100", "--trfc", "100",
+        ]) == 2
+        assert "trfc_ns" in capsys.readouterr().err
+
+    def test_replay_timestamped_trace(self, tmp_path, capsys):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(n_channels=2)
+        path = write_trace(
+            tmp_path / "timed.trace",
+            synthesize_trace(
+                "sequential", 128, config, interarrival_ns=50.0
+            ),
+        )
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "128 requests" in out
+        # 128 requests at 50 ns spacing stretch the makespan past 6350
+        makespan = [
+            line for line in out.splitlines()
+            if line.startswith("makespan_ns")
+        ][0]
+        assert float(makespan.split()[-1]) >= 127 * 50.0

@@ -1,0 +1,53 @@
+"""The documentation tree stays link-consistent.
+
+Runs the same checker CI's docs job runs (``tools/check_docs.py``), so
+a broken relative link or heading anchor in README/docs fails the
+tier-1 suite before it reaches CI.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in check_docs.doc_files(REPO_ROOT)}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "trace-formats.md" in names
+    assert "experiments.md" in names
+
+
+def test_no_broken_links_or_anchors():
+    problems = check_docs.check_tree(REPO_ROOT)
+    assert problems == []
+
+
+def test_checker_flags_broken_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/nope.md) and [ok](docs/real.md) and "
+        "[bad anchor](docs/real.md#nowhere)\n"
+    )
+    (tmp_path / "docs" / "real.md").write_text("# Real Heading\n")
+    problems = check_docs.check_tree(tmp_path)
+    assert len(problems) == 2
+    assert any("nope.md" in p for p in problems)
+    assert any("nowhere" in p for p in problems)
+
+
+def test_checker_accepts_anchors_and_externals(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text(
+        "# Some Heading!\n[self](#some-heading) "
+        "[ext](https://example.com/x) \n"
+        "```\n[not a link in code](nope.md)\n```\n"
+    )
+    (tmp_path / "README.md").write_text(
+        "[doc](docs/a.md#some-heading)\n"
+    )
+    assert check_docs.check_tree(tmp_path) == []

@@ -28,6 +28,11 @@ EXPECTED_MARKERS = {
         "bank GRF contents bit-exact vs NumPy: True",
         "speedup",
     ],
+    "timestamped_replay.py": [
+        "timestamped trace lines:",
+        "per-bank",
+        "overhead",
+    ],
 }
 
 

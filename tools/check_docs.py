@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Link-check the markdown documentation tree.
+
+Scans ``README.md`` and ``docs/**/*.md`` for inline markdown links and
+verifies that
+
+* relative link targets exist on disk (files or directories), and
+* ``#anchor`` fragments — same-file or cross-file — match a heading in
+  the target document (GitHub-style slugs),
+
+so documented paths can't rot silently.  External (``http(s)://``,
+``mailto:``) targets are not fetched.  Exits non-zero listing every
+broken link.  CI runs this next to the examples smoke tests; the tier-1
+suite runs it too (``tests/test_docs.py``), so a broken link fails
+locally first.
+
+Usage::
+
+    python tools/check_docs.py [REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import typing as _t
+
+#: Inline markdown link: [text](target) — target without surrounding
+#: whitespace; images (![alt](target)) match too via the optional bang.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading slug: lowercase, punctuation out, dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> _t.Set[str]:
+    return {
+        _slugify(match.group(1))
+        for match in _HEADING.finditer(markdown)
+    }
+
+
+def doc_files(root: pathlib.Path) -> _t.List[pathlib.Path]:
+    """The documents under contract: README plus the docs/ tree."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(
+    path: pathlib.Path, root: pathlib.Path
+) -> _t.List[str]:
+    """Return human-readable problems for one markdown file."""
+    problems: _t.List[str] = []
+    text = _FENCE.sub("", path.read_text())
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link "
+                    f"{target!r} (no such file {base!r})"
+                )
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix != ".md":
+                continue  # anchors only checked into markdown
+            if fragment not in _anchors(resolved.read_text()):
+                problems.append(
+                    f"{path.relative_to(root)}: broken anchor "
+                    f"{target!r} (no heading slug {fragment!r} in "
+                    f"{resolved.relative_to(root)})"
+                )
+    return problems
+
+
+def check_tree(root: pathlib.Path) -> _t.List[str]:
+    """Check every documentation file; returns all problems."""
+    files = doc_files(root)
+    problems = []
+    if not files:
+        problems.append(f"no documentation files found under {root}")
+    if not (root / "docs").is_dir():
+        problems.append("docs/ directory is missing")
+    for path in files:
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    root = (
+        pathlib.Path(argv[0])
+        if argv
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    problems = check_tree(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(doc_files(root))
+    if not problems:
+        print(f"docs OK: {checked} file(s) link-checked")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
