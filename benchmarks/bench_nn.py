@@ -1,0 +1,187 @@
+"""Benchmark: transformer-kernel and workload-trace throughput.
+
+Times the two :mod:`repro.nn` pipelines end to end:
+
+* **GEMM pipeline** — functional fp16 execution of a tiled
+  ``(256 x 32) @ (32 x 32)`` GEMM on the per-bank units (every dynamic
+  CRF instruction runs in every bank under IEEE binary16) plus the
+  replay of the generated mixed host+PIM request stream, asserting
+  bit-exactness against the binary16 NumPy reference before timing
+  counts;
+* **trace pipeline** — generation of a full transformer-layer program
+  trace (Poisson arrivals), parsing, lowering, and fast-path replay.
+
+It also records the simulated host-vs-PIM speedup of every nn kernel
+(plus the GEMV-shaped GEMM, the PIM-favored family).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_nn.py --json
+BENCH_nn.json``) to emit a machine-readable record; CI does this every
+push, next to ``BENCH_memsys.json`` and ``BENCH_pimexec.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.memsys import MemorySystem, MemSysConfig
+from repro.nn import (
+    NN_KERNEL_NAMES,
+    TransformerLayerSpec,
+    build_nn_kernel,
+    run_nn_kernel,
+    transformer_layer_program,
+)
+
+#: GEMM shape for the timed pipeline run.
+GEMM_SHAPE = dict(m=256, k=32, n=32)
+#: Transformer-layer spec for the timed trace run.
+TRACE_SPEC = dict(d_model=32, n_heads=2, seq_len=32, d_ff=64)
+#: Acceptance floors.
+MIN_COMMANDS_PER_SEC = 1_000
+MIN_TRACE_RECORDS_PER_SEC = 3_000
+MIN_GEMV_SPEEDUP = 1.5
+
+
+def run_gemm_pipeline(shape=None):
+    """Time execute+replay of the fp16 GEMM pipeline.
+
+    Returns ``(commands_per_sec, result)``; asserts the bank state is
+    bit-exact against the binary16 reference before timing counts.
+    """
+    kernel = build_nn_kernel("gemm", dtype="fp16", **(shape or GEMM_SHAPE))
+    machine = kernel.machine()
+    kernel.setup(machine)  # data staging is untimed
+    machine.reset_requests()
+    started = time.perf_counter()
+    kernel.execute(machine)
+    result = machine.replay()
+    elapsed = time.perf_counter() - started
+    assert kernel.check(machine), "bank state diverged from binary16"
+    return result.n_pim / elapsed, result
+
+
+def run_trace_pipeline(spec=None):
+    """Time generate+parse+lower+replay of a transformer-layer trace.
+
+    Returns ``(records_per_sec, n_records)``.
+    """
+    config = MemSysConfig()
+    started = time.perf_counter()
+    program = transformer_layer_program(
+        TransformerLayerSpec(**(spec or TRACE_SPEC)),
+        config,
+        interarrival_ns=4.0,
+        interarrival="poisson",
+    )
+    requests = program.to_requests(config)
+    stats = MemorySystem(config).replay(requests, engine="fast")
+    elapsed = time.perf_counter() - started
+    assert stats.n_requests == len(requests)
+    return len(program) / elapsed, len(program)
+
+
+def kernel_speedups():
+    """Simulated host-vs-PIM speedup of every nn kernel."""
+    rows = []
+    for name in NN_KERNEL_NAMES:
+        comparison = run_nn_kernel(build_nn_kernel(name, dtype="fp16"))
+        assert comparison.correct, name
+        rows.append(
+            {
+                "kernel": name,
+                "host_ns": comparison.host.makespan_ns,
+                "pim_ns": comparison.pim.makespan_ns,
+                "speedup": round(comparison.speedup, 3),
+            }
+        )
+    gemv = run_nn_kernel(
+        build_nn_kernel("gemm", dtype="fp16", m=128, k=32, n=1)
+    )
+    assert gemv.correct
+    rows.append(
+        {
+            "kernel": "gemm (gemv-shaped)",
+            "host_ns": gemv.host.makespan_ns,
+            "pim_ns": gemv.pim.makespan_ns,
+            "speedup": round(gemv.speedup, 3),
+        }
+    )
+    return rows
+
+
+def test_bench_gemm_pipeline(benchmark):
+    rate, result = benchmark.pedantic(
+        run_gemm_pipeline, rounds=1, iterations=1
+    )
+    assert result.n_pim > 0
+    assert rate >= MIN_COMMANDS_PER_SEC
+
+
+def test_bench_trace_pipeline(benchmark):
+    rate, records = benchmark.pedantic(
+        run_trace_pipeline,
+        args=(dict(d_model=16, n_heads=2, seq_len=16, d_ff=32),),
+        rounds=1,
+        iterations=1,
+    )
+    assert records > 1_000
+    assert rate >= MIN_TRACE_RECORDS_PER_SEC
+
+
+def test_bench_kernel_speedups(benchmark):
+    rows = benchmark.pedantic(kernel_speedups, rounds=1, iterations=1)
+    by_name = {row["kernel"]: row["speedup"] for row in rows}
+    assert by_name["gemm (gemv-shaped)"] >= MIN_GEMV_SPEEDUP
+    # the crossover story: at least one family on each side
+    assert any(s > 1.0 for s in by_name.values())
+    assert any(s < 1.0 for s in by_name.values())
+
+
+def main(argv=None) -> int:
+    """Measure both pipelines and optionally write a JSON record."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the throughput record to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    run_gemm_pipeline(dict(m=128, k=8, n=8))  # warm-up
+    commands_rate, result = max(
+        (run_gemm_pipeline() for _ in range(3)), key=lambda r: r[0]
+    )
+    trace_rate, trace_records = max(
+        (run_trace_pipeline() for _ in range(3)), key=lambda r: r[0]
+    )
+    speedups = kernel_speedups()
+    by_name = {row["kernel"]: row["speedup"] for row in speedups}
+    record = {
+        "benchmark": "nn_transformer_throughput",
+        "gemm_shape": GEMM_SHAPE,
+        "fp16_commands_per_sec": round(commands_rate),
+        "gemm_requests": result.n_requests,
+        "trace_records": trace_records,
+        "trace_records_per_sec": round(trace_rate),
+        "kernel_speedups": speedups,
+        "floor_commands_per_sec": MIN_COMMANDS_PER_SEC,
+        "floor_trace_records_per_sec": MIN_TRACE_RECORDS_PER_SEC,
+        "passed": bool(
+            commands_rate >= MIN_COMMANDS_PER_SEC
+            and trace_rate >= MIN_TRACE_RECORDS_PER_SEC
+            and by_name["gemm (gemv-shaped)"] >= MIN_GEMV_SPEEDUP
+            and any(s > 1.0 for s in by_name.values())
+            and any(s < 1.0 for s in by_name.values())
+        ),
+    }
+    print(json.dumps(record, indent=2))
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

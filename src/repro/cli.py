@@ -18,6 +18,12 @@ Commands
     Execute built-in PIM kernels on the per-bank execution units and
     compare against host-only twins, or replay an HBM-PIMulator-style
     program trace (``R/W GPR|CFR|MEM``, ``AB W``, ``PIM …``).
+``repro-pim nn [--kernel NAME] [--dtype fp16|fp64] [--bank-groups]``
+    Run the transformer kernel library (GEMM/softmax/LayerNorm/
+    attention/FFN) on the PIM machine — IEEE-binary16 by default, with
+    bit-exact reference checks — or emit a transformer-layer workload
+    trace (``--emit-trace FILE``, fixed or Poisson arrivals) in the
+    program dialect.
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 ``--out DIR`` (write CSV tables + reports per experiment).
@@ -172,6 +178,67 @@ def build_parser() -> argparse.ArgumentParser:
     pimexec_p.add_argument(
         "--seed", type=int, default=0, help="kernel data RNG seed"
     )
+
+    nn_p = sub.add_parser(
+        "nn",
+        help=(
+            "run transformer kernels (GEMM/softmax/LayerNorm/"
+            "attention/FFN) on the PIM machine, or emit a "
+            "transformer-layer workload trace"
+        ),
+    )
+    nn_p.add_argument(
+        "--kernel", default="all", metavar="NAME",
+        help="kernel to run: gemm, softmax, layernorm, attention, "
+        "ffn, or all (default)",
+    )
+    nn_p.add_argument(
+        "--dtype", choices=("fp16", "fp64"), default="fp16",
+        help="arithmetic dtype: IEEE binary16 (default) or the "
+        "idealized float64 model",
+    )
+    nn_p.add_argument(
+        "--bank-groups", action="store_true",
+        help="half-bank execution: one unit per even/odd bank pair",
+    )
+    nn_p.add_argument(
+        "--engine", choices=("event", "fast", "auto"), default="auto",
+        help="replay engine (default: auto)",
+    )
+    nn_p.add_argument(
+        "--seed", type=int, default=0, help="kernel data RNG seed"
+    )
+    nn_p.add_argument(
+        "--emit-trace", type=pathlib.Path, default=None,
+        metavar="FILE",
+        help="write a transformer-layer program trace to FILE "
+        "instead of running kernels",
+    )
+    nn_p.add_argument(
+        "--d-model", type=int, default=32, metavar="N",
+        help="trace model width (default: 32)",
+    )
+    nn_p.add_argument(
+        "--heads", type=int, default=2, metavar="N",
+        help="trace attention heads (default: 2)",
+    )
+    nn_p.add_argument(
+        "--seq-len", type=int, default=32, metavar="N",
+        help="trace sequence length (default: 32)",
+    )
+    nn_p.add_argument(
+        "--d-ff", type=int, default=None, metavar="N",
+        help="trace feed-forward width (default: 4 * d_model)",
+    )
+    nn_p.add_argument(
+        "--interarrival", choices=("fixed", "poisson"),
+        default="fixed",
+        help="trace arrival process (default: fixed cadence)",
+    )
+    nn_p.add_argument(
+        "--interarrival-ns", type=float, default=4.0, metavar="NS",
+        help="mean issue interarrival of the trace (default: 4)",
+    )
     return parser
 
 
@@ -302,6 +369,97 @@ def _pimexec_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _nn_command(args: argparse.Namespace) -> int:
+    """Run transformer kernels (or emit a workload trace)."""
+    from .nn import (
+        NN_KERNEL_NAMES,
+        TransformerLayerSpec,
+        build_nn_kernel,
+        run_nn_kernel,
+        transformer_layer_trace,
+    )
+
+    if args.emit_trace is not None:
+        try:
+            spec = TransformerLayerSpec(
+                d_model=args.d_model,
+                n_heads=args.heads,
+                seq_len=args.seq_len,
+                d_ff=args.d_ff,
+            )
+            text = transformer_layer_trace(
+                spec,
+                interarrival_ns=args.interarrival_ns,
+                interarrival=args.interarrival,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"nn trace generation failed: {error}", file=sys.stderr)
+            return 2
+        args.emit_trace.parent.mkdir(parents=True, exist_ok=True)
+        args.emit_trace.write_text(text)
+        lines = sum(
+            1
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        print(
+            f"wrote {args.emit_trace}: {lines} records "
+            f"(d_model={spec.d_model} heads={spec.n_heads} "
+            f"seq={spec.seq_len} d_ff={spec.ff_width}, "
+            f"{args.interarrival} arrivals @ "
+            f"{args.interarrival_ns} ns)"
+        )
+        return 0
+
+    names = (
+        list(NN_KERNEL_NAMES) if args.kernel == "all" else [args.kernel]
+    )
+    unknown = [n for n in names if n not in NN_KERNEL_NAMES]
+    if unknown:
+        print(
+            f"unknown kernel(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(NN_KERNEL_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "bank-group" if args.bank_groups else "per-bank"
+    print(f"dtype={args.dtype} mode={mode}")
+    print(
+        f"{'kernel':12s} {'host_ns':>10s} {'pim_ns':>10s} "
+        f"{'speedup':>8s} {'bit_exact':>10s}"
+    )
+    failures = []
+    for name in names:
+        try:
+            kernel = build_nn_kernel(
+                name,
+                dtype=args.dtype,
+                bank_groups=args.bank_groups,
+                seed=args.seed,
+            )
+            comparison = run_nn_kernel(kernel, engine=args.engine)
+        except (ValueError, RuntimeError) as error:
+            print(f"nn {name} failed: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"{name:12s} {comparison.host.makespan_ns:10.0f} "
+            f"{comparison.pim.makespan_ns:10.0f} "
+            f"{comparison.speedup:8.2f} "
+            f"{'yes' if comparison.correct else 'NO':>10s}"
+        )
+        if not comparison.correct:
+            failures.append(name)
+    if failures:
+        print(
+            f"bank state diverged from the {args.dtype} reference "
+            f"for: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -311,6 +469,9 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
 
     if args.command == "pimexec":
         return _pimexec_command(args)
+
+    if args.command == "nn":
+        return _nn_command(args)
 
     if args.command == "list":
         for exp in all_experiments():

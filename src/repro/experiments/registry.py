@@ -109,6 +109,7 @@ _MODULES = (
     "exp_energy",
     "exp_memsys",
     "exp_pimexec",
+    "exp_nn",
 )
 
 

@@ -94,8 +94,10 @@ from .controller import ChannelController, FCFS, FRFCFS, POLICIES
 from .request import MemRequest, Op
 from .system import ENGINES, MemSysConfig, MemSysStats, MemorySystem
 from .trace import (
+    INTERARRIVALS,
     PackedTrace,
     TRACE_PATTERNS,
+    arrival_times,
     format_trace,
     iter_trace,
     parse_trace,
@@ -122,8 +124,10 @@ __all__ = [
     "MemSysConfig",
     "MemSysStats",
     "MemorySystem",
+    "INTERARRIVALS",
     "PackedTrace",
     "TRACE_PATTERNS",
+    "arrival_times",
     "format_trace",
     "iter_trace",
     "parse_trace",

@@ -126,6 +126,18 @@ class ChannelController:
         #: the selection that immediately follows it.
         self._refresh_candidate: _t.Optional[MemRequest] = None
 
+        #: Per-bank open-row table bookkeeping (FR-FCFS only): queued
+        #: single-bank requests per bank, plus the count of queued
+        #: requests currently hitting their bank's open row.  When the
+        #: count is zero, :meth:`_select` skips the queue scan entirely
+        #: — the dominant case on random traffic, where the scan was
+        #: the exact replay tier's hot path.
+        self._track_hits = policy == FRFCFS
+        self._bank_queue: _t.List[_t.List[MemRequest]] = [
+            [] for _ in self.banks
+        ]
+        self._queued_hits = 0
+
         self.pending: _t.List[MemRequest] = []
         self._wakeup: _t.Optional[Event] = None
         self._space_waiters: _t.List[Event] = []
@@ -165,13 +177,20 @@ class ChannelController:
         request.arrival = now
         coords = request.coords
         op = request.op
-        request.bank_index = (
+        index = (
             self._bank_index(coords)
             if coords is not None
             and op is not Op.PIM
             and op is not Op.AB
             else None
         )
+        request.bank_index = index
+        if self._track_hits and index is not None:
+            self._bank_queue[index].append(request)
+            hit = self.banks[index].open_row == coords.row
+            request.queued_hit = hit
+            if hit:
+                self._queued_hits += 1
         self.pending.append(request)
         self.queue_len.update(len(self.pending), now)
 
@@ -228,8 +247,9 @@ class ChannelController:
         if refresh.granularity == PER_RANK:
             epoch = refresh.epoch(now)
             if epoch > applied[0]:
-                for bank in self.banks:
+                for index, bank in enumerate(self.banks):
                     bank.precharge()
+                    self._rescan_bank(index)
                 for index in range(len(applied)):
                     applied[index] = epoch
             fence = refresh.rank_fence(now)
@@ -239,6 +259,7 @@ class ChannelController:
             if epoch >= 1 and epoch > applied[index]:
                 bank.precharge()
                 applied[index] = epoch
+                self._rescan_bank(index)
         frfcfs = self.policy == FRFCFS
         banks = self.banks
         fallback: _t.Optional[MemRequest] = None
@@ -285,6 +306,25 @@ class ChannelController:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _rescan_bank(self, index: int) -> None:
+        """Refresh the open-row table entries of one bank's queue.
+
+        Called whenever ``banks[index].open_row`` may have changed (a
+        service on that bank, or a refresh precharge), so
+        ``_queued_hits`` stays exact and the scan-skip in
+        :meth:`_select` never misses a hit.
+        """
+        if not self._track_hits:
+            return
+        open_row = self.banks[index].open_row
+        delta = 0
+        for request in self._bank_queue[index]:
+            hit = open_row == request.coords.row
+            if hit != request.queued_hit:
+                request.queued_hit = hit
+                delta += 1 if hit else -1
+        self._queued_hits += delta
+
     def _select(self) -> MemRequest:
         """Pick the next request under the configured policy."""
         candidate = self._refresh_candidate
@@ -292,7 +332,10 @@ class ChannelController:
             # the per-bank refresh gate already made this decision
             self._refresh_candidate = None
             return candidate
-        if self.policy == FRFCFS:
+        # the open-row table says no queued request hits: FR-FCFS has
+        # nothing to hoist, so the scan below would fall through to the
+        # head anyway — skip it (the dominant case on random traffic)
+        if self.policy == FRFCFS and self._queued_hits:
             ab = Op.AB
             banks = self.banks
             for request in self.pending:  # oldest row hit first
@@ -362,7 +405,26 @@ class ChannelController:
         self.pending.remove(request)
         self.queue_len.update(len(self.pending), now)
         request.start_service = now
-        return request, self._serve(request)
+        if not self._track_hits:
+            return request, self._serve(request)
+        index = request.bank_index
+        if index is not None:
+            queue = self._bank_queue[index]
+            for position, queued in enumerate(queue):
+                if queued is request:  # identity: eq is field-wise
+                    del queue[position]
+                    break
+            if request.queued_hit:
+                self._queued_hits -= 1
+        latency = self._serve(request)
+        # the service may have moved open rows: refresh the table
+        if index is not None:
+            self._rescan_bank(index)
+        elif request.op is Op.PIM:
+            for bank in range(len(self.banks)):
+                self._rescan_bank(bank)
+        # AB broadcasts never touch row buffers: nothing to rescan
+        return request, latency
 
     def _finish_service(self, request: MemRequest, now: float) -> None:
         """Record the completion of ``request`` at ``now``."""

@@ -89,6 +89,12 @@ class MemRequest:
         Flat in-channel bank index, cached by the controller at
         admission (``None`` for all-bank PIM/AB requests) so the
         FR-FCFS scan does not re-derive it per selection.
+    queued_hit:
+        Whether this *queued* request currently hits its bank's open
+        row — the controller's per-bank open-row table entry,
+        maintained at admission and on every open-row change so the
+        FR-FCFS selection can skip the queue scan when no queued
+        request hits (see ``ChannelController._rescan_bank``).
     arrival, start_service, finish:
         Simulation timestamps (ns), ``nan`` until reached.
     outcome:
@@ -105,6 +111,9 @@ class MemRequest:
     timestamp: _t.Optional[float] = None
     coords: _t.Optional["Coordinates"] = None
     bank_index: _t.Optional[int] = None
+    queued_hit: bool = dataclasses.field(
+        default=False, repr=False, compare=False
+    )
     arrival: float = math.nan
     start_service: float = math.nan
     finish: float = math.nan

@@ -61,7 +61,7 @@ from .kernels import (
 )
 from .machine import PimExecMachine, PimExecResult
 from .program import PimProgram, ProgramRecord, parse_pim_program
-from .regfile import BankExecUnit
+from .regfile import BankExecUnit, DTYPES
 from .sequencer import CommandSequencer
 
 __all__ = [
@@ -89,6 +89,7 @@ __all__ = [
     "PimExecMachine",
     "PimExecResult",
     "BankExecUnit",
+    "DTYPES",
     "CommandSequencer",
     "PimProgram",
     "ProgramRecord",

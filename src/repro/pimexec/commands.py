@@ -118,9 +118,13 @@ class Operand:
         the operand reads/writes the page addressed by the triggering
         column access (the sequencer's column walk supplies it).
     unit:
-        Optional even/odd PIM-unit selector parsed from HBM-PIMulator
-        ``BANK,u,…`` operands; recorded but ignored — this model gives
-        every bank its own execution unit.
+        Optional even/odd bank selector (0 = even, 1 = odd) from
+        HBM-PIMulator ``BANK,u,…`` operands.  On a per-bank machine
+        (every bank its own execution unit) it is recorded but ignored;
+        in *bank-group* mode (:class:`~repro.pimexec.machine.
+        PimExecMachine` with ``bank_groups=True``) each unit is shared
+        by an even/odd bank pair and the selector picks which bank of
+        the pair the operand touches.
     """
 
     space: str
@@ -148,6 +152,15 @@ class Operand:
         ):
             raise PimExecError(
                 "row/col coordinates are only valid on BANK operands"
+            )
+        if self.space != BANK and self.unit is not None:
+            raise PimExecError(
+                "unit selectors are only valid on BANK operands"
+            )
+        if self.unit is not None and self.unit not in (0, 1):
+            raise PimExecError(
+                f"BANK unit selector must be 0 (even) or 1 (odd), got "
+                f"{self.unit}"
             )
         if (self.row is None) != (self.col is None):
             raise PimExecError(

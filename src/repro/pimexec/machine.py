@@ -1,7 +1,7 @@
 """The executable PIM machine: execution units over the memory system.
 
-:class:`PimExecMachine` instantiates one
-:class:`~repro.pimexec.regfile.BankExecUnit` per bank of a
+:class:`PimExecMachine` instantiates execution units
+(:class:`~repro.pimexec.regfile.BankExecUnit`) over a
 :class:`~repro.memsys.MemSysConfig` geometry and one
 :class:`~repro.pimexec.sequencer.CommandSequencer` per channel, and
 plays host: every host-side action (bank writes, register broadcasts,
@@ -13,6 +13,27 @@ same banked controllers, address map, and row-buffer state machines as
 any other trace — PIM kernel cycles pay real activation, page-access,
 and queueing costs.
 
+Execution modes
+---------------
+* ``bank_groups=False`` (default): one execution unit per bank — the
+  full-width all-bank mode of PR 3.
+* ``bank_groups=True``: *half-bank lockstep groups* in the HBM-PIM
+  mold — one execution unit per even/odd bank **pair**, so a channel
+  has ``banks_per_channel // 2`` units and each all-bank column access
+  drives half as many vector lanes.  ``Operand.unit`` (the ``BANK,u``
+  selector of the trace dialect) picks the even (0) or odd (1) bank of
+  a pair.  The *timing difference is surfaced by construction*: the
+  same kernel needs twice the dynamic instructions (and therefore twice
+  the all-bank column accesses) to touch the same data, which the
+  replayed request stream prices through the normal controllers.
+
+Arithmetic dtype
+----------------
+``dtype="fp64"`` (default) keeps the idealized float64 model;
+``dtype="fp16"`` computes in IEEE binary16 (NumPy ``float16``) with
+per-operation round-to-nearest-even — see
+:mod:`repro.pimexec.regfile` and ``docs/nn.md``.
+
 Request vocabulary (see :class:`repro.memsys.request.Op`):
 
 * ``READ``/``WRITE`` — host single-bank transactions (data staging,
@@ -21,7 +42,7 @@ Request vocabulary (see :class:`repro.memsys.request.Op`):
   SRF/GRF broadcasts, GRF readback): one column access on the channel,
   no row-buffer interaction;
 * ``PIM`` — one all-bank column access per dynamic kernel instruction,
-  executing one CRF slot in every bank in lockstep.
+  executing one CRF slot in every unit of the channel in lockstep.
 """
 
 from __future__ import annotations
@@ -40,7 +61,7 @@ from ..memsys import (
     Op,
 )
 from .commands import GRF_REGS, PimCommand, PimExecError, SRF_REGS
-from .regfile import BankExecUnit
+from .regfile import BankExecUnit, DTYPES
 from .sequencer import CommandSequencer
 
 __all__ = ["PimExecMachine", "PimExecResult", "page_encoder"]
@@ -103,18 +124,45 @@ class PimExecResult:
 
 
 class PimExecMachine:
-    """Per-bank PIM execution units over a banked memory system.
+    """PIM execution units over a banked memory system.
 
     Parameters
     ----------
     config:
         Memory-system geometry/timing/policy (paper defaults if
         omitted).  The page width fixes the vector lane count:
-        ``page_bits // 16`` 16-bit hardware lanes (modeled as float64).
+        ``page_bits // 16`` 16-bit hardware lanes.
+    dtype:
+        Arithmetic dtype: ``"fp64"`` (default, idealized) or
+        ``"fp16"`` (IEEE binary16 rounding per operation).
+    bank_groups:
+        ``False`` (default): one execution unit per bank.  ``True``:
+        half-bank lockstep groups — one unit per even/odd bank pair
+        (requires an even ``banks_per_channel``), with ``Operand.unit``
+        selecting the pair's even or odd bank.
     """
 
-    def __init__(self, config: _t.Optional[MemSysConfig] = None) -> None:
+    def __init__(
+        self,
+        config: _t.Optional[MemSysConfig] = None,
+        dtype: str = "fp64",
+        bank_groups: bool = False,
+    ) -> None:
         self.config = config or MemSysConfig()
+        if dtype not in DTYPES:
+            raise PimExecError(
+                f"unknown dtype {dtype!r}; available: {tuple(DTYPES)}"
+            )
+        self.dtype = dtype
+        self.np_dtype = DTYPES[dtype]
+        self.bank_groups = bool(bank_groups)
+        self.ports = 2 if self.bank_groups else 1
+        if self.config.banks_per_channel % self.ports:
+            raise PimExecError(
+                "bank-group mode pairs even/odd banks; "
+                f"banks_per_channel={self.config.banks_per_channel} "
+                "is not even"
+            )
         self.lanes = self.config.timing.page_bits // LANE_BITS
         if self.lanes < 1:
             raise ValueError(
@@ -124,8 +172,13 @@ class PimExecMachine:
         self.addr_map = self.config.address_map()
         self.units: _t.List[_t.List[BankExecUnit]] = [
             [
-                BankExecUnit(self.lanes, name=f"ch{ch}.b{bank}")
-                for bank in range(self.config.banks_per_channel)
+                BankExecUnit(
+                    self.lanes,
+                    name=f"ch{ch}.u{index}",
+                    dtype=self.dtype,
+                    ports=self.ports,
+                )
+                for index in range(self.units_per_channel)
             ]
             for ch in range(self.config.n_channels)
         ]
@@ -150,19 +203,39 @@ class PimExecMachine:
         return self.config.banks_per_channel
 
     @property
-    def total_units(self) -> int:
-        return self.n_channels * self.banks_per_channel
+    def units_per_channel(self) -> int:
+        """Execution units per channel (half the banks in group mode)."""
+        return self.config.banks_per_channel // self.ports
 
-    def unit(self, channel: int, flat_bank: int) -> BankExecUnit:
-        return self.units[channel][flat_bank]
+    @property
+    def total_units(self) -> int:
+        return self.n_channels * self.units_per_channel
+
+    def unit(self, channel: int, index: int) -> BankExecUnit:
+        """The ``index``-th execution unit of ``channel``.
+
+        With ``bank_groups=False`` unit indices coincide with flat bank
+        indices; in group mode unit ``k`` serves banks ``2k`` (even
+        port 0) and ``2k + 1`` (odd port 1).
+        """
+        return self.units[channel][index]
+
+    def unit_for_bank(
+        self, channel: int, flat_bank: int
+    ) -> _t.Tuple[BankExecUnit, int]:
+        """``(unit, port)`` serving ``flat_bank`` of ``channel``."""
+        return (
+            self.units[channel][flat_bank // self.ports],
+            flat_bank % self.ports,
+        )
 
     def iter_units(
         self,
     ) -> _t.Iterator[_t.Tuple[int, int, BankExecUnit]]:
-        """Yield ``(channel, flat_bank, unit)`` in address order."""
+        """Yield ``(channel, unit_index, unit)`` in address order."""
         for ch, row in enumerate(self.units):
-            for bank, unit in enumerate(row):
-                yield ch, bank, unit
+            for index, unit in enumerate(row):
+                yield ch, index, unit
 
     def encode(
         self, channel: int, flat_bank: int, row: int, col: int
@@ -196,7 +269,8 @@ class PimExecMachine:
         values: _t.Sequence[float],
     ) -> None:
         """Host write of one page into one bank."""
-        self.unit(channel, flat_bank).store_page(row, col, values)
+        unit, port = self.unit_for_bank(channel, flat_bank)
+        unit.store_page(row, col, values, port)
         self._emit(Op.WRITE, self.encode(channel, flat_bank, row, col))
 
     def read_bank(
@@ -204,7 +278,8 @@ class PimExecMachine:
     ) -> np.ndarray:
         """Host read of one page from one bank."""
         self._emit(Op.READ, self.encode(channel, flat_bank, row, col))
-        return self.unit(channel, flat_bank).load_page(row, col)
+        unit, port = self.unit_for_bank(channel, flat_bank)
+        return unit.load_page(row, col, port)
 
     def broadcast_scalar(
         self,
@@ -214,11 +289,12 @@ class PimExecMachine:
         row: int = 0,
         col: int = 0,
     ) -> None:
-        """AB-mode write of ``SRF[index]`` in every bank of a channel.
+        """AB-mode write of ``SRF[index]`` in every unit of a channel.
 
         ``row``/``col`` only shape the broadcast's address (useful to
         keep it adjacent to the kernel's next data access); AB requests
-        never touch row buffers.
+        never touch row buffers.  The value rounds to the machine's
+        dtype on assignment.
         """
         if not 0 <= index < SRF_REGS:
             raise PimExecError(
@@ -237,12 +313,12 @@ class PimExecMachine:
         row: int = 0,
         col: int = 0,
     ) -> None:
-        """AB-mode write of one GRF register in every bank of a channel."""
+        """AB-mode write of one GRF register in every unit of a channel."""
         if not 0 <= index < GRF_REGS:
             raise PimExecError(
                 f"GRF index {index} out of range [0, {GRF_REGS})"
             )
-        page = np.asarray(values, dtype=np.float64)
+        page = np.asarray(values, dtype=self.np_dtype)
         if page.shape != (self.lanes,):
             raise PimExecError(
                 f"broadcast page must have {self.lanes} lanes, got "
@@ -260,14 +336,14 @@ class PimExecMachine:
         self._emit(Op.AB, self.encode(channel, 0, row, col))
 
     def read_grf(
-        self, channel: int, flat_bank: int, space: str, index: int
+        self, channel: int, unit_index: int, space: str, index: int
     ) -> np.ndarray:
         """Read back one GRF register (an AB-mode column access)."""
         if not 0 <= index < GRF_REGS:
             raise PimExecError(
                 f"GRF index {index} out of range [0, {GRF_REGS})"
             )
-        unit = self.unit(channel, flat_bank)
+        unit = self.unit(channel, unit_index)
         if space == "grf_a":
             value = unit.grf_a[index]
         elif space == "grf_b":
@@ -276,7 +352,9 @@ class PimExecMachine:
             raise PimExecError(
                 f"read_grf space must be grf_a/grf_b, got {space!r}"
             )
-        self._emit(Op.AB, self.encode(channel, flat_bank, 0, 0))
+        self._emit(
+            Op.AB, self.encode(channel, unit_index * self.ports, 0, 0)
+        )
         return value.copy()
 
     def load_kernel(
@@ -308,7 +386,7 @@ class PimExecMachine:
     def pim_step(
         self, channel: int, command: PimCommand, row: int, col: int
     ) -> None:
-        """Execute one command in every bank of ``channel`` at (row, col).
+        """Execute one command in every unit of ``channel`` at (row, col).
 
         The single-step escape hatch for host-sequenced kernels (e.g.
         GEMV, which re-broadcasts an SRF scalar between steps); looped
@@ -388,8 +466,9 @@ class PimExecMachine:
         )
 
     def __repr__(self) -> str:
+        mode = "bank-group" if self.bank_groups else "per-bank"
         return (
             f"<PimExecMachine {self.n_channels}ch x "
-            f"{self.banks_per_channel}units lanes={self.lanes} "
-            f"requests={len(self.requests)}>"
+            f"{self.units_per_channel}units ({mode}, {self.dtype}) "
+            f"lanes={self.lanes} requests={len(self.requests)}>"
         )

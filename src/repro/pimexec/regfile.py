@@ -1,13 +1,40 @@
 """Per-bank PIM execution unit: register files + bank data array.
 
 Each :class:`BankExecUnit` is the compute logic HBM-PIM places beside
-one DRAM bank: two vector register files (GRF_A/GRF_B, 8 registers of
-one page each), a scalar register file (SRF, 8 entries, broadcast over
-lanes when read), and functional access to the bank's own data array.
+one DRAM bank (or, in bank-group mode, beside one even/odd *pair* of
+banks): two vector register files (GRF_A/GRF_B, 8 registers of one page
+each), a scalar register file (SRF, 8 entries, broadcast over lanes
+when read), and functional access to the attached bank data array(s).
 A page is ``lanes`` values — the 256-bit row-buffer page of the §2.1
-macro carries 16 16-bit words in hardware; the model stores values as
-``float64`` so results can be compared bit-exactly against a NumPy
-reference performing the same operations in the same order.
+macro carries 16 16-bit words in hardware.
+
+Arithmetic dtype
+----------------
+The unit computes in one of two selectable dtypes (:data:`DTYPES`):
+
+* ``"fp64"`` (default) — the idealized model of PRs 1-4: values are
+  ``float64``, so results compare bit-exactly against a float64 NumPy
+  reference performing the same operations in the same order;
+* ``"fp16"`` — *hardware-faithful* IEEE binary16: every register,
+  bank page, and intermediate is NumPy ``float16``, so each ADD/MUL/
+  MAC/MAD step rounds to nearest-even at 11 significand bits exactly
+  like HBM-PIM's 16-bit FPUs.  Overflow saturates to ``inf``,
+  subnormals underflow gradually (no flush-to-zero), and NaNs
+  propagate — the semantics ``docs/nn.md`` documents and
+  ``tests/nn/test_fp16.py`` pins.
+
+Both dtypes keep the bit-exactness contract: a NumPy reference using
+the same dtype and the same operation order reproduces the unit's
+state bit for bit.
+
+Bank ports
+----------
+In HBM-PIM's bank-group (half-bank) mode one execution unit is shared
+by an even/odd pair of banks; the ``BANK,u`` operand selector picks
+which of the pair a command touches.  ``ports=2`` models that sharing:
+the data array is keyed by ``(port, row, col)`` and ``Operand.unit``
+selects the port.  With the default ``ports=1`` (one unit per bank)
+the selector is recorded but ignored, as in PR 3.
 
 The unit is purely *functional*: it executes commands and mutates
 state, but knows nothing about time.  Timing comes from the
@@ -35,11 +62,17 @@ from .commands import (
     SRF_REGS,
 )
 
-__all__ = ["BankExecUnit"]
+__all__ = ["DTYPES", "BankExecUnit"]
+
+#: Selectable arithmetic dtypes: name -> NumPy dtype.
+DTYPES: _t.Dict[str, np.dtype] = {
+    "fp64": np.dtype(np.float64),
+    "fp16": np.dtype(np.float16),
+}
 
 
 class BankExecUnit:
-    """Execution unit and functional data store of one bank.
+    """Execution unit and functional data store of one or two banks.
 
     Parameters
     ----------
@@ -47,74 +80,122 @@ class BankExecUnit:
         Values per page (page width over the 16-bit hardware word).
     name:
         Label for error messages and repr.
+    dtype:
+        Arithmetic dtype name (see :data:`DTYPES`): ``"fp64"``
+        (default) or ``"fp16"`` for IEEE binary16 rounding per
+        operation.
+    ports:
+        Attached bank data arrays: 1 (per-bank unit, default) or 2
+        (bank-group mode — the unit is shared by an even/odd bank pair
+        and ``Operand.unit`` selects the port).
     """
 
     __slots__ = (
-        "lanes", "name", "grf_a", "grf_b", "srf", "memory",
-        "commands_executed",
+        "lanes", "name", "dtype", "np_dtype", "ports",
+        "grf_a", "grf_b", "srf", "memory", "commands_executed",
     )
 
-    def __init__(self, lanes: int, name: str = "unit") -> None:
+    def __init__(
+        self,
+        lanes: int,
+        name: str = "unit",
+        dtype: str = "fp64",
+        ports: int = 1,
+    ) -> None:
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if dtype not in DTYPES:
+            raise PimExecError(
+                f"unknown dtype {dtype!r}; available: "
+                f"{tuple(DTYPES)}"
+            )
+        if ports not in (1, 2):
+            raise ValueError(f"ports must be 1 or 2, got {ports}")
         self.lanes = int(lanes)
         self.name = name
-        self.grf_a = np.zeros((GRF_REGS, self.lanes))
-        self.grf_b = np.zeros((GRF_REGS, self.lanes))
-        self.srf = np.zeros(SRF_REGS)
-        #: Functional bank contents: ``(row, col) -> page`` (sparse;
-        #: unwritten pages read as zeros).
-        self.memory: _t.Dict[_t.Tuple[int, int], np.ndarray] = {}
+        self.dtype = dtype
+        self.np_dtype = DTYPES[dtype]
+        self.ports = int(ports)
+        self.grf_a = np.zeros((GRF_REGS, self.lanes), dtype=self.np_dtype)
+        self.grf_b = np.zeros((GRF_REGS, self.lanes), dtype=self.np_dtype)
+        self.srf = np.zeros(SRF_REGS, dtype=self.np_dtype)
+        #: Functional bank contents: ``(port, row, col) -> page``
+        #: (sparse; unwritten pages read as zeros).
+        self.memory: _t.Dict[
+            _t.Tuple[int, int, int], np.ndarray
+        ] = {}
         self.commands_executed = 0
 
     # ------------------------------------------------------------------
     # bank data array
     # ------------------------------------------------------------------
-    def load_page(self, row: int, col: int) -> np.ndarray:
-        """One page of the bank array (zeros if never written)."""
-        page = self.memory.get((row, col))
+    def _port(self, port: int) -> int:
+        if not 0 <= port < self.ports:
+            raise PimExecError(
+                f"{self.name}: bank port {port} out of range "
+                f"[0, {self.ports})"
+            )
+        return int(port)
+
+    def load_page(self, row: int, col: int, port: int = 0) -> np.ndarray:
+        """One page of a bank array (zeros if never written)."""
+        page = self.memory.get((self._port(port), int(row), int(col)))
         if page is None:
-            return np.zeros(self.lanes)
+            return np.zeros(self.lanes, dtype=self.np_dtype)
         return page.copy()
 
     def store_page(
-        self, row: int, col: int, values: _t.Sequence[float]
+        self,
+        row: int,
+        col: int,
+        values: _t.Sequence[float],
+        port: int = 0,
     ) -> None:
-        page = np.asarray(values, dtype=np.float64)
+        """Store one page, rounding ``values`` to the unit's dtype."""
+        page = np.asarray(values, dtype=self.np_dtype)
         if page.shape != (self.lanes,):
             raise PimExecError(
                 f"{self.name}: page must have {self.lanes} lanes, got "
                 f"shape {page.shape}"
             )
-        self.memory[(int(row), int(col))] = page.copy()
+        self.memory[(self._port(port), int(row), int(col))] = page.copy()
 
     # ------------------------------------------------------------------
     # operand access
     # ------------------------------------------------------------------
     def _coords(
         self, operand: Operand, row: int, col: int
-    ) -> _t.Tuple[int, int]:
+    ) -> _t.Tuple[int, int, int]:
+        port = (
+            operand.unit
+            if operand.unit is not None and self.ports > 1
+            else 0
+        )
         if operand.row is not None:
-            return operand.row, _t.cast(int, operand.col)
-        return row, col
+            return operand.row, _t.cast(int, operand.col), port
+        return row, col, port
 
     def read_operand(
         self, operand: Operand, row: int, col: int
     ) -> np.ndarray:
         if operand.space == BANK:
-            return self.load_page(*self._coords(operand, row, col))
+            r, c, port = self._coords(operand, row, col)
+            return self.load_page(r, c, port)
         if operand.space == GRF_A:
             return self.grf_a[operand.index]
         if operand.space == GRF_B:
             return self.grf_b[operand.index]
         assert operand.space == SRF
-        return np.full(self.lanes, self.srf[operand.index])
+        return np.full(
+            self.lanes, self.srf[operand.index], dtype=self.np_dtype
+        )
 
     def write_operand(
         self, operand: Operand, value: np.ndarray, row: int, col: int
     ) -> None:
         if operand.space == BANK:
-            self.store_page(*self._coords(operand, row, col), value)
+            r, c, port = self._coords(operand, row, col)
+            self.store_page(r, c, value, port)
         elif operand.space == GRF_A:
             self.grf_a[operand.index] = value
         elif operand.space == GRF_B:
@@ -128,7 +209,14 @@ class BankExecUnit:
     _MAD_DEFAULT_ADDEND = Operand(SRF, 1)  # HBM-PIM's SRF_M
 
     def execute(self, command: PimCommand, row: int = 0, col: int = 0) -> None:
-        """Execute one non-control command at column access (row, col)."""
+        """Execute one non-control command at column access (row, col).
+
+        Every arithmetic step evaluates in the unit's dtype: with
+        ``"fp16"``, each product and each sum rounds to binary16
+        (``MAC``/``MAD`` round the product first, then the addition —
+        no fused multiply-add), matching a NumPy float16 reference
+        performing the same expressions.
+        """
         opcode = command.opcode
         if command.is_control:
             raise PimExecError(
@@ -144,22 +232,26 @@ class BankExecUnit:
             self.write_operand(dst, src0.copy(), row, col)
             return
         src1 = self.read_operand(_t.cast(Operand, command.src1), row, col)
-        if opcode is PimOpcode.ADD:
-            result = src0 + src1
-        elif opcode is PimOpcode.MUL:
-            result = src0 * src1
-        elif opcode is PimOpcode.MAC:
-            result = self.read_operand(dst, row, col) + src0 * src1
-        else:  # MAD
-            addend = self.read_operand(
-                command.src2 or self._MAD_DEFAULT_ADDEND, row, col
-            )
-            result = src0 * src1 + addend
+        # IEEE semantics by design: overflow saturates to inf and
+        # 0 * inf produces NaN — silence numpy's advisory warnings
+        with np.errstate(over="ignore", invalid="ignore"):
+            if opcode is PimOpcode.ADD:
+                result = src0 + src1
+            elif opcode is PimOpcode.MUL:
+                result = src0 * src1
+            elif opcode is PimOpcode.MAC:
+                result = self.read_operand(dst, row, col) + src0 * src1
+            else:  # MAD
+                addend = self.read_operand(
+                    command.src2 or self._MAD_DEFAULT_ADDEND, row, col
+                )
+                result = src0 * src1 + addend
         self.write_operand(dst, result, row, col)
 
     def __repr__(self) -> str:
         return (
             f"<BankExecUnit {self.name!r} lanes={self.lanes} "
+            f"dtype={self.dtype} ports={self.ports} "
             f"pages={len(self.memory)} "
             f"executed={self.commands_executed}>"
         )

@@ -9,6 +9,13 @@ triggering access supplies the ``BANK`` operand's row/column — so the
 host-side "column walk" is simultaneously the kernel's data schedule
 and its memory-request stream.
 
+The sequencer is mode-agnostic: whether the machine runs one execution
+unit per bank or half-bank lockstep groups (``bank_groups=True``, one
+unit per even/odd bank pair), every dynamic instruction is still one
+all-bank column access — group mode simply needs more of them for the
+same data, which is exactly how the timing difference between the two
+modes surfaces in the replayed request stream.
+
 :class:`CommandSequencer` reproduces exactly that: :meth:`run` takes a
 column walk (an iterable of ``(row, col)``) and yields one
 ``(command, row, col)`` step per dynamic non-control instruction.

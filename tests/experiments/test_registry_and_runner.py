@@ -29,8 +29,10 @@ EXPECTED_NAMES = {
     "ablation-imbalance",
     "ablation-network",
     "extension-energy",
+    "extension-derived-tml",
     "memsys_bandwidth",
     "pimexec",
+    "nn",
 }
 
 

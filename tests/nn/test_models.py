@@ -1,0 +1,132 @@
+"""Transformer-layer workload generator: grammar, arrivals, replay."""
+
+import numpy as np
+import pytest
+
+from repro.memsys import MemorySystem, MemSysConfig, Op
+from repro.nn import (
+    TransformerLayerSpec,
+    transformer_layer_program,
+    transformer_layer_trace,
+)
+
+SPEC = TransformerLayerSpec(d_model=8, n_heads=2, seq_len=8, d_ff=16)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = TransformerLayerSpec()
+        assert spec.d_head == 16
+        assert spec.ff_width == 4 * spec.d_model
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            TransformerLayerSpec(d_model=10, n_heads=3)
+        with pytest.raises(ValueError):
+            TransformerLayerSpec(seq_len=0)
+        with pytest.raises(ValueError):
+            TransformerLayerSpec(d_ff=0)
+
+
+class TestGrammar:
+    def test_trace_parses_into_the_program_dialect(self):
+        program = transformer_layer_program(SPEC)
+        counts = program.counts()
+        # host transactions, staging registers, broadcasts, PIM ops
+        assert set(counts) == {"sb", "gpr", "ab", "pim"}
+        assert counts["ab"] > 0 and counts["pim"] > 0
+
+    def test_every_lowering_record_is_timestamped(self):
+        program = transformer_layer_program(SPEC, interarrival_ns=2.0)
+        assert program.timestamped
+        requests = program.to_requests(MemSysConfig())
+        assert all(r.timestamp is not None for r in requests)
+        times = [r.timestamp for r in requests]
+        assert times == sorted(times)
+
+    def test_untimestamped_variant(self):
+        program = transformer_layer_program(SPEC, interarrival_ns=None)
+        assert not program.timestamped
+
+    def test_trace_carries_all_request_kinds(self):
+        requests = transformer_layer_program(SPEC).to_requests(
+            MemSysConfig()
+        )
+        kinds = {r.op for r in requests}
+        assert kinds == {Op.READ, Op.WRITE, Op.AB, Op.PIM}
+
+    def test_record_count_scales_with_the_layer(self):
+        small = len(transformer_layer_program(SPEC))
+        large = len(
+            transformer_layer_program(
+                TransformerLayerSpec(
+                    d_model=16, n_heads=2, seq_len=16, d_ff=32
+                )
+            )
+        )
+        assert large > 2 * small
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ValueError, match="channel"):
+            transformer_layer_trace(SPEC, channel=9)
+
+    def test_bad_interarrival_mode_rejected(self):
+        with pytest.raises(ValueError, match="interarrival"):
+            transformer_layer_trace(SPEC, interarrival="burst")
+
+
+class TestArrivals:
+    def test_poisson_is_seeded_and_deterministic(self):
+        kwargs = dict(interarrival_ns=3.0, interarrival="poisson")
+        assert transformer_layer_trace(
+            SPEC, seed=4, **kwargs
+        ) == transformer_layer_trace(SPEC, seed=4, **kwargs)
+        assert transformer_layer_trace(
+            SPEC, seed=4, **kwargs
+        ) != transformer_layer_trace(SPEC, seed=5, **kwargs)
+
+    def test_poisson_gaps_are_bursty_not_fixed(self):
+        fixed = transformer_layer_program(SPEC, interarrival_ns=3.0)
+        poisson = transformer_layer_program(
+            SPEC, interarrival_ns=3.0, interarrival="poisson"
+        )
+        config = MemSysConfig()
+        t_fixed = np.diff(
+            [r.timestamp for r in fixed.to_requests(config)]
+        )
+        t_poisson = np.diff(
+            [r.timestamp for r in poisson.to_requests(config)]
+        )
+        assert np.allclose(t_fixed, 3.0)
+        assert t_poisson.std() > 0.5  # exponential spread
+        # same mean rate, within sampling noise
+        assert abs(t_poisson.mean() - 3.0) < 1.0
+
+
+class TestReplay:
+    @pytest.mark.parametrize("mode", ["fixed", "poisson"])
+    def test_both_engines_replay_identically(self, mode):
+        config = MemSysConfig()
+        program = transformer_layer_program(
+            SPEC, config, interarrival_ns=4.0, interarrival=mode
+        )
+        event = MemorySystem(config).replay(
+            program.to_requests(config), engine="event"
+        )
+        fast = MemorySystem(config).replay(
+            program.to_requests(config), engine="fast"
+        )
+        assert event.makespan_ns == fast.makespan_ns
+        assert event.summary() == fast.summary()
+        assert event.row_hits == fast.row_hits
+        assert event.row_conflicts == fast.row_conflicts
+
+    def test_line_rate_replay_also_works(self):
+        config = MemSysConfig()
+        program = transformer_layer_program(
+            SPEC, config, interarrival_ns=None
+        )
+        stats = MemorySystem(config).replay(
+            program.to_requests(config)
+        )
+        assert stats.n_requests == len(program)

@@ -233,3 +233,69 @@ class TestReplayRefreshAndTimestamps:
             if line.startswith("makespan_ns")
         ][0]
         assert float(makespan.split()[-1]) >= 127 * 50.0
+
+
+class TestNnCommand:
+    def test_nn_command_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "nn", "--kernel", "gemm", "--dtype", "fp64",
+                "--bank-groups", "--engine", "fast", "--seed", "3",
+            ]
+        )
+        assert args.command == "nn"
+        assert args.kernel == "gemm"
+        assert args.dtype == "fp64"
+        assert args.bank_groups is True
+        assert args.engine == "fast"
+        assert args.emit_trace is None
+        trace_args = build_parser().parse_args(
+            [
+                "nn", "--emit-trace", str(tmp_path / "layer.trace"),
+                "--d-model", "16", "--heads", "2", "--seq-len", "16",
+                "--interarrival", "poisson",
+            ]
+        )
+        assert trace_args.emit_trace == tmp_path / "layer.trace"
+        assert trace_args.interarrival == "poisson"
+
+    def test_nn_kernel_run(self, capsys):
+        assert main(["nn", "--kernel", "softmax"]) == 0
+        out = capsys.readouterr().out
+        assert "dtype=fp16" in out
+        assert "softmax" in out
+        assert "yes" in out  # the bit-exactness column
+
+    def test_nn_bank_groups_run(self, capsys):
+        assert main(["nn", "--kernel", "gemm", "--bank-groups"]) == 0
+        assert "mode=bank-group" in capsys.readouterr().out
+
+    def test_nn_unknown_kernel_exit_2(self, capsys):
+        assert main(["nn", "--kernel", "conv2d"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kernel" in err
+        assert "layernorm" in err
+
+    def test_nn_emit_trace_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "layer.trace"
+        assert main(
+            [
+                "nn", "--emit-trace", str(path), "--d-model", "8",
+                "--heads", "2", "--seq-len", "8", "--d-ff", "16",
+                "--interarrival", "poisson",
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        # the emitted trace replays through the pimexec verb
+        assert main(["pimexec", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_nn_bad_spec_exit_2(self, tmp_path, capsys):
+        assert main(
+            [
+                "nn", "--emit-trace", str(tmp_path / "t.trace"),
+                "--d-model", "10", "--heads", "3",
+            ]
+        ) == 2
+        assert "divisible" in capsys.readouterr().err

@@ -33,6 +33,11 @@ EXPECTED_MARKERS = {
         "per-bank",
         "overhead",
     ],
+    "transformer_layer.py": [
+        "fp16 bank state bit-exact vs NumPy binary16: True",
+        "bank-group GEMM: bit-identical output",
+        "event and fast engines agree bit-for-bit",
+    ],
 }
 
 
