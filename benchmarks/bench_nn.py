@@ -41,13 +41,16 @@ TRACE_SPEC = dict(d_model=32, n_heads=2, seq_len=32, d_ff=64)
 MIN_COMMANDS_PER_SEC = 1_000
 MIN_TRACE_RECORDS_PER_SEC = 3_000
 MIN_GEMV_SPEEDUP = 1.5
+MAX_TELEMETRY_OVERHEAD_PCT = 5.0
 
 
-def run_gemm_pipeline(shape=None):
+def run_gemm_pipeline(shape=None, telemetry=None):
     """Time execute+replay of the fp16 GEMM pipeline.
 
     Returns ``(commands_per_sec, result)``; asserts the bank state is
-    bit-exact against the binary16 reference before timing counts.
+    bit-exact against the binary16 reference before timing counts.  An
+    optional :class:`repro.telemetry.ReplayTelemetry` instruments the
+    replay half of the pipeline.
     """
     kernel = build_nn_kernel("gemm", dtype="fp16", **(shape or GEMM_SHAPE))
     machine = kernel.machine()
@@ -55,7 +58,7 @@ def run_gemm_pipeline(shape=None):
     machine.reset_requests()
     started = time.perf_counter()
     kernel.execute(machine)
-    result = machine.replay()
+    result = machine.replay(telemetry=telemetry)
     elapsed = time.perf_counter() - started
     assert kernel.check(machine), "bank state diverged from binary16"
     return result.n_pim / elapsed, result
@@ -79,6 +82,42 @@ def run_trace_pipeline(spec=None):
     elapsed = time.perf_counter() - started
     assert stats.n_requests == len(requests)
     return len(program) / elapsed, len(program)
+
+
+def replay_overhead(shape=None, pairs=5):
+    """Replay-only telemetry overhead on one accumulated GEMM stream.
+
+    Executes the kernel once, then alternates uninstrumented and
+    instrumented replays of the identical request stream so the
+    overhead ratio isolates the recorder cost from the (much larger,
+    telemetry-free) functional-execution half of the pipeline.
+    Returns ``(on_rate, overhead_pct, telemetry)``.
+    """
+    from repro.telemetry import ReplayTelemetry
+
+    kernel = build_nn_kernel("gemm", dtype="fp16", **(shape or GEMM_SHAPE))
+    machine = kernel.machine()
+    kernel.setup(machine)
+    machine.reset_requests()
+    kernel.execute(machine)
+    machine.replay()  # warm-up: first replay pays cold-start costs
+    off, on = [], []
+    for _ in range(pairs):
+        started = time.perf_counter()
+        result = machine.replay()
+        off.append(result.n_pim / (time.perf_counter() - started))
+        telemetry = ReplayTelemetry()
+        started = time.perf_counter()
+        result = machine.replay(telemetry=telemetry)
+        on.append(
+            (result.n_pim / (time.perf_counter() - started), telemetry)
+        )
+    on_rate, telemetry = max(on, key=lambda r: r[0])
+    # median of the per-pair ratios: each pair shares its moment's
+    # machine conditions, and the median rejects GC/scheduler outliers
+    ratios = sorted(o / r for o, (r, _) in zip(off, on))
+    overhead_pct = 100 * (ratios[len(ratios) // 2] - 1)
+    return on_rate, overhead_pct, telemetry
 
 
 def kernel_speedups():
@@ -154,6 +193,9 @@ def main(argv=None) -> int:
     commands_rate, result = max(
         (run_gemm_pipeline() for _ in range(3)), key=lambda r: r[0]
     )
+    telemetry_rate, telemetry_overhead_pct, telemetry = replay_overhead()
+    # percentile assembly is deliberately outside the timed region
+    percentiles = telemetry.percentiles()
     trace_rate, trace_records = max(
         (run_trace_pipeline() for _ in range(3)), key=lambda r: r[0]
     )
@@ -163,18 +205,23 @@ def main(argv=None) -> int:
         "benchmark": "nn_transformer_throughput",
         "gemm_shape": GEMM_SHAPE,
         "fp16_commands_per_sec": round(commands_rate),
+        "telemetry_commands_per_sec": round(telemetry_rate),
+        "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
+        "latency_percentiles": percentiles,
         "gemm_requests": result.n_requests,
         "trace_records": trace_records,
         "trace_records_per_sec": round(trace_rate),
         "kernel_speedups": speedups,
         "floor_commands_per_sec": MIN_COMMANDS_PER_SEC,
         "floor_trace_records_per_sec": MIN_TRACE_RECORDS_PER_SEC,
+        "floor_telemetry_overhead_pct": MAX_TELEMETRY_OVERHEAD_PCT,
         "passed": bool(
             commands_rate >= MIN_COMMANDS_PER_SEC
             and trace_rate >= MIN_TRACE_RECORDS_PER_SEC
             and by_name["gemm (gemv-shaped)"] >= MIN_GEMV_SPEEDUP
             and any(s > 1.0 for s in by_name.values())
             and any(s < 1.0 for s in by_name.values())
+            and telemetry_overhead_pct < MAX_TELEMETRY_OVERHEAD_PCT
         ),
     }
     print(json.dumps(record, indent=2))

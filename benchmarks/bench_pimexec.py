@@ -28,12 +28,14 @@ N_VALUES = 262_144
 #: Acceptance floors.
 MIN_COMMANDS_PER_SEC = 2_000
 MIN_VECTOR_SUM_SPEEDUP = 1.5
+MAX_TELEMETRY_OVERHEAD_PCT = 5.0
 
 
-def run_pipeline(n=N_VALUES):
+def run_pipeline(n=N_VALUES, telemetry=None):
     """Time execute+replay of a ``vector-sum`` kernel of ``n`` values.
 
-    Returns ``(commands_per_sec, values_per_sec, result)``.
+    Returns ``(commands_per_sec, values_per_sec, result)``; an optional
+    :class:`repro.telemetry.ReplayTelemetry` instruments the replay.
     """
     kernel = build_kernel("vector-sum", n=n)
     machine = PimExecMachine(kernel.config)
@@ -41,10 +43,46 @@ def run_pipeline(n=N_VALUES):
     machine.reset_requests()
     started = time.perf_counter()
     kernel.execute(machine)
-    result = machine.replay()
+    result = machine.replay(telemetry=telemetry)
     elapsed = time.perf_counter() - started
     assert kernel.check(machine), "bank state diverged from NumPy"
     return result.n_pim / elapsed, n / elapsed, result
+
+
+def replay_overhead(n=N_VALUES, pairs=5):
+    """Replay-only telemetry overhead on one accumulated stream.
+
+    Executes the kernel once, then alternates uninstrumented and
+    instrumented replays of the identical request stream so the
+    overhead ratio isolates the recorder cost from the (much larger,
+    telemetry-free) functional-execution half of the pipeline.
+    Returns ``(on_rate, overhead_pct, telemetry)``.
+    """
+    from repro.telemetry import ReplayTelemetry
+
+    kernel = build_kernel("vector-sum", n=n)
+    machine = PimExecMachine(kernel.config)
+    kernel.setup(machine)
+    machine.reset_requests()
+    kernel.execute(machine)
+    machine.replay()  # warm-up: first replay pays cold-start costs
+    off, on = [], []
+    for _ in range(pairs):
+        started = time.perf_counter()
+        result = machine.replay()
+        off.append(result.n_pim / (time.perf_counter() - started))
+        telemetry = ReplayTelemetry()
+        started = time.perf_counter()
+        result = machine.replay(telemetry=telemetry)
+        on.append(
+            (result.n_pim / (time.perf_counter() - started), telemetry)
+        )
+    on_rate, telemetry = max(on, key=lambda r: r[0])
+    # median of the per-pair ratios: each pair shares its moment's
+    # machine conditions, and the median rejects GC/scheduler outliers
+    ratios = sorted(o / r for o, (r, _) in zip(off, on))
+    overhead_pct = 100 * (ratios[len(ratios) // 2] - 1)
+    return on_rate, overhead_pct, telemetry
 
 
 def kernel_speedups(n=8_192):
@@ -100,18 +138,26 @@ def main(argv=None) -> int:
     commands_rate, values_rate, result = max(
         (run_pipeline() for _ in range(3)), key=lambda r: r[0]
     )
+    telemetry_rate, telemetry_overhead_pct, telemetry = replay_overhead()
+    # percentile assembly is deliberately outside the timed region
+    percentiles = telemetry.percentiles()
     speedups = kernel_speedups()
     record = {
         "benchmark": "pimexec_pipeline_throughput",
         "vector_sum_values": N_VALUES,
         "all_bank_commands_per_sec": round(commands_rate),
+        "telemetry_commands_per_sec": round(telemetry_rate),
+        "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
+        "latency_percentiles": percentiles,
         "values_per_sec": round(values_rate),
         "replay_engine": result.engine,
         "kernel_speedups": speedups,
         "floor_commands_per_sec": MIN_COMMANDS_PER_SEC,
+        "floor_telemetry_overhead_pct": MAX_TELEMETRY_OVERHEAD_PCT,
         "passed": bool(
             commands_rate >= MIN_COMMANDS_PER_SEC
             and sum(r["speedup"] > 1.0 for r in speedups) >= 2
+            and telemetry_overhead_pct < MAX_TELEMETRY_OVERHEAD_PCT
         ),
     }
     print(json.dumps(record, indent=2))

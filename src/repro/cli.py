@@ -26,7 +26,11 @@ Commands
     program dialect.
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
-``--out DIR`` (write CSV tables + reports per experiment).
+``--out DIR`` (write CSV tables + reports per experiment).  The replay
+verbs (``replay``/``pimexec``/``nn``) accept ``--metrics FILE`` (a
+``repro.telemetry/v1`` metrics snapshot with exact latency percentiles)
+and ``--timeline FILE`` (a Chrome-trace-event command timeline viewable
+in Perfetto); see ``docs/observability.md``.
 
 Examples
 --------
@@ -48,6 +52,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import typing as _t
@@ -149,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "default) or staggered per-bank refresh the scheduler works "
         "around (per-bank)",
     )
+    _add_telemetry_flags(replay_p)
 
     pimexec_p = sub.add_parser(
         "pimexec",
@@ -178,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     pimexec_p.add_argument(
         "--seed", type=int, default=0, help="kernel data RNG seed"
     )
+    _add_telemetry_flags(pimexec_p)
 
     nn_p = sub.add_parser(
         "nn",
@@ -239,7 +246,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--interarrival-ns", type=float, default=4.0, metavar="NS",
         help="mean issue interarrival of the trace (default: 4)",
     )
+    _add_telemetry_flags(nn_p)
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """``--metrics`` / ``--timeline`` shared by the replay verbs."""
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, default=None, metavar="FILE",
+        help="write a repro.telemetry/v1 metrics snapshot (counters, "
+        "gauges, exact latency percentiles) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--timeline", type=pathlib.Path, default=None, metavar="FILE",
+        help="write a Chrome-trace-event command timeline (per-bank "
+        "busy spans, row open/close, refresh blackouts) to FILE — "
+        "open it in Perfetto / chrome://tracing",
+    )
+
+
+def _make_telemetry(args: argparse.Namespace) -> _t.Optional[_t.Any]:
+    """A :class:`~repro.telemetry.ReplayTelemetry` if any flag asks."""
+    if args.metrics is None and args.timeline is None:
+        return None
+    from .telemetry import ReplayTelemetry
+
+    return ReplayTelemetry()
+
+
+def _write_telemetry(
+    args: argparse.Namespace,
+    telemetry: _t.Optional[_t.Any],
+    registry: _t.Optional[_t.Any] = None,
+    **tags: _t.Any,
+) -> None:
+    """Write the requested ``--metrics`` / ``--timeline`` files."""
+    if telemetry is None:
+        return
+    if args.metrics is not None:
+        from .telemetry import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry(source="repro-pim")
+        telemetry.metrics_into(registry, **tags)
+        registry.write(args.metrics)
+        print(f"metrics:  wrote {args.metrics} ({len(registry)} entries)")
+    if args.timeline is not None:
+        from .telemetry import build_timeline
+
+        document = build_timeline(telemetry)
+        args.timeline.parent.mkdir(parents=True, exist_ok=True)
+        args.timeline.write_text(json.dumps(document) + "\n")
+        print(
+            f"timeline: wrote {args.timeline} "
+            f"({len(document['traceEvents'])} events)"
+        )
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -272,8 +333,9 @@ def _replay_command(args: argparse.Namespace) -> int:
             print(f"empty trace: {args.trace}", file=sys.stderr)
             return 2
         system = MemorySystem(config)
+        telemetry = _make_telemetry(args)
         started = time.perf_counter()
-        stats = system.replay(trace, engine=args.engine)
+        stats = system.replay(trace, engine=args.engine, telemetry=telemetry)
         elapsed = time.perf_counter() - started
     except (ValueError, RuntimeError) as error:
         print(f"replay failed: {error}", file=sys.stderr)
@@ -286,6 +348,25 @@ def _replay_command(args: argparse.Namespace) -> int:
     )
     for key, value in stats.summary().items():
         print(f"{key:22s} {value:.6g}")
+    if telemetry is not None:
+        registry = None
+        if args.metrics is not None:
+            from .telemetry import MetricsRegistry, memsys_metrics
+
+            registry = MetricsRegistry(
+                source=f"repro-pim replay {args.trace}"
+            )
+            memsys_metrics(
+                registry=registry,
+                stats=stats,
+                system=system,
+                scheme=args.scheme,
+                policy=args.policy,
+            )
+        _write_telemetry(
+            args, telemetry, registry,
+            scheme=args.scheme, policy=args.policy,
+        )
     return 0
 
 
@@ -307,7 +388,10 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             program = parse_pim_program(args.trace)
             machine = PimExecMachine()
             program.execute(machine)
-            result = machine.replay(engine=args.engine)
+            telemetry = _make_telemetry(args)
+            result = machine.replay(
+                engine=args.engine, telemetry=telemetry
+            )
         except (ValueError, RuntimeError) as error:
             print(f"pimexec replay failed: {error}", file=sys.stderr)
             return 2
@@ -320,6 +404,16 @@ def _pimexec_command(args: argparse.Namespace) -> int:
         )
         print(f"engine:   {result.engine}")
         print(f"makespan: {result.makespan_ns:.1f} ns")
+        if telemetry is not None:
+            registry = None
+            if args.metrics is not None:
+                from .telemetry import MetricsRegistry, pimexec_metrics
+
+                registry = MetricsRegistry(
+                    source=f"repro-pim pimexec --trace {args.trace}"
+                )
+                pimexec_metrics(result, registry, machine=machine)
+            _write_telemetry(args, telemetry, registry)
         return 0
 
     names = (
@@ -330,6 +424,13 @@ def _pimexec_command(args: argparse.Namespace) -> int:
         print(
             f"unknown kernel(s): {', '.join(unknown)}\n"
             f"available: {', '.join(KERNEL_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.metrics or args.timeline) and len(names) != 1:
+        print(
+            "--metrics/--timeline instrument one replay: pick a "
+            "single kernel with --kernel NAME",
             file=sys.stderr,
         )
         return 2
@@ -347,7 +448,10 @@ def _pimexec_command(args: argparse.Namespace) -> int:
         )
         try:
             kernel = build_kernel(name, seed=args.seed, **kwargs)
-            comparison = compare_host_pim(kernel, engine=args.engine)
+            telemetry = _make_telemetry(args)
+            comparison = compare_host_pim(
+                kernel, engine=args.engine, telemetry=telemetry
+            )
         except (ValueError, RuntimeError) as error:
             print(f"pimexec {name} failed: {error}", file=sys.stderr)
             return 2
@@ -357,6 +461,21 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             f"{comparison.speedup:8.2f} "
             f"{'yes' if comparison.correct else 'NO':>8s}"
         )
+        if telemetry is not None:
+            registry = None
+            if args.metrics is not None:
+                from .telemetry import MetricsRegistry, pimexec_metrics
+
+                registry = MetricsRegistry(
+                    source=f"repro-pim pimexec --kernel {name}"
+                )
+                pimexec_metrics(
+                    comparison.pim,
+                    registry,
+                    machine=comparison.machine,
+                    kernel=name,
+                )
+            _write_telemetry(args, telemetry, registry, kernel=name)
         if not comparison.correct:
             failures.append(name)
     if failures:
@@ -380,6 +499,13 @@ def _nn_command(args: argparse.Namespace) -> int:
     )
 
     if args.emit_trace is not None:
+        if args.metrics is not None or args.timeline is not None:
+            print(
+                "--metrics/--timeline instrument a replay; they do "
+                "not apply to --emit-trace",
+                file=sys.stderr,
+            )
+            return 2
         try:
             spec = TransformerLayerSpec(
                 d_model=args.d_model,
@@ -423,6 +549,13 @@ def _nn_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.metrics or args.timeline) and len(names) != 1:
+        print(
+            "--metrics/--timeline instrument one replay: pick a "
+            "single kernel with --kernel NAME",
+            file=sys.stderr,
+        )
+        return 2
     mode = "bank-group" if args.bank_groups else "per-bank"
     print(f"dtype={args.dtype} mode={mode}")
     print(
@@ -438,7 +571,10 @@ def _nn_command(args: argparse.Namespace) -> int:
                 bank_groups=args.bank_groups,
                 seed=args.seed,
             )
-            comparison = run_nn_kernel(kernel, engine=args.engine)
+            telemetry = _make_telemetry(args)
+            comparison = run_nn_kernel(
+                kernel, engine=args.engine, telemetry=telemetry
+            )
         except (ValueError, RuntimeError) as error:
             print(f"nn {name} failed: {error}", file=sys.stderr)
             return 2
@@ -448,6 +584,26 @@ def _nn_command(args: argparse.Namespace) -> int:
             f"{comparison.speedup:8.2f} "
             f"{'yes' if comparison.correct else 'NO':>10s}"
         )
+        if telemetry is not None:
+            registry = None
+            if args.metrics is not None:
+                from .telemetry import MetricsRegistry, pimexec_metrics
+
+                registry = MetricsRegistry(
+                    source=f"repro-pim nn --kernel {name}"
+                )
+                pimexec_metrics(
+                    comparison.pim,
+                    registry,
+                    machine=comparison.machine,
+                    kernel=name,
+                    dtype=args.dtype,
+                    mode=mode,
+                )
+            _write_telemetry(
+                args, telemetry, registry,
+                kernel=name, dtype=args.dtype, mode=mode,
+            )
         if not comparison.correct:
             failures.append(name)
     if failures:

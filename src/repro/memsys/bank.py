@@ -162,6 +162,30 @@ class RefreshSchedule:
                 return begin + self.trfc_ns
         return now
 
+    def blackouts(
+        self, until: float
+    ) -> _t.Iterator[_t.Tuple[float, float, _t.Optional[int]]]:
+        """Blackout windows ``(begin, end, bank)`` through ``until``.
+
+        Enumerates the deterministic refresh windows whose start falls
+        in ``(0, until]`` — the timeline exporter's refresh track.
+        Per-rank windows cover every bank at once (``bank is None``);
+        per-bank windows carry the refreshing bank's index.
+        """
+        if not until > 0 or math.isnan(until):
+            return
+        epochs = int(math.floor(until / self.trefi_ns))
+        for k in range(1, epochs + 1):
+            boundary = k * self.trefi_ns
+            if self.granularity == PER_RANK:
+                yield boundary, boundary + self.trfc_ns, None
+                continue
+            for bank in range(self.n_banks):
+                begin = boundary + bank * self.trfc_ns
+                if begin > until:
+                    break
+                yield begin, begin + self.trfc_ns, bank
+
     def all_bank_fence(self, now: float) -> float:
         """Earliest all-bank (PIM/AB) start under per-bank refresh.
 

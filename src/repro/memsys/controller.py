@@ -472,6 +472,27 @@ class ChannelController:
         total = sum(b.accesses for b in self.banks)
         return hits / total if total else float("nan")
 
+    def metrics(self, now: float) -> _t.Dict[str, float]:
+        """Collector snapshot for the telemetry registry.
+
+        Exposes the per-channel extremes the flat
+        :class:`~repro.memsys.system.MemSysStats` summary reduces away
+        — latency min/max, peak queue occupancy, busy fraction — so a
+        metrics export preserves them.  Both replay engines leave the
+        underlying collectors in the same state, so the snapshot is
+        engine-independent.
+        """
+        return {
+            "requests": float(self.completed.count),
+            "bits_delivered": float(self.bits_delivered.count),
+            "latency_min_ns": self.latency.minimum,
+            "latency_max_ns": self.latency.maximum,
+            "queue_mean": self.queue_len.time_average(now),
+            "queue_max": self.queue_len.maximum,
+            "busy_fraction": self.utilization.fraction("busy", now),
+            "row_hit_rate": self.row_hit_rate,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<ChannelController ch{self.channel_id} {self.policy} "

@@ -104,6 +104,7 @@ Differences from the event engine (both tiers):
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import math
@@ -118,10 +119,15 @@ from .request import MemRequest, OPS_BY_CODE, Op
 from .trace import PackedTrace
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry import ReplayTelemetry
     from .bank import RefreshSchedule
     from .system import MemorySystem, MemSysStats
 
 __all__ = ["replay_fast"]
+
+
+def _null_phase(name: str) -> _t.ContextManager[None]:
+    return contextlib.nullcontext()
 
 #: Outcome codes, aligned with :data:`repro.memsys.bank.OUTCOMES`.
 _HIT, _MISS, _CONFLICT = 0, 1, 2
@@ -141,6 +147,7 @@ _MAX_ARRIVAL_ITERS = 64
 def replay_fast(
     system: "MemorySystem",
     trace: _t.Union[_t.Sequence[MemRequest], PackedTrace],
+    telemetry: _t.Optional["ReplayTelemetry"] = None,
 ) -> "MemSysStats":
     """Replay ``trace`` through ``system`` without scheduling events.
 
@@ -151,73 +158,99 @@ def replay_fast(
     engine would leave behind, advances the simulator clock to the
     replay makespan, and reduces statistics through the shared
     :meth:`MemorySystem.gather_stats`.
-    """
-    if isinstance(trace, PackedTrace):
-        requests: _t.Optional[_t.List[MemRequest]] = None
-        op_codes = trace.op_codes.astype(np.int64)
-        addrs = trace.addrs
-        times = trace.times
-    else:
-        requests = list(trace)
-        n = len(requests)
-        op_codes = np.fromiter(
-            (r.op.code for r in requests), dtype=np.int64, count=n
-        )
-        addrs = np.fromiter(
-            (r.addr for r in requests), dtype=np.int64, count=n
-        )
-        # uniform presence was validated by MemorySystem.replay
-        if requests and requests[0].timestamp is not None:
-            times = np.fromiter(
-                (r.timestamp for r in requests),
-                dtype=np.float64,
-                count=n,
-            )
-        else:
-            times = None
-    fields = system.addr_map.decode_fields(addrs)
-    config = system.config
-    n_banks = config.banks_per_channel
-    flat_bank = (
-        fields["bankgroup"] * config.banks_per_group + fields["bank"]
-    ) % n_banks
 
-    if bool(np.any(op_codes == _AB_CODE)):
-        # register-broadcast traffic (mixed host/PIM command streams):
-        # always the exact tier, which drives the controller's _serve
-        plan = None
-    else:
-        plan = _vector_plan(
-            system,
-            op_codes,
-            fields["channel"],
-            flat_bank,
-            fields["row"],
-            times,
-        )
-    if plan is not None:
-        makespan = _commit_vector_plan(system, plan)
-        system.last_replay_engine = "fast-vectorized"
-        if requests is not None:
-            _write_back(requests, fields, plan)
-    else:
-        if requests is None:
-            time_list: _t.Iterable[_t.Optional[float]] = (
-                times.tolist()
-                if times is not None
-                else itertools.repeat(None)
+    With ``telemetry`` attached, its profiler times the four phases
+    (``decode`` / ``certificate`` / ``tier-execute`` /
+    ``stats-gather``) and its latency recorder adopts the per-request
+    times — by reference (the vectorized plan arrays, or the exact
+    tier's request list), so capture costs nothing while the clock is
+    running and never perturbs the replay arithmetic.
+    """
+    recorder = telemetry.recorder if telemetry is not None else None
+    phase = (
+        telemetry.profiler.phase
+        if telemetry is not None and telemetry.profiler is not None
+        else _null_phase
+    )
+    with phase("decode"):
+        if isinstance(trace, PackedTrace):
+            requests: _t.Optional[_t.List[MemRequest]] = None
+            op_codes = trace.op_codes.astype(np.int64)
+            addrs = trace.addrs
+            times = trace.times
+        else:
+            requests = list(trace)
+            n = len(requests)
+            op_codes = np.fromiter(
+                (r.op.code for r in requests), dtype=np.int64, count=n
             )
-            requests = [
-                MemRequest(OPS_BY_CODE[code], addr, when)
-                for code, addr, when in zip(
-                    op_codes.tolist(), addrs.tolist(), time_list
+            addrs = np.fromiter(
+                (r.addr for r in requests), dtype=np.int64, count=n
+            )
+            # uniform presence was validated by MemorySystem.replay
+            if requests and requests[0].timestamp is not None:
+                times = np.fromiter(
+                    (r.timestamp for r in requests),
+                    dtype=np.float64,
+                    count=n,
                 )
-            ]
-        _assign_coords(requests, fields)
-        makespan = _replay_exact(system, requests, fields["channel"])
-        system.last_replay_engine = "fast-exact"
+            else:
+                times = None
+        fields = system.addr_map.decode_fields(addrs)
+        config = system.config
+        n_banks = config.banks_per_channel
+        flat_bank = (
+            fields["bankgroup"] * config.banks_per_group + fields["bank"]
+        ) % n_banks
+
+    with phase("certificate"):
+        if bool(np.any(op_codes == _AB_CODE)):
+            # register-broadcast traffic (mixed host/PIM command
+            # streams): always the exact tier, which drives the
+            # controller's _serve
+            plan = None
+        else:
+            plan = _vector_plan(
+                system,
+                op_codes,
+                fields["channel"],
+                flat_bank,
+                fields["row"],
+                times,
+            )
+    if plan is not None:
+        with phase("tier-execute"):
+            makespan = _commit_vector_plan(system, plan)
+            system.last_replay_engine = "fast-vectorized"
+            if requests is not None:
+                _write_back(requests, fields, plan)
+        if recorder is not None:
+            recorder._capture_plan(
+                op_codes, fields["channel"], fields["row"],
+                flat_bank, plan,
+            )
+    else:
+        with phase("tier-execute"):
+            if requests is None:
+                time_list: _t.Iterable[_t.Optional[float]] = (
+                    times.tolist()
+                    if times is not None
+                    else itertools.repeat(None)
+                )
+                requests = [
+                    MemRequest(OPS_BY_CODE[code], addr, when)
+                    for code, addr, when in zip(
+                        op_codes.tolist(), addrs.tolist(), time_list
+                    )
+                ]
+            _assign_coords(requests, fields)
+            makespan = _replay_exact(system, requests, fields["channel"])
+            system.last_replay_engine = "fast-exact"
+        if recorder is not None:
+            recorder._capture_requests(requests)
     system.sim._now = makespan
-    return system.gather_stats()
+    with phase("stats-gather"):
+        return system.gather_stats()
 
 
 # ----------------------------------------------------------------------

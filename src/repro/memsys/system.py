@@ -30,6 +30,9 @@ from .controller import FRFCFS, POLICIES, ChannelController
 from .request import MemRequest, Op
 from .trace import PackedTrace
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry import ReplayTelemetry
+
 __all__ = ["ENGINES", "MemSysConfig", "MemSysStats", "MemorySystem"]
 
 #: Replay engine names accepted by :meth:`MemorySystem.replay`.
@@ -318,6 +321,7 @@ class MemorySystem:
         self,
         requests: _t.Union[_t.Sequence[MemRequest], PackedTrace],
         engine: str = "auto",
+        telemetry: _t.Optional["ReplayTelemetry"] = None,
     ) -> MemSysStats:
         """Replay ``requests``; run to completion.
 
@@ -351,6 +355,13 @@ class MemorySystem:
               untouched (``sim.now == 0``); the event engine otherwise
               (a shared or already-advanced clock, or an attached
               tracer, implies the caller wants the event calendar).
+        telemetry:
+            Optional :class:`~repro.telemetry.ReplayTelemetry`.  When
+            attached, its latency recorder adopts the per-request
+            arrival/start/finish times (bit-identical across engines)
+            and its profiler times the replay phases; afterwards the
+            telemetry holds the stats, engine, and config needed for
+            metrics/timeline export.  Off by default and free when off.
         """
         if engine not in ENGINES:
             raise ValueError(
@@ -385,20 +396,41 @@ class MemorySystem:
                     "engine='event' on an already-advanced simulator"
                 )
             self._replayed = True
-            return replay_fast(self, requests)
+            stats = replay_fast(self, requests, telemetry)
+            if telemetry is not None:
+                telemetry._finish(self, stats)
+            return stats
         self._replayed = True
 
+        profiler = telemetry.profiler if telemetry is not None else None
         if isinstance(requests, PackedTrace):
-            requests = requests.to_requests()
+            if profiler is not None:
+                with profiler.phase("decode"):
+                    requests = requests.to_requests()
+            else:
+                requests = requests.to_requests()
         self.last_replay_engine = "event"
         self.sim.process(self._injector(requests), name="memsys.injector")
-        self.sim.run()
+        if profiler is not None:
+            with profiler.phase("tier-execute"):
+                self.sim.run()
+        else:
+            self.sim.run()
         unfinished = [r for r in requests if math.isnan(r.finish)]
         if unfinished:  # pragma: no cover - defensive
             raise RuntimeError(
                 f"{len(unfinished)} request(s) never completed"
             )
-        return self.gather_stats()
+        if telemetry is not None and telemetry.recorder is not None:
+            telemetry.recorder._capture_requests(requests)
+        if profiler is not None:
+            with profiler.phase("stats-gather"):
+                stats = self.gather_stats()
+        else:
+            stats = self.gather_stats()
+        if telemetry is not None:
+            telemetry._finish(self, stats)
+        return stats
 
     @staticmethod
     def _validate_timestamps(requests: _t.Sequence[MemRequest]) -> None:

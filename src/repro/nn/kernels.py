@@ -197,6 +197,8 @@ class NnComparison:
     expected: np.ndarray
     pim: _t.Any
     host: MemSysStats
+    #: The executed machine (sequencer counters for telemetry).
+    machine: _t.Optional[PimExecMachine] = None
 
     @property
     def speedup(self) -> float:
@@ -217,19 +219,28 @@ class NnComparison:
         }
 
 
-def run_nn_kernel(kernel: NnKernel, engine: str = "auto") -> NnComparison:
+def run_nn_kernel(
+    kernel: NnKernel,
+    engine: str = "auto",
+    telemetry: _t.Optional[_t.Any] = None,
+) -> NnComparison:
     """Execute ``kernel`` in PIM mode and replay its host-only twin.
 
     Data staging is untimed (both systems start with operands
     resident); the timed PIM stream covers microcode downloads,
     broadcasts, all-bank steps, host passes over intermediates, and
     result readback.
+
+    ``telemetry`` (a :class:`~repro.telemetry.ReplayTelemetry`)
+    instruments the *PIM-mode* replay — the host-only twin runs
+    uninstrumented, so the recorded latencies describe the kernel's
+    actual command stream.
     """
     machine = kernel.machine()
     kernel.setup(machine)
     machine.reset_requests()
     kernel.execute(machine)
-    pim = machine.replay(engine=engine)
+    pim = machine.replay(engine=engine, telemetry=telemetry)
     host = MemorySystem(kernel.config).replay(
         kernel.host_trace(), engine=engine
     )
@@ -242,6 +253,7 @@ def run_nn_kernel(kernel: NnKernel, engine: str = "auto") -> NnComparison:
         expected=kernel.expected,
         pim=pim,
         host=host,
+        machine=machine,
     )
 
 

@@ -86,6 +86,9 @@ class KernelComparison:
     expected: float
     pim: PimExecResult
     host: MemSysStats
+    #: The machine that executed the PIM stream (sequencer counters
+    #: for telemetry); ``None`` only for hand-built comparisons.
+    machine: _t.Optional[PimExecMachine] = None
 
     @property
     def speedup(self) -> float:
@@ -541,19 +544,24 @@ def build_kernel(
 
 
 def compare_host_pim(
-    kernel: PimKernel, engine: str = "auto"
+    kernel: PimKernel,
+    engine: str = "auto",
+    telemetry: _t.Optional[_t.Any] = None,
 ) -> KernelComparison:
     """Execute ``kernel`` in PIM mode and replay its host-only twin.
 
     The data-staging phase is untimed (both systems start with data
     resident); the timed PIM stream covers kernel download, broadcasts,
-    all-bank execution, and result readback.
+    all-bank execution, and result readback.  ``telemetry`` (a
+    :class:`~repro.telemetry.ReplayTelemetry`) instruments the **PIM**
+    replay — the stream whose AB barriers and queueing the timeline
+    renders; the host-only twin replays uninstrumented.
     """
     machine = PimExecMachine(kernel.config)
     kernel.setup(machine)
     machine.reset_requests()
     kernel.execute(machine)
-    pim = machine.replay(engine=engine)
+    pim = machine.replay(engine=engine, telemetry=telemetry)
     host = MemorySystem(kernel.config).replay(
         kernel.host_trace(), engine=engine
     )
@@ -564,4 +572,5 @@ def compare_host_pim(
         expected=kernel.expected,
         pim=pim,
         host=host,
+        machine=machine,
     )

@@ -64,6 +64,9 @@ from .commands import GRF_REGS, PimCommand, PimExecError, SRF_REGS
 from .regfile import BankExecUnit, DTYPES
 from .sequencer import CommandSequencer
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .. import telemetry as _te
+
 __all__ = ["PimExecMachine", "PimExecResult", "page_encoder"]
 
 #: Hardware lane width in bits: HBM-PIM computes on 16-bit words.
@@ -446,15 +449,25 @@ class PimExecMachine:
         """Drop the accumulated request stream (e.g. after data load)."""
         self.requests = []
 
-    def replay(self, engine: str = "auto") -> PimExecResult:
-        """Replay the accumulated stream through a fresh MemorySystem."""
+    def replay(
+        self,
+        engine: str = "auto",
+        telemetry: _t.Optional["_te.ReplayTelemetry"] = None,
+    ) -> PimExecResult:
+        """Replay the accumulated stream through a fresh MemorySystem.
+
+        ``telemetry`` is threaded through to
+        :meth:`~repro.memsys.MemorySystem.replay`, so per-request
+        latency recording and phase profiling cover the AB-barrier
+        stream exactly as they cover plain traces.
+        """
         if not self.requests:
             raise PimExecError("no requests accumulated to replay")
         requests = [
             MemRequest(r.op, r.addr, r.timestamp) for r in self.requests
         ]
         system = MemorySystem(self.config)
-        stats = system.replay(requests, engine=engine)
+        stats = system.replay(requests, engine=engine, telemetry=telemetry)
         ops = [r.op for r in requests]
         return PimExecResult(
             stats=stats,
@@ -464,6 +477,11 @@ class PimExecMachine:
             n_broadcast=sum(op is Op.AB for op in ops),
             n_host=sum(op in (Op.READ, Op.WRITE) for op in ops),
         )
+
+    def sequencer_stats(self) -> _t.List[_t.Dict[str, int]]:
+        """Per-channel sequencer counters (see
+        :meth:`CommandSequencer.stats`), in channel order."""
+        return [sequencer.stats() for sequencer in self.sequencers]
 
     def __repr__(self) -> str:
         mode = "bank-group" if self.bank_groups else "per-bank"

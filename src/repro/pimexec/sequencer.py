@@ -55,6 +55,10 @@ class CommandSequencer:
         self.crf_size = crf_size
         self.max_steps = max_steps
         self.crf: _t.List[PimCommand] = []
+        #: Cumulative telemetry counters (see :meth:`stats`).
+        self.kernels_loaded = 0
+        self.instructions = 0
+        self.control_steps = 0
 
     # ------------------------------------------------------------------
     def load(self, commands: _t.Iterable[PimCommand]) -> None:
@@ -84,6 +88,7 @@ class CommandSequencer:
                     f"outside the {len(program)}-command kernel"
                 )
         self.crf = program
+        self.kernels_loaded += 1
 
     # ------------------------------------------------------------------
     def run(
@@ -116,8 +121,10 @@ class CommandSequencer:
                 )
             command = self.crf[pc]
             if command.opcode is PimOpcode.EXIT:
+                self.control_steps += 1
                 return
             if command.opcode is PimOpcode.JUMP:
+                self.control_steps += 1
                 left = remaining.get(pc, command.count)
                 if left > 0:
                     remaining[pc] = left - 1
@@ -140,8 +147,24 @@ class CommandSequencer:
                         f"column walk exhausted at dynamic step {steps} "
                         f"({command})"
                     ) from None
+            self.instructions += 1
             yield command, row, col
             pc += 1
+
+    def stats(self) -> _t.Dict[str, int]:
+        """Cumulative dynamic-execution counters for telemetry.
+
+        ``instructions`` counts dynamic non-control instructions
+        yielded (each one an all-bank column access in the replayed
+        stream), ``control_steps`` the sequencer-internal ``JUMP`` /
+        ``EXIT`` evaluations that consume no access, and
+        ``kernels_loaded`` successful CRF downloads.
+        """
+        return {
+            "kernels_loaded": self.kernels_loaded,
+            "instructions": self.instructions,
+            "control_steps": self.control_steps,
+        }
 
     def __repr__(self) -> str:
         return (

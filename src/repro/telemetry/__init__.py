@@ -1,0 +1,55 @@
+"""repro.telemetry — observability for the replay engines.
+
+An off-by-default, bit-exactness-preserving layer over the memory
+system, the PIM machine, and the transformer-kernel workloads:
+
+* :class:`LatencyRecorder` / :class:`ReplayTelemetry` — per-request
+  arrival/start/finish arrays with exact p50/p95/p99/max queue-wait and
+  service-time percentiles, bit-identical across both replay engines
+  (:mod:`repro.telemetry.latency`);
+* :class:`MetricsRegistry` — the unified counters + gauges +
+  histograms snapshot schema every subsystem emits through
+  (:mod:`repro.telemetry.registry`);
+* :func:`build_timeline` / :func:`write_timeline` — Chrome-trace-event
+  export of per-bank busy spans, row open/close, refresh blackouts, and
+  AB barriers for Perfetto (:mod:`repro.telemetry.timeline`);
+* :class:`PhaseProfiler` — coarse per-phase wall-clock timers inside
+  the replay engines (:mod:`repro.telemetry.profile`).
+
+See ``docs/observability.md`` for the schema reference and usage.
+"""
+
+from .latency import ALL_BANKS, OUTCOME_NAMES, LatencyRecorder, ReplayTelemetry
+from .profile import PhaseProfiler
+from .registry import (
+    SCHEMA,
+    MetricsRegistry,
+    exact_percentile,
+    latency_summary,
+    memsys_metrics,
+    pimexec_metrics,
+)
+from .timeline import (
+    TIMELINE_SCHEMA,
+    build_timeline,
+    validate_timeline,
+    write_timeline,
+)
+
+__all__ = [
+    "ALL_BANKS",
+    "OUTCOME_NAMES",
+    "LatencyRecorder",
+    "ReplayTelemetry",
+    "PhaseProfiler",
+    "SCHEMA",
+    "MetricsRegistry",
+    "exact_percentile",
+    "latency_summary",
+    "memsys_metrics",
+    "pimexec_metrics",
+    "TIMELINE_SCHEMA",
+    "build_timeline",
+    "validate_timeline",
+    "write_timeline",
+]

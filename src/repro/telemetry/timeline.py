@@ -1,0 +1,356 @@
+"""Command-timeline export in the Chrome trace-event format.
+
+Converts one recorded replay into a JSON document that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` open directly:
+every memory channel becomes a *process*, and each channel carries one
+*thread* track per bank (service spans), an ``all-banks`` track
+(lockstep PIM row ops and AB register-broadcast barriers), a ``queue``
+track (per-request admission-to-service waits), a ``refresh`` track
+(deterministic tREFI/tRFC blackout windows), and one ``rows.*`` track
+per bank showing which row the bank held open over time.  The AB
+barrier spans make the FR-FCFS serialization that caps pimexec
+throughput directly visible — the bottleneck the ROADMAP describes.
+
+All spans are *complete events* (``ph == "X"``): simulated nanoseconds
+map to trace microseconds (``ts = ns / 1000``) with
+``displayTimeUnit: "ns"`` so viewers display the original resolution.
+``repro-pim replay --timeline out.json`` (and the ``pimexec`` / ``nn``
+verbs) write this document; :func:`validate_timeline` is the schema
+check the test suite runs against every export path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+
+import numpy as np
+
+from .latency import ALL_BANKS, OUTCOME_NAMES
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .latency import ReplayTelemetry
+
+__all__ = [
+    "TIMELINE_SCHEMA",
+    "build_timeline",
+    "validate_timeline",
+    "write_timeline",
+]
+
+#: Schema identifier recorded in the document's ``otherData``.
+TIMELINE_SCHEMA = "repro.telemetry/timeline-v1"
+
+#: Default cap on emitted span events (metadata excluded): a full
+#: bank/queue/row rendering of a million-request trace would dwarf what
+#: trace viewers load comfortably.  Spans are kept earliest-first and
+#: the number dropped is recorded in ``otherData.truncated_events``.
+MAX_EVENTS = 200_000
+
+_BROADCAST = OUTCOME_NAMES.index("broadcast")
+
+
+def _thread_layout(n_banks: int) -> _t.Dict[str, _t.Any]:
+    """tid assignment for one channel's tracks."""
+    return {
+        "banks": list(range(n_banks)),
+        "all_banks": n_banks,
+        "queue": n_banks + 1,
+        "refresh": n_banks + 2,
+        "rows": [n_banks + 3 + b for b in range(n_banks)],
+        "rows_all_banks": 2 * n_banks + 3,
+    }
+
+
+def _metadata_events(
+    channels: _t.Iterable[int], n_banks: int
+) -> _t.List[dict]:
+    layout = _thread_layout(n_banks)
+    events = []
+    for ch in channels:
+        events.append(
+            {
+                "ph": "M", "pid": ch, "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"channel {ch}"},
+            }
+        )
+        names: _t.List[_t.Tuple[int, str]] = [
+            (tid, f"bank {b}") for b, tid in enumerate(layout["banks"])
+        ]
+        names.append((layout["all_banks"], "all-banks"))
+        names.append((layout["queue"], "queue"))
+        names.append((layout["refresh"], "refresh"))
+        names.extend(
+            (tid, f"rows.b{b}")
+            for b, tid in enumerate(layout["rows"])
+        )
+        names.append((layout["rows_all_banks"], "rows.all-banks"))
+        for tid, name in names:
+            events.append(
+                {
+                    "ph": "M", "pid": ch, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": name},
+                }
+            )
+    return events
+
+
+def _span(
+    name: str,
+    cat: str,
+    pid: int,
+    tid: int,
+    start_ns: float,
+    end_ns: float,
+    args: _t.Optional[dict] = None,
+) -> dict:
+    event = {
+        "ph": "X",
+        "name": name,
+        "cat": cat,
+        "pid": pid,
+        "tid": tid,
+        "ts": start_ns / 1000.0,
+        "dur": max(0.0, end_ns - start_ns) / 1000.0,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def build_timeline(
+    telemetry: "ReplayTelemetry", max_events: int = MAX_EVENTS
+) -> dict:
+    """Build the Chrome-trace document from one recorded replay."""
+    recorder = telemetry.recorder
+    if recorder is None or not recorder.captured:
+        raise RuntimeError(
+            "timeline export needs a captured replay: pass "
+            "ReplayTelemetry(latency=True) to replay(..., telemetry=...)"
+        )
+    config = telemetry.config
+    if config is None:
+        raise RuntimeError(
+            "timeline export needs a finished replay (no config "
+            "recorded yet)"
+        )
+    from ..memsys.request import OPS_BY_CODE, Op
+
+    n_banks = config.banks_per_channel
+    layout = _thread_layout(n_banks)
+    makespan = telemetry.makespan_ns
+
+    arrival = recorder.arrival
+    start = recorder.start_service
+    finish = recorder.finish
+    channel = recorder.channel
+    bank = recorder.bank
+    row = recorder.row
+    op = recorder.op_code
+    outcome = recorder.outcome_code
+    n = arrival.shape[0]
+
+    ab_code = Op.AB.code
+    pim_code = Op.PIM.code
+    spans: _t.List[dict] = []
+
+    # --- service spans (one per request, on its bank track) -----------
+    for i in range(n):
+        ch = int(channel[i])
+        b = int(bank[i])
+        code = int(op[i])
+        out = int(outcome[i])
+        if code == ab_code:
+            name, cat, tid = "AB barrier", "barrier", layout["all_banks"]
+        elif code == pim_code:
+            name = f"PIM {OUTCOME_NAMES[out]}"
+            cat, tid = "service", layout["all_banks"]
+        else:
+            name, cat, tid = OUTCOME_NAMES[out], "service", b
+        spans.append(
+            _span(
+                name, cat, ch, tid, float(start[i]), float(finish[i]),
+                args={"row": int(row[i]), "op": OPS_BY_CODE[code].value},
+            )
+        )
+        # --- queue-wait spans (admission -> service start) ------------
+        wait = float(start[i]) - float(arrival[i])
+        if wait > 0.0:
+            spans.append(
+                _span(
+                    "queue-wait",
+                    "queue",
+                    ch,
+                    layout["queue"],
+                    float(arrival[i]),
+                    float(start[i]),
+                    args={"op": OPS_BY_CODE[code].value},
+                )
+            )
+
+    # --- row open/close spans (derived from outcome boundaries) -------
+    # A row opens at the start of each miss/conflict and stays latched
+    # until the next miss/conflict on the same track (or the track's
+    # last service); AB broadcasts never touch row buffers and all-bank
+    # PIM ops get their own track.  Refresh precharges are already
+    # reflected in the recorded outcomes (the next access is a miss),
+    # so span boundaries line up with the blackout track.
+    touches = op != ab_code
+    order = np.lexsort(
+        (start[touches], bank[touches], channel[touches])
+    )
+    t_idx = np.nonzero(touches)[0][order]
+    span_open: _t.Optional[_t.Tuple[int, int, int, float]] = None
+    last_finish = 0.0
+    hit_code = OUTCOME_NAMES.index("hit")
+    for i in t_idx.tolist():
+        ch, b = int(channel[i]), int(bank[i])
+        tid = (
+            layout["rows_all_banks"]
+            if b == ALL_BANKS
+            else layout["rows"][b]
+        )
+        if span_open is not None and span_open[:2] != (ch, tid):
+            o_ch, o_tid, o_row, o_start = (
+                span_open[0], span_open[1], span_open[2], span_open[3],
+            )
+            spans.append(
+                _span(
+                    f"row {o_row}", "row", o_ch, o_tid, o_start,
+                    last_finish,
+                )
+            )
+            span_open = None
+        if int(outcome[i]) != hit_code:  # miss/conflict: row turnover
+            if span_open is not None:
+                spans.append(
+                    _span(
+                        f"row {span_open[2]}", "row", span_open[0],
+                        span_open[1], span_open[3], float(start[i]),
+                    )
+                )
+            span_open = (ch, tid, int(row[i]), float(start[i]))
+        last_finish = float(finish[i])
+    if span_open is not None:
+        spans.append(
+            _span(
+                f"row {span_open[2]}", "row", span_open[0],
+                span_open[1], span_open[3], last_finish,
+            )
+        )
+
+    # --- refresh blackout spans ---------------------------------------
+    schedule = config.refresh_schedule()
+    if schedule is not None and makespan == makespan:
+        blackouts = list(schedule.blackouts(makespan))
+        for ch in range(config.n_channels):
+            for begin, end, which in blackouts:
+                name = (
+                    "refresh"
+                    if which is None
+                    else f"refresh b{which}"
+                )
+                spans.append(
+                    _span(
+                        name, "refresh", ch, layout["refresh"],
+                        begin, end,
+                    )
+                )
+
+    truncated = 0
+    spans.sort(key=lambda event: (event["ts"], event["tid"]))
+    if len(spans) > max_events:
+        truncated = len(spans) - max_events
+        spans = spans[:max_events]
+
+    events = _metadata_events(range(config.n_channels), n_banks)
+    events.extend(spans)
+    return {
+        "displayTimeUnit": "ns",
+        "traceEvents": events,
+        "otherData": {
+            "schema": TIMELINE_SCHEMA,
+            "engine": telemetry.engine,
+            "makespan_ns": makespan,
+            "n_requests": int(n),
+            "truncated_events": truncated,
+        },
+    }
+
+
+def write_timeline(
+    telemetry: "ReplayTelemetry",
+    path: _t.Union[str, pathlib.Path],
+    max_events: _t.Optional[int] = None,
+) -> pathlib.Path:
+    """Build and write the timeline JSON; returns the path."""
+    document = build_timeline(
+        telemetry,
+        max_events=MAX_EVENTS if max_events is None else max_events,
+    )
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document) + "\n")
+    return path
+
+
+def validate_timeline(document: _t.Any) -> _t.List[str]:
+    """Schema-check one timeline document; returns problem strings.
+
+    An empty list means the document is a well-formed Chrome
+    trace-event JSON of this exporter's dialect (the test suite asserts
+    exactly that on every export path).
+    """
+    problems: _t.List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be an object, got {type(document).__name__}"]
+    if document.get("displayTimeUnit") != "ns":
+        problems.append("displayTimeUnit must be 'ns'")
+    other = document.get("otherData")
+    if not isinstance(other, dict):
+        problems.append("otherData must be an object")
+    elif other.get("schema") != TIMELINE_SCHEMA:
+        problems.append(
+            f"otherData.schema must be {TIMELINE_SCHEMA!r}, "
+            f"got {other.get('schema')!r}"
+        )
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("traceEvents must be a non-empty array")
+        return problems
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "X"):
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if event.get("name") not in (
+                "process_name", "thread_name"
+            ):
+                problems.append(
+                    f"{where}: metadata name must be process_name or "
+                    f"thread_name"
+                )
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                problems.append(f"{where}: metadata needs args.name")
+            continue
+        ts = event.get("ts")
+        dur = event.get("dur")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            problems.append(f"{where}: ts must be a finite number >= 0")
+        if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+            problems.append(f"{where}: dur must be a finite number >= 0")
+        if "cat" not in event:
+            problems.append(f"{where}: complete event missing cat")
+    return problems

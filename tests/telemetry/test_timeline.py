@@ -1,0 +1,203 @@
+"""The Chrome-trace command-timeline exporter and its schema check."""
+
+import json
+
+import pytest
+
+from repro.memsys import (
+    Coordinates,
+    MemRequest,
+    MemSysConfig,
+    MemorySystem,
+    Op,
+    synthesize_trace,
+)
+from repro.telemetry import (
+    TIMELINE_SCHEMA,
+    ReplayTelemetry,
+    build_timeline,
+    validate_timeline,
+    write_timeline,
+)
+
+
+def recorded_replay(config, trace, engine="auto"):
+    telemetry = ReplayTelemetry()
+    MemorySystem(config).replay(trace, engine=engine, telemetry=telemetry)
+    return telemetry
+
+
+def spans(document, cat=None):
+    return [
+        e
+        for e in document["traceEvents"]
+        if e["ph"] == "X" and (cat is None or e["cat"] == cat)
+    ]
+
+
+class TestBuildTimeline:
+    def test_valid_document_with_all_track_metadata(self):
+        config = MemSysConfig()
+        telemetry = recorded_replay(
+            config, synthesize_trace("random", 400, config, seed=0)
+        )
+        document = build_timeline(telemetry)
+        assert validate_timeline(document) == []
+        assert document["displayTimeUnit"] == "ns"
+        other = document["otherData"]
+        assert other["schema"] == TIMELINE_SCHEMA
+        assert other["engine"] == telemetry.engine
+        assert other["n_requests"] == 400
+        assert other["truncated_events"] == 0
+        processes = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert processes == {
+            f"channel {c}" for c in range(config.n_channels)
+        }
+        threads = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "bank 0" in threads
+        assert {"all-banks", "queue", "refresh"} <= threads
+        assert "rows.b0" in threads
+
+    def test_service_and_queue_and_row_spans(self):
+        config = MemSysConfig()
+        telemetry = recorded_replay(
+            config, synthesize_trace("random", 400, config, seed=1)
+        )
+        document = build_timeline(telemetry)
+        service = spans(document, "service")
+        assert len(service) == 400
+        names = {e["name"] for e in service}
+        assert names <= {"hit", "miss", "conflict"}
+        assert "miss" in names  # random traffic misses
+        assert spans(document, "queue"), "saturated queues must wait"
+        rows = spans(document, "row")
+        assert rows
+        assert all(e["name"].startswith("row ") for e in rows)
+
+    def test_all_bank_and_ab_spans_land_on_the_all_banks_track(self):
+        from repro.pimexec import PimExecMachine, build_kernel
+
+        kernel = build_kernel("vector-sum", n=1024)
+        machine = PimExecMachine(kernel.config)
+        kernel.setup(machine)
+        machine.reset_requests()
+        kernel.execute(machine)
+        telemetry = ReplayTelemetry()
+        machine.replay(telemetry=telemetry)
+        document = build_timeline(telemetry)
+        assert validate_timeline(document) == []
+        barriers = spans(document, "barrier")
+        assert barriers
+        assert all(e["name"] == "AB barrier" for e in barriers)
+        assert any(
+            e["name"].startswith("PIM ")
+            for e in spans(document, "service")
+        )
+
+    def test_refresh_blackout_spans(self):
+        config = MemSysConfig(trefi_ns=390.0, trfc_ns=35.0)
+        telemetry = recorded_replay(
+            config,
+            synthesize_trace("sequential", 2000, config),
+        )
+        document = build_timeline(telemetry)
+        assert validate_timeline(document) == []
+        blackouts = spans(document, "refresh")
+        assert len(blackouts) >= config.n_channels
+        # every blackout lasts tRFC
+        assert all(
+            e["dur"] == pytest.approx(35.0 / 1000.0)
+            for e in blackouts
+        )
+
+    def test_truncation_keeps_earliest_and_reports_dropped(self):
+        config = MemSysConfig()
+        telemetry = recorded_replay(
+            config, synthesize_trace("random", 400, config, seed=2)
+        )
+        full = build_timeline(telemetry)
+        total = len(spans(full))
+        document = build_timeline(telemetry, max_events=100)
+        assert validate_timeline(document) == []
+        kept = spans(document)
+        assert len(kept) == 100
+        assert document["otherData"]["truncated_events"] == total - 100
+        # spans are globally ts-sorted, so the kept set is the
+        # earliest prefix of the full rendering
+        assert kept == spans(full)[:100]
+
+    def test_requires_a_captured_latency_recorder(self):
+        with pytest.raises(RuntimeError, match="captured replay"):
+            build_timeline(ReplayTelemetry())
+        config = MemSysConfig()
+        no_latency = ReplayTelemetry(latency=False)
+        MemorySystem(config).replay(
+            synthesize_trace("sequential", 32, config),
+            telemetry=no_latency,
+        )
+        with pytest.raises(RuntimeError, match="captured replay"):
+            build_timeline(no_latency)
+
+    def test_write_timeline_round_trips(self, tmp_path):
+        config = MemSysConfig()
+        telemetry = recorded_replay(
+            config, synthesize_trace("sequential", 64, config)
+        )
+        path = write_timeline(
+            telemetry, tmp_path / "deep" / "timeline.json"
+        )
+        assert path.exists()
+        document = json.loads(path.read_text())
+        assert validate_timeline(document) == []
+        # the method form writes the identical document
+        path2 = telemetry.write_timeline(tmp_path / "again.json")
+        assert json.loads(path2.read_text()) == document
+
+
+class TestValidateTimeline:
+    def good(self):
+        config = MemSysConfig()
+        telemetry = recorded_replay(
+            config, synthesize_trace("sequential", 32, config)
+        )
+        return build_timeline(telemetry)
+
+    def test_rejects_non_object(self):
+        assert validate_timeline([1, 2]) == [
+            "document must be an object, got list"
+        ]
+
+    def test_flags_wrong_time_unit_and_schema(self):
+        document = self.good()
+        document["displayTimeUnit"] = "ms"
+        document["otherData"]["schema"] = "bogus/v9"
+        problems = validate_timeline(document)
+        assert any("displayTimeUnit" in p for p in problems)
+        assert any("otherData.schema" in p for p in problems)
+
+    def test_flags_empty_events(self):
+        document = self.good()
+        document["traceEvents"] = []
+        assert validate_timeline(document) == [
+            "traceEvents must be a non-empty array"
+        ]
+
+    def test_flags_bad_events(self):
+        document = self.good()
+        document["traceEvents"].append({"ph": "B", "name": "x"})
+        document["traceEvents"].append(
+            {"ph": "X", "name": "y", "pid": 0, "tid": 0,
+             "ts": -1.0, "dur": float("nan"), "cat": "service"}
+        )
+        problems = validate_timeline(document)
+        assert any("unknown ph 'B'" in p for p in problems)
+        assert any("ts must be" in p for p in problems)
+        assert any("dur must be" in p for p in problems)

@@ -235,6 +235,138 @@ class TestReplayRefreshAndTimestamps:
         assert float(makespan.split()[-1]) >= 127 * 50.0
 
 
+class TestTelemetryFlags:
+    """``--metrics`` / ``--timeline`` on the replaying verbs."""
+
+    @staticmethod
+    def write_demo_trace(tmp_path, n=256):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(n_channels=2)
+        return write_trace(
+            tmp_path / "demo.trace",
+            synthesize_trace("random", n, config, seed=0),
+        )
+
+    @staticmethod
+    def load_metrics(path):
+        import json
+
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.telemetry/v1"
+        return document
+
+    @staticmethod
+    def load_timeline(path):
+        import json
+
+        from repro.telemetry import validate_timeline
+
+        document = json.loads(path.read_text())
+        assert validate_timeline(document) == []
+        return document
+
+    def test_replay_writes_both_artifacts(self, tmp_path, capsys):
+        trace = self.write_demo_trace(tmp_path)
+        metrics = tmp_path / "m.json"
+        timeline = tmp_path / "t.json"
+        assert main([
+            "replay", str(trace),
+            "--metrics", str(metrics),
+            "--timeline", str(timeline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "timeline:" in out
+        snapshot = self.load_metrics(metrics)
+        names = {e["name"] for e in snapshot["counters"]}
+        assert "memsys.requests" in names
+        assert "telemetry.requests_recorded" in names
+        histograms = {e["name"] for e in snapshot["histograms"]}
+        assert "telemetry.queue_wait_ns" in histograms
+        document = self.load_timeline(timeline)
+        assert document["otherData"]["n_requests"] == 256
+
+    def test_replay_without_flags_writes_nothing(self, tmp_path, capsys):
+        trace = self.write_demo_trace(tmp_path)
+        assert main(["replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" not in out
+        assert "timeline:" not in out
+
+    def test_pimexec_trace_artifacts(self, tmp_path, capsys):
+        program = tmp_path / "program.trace"
+        program.write_text(
+            "W MEM 0 0 3\nAB W\n"
+            "PIM MAC GRF,8 BANK,0,3,0 SRF,0\nPIM EXIT\n"
+        )
+        metrics = tmp_path / "m.json"
+        timeline = tmp_path / "t.json"
+        assert main([
+            "pimexec", "--trace", str(program),
+            "--metrics", str(metrics),
+            "--timeline", str(timeline),
+        ]) == 0
+        snapshot = self.load_metrics(metrics)
+        names = {e["name"] for e in snapshot["counters"]}
+        assert "pimexec.requests" in names
+        self.load_timeline(timeline)
+
+    def test_pimexec_single_kernel_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main([
+            "pimexec", "--kernel", "vector-sum", "--n", "512",
+            "--metrics", str(metrics),
+        ]) == 0
+        snapshot = self.load_metrics(metrics)
+        counters = {e["name"]: e for e in snapshot["counters"]}
+        assert counters["pimexec.pim_commands"]["value"] > 0
+        # the sequencer counters ride along, tagged by kernel
+        seq = [
+            e for e in snapshot["counters"]
+            if e["name"] == "pimexec.sequencer.instructions"
+        ]
+        assert seq
+        assert seq[0]["tags"]["kernel"] == "vector-sum"
+
+    def test_pimexec_multi_kernel_with_flags_exit_2(self, tmp_path, capsys):
+        assert main([
+            "pimexec", "--metrics", str(tmp_path / "m.json"),
+        ]) == 2
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_nn_single_kernel_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        timeline = tmp_path / "t.json"
+        assert main([
+            "nn", "--kernel", "softmax",
+            "--metrics", str(metrics),
+            "--timeline", str(timeline),
+        ]) == 0
+        snapshot = self.load_metrics(metrics)
+        seq = [
+            e for e in snapshot["counters"]
+            if e["name"] == "pimexec.sequencer.instructions"
+        ]
+        # softmax runs a CRF microkernel, so dynamic instructions > 0
+        assert sum(int(e["value"]) for e in seq) > 0
+        self.load_timeline(timeline)
+
+    def test_nn_multi_kernel_with_flags_exit_2(self, tmp_path, capsys):
+        assert main([
+            "nn", "--timeline", str(tmp_path / "t.json"),
+        ]) == 2
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_nn_emit_trace_with_flags_exit_2(self, tmp_path, capsys):
+        assert main([
+            "nn", "--emit-trace", str(tmp_path / "layer.trace"),
+            "--d-model", "8", "--heads", "2", "--seq-len", "8",
+            "--metrics", str(tmp_path / "m.json"),
+        ]) == 2
+        assert "--emit-trace" in capsys.readouterr().err
+
+
 class TestNnCommand:
     def test_nn_command_args(self, tmp_path):
         args = build_parser().parse_args(

@@ -33,6 +33,12 @@ EXPECTED_MARKERS = {
         "per-bank",
         "overhead",
     ],
+    "latency_profile.py": [
+        "per-request instants bit-identical across engines: True",
+        "latency percentiles (ns, exact):",
+        "phase profile",
+        "schema valid: True",
+    ],
     "transformer_layer.py": [
         "fp16 bank state bit-exact vs NumPy binary16: True",
         "bank-group GEMM: bit-identical output",

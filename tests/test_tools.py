@@ -1,0 +1,175 @@
+"""The bench-record comparison tool (``tools/compare_bench.py``).
+
+CI snapshots the committed ``BENCH_*.json`` baselines, re-measures,
+then runs this tool; these tests pin its failure modes — floor misses,
+weakened floors, malformed/unknown records, missing baselines — so a
+perf regression can't land through a tooling gap.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import compare_bench  # noqa: E402
+
+
+def memsys_record(**overrides):
+    record = {
+        "benchmark": "memsys_replay_throughput",
+        "fast_requests_per_sec": 5_000_000,
+        "refresh_requests_per_sec": 3_000_000,
+        "telemetry_overhead_pct": 1.0,
+        "floor_requests_per_sec": 1_000_000,
+        "floor_telemetry_overhead_pct": 5.0,
+        "passed": True,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestCompareRecord:
+    def test_clean_record_reports_and_passes(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(), memsys_record()
+        )
+        assert problems == []
+        # one report line per floored metric, with baseline deltas
+        assert len(report) == 3
+        assert all("ok" in line for line in report)
+        assert all("baseline" in line for line in report)
+
+    def test_no_baseline_still_checks_own_floors(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(), None
+        )
+        assert problems == []
+        assert all("baseline" not in line for line in report)
+
+    def test_passed_false_is_a_problem(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(passed=False), None
+        )
+        assert any("passed=false" in p for p in problems)
+
+    def test_min_floor_miss(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(fast_requests_per_sec=999_999), None
+        )
+        assert any(
+            "fast_requests_per_sec" in p and "misses floor" in p
+            for p in problems
+        )
+        assert any("FLOOR MISS" in line for line in report)
+
+    def test_max_ceiling_miss(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(telemetry_overhead_pct=5.0), None
+        )
+        assert any("telemetry_overhead_pct" in p for p in problems)
+
+    def test_weakened_min_floor_vs_baseline(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(floor_requests_per_sec=500_000),
+            memsys_record(),
+        )
+        assert any("weakened" in p for p in problems)
+
+    def test_weakened_max_ceiling_vs_baseline(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(floor_telemetry_overhead_pct=50.0),
+            memsys_record(),
+        )
+        assert any("weakened" in p for p in problems)
+
+    def test_tightened_floor_is_fine(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(floor_requests_per_sec=2_000_000),
+            memsys_record(),
+        )
+        assert problems == []
+
+    def test_unknown_benchmark_name(self):
+        problems, _ = compare_bench.compare_record(
+            memsys_record(benchmark="mystery_bench"), None
+        )
+        assert any("unknown benchmark" in p for p in problems)
+
+    def test_missing_metric_and_floor_keys(self):
+        record = memsys_record()
+        del record["fast_requests_per_sec"]
+        del record["floor_telemetry_overhead_pct"]
+        problems, _ = compare_bench.compare_record(record, None)
+        assert any("lacks metric" in p for p in problems)
+        assert any("lacks floor" in p for p in problems)
+
+    def test_floors_table_covers_all_committed_records(self):
+        """Every committed BENCH_*.json is comparable as-is."""
+        records = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert len(records) == 3
+        for path in records:
+            fresh = json.loads(path.read_text())
+            problems, report = compare_bench.compare_record(fresh, fresh)
+            assert problems == [], path.name
+            assert report, path.name
+
+
+class TestMain:
+    def write(self, directory, record, name="BENCH_memsys.json"):
+        path = directory / name
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_pass_exit_0(self, tmp_path, capsys):
+        fresh_dir = tmp_path / "fresh"
+        base_dir = tmp_path / "base"
+        fresh_dir.mkdir(), base_dir.mkdir()
+        fresh = self.write(fresh_dir, memsys_record())
+        self.write(base_dir, memsys_record())
+        assert compare_bench.main(
+            [str(fresh), "--baseline", str(base_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bench records OK" in out
+
+    def test_floor_miss_exit_1(self, tmp_path, capsys):
+        fresh = self.write(
+            tmp_path,
+            memsys_record(refresh_requests_per_sec=10, passed=False),
+        )
+        assert compare_bench.main([str(fresh)]) == 1
+        err = capsys.readouterr().err
+        assert "misses floor" in err
+
+    def test_missing_baseline_exit_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        fresh = self.write(tmp_path, memsys_record())
+        assert compare_bench.main(
+            [str(fresh), "--baseline", str(empty)]
+        ) == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_unreadable_record_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert compare_bench.main([str(bad)]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_no_records_exit_2(self, tmp_path, capsys, monkeypatch):
+        missing = tmp_path / "BENCH_none.json"
+        assert compare_bench.main([str(missing)]) == 1
+
+    def test_committed_records_pass_as_their_own_baseline(self, capsys):
+        """The CI invocation shape, against the repository's own
+        committed records."""
+        records = [
+            str(path) for path in sorted(REPO_ROOT.glob("BENCH_*.json"))
+        ]
+        assert compare_bench.main(
+            records + ["--baseline", str(REPO_ROOT)]
+        ) == 0

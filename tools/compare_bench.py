@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark records against committed baselines.
+
+Each ``benchmarks/bench_*.py`` writes a ``BENCH_*.json`` throughput
+record; the copies committed at the repository root are the *baselines*
+the perf trajectory is tracked against.  CI snapshots those baselines
+(before the bench jobs overwrite the files), re-measures, and then runs
+this tool, which fails when
+
+* a fresh record says ``"passed": false`` (its own floors failed on the
+  runner),
+* a floored metric misses the floor carried in the fresh record, or
+* a floor was *weakened* relative to the committed baseline — e.g. a
+  throughput floor lowered, or the telemetry-overhead ceiling raised —
+  which would let a perf regression land silently.
+
+Floors are matched through the explicit :data:`FLOORS` table (metric
+name, floor key, direction) per benchmark; suffix-matching heuristics
+would false-fail on pairs like ``event_requests_per_sec`` vs
+``floor_requests_per_sec``.
+
+Usage::
+
+    python tools/compare_bench.py [RECORD.json ...] --baseline DIR
+
+With no positional records, compares every ``BENCH_*.json`` in the
+repository root.  Exits non-zero listing every problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import typing as _t
+
+#: (metric, floor key, direction) per benchmark record ``"benchmark"``
+#: name.  ``"min"``: metric must be >= floor; ``"max"``: metric must be
+#: < floor (a ceiling, e.g. the telemetry overhead percentage).
+FLOORS: _t.Dict[str, _t.List[_t.Tuple[str, str, str]]] = {
+    "memsys_replay_throughput": [
+        ("fast_requests_per_sec", "floor_requests_per_sec", "min"),
+        ("refresh_requests_per_sec", "floor_requests_per_sec", "min"),
+        (
+            "telemetry_overhead_pct",
+            "floor_telemetry_overhead_pct",
+            "max",
+        ),
+    ],
+    "pimexec_pipeline_throughput": [
+        ("all_bank_commands_per_sec", "floor_commands_per_sec", "min"),
+        (
+            "telemetry_overhead_pct",
+            "floor_telemetry_overhead_pct",
+            "max",
+        ),
+    ],
+    "nn_transformer_throughput": [
+        ("fp16_commands_per_sec", "floor_commands_per_sec", "min"),
+        (
+            "trace_records_per_sec",
+            "floor_trace_records_per_sec",
+            "min",
+        ),
+        (
+            "telemetry_overhead_pct",
+            "floor_telemetry_overhead_pct",
+            "max",
+        ),
+    ],
+}
+
+
+def compare_record(
+    fresh: _t.Mapping[str, _t.Any],
+    baseline: _t.Optional[_t.Mapping[str, _t.Any]],
+    label: str = "",
+) -> _t.Tuple[_t.List[str], _t.List[str]]:
+    """Check one record; returns ``(problems, report_lines)``."""
+    problems: _t.List[str] = []
+    report: _t.List[str] = []
+    name = fresh.get("benchmark", "<unnamed>")
+    label = label or name
+    if not fresh.get("passed", False):
+        problems.append(f"{label}: fresh record reports passed=false")
+    floors = FLOORS.get(name)
+    if floors is None:
+        problems.append(
+            f"{label}: unknown benchmark {name!r} — add it to "
+            "tools/compare_bench.py FLOORS"
+        )
+        return problems, report
+    for metric, floor_key, direction in floors:
+        if metric not in fresh:
+            problems.append(f"{label}: record lacks metric {metric!r}")
+            continue
+        if floor_key not in fresh:
+            problems.append(
+                f"{label}: record lacks floor {floor_key!r}"
+            )
+            continue
+        value = float(fresh[metric])
+        floor = float(fresh[floor_key])
+        if direction == "min":
+            ok = value >= floor
+            relation = ">="
+        else:
+            ok = value < floor
+            relation = "<"
+        verdict = "ok" if ok else "FLOOR MISS"
+        line = (
+            f"{label}: {metric} = {value:g} ({relation} {floor:g}) "
+            f"{verdict}"
+        )
+        if baseline is not None and metric in baseline:
+            base_value = float(baseline[metric])
+            delta = value - base_value
+            line += f" [baseline {base_value:g}, {delta:+g}]"
+        report.append(line)
+        if not ok:
+            problems.append(
+                f"{label}: {metric} = {value:g} misses floor "
+                f"{floor_key} = {floor:g}"
+            )
+        if baseline is not None and floor_key in baseline:
+            base_floor = float(baseline[floor_key])
+            weakened = (
+                floor < base_floor
+                if direction == "min"
+                else floor > base_floor
+            )
+            if weakened:
+                problems.append(
+                    f"{label}: floor {floor_key} weakened from "
+                    f"{base_floor:g} to {floor:g}"
+                )
+    return problems, report
+
+
+def _load(path: pathlib.Path) -> _t.Optional[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "records",
+        nargs="*",
+        type=pathlib.Path,
+        metavar="RECORD",
+        help="fresh BENCH_*.json records (default: repository root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="directory holding the baseline copies (same filenames); "
+        "without it only the fresh records' own floors are checked",
+    )
+    args = parser.parse_args(argv)
+
+    records = list(args.records)
+    if not records:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        records = sorted(root.glob("BENCH_*.json"))
+    if not records:
+        print("no BENCH_*.json records found", file=sys.stderr)
+        return 2
+
+    problems: _t.List[str] = []
+    for path in records:
+        fresh = _load(path)
+        if fresh is None:
+            problems.append(f"{path}: unreadable record")
+            continue
+        baseline = None
+        if args.baseline is not None:
+            baseline_path = args.baseline / path.name
+            baseline = _load(baseline_path)
+            if baseline is None:
+                problems.append(
+                    f"{path.name}: no baseline at {baseline_path}"
+                )
+        file_problems, report = compare_record(
+            fresh, baseline, label=path.name
+        )
+        problems.extend(file_problems)
+        for line in report:
+            print(line)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"bench records OK: {len(records)} compared")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
