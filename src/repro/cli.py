@@ -14,6 +14,13 @@ Commands
     ``auto``; optional timestamped arrivals from the trace's third
     column, refresh modeling via ``--trefi``/``--trfc``/
     ``--refresh-granularity``).
+``repro-pim farm TRACE [--workers N] [--mode ...] [--report FILE]``
+    Replay a timestamped trace on the fault-tolerant sharded farm
+    (multi-process channel sharding with retries, deadlines, and
+    graceful degradation — statistics bit-identical to a
+    single-process replay) and print the per-shard fault ledger; the
+    plain ``replay`` verb's ``--workers N`` uses the same farm with
+    default fault-tolerance policy.  See ``docs/robustness.md``.
 ``repro-pim pimexec [--kernel NAME | --trace FILE]``
     Execute built-in PIM kernels on the per-bank execution units and
     compare against host-only twins, or replay an HBM-PIMulator-style
@@ -111,50 +118,60 @@ def build_parser() -> argparse.ArgumentParser:
         "replay",
         help="replay a text trace file through the memory system",
     )
+    _add_memsys_flags(replay_p)
     replay_p.add_argument(
-        "trace", type=pathlib.Path, metavar="TRACE",
-        help="trace file (OP ADDRESS [TIMESTAMP_NS] per line; see "
-        "docs/trace-formats.md)",
-    )
-    replay_p.add_argument(
-        "--engine", choices=("event", "fast", "auto"), default="auto",
-        help="replay engine (default: auto — the fast path unless "
-        "per-event observation is requested)",
-    )
-    replay_p.add_argument(
-        "--scheme", default="row-major",
-        help="address-interleaving scheme (default: row-major)",
-    )
-    replay_p.add_argument(
-        "--policy", choices=("fcfs", "frfcfs"), default="frfcfs",
-        help="controller scheduling policy (default: frfcfs)",
-    )
-    replay_p.add_argument(
-        "--channels", type=int, default=2, metavar="N",
-        help="number of channels (default: 2)",
-    )
-    replay_p.add_argument(
-        "--queue-depth", type=int, default=16, metavar="N",
-        help="per-channel request-queue depth (default: 16)",
-    )
-    replay_p.add_argument(
-        "--trefi", type=float, default=0.0, metavar="NS",
-        help="refresh interval tREFI in ns (0 disables refresh "
-        "modeling; HBM2-class: 3900)",
-    )
-    replay_p.add_argument(
-        "--trfc", type=float, default=0.0, metavar="NS",
-        help="refresh cycle time tRFC in ns (HBM2-class: 350)",
-    )
-    replay_p.add_argument(
-        "--refresh-granularity",
-        choices=("per-rank", "per-bank"),
-        default="per-rank",
-        help="all-bank refresh stalling the channel (per-rank, "
-        "default) or staggered per-bank refresh the scheduler works "
-        "around (per-bank)",
+        "--workers", type=int, default=0, metavar="N",
+        help="replay on the sharded farm with N worker processes "
+        "(default: 0 — plain single-process replay); the farm's "
+        "statistics are bit-identical to a single-process replay",
     )
     _add_telemetry_flags(replay_p)
+
+    farm_p = sub.add_parser(
+        "farm",
+        help="replay a trace on the fault-tolerant sharded farm "
+        "and print the per-shard fault ledger",
+    )
+    _add_memsys_flags(farm_p)
+    farm_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker-process cap (default: 0 — one per shard, up to "
+        "the CPU count)",
+    )
+    farm_p.add_argument(
+        "--mode", choices=("auto", "process", "inprocess"),
+        default="auto",
+        help="worker isolation: real processes, in-process (the "
+        "degraded path), or auto (default)",
+    )
+    farm_p.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="cap on shard count (channels fold round-robin)",
+    )
+    farm_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="failed-attempt budget per shard before degrading to an "
+        "in-process replay (default: 2)",
+    )
+    farm_p.add_argument(
+        "--deadline", type=float, default=120.0, metavar="S",
+        help="hard wall-clock ceiling per shard attempt in seconds "
+        "(default: 120)",
+    )
+    farm_p.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0, metavar="S",
+        help="heartbeat silence that marks a worker hung (default: 10)",
+    )
+    farm_p.add_argument(
+        "--farm-seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic retry-backoff jitter",
+    )
+    farm_p.add_argument(
+        "--report", type=pathlib.Path, default=None, metavar="FILE",
+        help="write the farm report (attempts, retries, timeouts, "
+        "per-shard outcomes) to FILE as JSON",
+    )
+    _add_telemetry_flags(farm_p)
 
     pimexec_p = sub.add_parser(
         "pimexec",
@@ -250,6 +267,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_memsys_flags(parser: argparse.ArgumentParser) -> None:
+    """Trace + memory-system geometry flags shared by replay/farm."""
+    parser.add_argument(
+        "trace", type=pathlib.Path, metavar="TRACE",
+        help="trace file (OP ADDRESS [TIMESTAMP_NS] per line; see "
+        "docs/trace-formats.md)",
+    )
+    parser.add_argument(
+        "--engine", choices=("event", "fast", "auto"), default="auto",
+        help="replay engine (default: auto — the fast path unless "
+        "per-event observation is requested)",
+    )
+    parser.add_argument(
+        "--scheme", default="row-major",
+        help="address-interleaving scheme (default: row-major)",
+    )
+    parser.add_argument(
+        "--policy", choices=("fcfs", "frfcfs"), default="frfcfs",
+        help="controller scheduling policy (default: frfcfs)",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=2, metavar="N",
+        help="number of channels (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="per-channel request-queue depth (default: 16)",
+    )
+    parser.add_argument(
+        "--trefi", type=float, default=0.0, metavar="NS",
+        help="refresh interval tREFI in ns (0 disables refresh "
+        "modeling; HBM2-class: 3900)",
+    )
+    parser.add_argument(
+        "--trfc", type=float, default=0.0, metavar="NS",
+        help="refresh cycle time tRFC in ns (HBM2-class: 350)",
+    )
+    parser.add_argument(
+        "--refresh-granularity",
+        choices=("per-rank", "per-bank"),
+        default="per-rank",
+        help="all-bank refresh stalling the channel (per-rank, "
+        "default) or staggered per-bank refresh the scheduler works "
+        "around (per-bank)",
+    )
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     """``--metrics`` / ``--timeline`` shared by the replay verbs."""
     parser.add_argument(
@@ -309,43 +373,87 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _memsys_config_and_trace(
+    args: argparse.Namespace,
+) -> _t.Tuple[_t.Any, _t.Any]:
+    """Build (MemSysConfig, PackedTrace) from shared CLI flags."""
+    from .memsys import MemSysConfig, parse_trace
+
+    config = MemSysConfig(
+        n_channels=args.channels,
+        scheme=args.scheme,
+        policy=args.policy,
+        queue_depth=args.queue_depth,
+        trefi_ns=args.trefi,
+        trfc_ns=args.trfc,
+        refresh_granularity=args.refresh_granularity,
+    )
+    return config, parse_trace(args.trace, packed=True)
+
+
+#: Every bad-input failure a replay verb can hit: config/trace
+#: validation (ValueError subclasses), replay/farm state errors
+#: (RuntimeError subclasses), unreadable files, and binary garbage
+#: where text was expected.  One line on stderr, exit code 2 — never
+#: a traceback.
+_BAD_INPUT = (ValueError, RuntimeError, OSError, UnicodeDecodeError)
+
+
 def _replay_command(args: argparse.Namespace) -> int:
     """Replay a trace file and print the summary statistics."""
     import time
 
-    from .memsys import MemSysConfig, MemorySystem, parse_trace
+    from .memsys import MemorySystem
 
     if not args.trace.exists():
         print(f"no such trace file: {args.trace}", file=sys.stderr)
         return 2
     try:
-        config = MemSysConfig(
-            n_channels=args.channels,
-            scheme=args.scheme,
-            policy=args.policy,
-            queue_depth=args.queue_depth,
-            trefi_ns=args.trefi,
-            trfc_ns=args.trfc,
-            refresh_granularity=args.refresh_granularity,
-        )
-        trace = parse_trace(args.trace, packed=True)
+        config, trace = _memsys_config_and_trace(args)
         if len(trace) == 0:
             print(f"empty trace: {args.trace}", file=sys.stderr)
             return 2
-        system = MemorySystem(config)
         telemetry = _make_telemetry(args)
-        started = time.perf_counter()
-        stats = system.replay(trace, engine=args.engine, telemetry=telemetry)
-        elapsed = time.perf_counter() - started
-    except (ValueError, RuntimeError) as error:
+        if args.workers:
+            from .farm import FarmConfig, replay_farm
+
+            farm = FarmConfig(workers=args.workers, engine=args.engine)
+            started = time.perf_counter()
+            result = replay_farm(
+                trace, config, farm, telemetry=telemetry
+            )
+            elapsed = time.perf_counter() - started
+            stats = result.stats
+            system = MemorySystem(config)
+            engine_label = (
+                "farm"
+                if not result.report.fell_back_to_single
+                else "farm (single-process fallback)"
+            )
+        else:
+            system = MemorySystem(config)
+            started = time.perf_counter()
+            stats = system.replay(
+                trace, engine=args.engine, telemetry=telemetry
+            )
+            elapsed = time.perf_counter() - started
+            engine_label = str(system.last_replay_engine)
+    except _BAD_INPUT as error:
         print(f"replay failed: {error}", file=sys.stderr)
         return 2
     print(f"trace:    {args.trace} ({stats.n_requests} requests)")
     print(f"system:   {system!r}")
     print(
-        f"engine:   {system.last_replay_engine} "
+        f"engine:   {engine_label} "
         f"({stats.n_requests / elapsed:,.0f} requests/s wall-clock)"
     )
+    if args.workers:
+        report = result.report
+        print(
+            f"farm:     {report.n_shards} shard(s), "
+            f"{report.workers} worker(s), {report.attempts} "
+            f"attempt(s), {report.retries} retrie(s)"
+        )
     for key, value in stats.summary().items():
         print(f"{key:22s} {value:.6g}")
     if telemetry is not None:
@@ -359,10 +467,104 @@ def _replay_command(args: argparse.Namespace) -> int:
             memsys_metrics(
                 registry=registry,
                 stats=stats,
-                system=system,
+                # the farm merges into a throwaway system; its
+                # per-channel snapshots live in the farm report
+                system=None if args.workers else system,
                 scheme=args.scheme,
                 policy=args.policy,
             )
+            if args.workers:
+                from .telemetry import farm_metrics
+
+                farm_metrics(result.report, registry)
+        _write_telemetry(
+            args, telemetry, registry,
+            scheme=args.scheme, policy=args.policy,
+        )
+    return 0
+
+
+def _farm_command(args: argparse.Namespace) -> int:
+    """Replay on the sharded farm; print the fault ledger."""
+    import time
+
+    if not args.trace.exists():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        from .farm import FarmConfig, replay_farm
+
+        config, trace = _memsys_config_and_trace(args)
+        if len(trace) == 0:
+            print(f"empty trace: {args.trace}", file=sys.stderr)
+            return 2
+        farm = FarmConfig(
+            workers=args.workers,
+            mode=args.mode,
+            engine=args.engine,
+            max_shards=args.max_shards,
+            max_retries=args.max_retries,
+            deadline_s=args.deadline,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            seed=args.farm_seed,
+        )
+        telemetry = _make_telemetry(args)
+        started = time.perf_counter()
+        result = replay_farm(trace, config, farm, telemetry=telemetry)
+        elapsed = time.perf_counter() - started
+    except _BAD_INPUT as error:
+        print(f"farm replay failed: {error}", file=sys.stderr)
+        return 2
+    stats, report = result.stats, result.report
+    print(f"trace:    {args.trace} ({stats.n_requests} requests)")
+    print(
+        f"farm:     mode={report.mode} workers={report.workers} "
+        f"shards={report.n_shards} "
+        f"({stats.n_requests / elapsed:,.0f} requests/s wall-clock)"
+    )
+    print(
+        f"ledger:   attempts={report.attempts} "
+        f"retries={report.retries} timeouts={report.timeouts} "
+        f"crashes={report.crashes} "
+        f"integrity={report.integrity_failures} "
+        f"degraded={report.degraded_shards}"
+    )
+    if report.fell_back_to_single:
+        print(f"fallback: {report.fallback_reason}")
+    for shard in report.shards:
+        flags = " degraded" if shard.degraded else ""
+        print(
+            f"shard {shard.shard_id}: channels={list(shard.channels)} "
+            f"requests={shard.n_requests} attempts={shard.attempts} "
+            f"engine={shard.engine}{flags}"
+        )
+    for key, value in stats.summary().items():
+        print(f"{key:22s} {value:.6g}")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"report:   wrote {args.report}")
+    if telemetry is not None:
+        registry = None
+        if args.metrics is not None:
+            from .telemetry import (
+                MetricsRegistry,
+                farm_metrics,
+                memsys_metrics,
+            )
+
+            registry = MetricsRegistry(
+                source=f"repro-pim farm {args.trace}"
+            )
+            memsys_metrics(
+                registry=registry,
+                stats=stats,
+                scheme=args.scheme,
+                policy=args.policy,
+            )
+            farm_metrics(report, registry)
         _write_telemetry(
             args, telemetry, registry,
             scheme=args.scheme, policy=args.policy,
@@ -392,7 +594,7 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             result = machine.replay(
                 engine=args.engine, telemetry=telemetry
             )
-        except (ValueError, RuntimeError) as error:
+        except _BAD_INPUT as error:
             print(f"pimexec replay failed: {error}", file=sys.stderr)
             return 2
         print(f"trace:    {args.trace} ({len(program)} records)")
@@ -522,8 +724,15 @@ def _nn_command(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"nn trace generation failed: {error}", file=sys.stderr)
             return 2
-        args.emit_trace.parent.mkdir(parents=True, exist_ok=True)
-        args.emit_trace.write_text(text)
+        try:
+            args.emit_trace.parent.mkdir(parents=True, exist_ok=True)
+            args.emit_trace.write_text(text)
+        except OSError as error:
+            print(
+                f"cannot write {args.emit_trace}: {error}",
+                file=sys.stderr,
+            )
+            return 2
         lines = sum(
             1
             for line in text.splitlines()
@@ -622,6 +831,9 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
 
     if args.command == "replay":
         return _replay_command(args)
+
+    if args.command == "farm":
+        return _farm_command(args)
 
     if args.command == "pimexec":
         return _pimexec_command(args)

@@ -437,6 +437,75 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 }
             )
 
+    # ------------------------------------------------------------------
+    # 9. sharded replay farm equivalence (repro.farm)
+    # ------------------------------------------------------------------
+    import dataclasses as _dc
+
+    from ..farm import Fault, FaultPlan, FarmConfig, replay_farm
+
+    farm_rows = []
+    farm_exact = True
+    farm_n = min(n, 4000)
+    farm_cases = [
+        ("poisson", None),
+        (
+            "poisson+chaos",
+            FaultPlan(
+                {
+                    (0, 0): Fault("kill"),
+                    (1, 0): Fault("corrupt"),
+                    (2, 0): Fault("hang"),
+                }
+            ),
+        ),
+    ]
+    farm_config = MemSysConfig(
+        n_channels=4, scheme="channel-interleaved", queue_depth=8
+    )
+    farm_trace = synthesize_trace(
+        "random",
+        farm_n,
+        farm_config,
+        seed=config.seed,
+        packed=True,
+        interarrival_ns=4.0 * interarrival,
+        interarrival="poisson",
+    )
+    single = MemorySystem(farm_config).replay(
+        farm_trace, engine="fast"
+    )
+    for label, faults in farm_cases:
+        farm_result = replay_farm(
+            farm_trace,
+            farm_config,
+            FarmConfig(
+                mode="inprocess",
+                engine="fast",
+                backoff_base_s=0.001,
+                backoff_cap_s=0.002,
+            ),
+            fault_plan=faults,
+        )
+        identical = repr(_dc.asdict(single)) == repr(
+            _dc.asdict(farm_result.stats)
+        )
+        farm_exact = farm_exact and identical
+        ledger = farm_result.report
+        farm_rows.append(
+            {
+                "case": label,
+                "shards": ledger.n_shards,
+                "attempts": ledger.attempts,
+                "retries": ledger.retries,
+                "timeouts": ledger.timeouts,
+                "crashes": ledger.crashes,
+                "integrity_failures": ledger.integrity_failures,
+                "degraded_shards": ledger.degraded_shards,
+                "bit_identical": identical,
+            }
+        )
+
     checks = {
         "streaming FR-FCFS within 5% of analytic model": (
             stream_err < 0.05
@@ -471,6 +540,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "queue wait dominates service time at line rate": (
             queue_dominates
         ),
+        "sharded farm replay is bit-identical to single-process": (
+            farm_exact
+        ),
     }
     return ExperimentResult(
         name="memsys_bandwidth",
@@ -485,6 +557,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "timestamped_arrivals": paced_rows,
             "engine_equivalence": engine_rows,
             "latency_distributions": latency_rows,
+            "farm_equivalence": farm_rows,
         },
         plots={},
         summary=[
@@ -509,6 +582,14 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "fast-path replay engine "
             + ("matches" if engines_agree else "DIVERGES from")
             + " the event engine on every cross-checked trace",
+            "sharded replay farm "
+            + ("is" if farm_exact else "is NOT")
+            + " bit-identical to single-process replay, with and "
+            "without injected faults "
+            f"({farm_rows[1]['crashes']} crash(es), "
+            f"{farm_rows[1]['timeouts']} timeout(s), "
+            f"{farm_rows[1]['integrity_failures']} corruption(s) "
+            "absorbed)",
             f"line-rate random queue-wait p99 "
             f"{latency_rows[0]['queue_p99_ns']:.0f} ns vs service p99 "
             f"{latency_rows[0]['service_p99_ns']:.0f} ns "

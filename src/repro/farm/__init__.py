@@ -1,0 +1,57 @@
+"""Fault-tolerant sharded replay farm.
+
+Shard a timestamped :class:`~repro.memsys.trace.PackedTrace` by
+channel, replay the shards in supervised worker processes, and merge
+the results into statistics **bit-identical** to a single-process
+:meth:`MemorySystem.replay <repro.memsys.MemorySystem.replay>` — with
+retries, deadlines, heartbeats, result-integrity checksums, and
+graceful degradation when sharding cannot be exact.  See
+``docs/robustness.md`` for the architecture and the failure-semantics
+table, and :mod:`repro.farm.chaos` for deterministic fault injection.
+
+>>> from repro.farm import FarmConfig, replay_farm
+>>> result = replay_farm(trace, config, FarmConfig(workers=4))
+>>> result.stats            # bit-identical to single-process replay
+>>> result.report.retries   # the fault ledger
+"""
+
+from .chaos import (
+    CORRUPT,
+    FAULT_KINDS,
+    HANG,
+    KILL,
+    SLOW,
+    Fault,
+    FaultPlan,
+)
+from .planner import Shard, ShardPlan, ShardPlanner, canonical_checksum
+from .pool import (
+    MODES,
+    FarmConfig,
+    FarmReport,
+    FarmResult,
+    ShardOutcome,
+    WorkerPool,
+    replay_farm,
+)
+
+__all__ = [
+    "CORRUPT",
+    "FAULT_KINDS",
+    "HANG",
+    "KILL",
+    "MODES",
+    "SLOW",
+    "Fault",
+    "FaultPlan",
+    "FarmConfig",
+    "FarmReport",
+    "FarmResult",
+    "Shard",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardPlanner",
+    "WorkerPool",
+    "canonical_checksum",
+    "replay_farm",
+]

@@ -1,0 +1,1068 @@
+"""The replay farm: worker pool, supervisor, and exact merge.
+
+:func:`replay_farm` shards a timestamped trace by channel
+(:class:`~repro.farm.planner.ShardPlanner`), replays each shard in an
+isolated worker, and merges the raw collector states back into a fresh
+:class:`~repro.memsys.MemorySystem` whose
+:meth:`~repro.memsys.MemorySystem.gather_stats` then computes **bit-
+identical** statistics to a single-process replay — the same reduction
+code runs on identical collector states, so every float matches to the
+last mantissa bit.
+
+Fault tolerance is the supervisor's job: per-attempt deadlines and
+heartbeat silence detection (:class:`~repro.errors.ShardTimeout`),
+crash isolation (:class:`~repro.errors.WorkerCrash`), payload checksum
+verification (:class:`~repro.errors.ResultIntegrityError`), bounded
+retries with exponential backoff and deterministic jitter, and two
+levels of graceful degradation: a shard past its retry budget is
+replayed in-process (fault-free, still exact), and a trace that cannot
+be sharded exactly — line-rate, or a worker's no-backpressure
+certificate failed — falls back to a full single-process replay.
+Every path ends in a bit-exact result or a typed
+:class:`~repro.errors.FarmError`; the farm never returns an
+approximate answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+import random
+import threading
+import time
+import typing as _t
+from multiprocessing import connection as _mp_connection
+
+import numpy as np
+
+from ..errors import (
+    ConfigError,
+    FarmError,
+    ResultIntegrityError,
+    ShardTimeout,
+    WorkerCrash,
+)
+from ..memsys.system import ENGINES, MemSysConfig, MemSysStats, MemorySystem
+from ..memsys.trace import PackedTrace
+from . import chaos as _chaos
+from .planner import Shard, ShardPlan, ShardPlanner, canonical_checksum
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry import ReplayTelemetry
+
+__all__ = [
+    "MODES",
+    "FarmConfig",
+    "ShardOutcome",
+    "FarmReport",
+    "FarmResult",
+    "WorkerPool",
+    "replay_farm",
+]
+
+#: Execution modes accepted by :class:`FarmConfig`.
+MODES = ("auto", "process", "inprocess")
+
+#: Exit code a chaos-killed worker dies with (distinguishable from 0).
+_CHAOS_EXIT = 87
+
+#: Internal engine token: the fast path with tier 2 pinned
+#: (``replay_fast(force_exact=True)``).  Workers are re-dispatched with
+#: this when the first round's tiers came back mixed — see
+#: :func:`replay_farm`.
+_EXACT_TIER = "fast-exact"
+
+#: The eight trace-ordered arrays a shard result must carry.
+_ARRAY_KEYS = (
+    "arrival",
+    "start_service",
+    "finish",
+    "outcome",
+    "channel",
+    "bank",
+    "row",
+    "op",
+)
+
+
+# ----------------------------------------------------------------------
+# configuration and report types
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FarmConfig:
+    """Supervisor policy: workers, deadlines, retries, backoff.
+
+    Attributes
+    ----------
+    workers:
+        Worker-process cap; ``0`` (default) means
+        ``min(n_shards, os.cpu_count())``.
+    mode:
+        ``"process"`` (real worker processes), ``"inprocess"`` (shards
+        replayed sequentially in the supervisor — the degraded path,
+        also the deterministic substrate for chaos tests), or
+        ``"auto"`` (processes when multiprocessing is usable and more
+        than one shard/worker exists).
+    engine:
+        Replay engine each worker uses (see
+        :data:`repro.memsys.ENGINES`).
+    max_shards:
+        Optional cap on shard count (channels fold round-robin).
+    max_retries:
+        Failed-attempt budget per shard *beyond* the first try; past
+        it the shard degrades to an in-process replay.
+    deadline_s:
+        Hard wall-clock ceiling per attempt.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Workers heartbeat every ``interval``; silence past ``timeout``
+        marks the worker hung.  Each heartbeat extends the supervisor's
+        patience — long replays survive as long as they stay alive.
+    backoff_base_s / backoff_cap_s / jitter / seed:
+        Retry ``k`` (0-based) sleeps
+        ``min(cap, base * 2**k) * u`` where ``u`` is drawn
+        deterministically from ``[1 - jitter, 1 + jitter]`` keyed by
+        ``(seed, shard_id, attempt)`` — reproducible, yet decorrelated
+        across shards.
+    """
+
+    workers: int = 0
+    mode: str = "auto"
+    engine: str = "auto"
+    max_shards: _t.Optional[int] = None
+    max_retries: int = 2
+    deadline_s: float = 120.0
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 10.0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0 = auto), got {self.workers}"
+            )
+        if self.mode not in MODES:
+            raise ConfigError(
+                f"unknown farm mode {self.mode!r}; available: {MODES}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; available: {ENGINES}"
+            )
+        if self.max_shards is not None and self.max_shards < 1:
+            raise ConfigError(
+                f"max_shards must be >= 1, got {self.max_shards}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        for name in (
+            "deadline_s",
+            "heartbeat_interval_s",
+            "heartbeat_timeout_s",
+        ):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigError(f"{name} must be > 0, got {value}")
+        if self.backoff_base_s < 0:
+            raise ConfigError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigError(
+                "backoff_cap_s must be >= backoff_base_s, got "
+                f"{self.backoff_cap_s} < {self.backoff_base_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+
+@dataclasses.dataclass
+class ShardOutcome:
+    """How one shard fared: attempts, errors, final disposition."""
+
+    shard_id: int
+    channels: _t.Tuple[int, ...]
+    n_requests: int
+    attempts: int = 0
+    engine: _t.Optional[str] = None
+    degraded: bool = False
+    errors: _t.List[str] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "channels": list(self.channels),
+            "n_requests": self.n_requests,
+            "attempts": self.attempts,
+            "engine": self.engine,
+            "degraded": self.degraded,
+            "errors": list(self.errors),
+        }
+
+
+@dataclasses.dataclass
+class FarmReport:
+    """The farm's fault ledger for one replay.
+
+    The counter attributes feed
+    :func:`repro.telemetry.farm_metrics` directly; ``errors`` holds
+    the string form of every typed error that was absorbed by a retry
+    or a degradation (a farm run that *raises* instead never produces
+    a report).
+    """
+
+    mode: str
+    workers: int
+    n_shards: int
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    integrity_failures: int = 0
+    degraded_shards: int = 0
+    harmonized_shards: int = 0
+    fell_back_to_single: bool = False
+    fallback_reason: str = ""
+    shards: _t.List[ShardOutcome] = dataclasses.field(
+        default_factory=list
+    )
+    errors: _t.List[str] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "n_shards": self.n_shards,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "integrity_failures": self.integrity_failures,
+            "degraded_shards": self.degraded_shards,
+            "harmonized_shards": self.harmonized_shards,
+            "fell_back_to_single": self.fell_back_to_single,
+            "fallback_reason": self.fallback_reason,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "errors": list(self.errors),
+        }
+
+
+@dataclasses.dataclass
+class FarmResult:
+    """What :func:`replay_farm` returns: exact stats + fault ledger."""
+
+    stats: MemSysStats
+    report: FarmReport
+    telemetry: _t.Optional["ReplayTelemetry"] = None
+
+
+# ----------------------------------------------------------------------
+# the worker side
+# ----------------------------------------------------------------------
+def _run_shard(
+    config: MemSysConfig,
+    op_codes: np.ndarray,
+    addrs: np.ndarray,
+    times: np.ndarray,
+    channels: _t.Sequence[int],
+    engine: str,
+    fault: _t.Optional[_chaos.Fault] = None,
+    inprocess: bool = False,
+) -> _t.Dict[str, _t.Any]:
+    """Replay one shard on a fresh system; return the sealed payload.
+
+    The payload carries the raw collector state of every owned
+    channel, the shard's trace-ordered latency arrays, the makespan,
+    the no-backpressure certificate (recorded arrivals == trace
+    timestamps), and a :func:`~repro.farm.planner.canonical_checksum`
+    seal computed over all of the above.  Chaos faults are applied
+    here — where real failures strike — so the supervisor cannot tell
+    injected failures from genuine ones.
+    """
+    from ..telemetry import ReplayTelemetry
+
+    if fault is not None:
+        if fault.kind == _chaos.KILL:
+            if inprocess:
+                raise _chaos.ChaosKill("injected worker death")
+            os._exit(_CHAOS_EXIT)
+        if fault.kind == _chaos.HANG and inprocess:
+            # process-mode hangs happen in _worker_main (the worker
+            # must go silent, not raise); in-process runs emulate the
+            # resulting timeout without waiting it out
+            raise _chaos.ChaosHang("injected worker hang")
+        if fault.kind == _chaos.SLOW:
+            time.sleep(fault.delay_s)
+    trace = PackedTrace(op_codes, addrs, times)
+    system = MemorySystem(config)
+    telemetry = ReplayTelemetry(latency=True, profile=False)
+    if engine == _EXACT_TIER:
+        from ..memsys.fastpath import replay_fast
+
+        system._replayed = True
+        stats = replay_fast(
+            system, trace, telemetry, force_exact=True
+        )
+        telemetry._finish(system, stats)
+    else:
+        system.replay(trace, engine=engine, telemetry=telemetry)
+    recorder = telemetry.recorder
+    assert recorder is not None
+    arrays = dict(recorder._assemble())
+    backpressure = not np.array_equal(arrays["arrival"], times)
+    result: _t.Dict[str, _t.Any] = {
+        "makespan_ns": float(system.sim.now),
+        "engine": system.last_replay_engine,
+        "backpressure": bool(backpressure),
+        "controllers": {
+            int(ch): system.controllers[ch].export_state()
+            for ch in channels
+        },
+        "arrays": arrays,
+    }
+    result["checksum"] = canonical_checksum(result)
+    if fault is not None and fault.kind == _chaos.CORRUPT:
+        _chaos.corrupt_result(result)
+    return result
+
+
+def _worker_main(
+    conn,
+    shard_id: int,
+    config: MemSysConfig,
+    op_codes: np.ndarray,
+    addrs: np.ndarray,
+    times: np.ndarray,
+    channels: _t.Tuple[int, ...],
+    engine: str,
+    fault: _t.Optional[_chaos.Fault],
+    heartbeat_interval_s: float,
+) -> None:
+    """Worker-process entry: heartbeat thread + shard replay."""
+    try:
+        if fault is not None and fault.kind == _chaos.HANG:
+            # one heartbeat, then silence: a wedged worker, not a dead
+            # one — only the heartbeat timeout can catch it
+            conn.send(("heartbeat", shard_id))
+            while True:  # pragma: no cover - killed by supervisor
+                time.sleep(3600.0)
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(heartbeat_interval_s):
+                try:
+                    conn.send(("heartbeat", shard_id))
+                except OSError:  # supervisor went away
+                    return
+
+        beater = threading.Thread(
+            target=_beat, name="farm.heartbeat", daemon=True
+        )
+        beater.start()
+        try:
+            result = _run_shard(
+                config,
+                op_codes,
+                addrs,
+                times,
+                channels,
+                engine,
+                fault=fault,
+            )
+        finally:
+            stop.set()
+        conn.send(("result", shard_id, result))
+    except BaseException as error:  # noqa: BLE001 - ship it upstream
+        try:
+            conn.send(
+                ("error", shard_id, f"{type(error).__name__}: {error}")
+            )
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+        raise SystemExit(1)
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the supervisor side
+# ----------------------------------------------------------------------
+class _Active:
+    """Book-keeping for one in-flight worker attempt."""
+
+    __slots__ = ("shard", "attempt", "proc", "conn", "started", "last_seen")
+
+    def __init__(self, shard: Shard, attempt: int, proc, conn) -> None:
+        self.shard = shard
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = time.monotonic()
+        self.last_seen = self.started
+
+
+class WorkerPool:
+    """Supervise shard replays: launch, watch, retry, degrade.
+
+    :meth:`run` executes every shard of a plan and returns the raw
+    result payloads in shard order plus the fault ledger.  Failures
+    are absorbed by the retry budget and, past it, by an in-process
+    fault-free replay of the shard — :meth:`run` itself only raises on
+    misconfiguration, never on worker failure.
+    """
+
+    def __init__(self, farm: _t.Optional[FarmConfig] = None) -> None:
+        self.farm = farm or FarmConfig()
+
+    # ------------------------------------------------------------------
+    def resolve_mode(self, n_shards: int) -> _t.Tuple[str, int, str]:
+        """Pick (mode, workers, reason-if-degraded) for a plan."""
+        farm = self.farm
+        workers = farm.workers or min(n_shards, os.cpu_count() or 1)
+        workers = max(1, min(workers, n_shards))
+        if farm.mode == "inprocess":
+            return "inprocess", workers, ""
+        usable, why = _multiprocessing_usable()
+        if farm.mode == "process":
+            if not usable:
+                return "inprocess", workers, why
+            return "process", workers, ""
+        # auto: processes only when they can actually help
+        if n_shards <= 1 or workers <= 1:
+            return "inprocess", workers, ""
+        if not usable:
+            return "inprocess", workers, why
+        return "process", workers, ""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: ShardPlan,
+        fault_plan: _t.Optional[_chaos.FaultPlan] = None,
+        engine: _t.Optional[str] = None,
+        shard_ids: _t.Optional[_t.Sequence[int]] = None,
+        report: _t.Optional[FarmReport] = None,
+    ) -> _t.Tuple[_t.Dict[int, _t.Dict[str, _t.Any]], FarmReport]:
+        """Replay the plan's shards; return ({shard_id: result}, report).
+
+        ``engine`` overrides the configured worker engine (the
+        tier-harmonization pass pins ``"fast-exact"``); ``shard_ids``
+        restricts the run to a subset; ``report`` accumulates into an
+        existing ledger instead of opening a fresh one.
+        """
+        mode, workers, why = self.resolve_mode(plan.n_shards)
+        if report is None:
+            report = FarmReport(
+                mode=mode, workers=workers, n_shards=plan.n_shards
+            )
+            if why:
+                report.errors.append(f"degraded to in-process: {why}")
+            report.shards = [
+                ShardOutcome(
+                    shard_id=shard.shard_id,
+                    channels=shard.channels,
+                    n_requests=len(shard),
+                )
+                for shard in plan.shards
+            ]
+        engine = engine if engine is not None else self.farm.engine
+        shards = [
+            shard
+            for shard in plan.shards
+            if shard_ids is None or shard.shard_id in set(shard_ids)
+        ]
+        if mode == "process":
+            results = self._run_processes(
+                plan, shards, engine, fault_plan, report
+            )
+        else:
+            results = self._run_inprocess(
+                plan, shards, engine, fault_plan, report
+            )
+        return results, report
+
+    # ------------------------------------------------------------------
+    # shared failure accounting
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, shard_id: int, attempt: int) -> float:
+        farm = self.farm
+        base = min(
+            farm.backoff_cap_s, farm.backoff_base_s * (2.0**attempt)
+        )
+        rng = random.Random(f"{farm.seed}:{shard_id}:{attempt}")
+        lo = 1.0 - farm.jitter
+        span = 2.0 * farm.jitter
+        return base * (lo + span * rng.random())
+
+    def _note_failure(
+        self,
+        report: FarmReport,
+        shard: Shard,
+        attempt: int,
+        error: FarmError,
+    ) -> _t.Tuple[str, float]:
+        """Record one failed attempt; decide ``retry`` or ``degrade``."""
+        outcome = report.shards[shard.shard_id]
+        outcome.errors.append(f"{type(error).__name__}: {error}")
+        report.errors.append(f"{type(error).__name__}: {error}")
+        if isinstance(error, ShardTimeout):
+            report.timeouts += 1
+        elif isinstance(error, ResultIntegrityError):
+            report.integrity_failures += 1
+        else:
+            report.crashes += 1
+        if attempt < self.farm.max_retries:
+            report.retries += 1
+            return "retry", self._backoff_delay(shard.shard_id, attempt)
+        return "degrade", 0.0
+
+    def _verify_result(
+        self, shard: Shard, attempt: int, result: _t.Any
+    ) -> None:
+        """Checksum + shape checks; raises ResultIntegrityError."""
+        if not isinstance(result, dict) or "checksum" not in result:
+            raise ResultIntegrityError(
+                f"shard {shard.shard_id}: malformed result payload",
+                shard_id=shard.shard_id,
+                attempt=attempt,
+            )
+        claimed = result["checksum"]
+        payload = {
+            key: value
+            for key, value in result.items()
+            if key != "checksum"
+        }
+        actual = canonical_checksum(payload)
+        if claimed != actual:
+            raise ResultIntegrityError(
+                f"shard {shard.shard_id}: result checksum mismatch "
+                f"(claimed {claimed[:12]}…, recomputed {actual[:12]}…)",
+                shard_id=shard.shard_id,
+                attempt=attempt,
+            )
+        arrays = result["arrays"]
+        n = len(shard)
+        if set(arrays) != set(_ARRAY_KEYS) or any(
+            arrays[key].shape != (n,) for key in _ARRAY_KEYS
+        ):
+            raise ResultIntegrityError(
+                f"shard {shard.shard_id}: result arrays do not match "
+                f"the shard's {n} request(s)",
+                shard_id=shard.shard_id,
+                attempt=attempt,
+            )
+
+    def _degrade(
+        self,
+        plan: ShardPlan,
+        shard: Shard,
+        engine: str,
+        report: FarmReport,
+    ) -> _t.Dict[str, _t.Any]:
+        """Past the retry budget: replay the shard here, fault-free."""
+        result = _run_shard(
+            plan.config,
+            shard.trace.op_codes,
+            shard.trace.addrs,
+            shard.trace.times,
+            shard.channels,
+            engine,
+            fault=None,
+            inprocess=True,
+        )
+        report.degraded_shards += 1
+        report.attempts += 1
+        outcome = report.shards[shard.shard_id]
+        outcome.attempts += 1
+        outcome.degraded = True
+        outcome.engine = result["engine"]
+        return result
+
+    # ------------------------------------------------------------------
+    # in-process execution (degraded mode; chaos substrate)
+    # ------------------------------------------------------------------
+    def _run_inprocess(
+        self,
+        plan: ShardPlan,
+        shards: _t.Sequence[Shard],
+        engine: str,
+        fault_plan: _t.Optional[_chaos.FaultPlan],
+        report: FarmReport,
+    ) -> _t.Dict[int, _t.Dict[str, _t.Any]]:
+        results: _t.Dict[int, _t.Dict[str, _t.Any]] = {}
+        for shard in shards:
+            attempt = 0
+            while True:
+                report.attempts += 1
+                report.shards[shard.shard_id].attempts += 1
+                fault = (
+                    fault_plan.fault_for(shard.shard_id, attempt)
+                    if fault_plan is not None
+                    else None
+                )
+                error: FarmError
+                try:
+                    result = _run_shard(
+                        plan.config,
+                        shard.trace.op_codes,
+                        shard.trace.addrs,
+                        shard.trace.times,
+                        shard.channels,
+                        engine,
+                        fault=fault,
+                        inprocess=True,
+                    )
+                    self._verify_result(shard, attempt, result)
+                except _chaos.ChaosKill:
+                    error = WorkerCrash(
+                        f"shard {shard.shard_id} worker died "
+                        f"(attempt {attempt})",
+                        shard_id=shard.shard_id,
+                        attempt=attempt,
+                    )
+                except _chaos.ChaosHang:
+                    error = ShardTimeout(
+                        f"shard {shard.shard_id} went silent past "
+                        f"{self.farm.heartbeat_timeout_s}s "
+                        f"(attempt {attempt})",
+                        shard_id=shard.shard_id,
+                        attempt=attempt,
+                    )
+                except ResultIntegrityError as integrity:
+                    error = integrity
+                except Exception as other:  # genuine replay failure
+                    error = WorkerCrash(
+                        f"shard {shard.shard_id} worker raised "
+                        f"{type(other).__name__}: {other}",
+                        shard_id=shard.shard_id,
+                        attempt=attempt,
+                    )
+                else:
+                    outcome = report.shards[shard.shard_id]
+                    outcome.engine = result["engine"]
+                    results[shard.shard_id] = result
+                    break
+                action, delay = self._note_failure(
+                    report, shard, attempt, error
+                )
+                if action == "retry":
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                results[shard.shard_id] = self._degrade(
+                    plan, shard, engine, report
+                )
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # process execution
+    # ------------------------------------------------------------------
+    def _run_processes(
+        self,
+        plan: ShardPlan,
+        shards: _t.Sequence[Shard],
+        engine: str,
+        fault_plan: _t.Optional[_chaos.FaultPlan],
+        report: FarmReport,
+    ) -> _t.Dict[int, _t.Dict[str, _t.Any]]:
+        farm = self.farm
+        ctx = _mp_context()
+        results: _t.Dict[int, _t.Dict[str, _t.Any]] = {}
+        degraded: _t.List[Shard] = []
+        # (ready_at, shard, attempt) — retries wait out their backoff
+        # here without blocking supervision of the other shards
+        queue: _t.List[_t.Tuple[float, Shard, int]] = [
+            (0.0, shard, 0) for shard in shards
+        ]
+        active: _t.Dict[int, _Active] = {}
+        outstanding = len(shards)
+        poll_s = max(
+            0.005, min(0.1, farm.heartbeat_interval_s / 2.0)
+        )
+
+        def _launch(shard: Shard, attempt: int) -> None:
+            fault = (
+                fault_plan.fault_for(shard.shard_id, attempt)
+                if fault_plan is not None
+                else None
+            )
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    shard.shard_id,
+                    plan.config,
+                    shard.trace.op_codes,
+                    shard.trace.addrs,
+                    shard.trace.times,
+                    shard.channels,
+                    engine,
+                    fault,
+                    farm.heartbeat_interval_s,
+                ),
+                name=f"farm-shard{shard.shard_id}-a{attempt}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            report.attempts += 1
+            report.shards[shard.shard_id].attempts += 1
+            active[shard.shard_id] = _Active(
+                shard, attempt, proc, parent_conn
+            )
+
+        def _reap(state: _Active) -> None:
+            state.conn.close()
+            if state.proc.is_alive():
+                state.proc.kill()
+            state.proc.join(timeout=5.0)
+            active.pop(state.shard.shard_id, None)
+
+        def _fail(state: _Active, error: FarmError) -> None:
+            nonlocal outstanding
+            _reap(state)
+            action, delay = self._note_failure(
+                report, state.shard, state.attempt, error
+            )
+            if action == "retry":
+                queue.append(
+                    (
+                        time.monotonic() + delay,
+                        state.shard,
+                        state.attempt + 1,
+                    )
+                )
+            else:
+                degraded.append(state.shard)
+                outstanding -= 1
+
+        try:
+            while outstanding > len(degraded) or active:
+                now = time.monotonic()
+                if queue and len(active) < farm.workers:
+                    queue.sort(key=lambda item: item[0])
+                    while queue and len(active) < farm.workers:
+                        if queue[0][0] > now:
+                            break
+                        _, shard, attempt = queue.pop(0)
+                        _launch(shard, attempt)
+                conns = {
+                    state.conn: state for state in active.values()
+                }
+                if not conns:
+                    time.sleep(poll_s)
+                    continue
+                for conn in _mp_connection.wait(
+                    list(conns), timeout=poll_s
+                ):
+                    state = conns[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        _fail(
+                            state,
+                            WorkerCrash(
+                                f"shard {state.shard.shard_id} worker "
+                                f"died (exitcode "
+                                f"{state.proc.exitcode}, attempt "
+                                f"{state.attempt})",
+                                shard_id=state.shard.shard_id,
+                                attempt=state.attempt,
+                            ),
+                        )
+                        continue
+                    state.last_seen = time.monotonic()
+                    kind = message[0]
+                    if kind == "heartbeat":
+                        continue
+                    if kind == "error":
+                        _fail(
+                            state,
+                            WorkerCrash(
+                                f"shard {state.shard.shard_id} worker "
+                                f"raised {message[2]} (attempt "
+                                f"{state.attempt})",
+                                shard_id=state.shard.shard_id,
+                                attempt=state.attempt,
+                            ),
+                        )
+                        continue
+                    # a result: verify the seal before accepting
+                    result = message[2]
+                    try:
+                        self._verify_result(
+                            state.shard, state.attempt, result
+                        )
+                    except ResultIntegrityError as integrity:
+                        _fail(state, integrity)
+                        continue
+                    _reap(state)
+                    results[state.shard.shard_id] = result
+                    report.shards[
+                        state.shard.shard_id
+                    ].engine = result["engine"]
+                    outstanding -= 1
+                # deadline + heartbeat-silence sweep
+                now = time.monotonic()
+                for state in list(active.values()):
+                    silent = now - state.last_seen
+                    alive_for = now - state.started
+                    if silent > farm.heartbeat_timeout_s:
+                        _fail(
+                            state,
+                            ShardTimeout(
+                                f"shard {state.shard.shard_id} went "
+                                f"silent for {silent:.1f}s (attempt "
+                                f"{state.attempt})",
+                                shard_id=state.shard.shard_id,
+                                attempt=state.attempt,
+                            ),
+                        )
+                    elif alive_for > farm.deadline_s:
+                        _fail(
+                            state,
+                            ShardTimeout(
+                                f"shard {state.shard.shard_id} "
+                                f"exceeded its {farm.deadline_s}s "
+                                f"deadline (attempt {state.attempt})",
+                                shard_id=state.shard.shard_id,
+                                attempt=state.attempt,
+                            ),
+                        )
+        finally:
+            for state in list(active.values()):
+                _reap(state)
+        for shard in degraded:
+            results[shard.shard_id] = self._degrade(
+                plan, shard, engine, report
+            )
+        return results
+
+
+def _multiprocessing_usable() -> _t.Tuple[bool, str]:
+    """Can this interpreter fork/spawn worker processes at all?"""
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception as error:  # pragma: no cover - exotic platforms
+        return False, f"multiprocessing unavailable: {error}"
+    if not methods:  # pragma: no cover - exotic platforms
+        return False, "no multiprocessing start methods available"
+    return True, ""
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap, no pickling of the
+    config), spawn otherwise — the payload is fully picklable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+# ----------------------------------------------------------------------
+# merge and the public entry point
+# ----------------------------------------------------------------------
+def _merge(
+    plan: ShardPlan,
+    results: _t.Mapping[int, _t.Dict[str, _t.Any]],
+) -> _t.Tuple[MemorySystem, MemSysStats, _t.Dict[str, np.ndarray]]:
+    """Reassemble shard payloads into one exact system + stat set.
+
+    Loads every owned channel's collector state into a fresh system,
+    gives never-owned channels the engine's startup idle transition
+    (mirroring the fast path's idle-controller idiom), sets the merged
+    clock to the global makespan, and runs the ordinary
+    :meth:`~repro.memsys.MemorySystem.gather_stats` reduction — the
+    same left-fold over channels in channel order that a single
+    process runs, on bit-identical collector states, hence
+    bit-identical output.
+    """
+    config = plan.config
+    system = MemorySystem(config)
+    owned: _t.Set[int] = set()
+    makespan = 0.0
+    for shard in plan.shards:
+        result = results[shard.shard_id]
+        makespan = max(makespan, float(result["makespan_ns"]))
+        for channel in shard.channels:
+            system.controllers[channel].load_state(
+                result["controllers"][channel]
+            )
+            owned.add(channel)
+    for channel in range(config.n_channels):
+        if channel not in owned:
+            system.controllers[channel].utilization.transition(
+                "idle", 0.0
+            )
+    system.sim._now = makespan
+    system._replayed = True
+    system.last_replay_engine = "farm"
+    stats = system.gather_stats()
+    n = len(plan.trace)
+    arrays: _t.Dict[str, np.ndarray] = {}
+    for key in _ARRAY_KEYS:
+        dtype = (
+            np.float64
+            if key in ("arrival", "start_service", "finish")
+            else np.int64
+        )
+        merged = np.empty(n, dtype=dtype)
+        for shard in plan.shards:
+            merged[shard.index] = results[shard.shard_id]["arrays"][
+                key
+            ]
+        arrays[key] = merged
+    return system, stats, arrays
+
+
+def replay_farm(
+    trace: PackedTrace,
+    config: _t.Optional[MemSysConfig] = None,
+    farm: _t.Optional[FarmConfig] = None,
+    telemetry: _t.Optional["ReplayTelemetry"] = None,
+    fault_plan: _t.Optional[_chaos.FaultPlan] = None,
+) -> FarmResult:
+    """Replay a packed trace on the fault-tolerant sharded farm.
+
+    Plans a channel split, replays each shard under the
+    :class:`WorkerPool` supervisor, verifies every worker's
+    no-backpressure certificate, and merges the collector states into
+    statistics **bit-identical** to
+    ``MemorySystem(config).replay(trace)``.  Traces that cannot be
+    sharded exactly — line-rate traces, or any shard whose certificate
+    failed — are replayed single-process instead (still exact), with
+    the degradation recorded in the report.
+
+    Parameters
+    ----------
+    trace:
+        The :class:`~repro.memsys.trace.PackedTrace` to replay.
+    config:
+        Memory-system configuration (defaults to ``MemSysConfig()``).
+    farm:
+        Supervisor policy (defaults to :class:`FarmConfig`).
+    telemetry:
+        Optional :class:`~repro.telemetry.ReplayTelemetry`; its
+        latency recorder receives the merged trace-ordered arrays
+        (bit-identical to a single-process recording).
+    fault_plan:
+        Optional :class:`~repro.farm.chaos.FaultPlan` for
+        deterministic fault injection (chaos tests only).
+
+    Returns
+    -------
+    FarmResult
+        ``stats`` (exact), ``report`` (the fault ledger), and the
+        ``telemetry`` object passed in (if any).
+    """
+    config = config or MemSysConfig()
+    farm = farm or FarmConfig()
+    pool = WorkerPool(farm)
+    profiler = telemetry.profiler if telemetry is not None else None
+    planner = ShardPlanner(config, max_shards=farm.max_shards)
+    if profiler is not None:
+        with profiler.phase("farm-plan"):
+            plan = planner.plan(trace)
+    else:
+        plan = planner.plan(trace)
+    if not plan.shardable:
+        return _single_process_fallback(
+            trace,
+            config,
+            farm,
+            telemetry,
+            FarmReport(mode="single", workers=1, n_shards=0),
+            plan.reason,
+        )
+    if profiler is not None:
+        with profiler.phase("farm-execute"):
+            results, report = pool.run(plan, fault_plan)
+    else:
+        results, report = pool.run(plan, fault_plan)
+    # Tier harmonization: a single-process fast replay picks ONE tier
+    # for the whole trace (tier 1 only when every channel's
+    # certificates pass), while each worker judged only its own
+    # channels.  Mixed tiers mean the full replay would have run tier
+    # 2 everywhere, so re-run the tier-1 shards with the exact tier
+    # pinned; homogeneous tiers already match the global choice, and
+    # the two tiers differ only by ulp-level Tally rounding — which is
+    # exactly what bit-identity forbids.
+    tiers = {
+        results[shard.shard_id]["engine"] for shard in plan.shards
+    }
+    if "fast-vectorized" in tiers and len(tiers) > 1:
+        redo = [
+            shard.shard_id
+            for shard in plan.shards
+            if results[shard.shard_id]["engine"] == "fast-vectorized"
+        ]
+        report.harmonized_shards = len(redo)
+        if profiler is not None:
+            with profiler.phase("farm-harmonize"):
+                redone, _ = pool.run(
+                    plan,
+                    engine=_EXACT_TIER,
+                    shard_ids=redo,
+                    report=report,
+                )
+        else:
+            redone, _ = pool.run(
+                plan, engine=_EXACT_TIER, shard_ids=redo, report=report
+            )
+        results.update(redone)
+    pressured = [
+        shard.shard_id
+        for shard in plan.shards
+        if results[shard.shard_id]["backpressure"]
+    ]
+    if pressured:
+        return _single_process_fallback(
+            trace,
+            config,
+            farm,
+            telemetry,
+            report,
+            "no-backpressure certificate failed for shard(s) "
+            f"{pressured}: the trace's arrival intensity exceeds its "
+            "queues, so a channel split is not bit-exact",
+        )
+    if profiler is not None:
+        with profiler.phase("farm-merge"):
+            system, stats, arrays = _merge(plan, results)
+    else:
+        system, stats, arrays = _merge(plan, results)
+    if telemetry is not None:
+        if telemetry.recorder is not None:
+            telemetry.recorder._capture_arrays(arrays)
+        telemetry._finish(system, stats)
+    return FarmResult(stats=stats, report=report, telemetry=telemetry)
+
+
+def _single_process_fallback(
+    trace: PackedTrace,
+    config: MemSysConfig,
+    farm: FarmConfig,
+    telemetry: _t.Optional["ReplayTelemetry"],
+    report: FarmReport,
+    reason: str,
+) -> FarmResult:
+    """Graceful degradation: one exact single-process replay."""
+    report.fell_back_to_single = True
+    report.fallback_reason = reason
+    system = MemorySystem(config)
+    engine = farm.engine
+    stats = system.replay(trace, engine=engine, telemetry=telemetry)
+    if math.isnan(stats.makespan_ns):  # pragma: no cover - defensive
+        raise FarmError("single-process fallback produced no makespan")
+    return FarmResult(stats=stats, report=report, telemetry=telemetry)

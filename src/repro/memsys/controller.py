@@ -465,6 +465,61 @@ class ChannelController:
             done.succeed(request)
 
     # ------------------------------------------------------------------
+    # collector state export/load (the replay farm's merge hooks)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Exact post-replay collector + bank state of this channel.
+
+        Captures the raw internals of every statistics collector and
+        every bank's row-buffer state machine, so a shard worker can
+        ship its channel's evolution across a process boundary and the
+        farm supervisor can :meth:`load_state` it into a fresh
+        controller — after which every stats reduction
+        (:meth:`~repro.memsys.MemorySystem.gather_stats`,
+        :meth:`metrics`) computes **bit-identical** floats, because the
+        same reduction code runs on identical collector states.
+
+        Only valid between replays (an empty queue); the transient
+        scheduling structures (pending queue, open-row table) are
+        deliberately not part of the contract.
+        """
+        if self.pending:
+            raise RuntimeError(
+                f"channel {self.channel_id} still has "
+                f"{len(self.pending)} pending request(s); export_state "
+                "is a post-replay hook"
+            )
+        return {
+            "channel_id": self.channel_id,
+            "latency": self.latency.state_dict(),
+            "queue_len": self.queue_len.state_dict(),
+            "utilization": self.utilization.state_dict(),
+            "completed": self.completed.state_dict(),
+            "bits_delivered": self.bits_delivered.state_dict(),
+            "refresh_applied": list(self._refresh_applied),
+            "banks": [bank.export_state() for bank in self.banks],
+        }
+
+    def load_state(self, state: _t.Mapping[str, _t.Any]) -> None:
+        """Restore the exact state captured by :meth:`export_state`."""
+        banks = state["banks"]
+        if len(banks) != len(self.banks):
+            raise ValueError(
+                f"state carries {len(banks)} banks but channel "
+                f"{self.channel_id} has {len(self.banks)}"
+            )
+        self.latency.load_state(state["latency"])
+        self.queue_len.load_state(state["queue_len"])
+        self.utilization.load_state(state["utilization"])
+        self.completed.load_state(state["completed"])
+        self.bits_delivered.load_state(state["bits_delivered"])
+        self._refresh_applied = [
+            int(epoch) for epoch in state["refresh_applied"]
+        ]
+        for bank, bank_state in zip(self.banks, banks):
+            bank.load_state(bank_state)
+
+    # ------------------------------------------------------------------
     @property
     def row_hit_rate(self) -> float:
         """Aggregate row-hit rate over the channel's banks."""

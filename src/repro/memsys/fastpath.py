@@ -148,6 +148,8 @@ def replay_fast(
     system: "MemorySystem",
     trace: _t.Union[_t.Sequence[MemRequest], PackedTrace],
     telemetry: _t.Optional["ReplayTelemetry"] = None,
+    *,
+    force_exact: bool = False,
 ) -> "MemSysStats":
     """Replay ``trace`` through ``system`` without scheduling events.
 
@@ -165,6 +167,15 @@ def replay_fast(
     times — by reference (the vectorized plan arrays, or the exact
     tier's request list), so capture costs nothing while the clock is
     running and never perturbs the replay arithmetic.
+
+    ``force_exact=True`` pins tier 2 without evaluating the vectorized
+    certificates.  The replay-farm workers use this to reproduce the
+    tier a single-process replay of the *whole* trace would pick: the
+    two tiers accumulate :class:`~repro.desim.stats.Tally` state
+    through different (each internally exact) float reductions, so a
+    shard replayed on a different tier than its channel saw in the
+    full replay can drift by one ulp — pinning the tier restores
+    bit-identity.
     """
     recorder = telemetry.recorder if telemetry is not None else None
     phase = (
@@ -204,7 +215,9 @@ def replay_fast(
         ) % n_banks
 
     with phase("certificate"):
-        if bool(np.any(op_codes == _AB_CODE)):
+        if force_exact:
+            plan = None
+        elif bool(np.any(op_codes == _AB_CODE)):
             # register-broadcast traffic (mixed host/PIM command
             # streams): always the exact tier, which drives the
             # controller's _serve

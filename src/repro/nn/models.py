@@ -38,6 +38,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..errors import ConfigError
 from ..memsys import MemSysConfig
 from ..memsys.trace import INTERARRIVALS, arrival_times
 from ..pimexec.commands import GRF_REGS
@@ -74,16 +75,16 @@ class TransformerLayerSpec:
 
     def __post_init__(self) -> None:
         if self.d_model < 1 or self.n_heads < 1 or self.seq_len < 1:
-            raise ValueError(
+            raise ConfigError(
                 "d_model, n_heads, and seq_len must all be >= 1"
             )
         if self.d_model % self.n_heads:
-            raise ValueError(
+            raise ConfigError(
                 f"d_model={self.d_model} must be divisible by "
                 f"n_heads={self.n_heads}"
             )
         if self.d_ff is not None and self.d_ff < 1:
-            raise ValueError("d_ff must be >= 1")
+            raise ConfigError("d_ff must be >= 1")
 
     @property
     def d_head(self) -> int:
@@ -99,7 +100,7 @@ class _TraceBuilder:
 
     def __init__(self, config: MemSysConfig, channel: int) -> None:
         if not 0 <= channel < config.n_channels:
-            raise ValueError(
+            raise ConfigError(
                 f"channel {channel} out of range "
                 f"[0, {config.n_channels})"
             )
@@ -120,7 +121,7 @@ class _TraceBuilder:
         capacity = self.config.rows_per_bank * self.ppr
         # the GPR/CFR apertures occupy the two highest rows
         if self._slots > capacity - 2 * self.ppr:
-            raise ValueError(
+            raise ConfigError(
                 f"transformer layer needs {self._slots} slots per "
                 f"bank; geometry holds {capacity - 2 * self.ppr}"
             )
@@ -366,12 +367,12 @@ def transformer_layer_trace(
     spec = spec or TransformerLayerSpec()
     config = config or MemSysConfig()
     if interarrival not in INTERARRIVALS:
-        raise ValueError(
+        raise ConfigError(
             f"unknown interarrival mode {interarrival!r}; available: "
             f"{INTERARRIVALS}"
         )
     if interarrival != "fixed" and interarrival_ns is None:
-        raise ValueError(
+        raise ConfigError(
             f"interarrival={interarrival!r} needs interarrival_ns "
             "(the mean gap of the arrival process)"
         )

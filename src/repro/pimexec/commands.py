@@ -36,6 +36,8 @@ import dataclasses
 import enum
 import typing as _t
 
+from ..errors import ReproError
+
 __all__ = [
     "PimExecError",
     "PimOpcode",
@@ -55,8 +57,14 @@ __all__ = [
 ]
 
 
-class PimExecError(RuntimeError):
-    """Raised on malformed PIM commands/programs or execution faults."""
+class PimExecError(ReproError, RuntimeError):
+    """Raised on malformed PIM commands/programs or execution faults.
+
+    Part of the shared :mod:`repro.errors` taxonomy (still a
+    ``RuntimeError`` for backward compatibility).
+    """
+
+    code = "PIMEXEC"
 
 
 class PimOpcode(enum.Enum):

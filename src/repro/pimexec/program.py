@@ -64,6 +64,7 @@ import math
 import pathlib
 import typing as _t
 
+from ..errors import ConfigError, ProgramFormatError
 from ..memsys import Coordinates, MemRequest, MemSysConfig, Op
 from .commands import PimCommand, PimExecError, PimOpcode, parse_command
 from .machine import PimExecMachine
@@ -153,17 +154,17 @@ class PimProgram:
             lineno = record.lineno
             if record.kind == MEM:
                 if not 0 <= record.channel < config.n_channels:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: channel {record.channel} "
                         f"out of range [0, {config.n_channels})"
                     )
                 if not 0 <= record.bank < config.banks_per_channel:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: bank {record.bank} out "
                         f"of range [0, {config.banks_per_channel})"
                     )
                 if not 0 <= record.row < config.rows_per_bank:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: row {record.row} out of "
                         f"range [0, {config.rows_per_bank})"
                     )
@@ -197,7 +198,7 @@ class PimProgram:
             elif record.kind == SB:
                 assert record.addr is not None
                 if record.addr >= amap.capacity_bytes:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: address "
                         f"{record.addr:#x} beyond the "
                         f"{amap.capacity_bytes:#x}-byte address map"
@@ -220,12 +221,12 @@ class PimProgram:
                     row = explicit.row  # type: ignore[assignment]
                     col = explicit.col  # type: ignore[assignment]
                 if not 0 <= row < config.rows_per_bank:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: PIM row {row} out of "
                         f"range [0, {config.rows_per_bank})"
                     )
                 if not 0 <= col < ppr:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: PIM column {col} out of "
                         f"range [0, {ppr})"
                     )
@@ -269,13 +270,13 @@ class PimProgram:
         config = config or MemSysConfig()
         if interarrival_ns is not None:
             if self.timestamped:
-                raise ValueError(
+                raise ConfigError(
                     "program records carry '@<ns>' timestamps; "
                     "interarrival_ns only applies to untimestamped "
                     "programs"
                 )
             if not interarrival_ns >= 0.0:
-                raise ValueError(
+                raise ConfigError(
                     f"interarrival_ns must be >= 0, got "
                     f"{interarrival_ns}"
                 )
@@ -350,11 +351,11 @@ def _int_field(token: str, lineno: int, what: str) -> int:
     try:
         value = int(token.strip('"'), 0)
     except ValueError:
-        raise ValueError(
+        raise ProgramFormatError(
             f"trace line {lineno}: bad {what} {token!r}"
         ) from None
     if value < 0:
-        raise ValueError(
+        raise ProgramFormatError(
             f"trace line {lineno}: negative {what} {token!r}"
         )
     return value
@@ -394,16 +395,16 @@ def parse_pim_program(
             try:
                 when = float(stamp[1:])
             except ValueError:
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: bad timestamp {stamp!r}"
                 ) from None
             if not (when >= 0.0 and math.isfinite(when)):
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: timestamp {stamp!r} must "
                     "be a non-negative finite value"
                 )
             if when < last_time:
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: timestamp {stamp!r} "
                     f"decreases (previous was {last_time!r})"
                 )
@@ -414,7 +415,7 @@ def parse_pim_program(
             try:
                 command = parse_command(" ".join(tokens[1:]))
             except PimExecError as error:
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: {error}"
                 ) from None
             record = ProgramRecord(
@@ -422,7 +423,7 @@ def parse_pim_program(
             )
         elif head == "AB":
             if len(tokens) != 2 or tokens[1].upper() != "W":
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: expected 'AB W', got {raw!r}"
                 )
             record = ProgramRecord(
@@ -432,7 +433,7 @@ def parse_pim_program(
         elif head in ("R", "W", "SB"):
             if head == "SB":
                 if len(tokens) != 3 or tokens[1].upper() not in ("R", "W"):
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: expected "
                         f"'SB R|W ADDRESS', got {raw!r}"
                     )
@@ -442,13 +443,13 @@ def parse_pim_program(
                 write = head == "W"
                 rest = tokens[1:]
             if not rest:
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: truncated record {raw!r}"
                 )
             target = rest[0].upper()
             if target == "GPR":
                 if len(rest) != 2:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: expected "
                         f"'{head} GPR INDEX', got {raw!r}"
                     )
@@ -462,7 +463,7 @@ def parse_pim_program(
                     last_gpr_any = index
             elif target == "CFR":
                 if len(rest) not in (2, 3):
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: expected "
                         f"'{head} CFR INDEX [DATA]', got {raw!r}"
                     )
@@ -481,7 +482,7 @@ def parse_pim_program(
                     last_config = index
             elif target == "MEM":
                 if len(rest) != 4:
-                    raise ValueError(
+                    raise ProgramFormatError(
                         f"trace line {lineno}: expected "
                         f"'{head} MEM CHANNEL BANK ROW', got {raw!r}"
                     )
@@ -502,11 +503,11 @@ def parse_pim_program(
                     lineno, SB, write=write, addr=addr
                 )
             else:
-                raise ValueError(
+                raise ProgramFormatError(
                     f"trace line {lineno}: unknown record form {raw!r}"
                 )
         else:
-            raise ValueError(
+            raise ProgramFormatError(
                 f"trace line {lineno}: unknown record {tokens[0]!r} "
                 "(expected R/W/SB/AB/PIM)"
             )
@@ -527,7 +528,7 @@ def parse_pim_program(
         offender = next(
             record for record in lowered if record.timestamp is None
         )
-        raise ValueError(
+        raise ProgramFormatError(
             f"trace line {offender.lineno}: record lacks the '@<ns>' "
             "timestamp carried by other records (timestamp every "
             "request-lowering record or none)"

@@ -25,6 +25,7 @@ from .registry import (
     SCHEMA,
     MetricsRegistry,
     exact_percentile,
+    farm_metrics,
     latency_summary,
     memsys_metrics,
     pimexec_metrics,
@@ -45,6 +46,7 @@ __all__ = [
     "SCHEMA",
     "MetricsRegistry",
     "exact_percentile",
+    "farm_metrics",
     "latency_summary",
     "memsys_metrics",
     "pimexec_metrics",

@@ -110,6 +110,30 @@ class LatencyRecorder:
             "plan": plan,
         }
 
+    def _capture_arrays(
+        self, arrays: _t.Dict[str, np.ndarray]
+    ) -> None:
+        """Adopt already-assembled trace-ordered arrays.
+
+        The replay farm's merge path: shard workers record through
+        their own recorders, the supervisor scatters the shard arrays
+        back to trace order and hands the merged dict here — the same
+        eight keys :meth:`_assemble` produces, so every derived
+        property behaves identically.
+        """
+        self._guard_single_capture()
+        expected = {
+            "arrival", "start_service", "finish", "outcome",
+            "channel", "bank", "row", "op",
+        }
+        if set(arrays) != expected:
+            raise ValueError(
+                f"merged capture needs keys {sorted(expected)}, got "
+                f"{sorted(arrays)}"
+            )
+        self._plan = {}  # mark as captured for the guard
+        self._arrays = dict(arrays)
+
     @property
     def captured(self) -> bool:
         return self._requests is not None or self._plan is not None

@@ -42,6 +42,7 @@ __all__ = [
     "MetricsRegistry",
     "exact_percentile",
     "latency_summary",
+    "farm_metrics",
     "memsys_metrics",
     "pimexec_metrics",
 ]
@@ -334,4 +335,51 @@ def pimexec_metrics(
                 stats["kernels_loaded"],
                 **channel_tags,
             )
+    return registry
+
+
+def farm_metrics(
+    report: _t.Any,
+    registry: _t.Optional[MetricsRegistry] = None,
+    **tags: _t.Any,
+) -> MetricsRegistry:
+    """Emit one :class:`~repro.farm.FarmReport` into a registry.
+
+    Surfaces the robustness ledger of a sharded replay — retries,
+    timeouts, crashes, integrity failures, and degradations — as
+    counters, so fleet dashboards can alert on silent degradation (a
+    farm that keeps falling back to in-process replay still returns
+    exact results, but has stopped being a farm).
+    """
+    # explicit None test: an empty registry is falsy (it has __len__)
+    if registry is None:
+        registry = MetricsRegistry(source="farm")
+    tags = dict(tags, mode=report.mode)
+    registry.gauge("farm.workers", report.workers, **tags)
+    registry.counter("farm.shards", report.n_shards, **tags)
+    registry.counter("farm.attempts", report.attempts, **tags)
+    registry.counter("farm.retries", report.retries, **tags)
+    registry.counter("farm.timeouts", report.timeouts, **tags)
+    registry.counter("farm.crashes", report.crashes, **tags)
+    registry.counter(
+        "farm.integrity_failures", report.integrity_failures, **tags
+    )
+    registry.counter(
+        "farm.degraded_shards", report.degraded_shards, **tags
+    )
+    registry.counter(
+        "farm.harmonized_shards", report.harmonized_shards, **tags
+    )
+    registry.counter(
+        "farm.single_process_fallbacks",
+        int(report.fell_back_to_single),
+        **tags,
+    )
+    if report.fallback_reason:
+        registry.gauge(
+            "farm.degraded",
+            1.0,
+            reason=report.fallback_reason,
+            **tags,
+        )
     return registry

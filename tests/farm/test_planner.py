@@ -1,0 +1,144 @@
+"""Tests for repro.farm.planner: sharding and canonical checksums."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.farm import ShardPlanner, canonical_checksum
+from repro.memsys import MemSysConfig
+from repro.memsys.trace import PackedTrace, synthesize_trace
+
+
+def _trace(n=400, n_channels=4, seed=0, interarrival_ns=40.0):
+    config = MemSysConfig(
+        n_channels=n_channels, scheme="channel-interleaved"
+    )
+    trace = synthesize_trace(
+        "random",
+        n,
+        config,
+        seed=seed,
+        packed=True,
+        interarrival_ns=interarrival_ns,
+        interarrival="poisson",
+    )
+    return config, trace
+
+
+class TestShardPlanner:
+    def test_partitions_by_decoded_channel(self):
+        config, trace = _trace()
+        plan = ShardPlanner(config).plan(trace)
+        assert plan.shardable
+        channel = config.address_map().decode_fields(trace.addrs)[
+            "channel"
+        ]
+        for shard in plan.shards:
+            assert set(np.unique(channel[shard.index])) == set(
+                shard.channels
+            )
+
+    def test_shards_cover_the_trace_exactly_once(self):
+        config, trace = _trace()
+        plan = ShardPlanner(config).plan(trace)
+        indices = np.concatenate(
+            [shard.index for shard in plan.shards]
+        )
+        assert sorted(indices.tolist()) == list(range(len(trace)))
+
+    def test_shard_traces_preserve_order_and_content(self):
+        config, trace = _trace()
+        plan = ShardPlanner(config).plan(trace)
+        for shard in plan.shards:
+            assert np.array_equal(
+                shard.trace.addrs, trace.addrs[shard.index]
+            )
+            assert np.array_equal(
+                shard.trace.op_codes, trace.op_codes[shard.index]
+            )
+            # a subsequence of a sorted sequence stays sorted
+            assert np.all(np.diff(shard.trace.times) >= 0)
+
+    def test_line_rate_trace_is_not_shardable(self):
+        config, _ = _trace()
+        trace = synthesize_trace(
+            "random", 100, config, seed=1, packed=True
+        )
+        plan = ShardPlanner(config).plan(trace)
+        assert not plan.shardable
+        assert "line-rate" in plan.reason
+        assert plan.n_shards == 0
+
+    def test_empty_trace_is_not_shardable(self):
+        config, _ = _trace()
+        empty = PackedTrace(
+            np.zeros(0, dtype=np.uint8),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+        )
+        plan = ShardPlanner(config).plan(empty)
+        assert not plan.shardable
+        assert "empty" in plan.reason
+
+    def test_max_shards_folds_channels_round_robin(self):
+        config, trace = _trace(n_channels=8)
+        plan = ShardPlanner(config, max_shards=3).plan(trace)
+        assert plan.n_shards == 3
+        covered = sorted(
+            channel
+            for shard in plan.shards
+            for channel in shard.channels
+        )
+        assert covered == list(range(8))
+
+    def test_max_shards_validation(self):
+        config, _ = _trace()
+        with pytest.raises(ConfigError):
+            ShardPlanner(config, max_shards=0)
+
+
+class TestCanonicalChecksum:
+    def test_deterministic(self):
+        payload = {
+            "a": np.arange(5, dtype=np.int64),
+            "b": 1.5,
+            "c": [1, "two", None, True],
+        }
+        assert canonical_checksum(payload) == canonical_checksum(
+            payload
+        )
+
+    def test_single_ulp_flip_changes_checksum(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        before = canonical_checksum({"x": arr})
+        bumped = arr.copy()
+        bumped[1] = np.nextafter(bumped[1], np.inf)
+        assert canonical_checksum({"x": bumped}) != before
+
+    def test_dtype_and_shape_are_significant(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert canonical_checksum(a) != canonical_checksum(
+            a.astype(np.float64)
+        )
+        assert canonical_checksum(a) != canonical_checksum(
+            a.reshape(2, 2)
+        )
+
+    def test_type_tags_disambiguate(self):
+        # int 1 vs float 1.0 vs string "1" must all differ
+        sums = {
+            canonical_checksum(1),
+            canonical_checksum(1.0),
+            canonical_checksum("1"),
+            canonical_checksum(True),
+        }
+        assert len(sums) == 4
+
+    def test_dict_order_is_irrelevant(self):
+        assert canonical_checksum(
+            {"a": 1, "b": 2}
+        ) == canonical_checksum({"b": 2, "a": 1})
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical_checksum(object())

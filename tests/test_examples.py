@@ -44,6 +44,12 @@ EXPECTED_MARKERS = {
         "bank-group GEMM: bit-identical output",
         "event and fast engines agree bit-for-bit",
     ],
+    "farm_replay.py": [
+        "farm stats bit-identical to single-process: True",
+        "stats under chaos bit-identical to single-process: True",
+        "fault ledger:",
+        "fell back to single-process = True",
+    ],
 }
 
 

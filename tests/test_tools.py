@@ -32,6 +32,18 @@ def memsys_record(**overrides):
     return record
 
 
+def farm_record(**overrides):
+    record = {
+        "benchmark": "farm_replay_speedup",
+        "speedup": 2.5,
+        "floor_speedup": 2.0,
+        "floor_enforced": True,
+        "passed": True,
+    }
+    record.update(overrides)
+    return record
+
+
 class TestCompareRecord:
     def test_clean_record_reports_and_passes(self):
         problems, report = compare_bench.compare_record(
@@ -110,12 +122,143 @@ class TestCompareRecord:
     def test_floors_table_covers_all_committed_records(self):
         """Every committed BENCH_*.json is comparable as-is."""
         records = sorted(REPO_ROOT.glob("BENCH_*.json"))
-        assert len(records) == 3
+        assert len(records) == 4
         for path in records:
             fresh = json.loads(path.read_text())
             problems, report = compare_bench.compare_record(fresh, fresh)
             assert problems == [], path.name
             assert report, path.name
+
+
+class TestGatedFloors:
+    def test_enforced_gate_misses_like_any_floor(self):
+        problems, report = compare_bench.compare_record(
+            farm_record(speedup=1.1), None
+        )
+        assert any("misses floor" in p for p in problems)
+        assert any("FLOOR MISS" in line for line in report)
+
+    def test_open_gate_reports_but_does_not_fail(self):
+        problems, report = compare_bench.compare_record(
+            farm_record(speedup=1.1, floor_enforced=False), None
+        )
+        assert problems == []
+        assert any("not enforced" in line for line in report)
+
+    def test_open_gate_still_catches_weakened_floor(self):
+        # a 1-core runner must not be a loophole for lowering the
+        # committed speedup floor
+        problems, _ = compare_bench.compare_record(
+            farm_record(
+                speedup=1.1, floor_speedup=1.0, floor_enforced=False
+            ),
+            farm_record(),
+        )
+        assert any("weakened" in p for p in problems)
+
+    def test_passing_gated_record_is_clean(self):
+        problems, _ = compare_bench.compare_record(
+            farm_record(), farm_record()
+        )
+        assert problems == []
+
+
+class TestRemeasure:
+    def write(self, directory, record, name="BENCH_memsys.json"):
+        path = directory / name
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_floor_miss_gets_one_retry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        fresh = self.write(
+            tmp_path, memsys_record(fast_requests_per_sec=10)
+        )
+        calls = []
+
+        def fake_remeasure(path):
+            calls.append(path)
+            # the "re-run" produces a healthy record
+            self.write(tmp_path, memsys_record())
+            return True
+
+        monkeypatch.setattr(
+            compare_bench, "_remeasure", fake_remeasure
+        )
+        assert compare_bench.main([str(fresh), "--remeasure"]) == 0
+        assert calls == [fresh]
+
+    def test_second_miss_still_fails(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        fresh = self.write(
+            tmp_path, memsys_record(fast_requests_per_sec=10)
+        )
+        calls = []
+
+        def fake_remeasure(path):
+            calls.append(path)
+            return True  # record unchanged: the miss persists
+
+        monkeypatch.setattr(
+            compare_bench, "_remeasure", fake_remeasure
+        )
+        assert compare_bench.main([str(fresh), "--remeasure"]) == 1
+        assert len(calls) == 1  # one bounded retry, not a loop
+        assert "misses floor" in capsys.readouterr().err
+
+    def test_weakened_floor_is_never_retried(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        fresh_dir = tmp_path / "fresh"
+        base_dir = tmp_path / "base"
+        fresh_dir.mkdir(), base_dir.mkdir()
+        fresh = self.write(
+            fresh_dir, memsys_record(floor_requests_per_sec=500_000)
+        )
+        self.write(base_dir, memsys_record())
+        calls = []
+        monkeypatch.setattr(
+            compare_bench,
+            "_remeasure",
+            lambda path: calls.append(path) or True,
+        )
+        assert (
+            compare_bench.main(
+                [
+                    str(fresh),
+                    "--baseline", str(base_dir),
+                    "--remeasure",
+                ]
+            )
+            == 1
+        )
+        assert calls == []  # weakening is not a measurement outcome
+
+    def test_without_flag_no_retry(self, tmp_path, monkeypatch):
+        fresh = self.write(
+            tmp_path, memsys_record(fast_requests_per_sec=10)
+        )
+        calls = []
+        monkeypatch.setattr(
+            compare_bench,
+            "_remeasure",
+            lambda path: calls.append(path) or True,
+        )
+        assert compare_bench.main([str(fresh)]) == 1
+        assert calls == []
+
+    def test_unknown_record_stem_cannot_remeasure(
+        self, tmp_path, capsys
+    ):
+        fresh = self.write(
+            tmp_path,
+            memsys_record(fast_requests_per_sec=10),
+            name="BENCH_noscript.json",
+        )
+        assert compare_bench.main([str(fresh), "--remeasure"]) == 1
+        assert "cannot re-measure" in capsys.readouterr().err
 
 
 class TestMain:
