@@ -21,6 +21,12 @@ Commands
     single-process replay) and print the per-shard fault ledger; the
     plain ``replay`` verb's ``--workers N`` uses the same farm with
     default fault-tolerance policy.  See ``docs/robustness.md``.
+``repro-pim report TRACE [--workers N] [--json FILE]``
+    Replay a trace once and render one unified run report — metrics
+    snapshot, exact latency percentiles, windowed time series, and
+    (with ``--workers``) the farm fault ledger and supervisor event
+    counts — as text tables plus a ``repro.telemetry/report-v1`` JSON
+    document.
 ``repro-pim pimexec [--kernel NAME | --trace FILE]``
     Execute built-in PIM kernels on the per-bank execution units and
     compare against host-only twins, or replay an HBM-PIMulator-style
@@ -34,10 +40,12 @@ Commands
 
 Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 ``--out DIR`` (write CSV tables + reports per experiment).  The replay
-verbs (``replay``/``pimexec``/``nn``) accept ``--metrics FILE`` (a
-``repro.telemetry/v1`` metrics snapshot with exact latency percentiles)
-and ``--timeline FILE`` (a Chrome-trace-event command timeline viewable
-in Perfetto); see ``docs/observability.md``.
+verbs (``replay``/``farm``/``pimexec``/``nn``) accept ``--metrics FILE``
+(a ``repro.telemetry/v1`` metrics snapshot with exact latency
+percentiles), ``--timeline FILE`` (a Chrome-trace-event command timeline
+viewable in Perfetto), and ``--timeseries FILE`` (a
+``repro.telemetry/timeseries-v1`` windowed-metrics document,
+bit-identical across engines); see ``docs/observability.md``.
 
 Examples
 --------
@@ -172,6 +180,32 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard outcomes) to FILE as JSON",
     )
     _add_telemetry_flags(farm_p)
+
+    report_p = sub.add_parser(
+        "report",
+        help="replay a trace once and render one unified run report "
+        "(metrics + exact percentiles + time series + farm ledger)",
+    )
+    _add_memsys_flags(report_p)
+    report_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="replay on the sharded farm with N worker processes and "
+        "include the fault ledger + supervisor event counts "
+        "(default: 0 — plain single-process replay)",
+    )
+    report_p.add_argument(
+        "--windows", type=int, default=None, metavar="N",
+        help="number of time-series windows (default: 64)",
+    )
+    report_p.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="FILE",
+        help="write the repro.telemetry/report-v1 document to FILE",
+    )
+    report_p.add_argument(
+        "--timeseries", type=pathlib.Path, default=None, metavar="FILE",
+        help="also write the embedded repro.telemetry/timeseries-v1 "
+        "document on its own to FILE",
+    )
 
     pimexec_p = sub.add_parser(
         "pimexec",
@@ -315,7 +349,8 @@ def _add_memsys_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
-    """``--metrics`` / ``--timeline`` shared by the replay verbs."""
+    """``--metrics``/``--timeline``/``--timeseries`` shared by the
+    replay verbs."""
     parser.add_argument(
         "--metrics", type=pathlib.Path, default=None, metavar="FILE",
         help="write a repro.telemetry/v1 metrics snapshot (counters, "
@@ -327,11 +362,21 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         "busy spans, row open/close, refresh blackouts) to FILE — "
         "open it in Perfetto / chrome://tracing",
     )
+    parser.add_argument(
+        "--timeseries", type=pathlib.Path, default=None, metavar="FILE",
+        help="write a repro.telemetry/timeseries-v1 windowed-metrics "
+        "document (offered/served load, bandwidth, queue depth, busy "
+        "and refresh fractions over time) to FILE as JSON",
+    )
 
 
 def _make_telemetry(args: argparse.Namespace) -> _t.Optional[_t.Any]:
     """A :class:`~repro.telemetry.ReplayTelemetry` if any flag asks."""
-    if args.metrics is None and args.timeline is None:
+    if (
+        args.metrics is None
+        and args.timeline is None
+        and getattr(args, "timeseries", None) is None
+    ):
         return None
     from .telemetry import ReplayTelemetry
 
@@ -344,7 +389,8 @@ def _write_telemetry(
     registry: _t.Optional[_t.Any] = None,
     **tags: _t.Any,
 ) -> None:
-    """Write the requested ``--metrics`` / ``--timeline`` files."""
+    """Write the requested ``--metrics``/``--timeline``/``--timeseries``
+    files."""
     if telemetry is None:
         return
     if args.metrics is not None:
@@ -364,6 +410,16 @@ def _write_telemetry(
         print(
             f"timeline: wrote {args.timeline} "
             f"({len(document['traceEvents'])} events)"
+        )
+    if getattr(args, "timeseries", None) is not None:
+        from .telemetry import build_timeseries
+
+        document = build_timeseries(telemetry)
+        args.timeseries.parent.mkdir(parents=True, exist_ok=True)
+        args.timeseries.write_text(json.dumps(document) + "\n")
+        print(
+            f"timeseries: wrote {args.timeseries} "
+            f"({document['n_windows']} windows)"
         )
 
 
@@ -572,6 +628,81 @@ def _farm_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_command(args: argparse.Namespace) -> int:
+    """Replay once; render the unified run report."""
+    from .memsys import MemorySystem
+    from .telemetry import (
+        MetricsRegistry,
+        ReplayTelemetry,
+        build_report,
+        build_timeseries,
+        farm_metrics,
+        memsys_metrics,
+        render_report,
+        write_report,
+    )
+
+    if not args.trace.exists():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        config, trace = _memsys_config_and_trace(args)
+        if len(trace) == 0:
+            print(f"empty trace: {args.trace}", file=sys.stderr)
+            return 2
+        telemetry = ReplayTelemetry()
+        farm_report = None
+        system = None
+        if args.workers:
+            from .farm import FarmConfig, replay_farm
+
+            farm = FarmConfig(workers=args.workers, engine=args.engine)
+            result = replay_farm(trace, config, farm, telemetry=telemetry)
+            stats, farm_report = result.stats, result.report
+        else:
+            system = MemorySystem(config)
+            stats = system.replay(
+                trace, engine=args.engine, telemetry=telemetry
+            )
+        source = f"repro-pim report {args.trace}"
+        registry = MetricsRegistry(source=source)
+        memsys_metrics(
+            registry=registry,
+            stats=stats,
+            system=system,
+            scheme=args.scheme,
+            policy=args.policy,
+        )
+        if farm_report is not None:
+            farm_metrics(farm_report, registry)
+        telemetry.metrics_into(
+            registry, scheme=args.scheme, policy=args.policy
+        )
+        timeseries = build_timeseries(telemetry, n_windows=args.windows)
+        document = build_report(
+            telemetry,
+            registry=registry,
+            timeseries=timeseries,
+            farm_report=farm_report,
+            source=source,
+        )
+    except _BAD_INPUT as error:
+        print(f"report failed: {error}", file=sys.stderr)
+        return 2
+    print(render_report(document))
+    if args.json is not None:
+        write_report(document, args.json)
+        print(f"report:   wrote {args.json}")
+    if args.timeseries is not None:
+        args.timeseries.parent.mkdir(parents=True, exist_ok=True)
+        args.timeseries.write_text(json.dumps(timeseries) + "\n")
+        print(
+            f"timeseries: wrote {args.timeseries} "
+            f"({timeseries['n_windows']} windows)"
+        )
+    return 0
+
+
 def _pimexec_command(args: argparse.Namespace) -> int:
     """Run PIM kernels (or replay a program trace); print a report."""
     from .pimexec import (
@@ -629,10 +760,10 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.metrics or args.timeline) and len(names) != 1:
+    if (args.metrics or args.timeline or args.timeseries) and len(names) != 1:
         print(
-            "--metrics/--timeline instrument one replay: pick a "
-            "single kernel with --kernel NAME",
+            "--metrics/--timeline/--timeseries instrument one replay: "
+            "pick a single kernel with --kernel NAME",
             file=sys.stderr,
         )
         return 2
@@ -701,10 +832,14 @@ def _nn_command(args: argparse.Namespace) -> int:
     )
 
     if args.emit_trace is not None:
-        if args.metrics is not None or args.timeline is not None:
+        if (
+            args.metrics is not None
+            or args.timeline is not None
+            or args.timeseries is not None
+        ):
             print(
-                "--metrics/--timeline instrument a replay; they do "
-                "not apply to --emit-trace",
+                "--metrics/--timeline/--timeseries instrument a "
+                "replay; they do not apply to --emit-trace",
                 file=sys.stderr,
             )
             return 2
@@ -758,10 +893,10 @@ def _nn_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.metrics or args.timeline) and len(names) != 1:
+    if (args.metrics or args.timeline or args.timeseries) and len(names) != 1:
         print(
-            "--metrics/--timeline instrument one replay: pick a "
-            "single kernel with --kernel NAME",
+            "--metrics/--timeline/--timeseries instrument one replay: "
+            "pick a single kernel with --kernel NAME",
             file=sys.stderr,
         )
         return 2
@@ -834,6 +969,9 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
 
     if args.command == "farm":
         return _farm_command(args)
+
+    if args.command == "report":
+        return _report_command(args)
 
     if args.command == "pimexec":
         return _pimexec_command(args)

@@ -24,6 +24,12 @@ from .chaos import (
     Fault,
     FaultPlan,
 )
+from .events import (
+    EVENT_KINDS,
+    FARM_EVENTS_SCHEMA,
+    FarmEvent,
+    FarmEventLog,
+)
 from .planner import Shard, ShardPlan, ShardPlanner, canonical_checksum
 from .pool import (
     MODES,
@@ -37,6 +43,8 @@ from .pool import (
 
 __all__ = [
     "CORRUPT",
+    "EVENT_KINDS",
+    "FARM_EVENTS_SCHEMA",
     "FAULT_KINDS",
     "HANG",
     "KILL",
@@ -45,6 +53,8 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "FarmConfig",
+    "FarmEvent",
+    "FarmEventLog",
     "FarmReport",
     "FarmResult",
     "Shard",

@@ -47,6 +47,7 @@ from ..errors import (
 from ..memsys.system import ENGINES, MemSysConfig, MemSysStats, MemorySystem
 from ..memsys.trace import PackedTrace
 from . import chaos as _chaos
+from .events import FarmEventLog
 from .planner import Shard, ShardPlan, ShardPlanner, canonical_checksum
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -262,6 +263,9 @@ class FarmResult:
     stats: MemSysStats
     report: FarmReport
     telemetry: _t.Optional["ReplayTelemetry"] = None
+    #: Supervisor span log (dispatch/heartbeat/retry/verify/merge plus
+    #: chaos injections); mergeable into the Chrome timeline.
+    events: _t.Optional[FarmEventLog] = None
 
 
 # ----------------------------------------------------------------------
@@ -419,8 +423,15 @@ class WorkerPool:
     misconfiguration, never on worker failure.
     """
 
-    def __init__(self, farm: _t.Optional[FarmConfig] = None) -> None:
+    def __init__(
+        self,
+        farm: _t.Optional[FarmConfig] = None,
+        events: _t.Optional[FarmEventLog] = None,
+    ) -> None:
         self.farm = farm or FarmConfig()
+        #: Span log every supervisor action lands in; callers that want
+        #: the run's events pass their own (``replay_farm`` does).
+        self.events = events if events is not None else FarmEventLog()
 
     # ------------------------------------------------------------------
     def resolve_mode(self, n_shards: int) -> _t.Tuple[str, int, str]:
@@ -568,16 +579,20 @@ class WorkerPool:
         report: FarmReport,
     ) -> _t.Dict[str, _t.Any]:
         """Past the retry budget: replay the shard here, fault-free."""
-        result = _run_shard(
-            plan.config,
-            shard.trace.op_codes,
-            shard.trace.addrs,
-            shard.trace.times,
-            shard.channels,
-            engine,
-            fault=None,
-            inprocess=True,
-        )
+        with self.events.span(
+            "degrade", shard_id=shard.shard_id,
+            detail="retry budget exhausted: fault-free in-process replay",
+        ):
+            result = _run_shard(
+                plan.config,
+                shard.trace.op_codes,
+                shard.trace.addrs,
+                shard.trace.times,
+                shard.channels,
+                engine,
+                fault=None,
+                inprocess=True,
+            )
         report.degraded_shards += 1
         report.attempts += 1
         outcome = report.shards[shard.shard_id]
@@ -608,19 +623,39 @@ class WorkerPool:
                     if fault_plan is not None
                     else None
                 )
+                if fault is not None:
+                    self.events.point(
+                        f"chaos-{fault.kind}",
+                        shard_id=shard.shard_id,
+                        attempt=attempt,
+                        detail="injected fault",
+                    )
+                dispatch_start = self.events.now()
                 error: FarmError
                 try:
-                    result = _run_shard(
-                        plan.config,
-                        shard.trace.op_codes,
-                        shard.trace.addrs,
-                        shard.trace.times,
-                        shard.channels,
-                        engine,
-                        fault=fault,
-                        inprocess=True,
-                    )
-                    self._verify_result(shard, attempt, result)
+                    try:
+                        result = _run_shard(
+                            plan.config,
+                            shard.trace.op_codes,
+                            shard.trace.addrs,
+                            shard.trace.times,
+                            shard.channels,
+                            engine,
+                            fault=fault,
+                            inprocess=True,
+                        )
+                    finally:
+                        self.events.record(
+                            "dispatch",
+                            dispatch_start,
+                            self.events.now(),
+                            shard_id=shard.shard_id,
+                            attempt=attempt,
+                        )
+                    with self.events.span(
+                        "verify", shard_id=shard.shard_id, attempt=attempt
+                    ):
+                        self._verify_result(shard, attempt, result)
                 except _chaos.ChaosKill:
                     error = WorkerCrash(
                         f"shard {shard.shard_id} worker died "
@@ -649,13 +684,30 @@ class WorkerPool:
                     outcome = report.shards[shard.shard_id]
                     outcome.engine = result["engine"]
                     results[shard.shard_id] = result
+                    self.events.point(
+                        "shard-done",
+                        shard_id=shard.shard_id,
+                        attempt=attempt,
+                        detail=str(result["engine"]),
+                    )
                     break
                 action, delay = self._note_failure(
                     report, shard, attempt, error
                 )
+                self.events.point(
+                    "attempt-failed",
+                    shard_id=shard.shard_id,
+                    attempt=attempt,
+                    detail=type(error).__name__,
+                )
                 if action == "retry":
                     if delay > 0:
-                        time.sleep(delay)
+                        with self.events.span(
+                            "retry-backoff",
+                            shard_id=shard.shard_id,
+                            attempt=attempt,
+                        ):
+                            time.sleep(delay)
                     attempt += 1
                     continue
                 results[shard.shard_id] = self._degrade(
@@ -696,6 +748,13 @@ class WorkerPool:
                 if fault_plan is not None
                 else None
             )
+            if fault is not None:
+                self.events.point(
+                    f"chaos-{fault.kind}",
+                    shard_id=shard.shard_id,
+                    attempt=attempt,
+                    detail="injected fault",
+                )
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_worker_main,
@@ -732,10 +791,31 @@ class WorkerPool:
         def _fail(state: _Active, error: FarmError) -> None:
             nonlocal outstanding
             _reap(state)
+            self.events.record(
+                "dispatch",
+                self.events.since(state.started),
+                self.events.now(),
+                shard_id=state.shard.shard_id,
+                attempt=state.attempt,
+            )
+            self.events.point(
+                "attempt-failed",
+                shard_id=state.shard.shard_id,
+                attempt=state.attempt,
+                detail=type(error).__name__,
+            )
             action, delay = self._note_failure(
                 report, state.shard, state.attempt, error
             )
             if action == "retry":
+                now_s = self.events.now()
+                self.events.record(
+                    "retry-backoff",
+                    now_s,
+                    now_s + delay,
+                    shard_id=state.shard.shard_id,
+                    attempt=state.attempt,
+                )
                 queue.append(
                     (
                         time.monotonic() + delay,
@@ -785,6 +865,11 @@ class WorkerPool:
                     state.last_seen = time.monotonic()
                     kind = message[0]
                     if kind == "heartbeat":
+                        self.events.point(
+                            "heartbeat",
+                            shard_id=state.shard.shard_id,
+                            attempt=state.attempt,
+                        )
                         continue
                     if kind == "error":
                         _fail(
@@ -801,12 +886,30 @@ class WorkerPool:
                     # a result: verify the seal before accepting
                     result = message[2]
                     try:
-                        self._verify_result(
-                            state.shard, state.attempt, result
-                        )
+                        with self.events.span(
+                            "verify",
+                            shard_id=state.shard.shard_id,
+                            attempt=state.attempt,
+                        ):
+                            self._verify_result(
+                                state.shard, state.attempt, result
+                            )
                     except ResultIntegrityError as integrity:
                         _fail(state, integrity)
                         continue
+                    self.events.record(
+                        "dispatch",
+                        self.events.since(state.started),
+                        self.events.now(),
+                        shard_id=state.shard.shard_id,
+                        attempt=state.attempt,
+                    )
+                    self.events.point(
+                        "shard-done",
+                        shard_id=state.shard.shard_id,
+                        attempt=state.attempt,
+                        detail=str(result["engine"]),
+                    )
                     _reap(state)
                     results[state.shard.shard_id] = result
                     report.shards[
@@ -968,14 +1071,17 @@ def replay_farm(
     """
     config = config or MemSysConfig()
     farm = farm or FarmConfig()
-    pool = WorkerPool(farm)
+    events = FarmEventLog()
+    pool = WorkerPool(farm, events=events)
     profiler = telemetry.profiler if telemetry is not None else None
     planner = ShardPlanner(config, max_shards=farm.max_shards)
     if profiler is not None:
         with profiler.phase("farm-plan"):
-            plan = planner.plan(trace)
+            with events.span("plan"):
+                plan = planner.plan(trace)
     else:
-        plan = planner.plan(trace)
+        with events.span("plan"):
+            plan = planner.plan(trace)
     if not plan.shardable:
         return _single_process_fallback(
             trace,
@@ -984,6 +1090,7 @@ def replay_farm(
             telemetry,
             FarmReport(mode="single", workers=1, n_shards=0),
             plan.reason,
+            events,
         )
     if profiler is not None:
         with profiler.phase("farm-execute"):
@@ -1008,6 +1115,11 @@ def replay_farm(
             if results[shard.shard_id]["engine"] == "fast-vectorized"
         ]
         report.harmonized_shards = len(redo)
+        events.point(
+            "harmonize",
+            detail=f"mixed tiers: re-running {len(redo)} shard(s) "
+            "with the exact tier pinned",
+        )
         if profiler is not None:
             with profiler.phase("farm-harmonize"):
                 redone, _ = pool.run(
@@ -1036,17 +1148,23 @@ def replay_farm(
             "no-backpressure certificate failed for shard(s) "
             f"{pressured}: the trace's arrival intensity exceeds its "
             "queues, so a channel split is not bit-exact",
+            events,
         )
     if profiler is not None:
         with profiler.phase("farm-merge"):
-            system, stats, arrays = _merge(plan, results)
+            with events.span("merge", detail=f"{plan.n_shards} shard(s)"):
+                system, stats, arrays = _merge(plan, results)
     else:
-        system, stats, arrays = _merge(plan, results)
+        with events.span("merge", detail=f"{plan.n_shards} shard(s)"):
+            system, stats, arrays = _merge(plan, results)
     if telemetry is not None:
         if telemetry.recorder is not None:
             telemetry.recorder._capture_arrays(arrays)
         telemetry._finish(system, stats)
-    return FarmResult(stats=stats, report=report, telemetry=telemetry)
+        telemetry.farm_events = events
+    return FarmResult(
+        stats=stats, report=report, telemetry=telemetry, events=events
+    )
 
 
 def _single_process_fallback(
@@ -1056,13 +1174,21 @@ def _single_process_fallback(
     telemetry: _t.Optional["ReplayTelemetry"],
     report: FarmReport,
     reason: str,
+    events: _t.Optional[FarmEventLog] = None,
 ) -> FarmResult:
     """Graceful degradation: one exact single-process replay."""
     report.fell_back_to_single = True
     report.fallback_reason = reason
+    if events is None:
+        events = FarmEventLog()
     system = MemorySystem(config)
     engine = farm.engine
-    stats = system.replay(trace, engine=engine, telemetry=telemetry)
+    with events.span("fallback", detail=reason):
+        stats = system.replay(trace, engine=engine, telemetry=telemetry)
     if math.isnan(stats.makespan_ns):  # pragma: no cover - defensive
         raise FarmError("single-process fallback produced no makespan")
-    return FarmResult(stats=stats, report=report, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.farm_events = events
+    return FarmResult(
+        stats=stats, report=report, telemetry=telemetry, events=events
+    )

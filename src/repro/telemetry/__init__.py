@@ -30,11 +30,24 @@ from .registry import (
     memsys_metrics,
     pimexec_metrics,
 )
+from .report import (
+    REPORT_SCHEMA,
+    build_report,
+    render_report,
+    write_report,
+)
 from .timeline import (
+    MAX_EVENTS,
     TIMELINE_SCHEMA,
     build_timeline,
     validate_timeline,
     write_timeline,
+)
+from .timeseries import (
+    TIMESERIES_SCHEMA,
+    build_timeseries,
+    validate_timeseries,
+    write_timeseries,
 )
 
 __all__ = [
@@ -50,8 +63,17 @@ __all__ = [
     "latency_summary",
     "memsys_metrics",
     "pimexec_metrics",
+    "MAX_EVENTS",
     "TIMELINE_SCHEMA",
     "build_timeline",
     "validate_timeline",
     "write_timeline",
+    "TIMESERIES_SCHEMA",
+    "build_timeseries",
+    "validate_timeseries",
+    "write_timeseries",
+    "REPORT_SCHEMA",
+    "build_report",
+    "render_report",
+    "write_report",
 ]

@@ -325,6 +325,9 @@ class ReplayTelemetry:
         self.config: _t.Optional["MemSysConfig"] = None
         self.stats: _t.Optional["MemSysStats"] = None
         self.makespan_ns: float = math.nan
+        #: Set by :func:`repro.farm.replay_farm`: the supervisor's
+        #: span log, merged into the timeline as worker/shard tracks.
+        self.farm_events: _t.Optional[_t.Any] = None
 
     # ------------------------------------------------------------------
     def _finish(
@@ -396,6 +399,32 @@ class ReplayTelemetry:
         from .timeline import write_timeline
 
         return write_timeline(self, path, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    def timeseries(
+        self,
+        window_ns: _t.Optional[float] = None,
+        n_windows: _t.Optional[int] = None,
+    ) -> dict:
+        """The ``timeseries-v1`` windowed-metrics document."""
+        from .timeseries import build_timeseries
+
+        return build_timeseries(
+            self, window_ns=window_ns, n_windows=n_windows
+        )
+
+    def write_timeseries(
+        self,
+        path: _t.Any,
+        window_ns: _t.Optional[float] = None,
+        n_windows: _t.Optional[int] = None,
+    ):
+        """Write the time-series JSON; returns the path."""
+        from .timeseries import write_timeseries
+
+        return write_timeseries(
+            self, path, window_ns=window_ns, n_windows=n_windows
+        )
 
     def __repr__(self) -> str:
         return (

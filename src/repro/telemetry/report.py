@@ -1,0 +1,203 @@
+"""One unified run report: metrics + percentiles + time series + farm.
+
+``repro-pim report TRACE`` replays a trace once and renders everything
+the observability layer knows about the run — the
+``repro.telemetry/v1`` metrics snapshot, the exact latency
+percentiles, the ``timeseries-v1`` windowed series, and (for farm
+runs) the fault ledger and supervisor event counts — as one text table
+on stdout and one JSON document (``repro.telemetry/report-v1``) on
+disk.  The JSON is a pure composition of the existing schemas: every
+section is exactly what the dedicated exporter would have written, so
+a report is bit-identical across engines wherever its inputs are.
+
+:func:`render_report` is a pure function of the JSON document, so a
+stored report re-renders identically anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import typing as _t
+
+from .registry import MetricsRegistry
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .latency import ReplayTelemetry
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "render_report",
+    "write_report",
+]
+
+#: Schema identifier carried in every report document.
+REPORT_SCHEMA = "repro.telemetry/report-v1"
+
+
+def build_report(
+    telemetry: "ReplayTelemetry",
+    registry: _t.Optional[MetricsRegistry] = None,
+    timeseries: _t.Optional[dict] = None,
+    farm_report: _t.Optional[_t.Any] = None,
+    source: str = "",
+) -> dict:
+    """Compose the report document from one recorded replay.
+
+    ``registry`` defaults to the telemetry's own emission;
+    ``timeseries`` defaults to a fresh :func:`build_timeseries` over
+    the default window grid; ``farm_report`` (a
+    :class:`~repro.farm.FarmReport`) adds the fault ledger.
+    """
+    if not telemetry.finished:
+        raise RuntimeError(
+            "report needs a finished replay: pass this telemetry to a "
+            "replay first"
+        )
+    if registry is None:
+        registry = MetricsRegistry(source=source or "report")
+        telemetry.metrics_into(registry)
+    if timeseries is None:
+        from .timeseries import build_timeseries
+
+        timeseries = build_timeseries(telemetry)
+    percentiles = (
+        telemetry.percentiles()
+        if telemetry.recorder is not None and telemetry.recorder.captured
+        else None
+    )
+    stats = telemetry.stats
+    farm_events = telemetry.farm_events
+    return {
+        "schema": REPORT_SCHEMA,
+        "source": source,
+        "engine": telemetry.engine,
+        "n_requests": None if stats is None else stats.n_requests,
+        "makespan_ns": telemetry.makespan_ns,
+        "stats": None if stats is None else stats.summary(),
+        "metrics": registry.snapshot(),
+        "percentiles": percentiles,
+        "timeseries": timeseries,
+        "farm": (
+            None if farm_report is None else farm_report.to_dict()
+        ),
+        "farm_event_counts": (
+            None if farm_events is None else farm_events.counts()
+        ),
+    }
+
+
+def _fmt(value: _t.Any) -> str:
+    if value is None or (
+        isinstance(value, float) and math.isnan(value)
+    ):
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _series_rows(timeseries: dict) -> _t.List[_t.Tuple[str, str, str, str]]:
+    rows = []
+    for name, values in timeseries.get("series", {}).items():
+        finite = [
+            v
+            for v in values
+            if isinstance(v, (int, float)) and not math.isnan(v)
+        ]
+        if finite:
+            rows.append(
+                (
+                    name,
+                    _fmt(min(finite)),
+                    _fmt(sum(finite) / len(finite)),
+                    _fmt(max(finite)),
+                )
+            )
+        else:
+            rows.append((name, "-", "-", "-"))
+    return rows
+
+
+def render_report(document: dict) -> str:
+    """Render one report document as the CLI's text tables."""
+    lines: _t.List[str] = []
+    lines.append(f"run report — {document.get('source') or 'replay'}")
+    lines.append(
+        f"engine: {document.get('engine')}   "
+        f"requests: {_fmt(document.get('n_requests'))}   "
+        f"makespan: {_fmt(document.get('makespan_ns'))} ns"
+    )
+    stats = document.get("stats")
+    if stats:
+        lines.append("")
+        lines.append("replay statistics")
+        for key, value in stats.items():
+            lines.append(f"  {key:24s} {_fmt(value)}")
+    percentiles = document.get("percentiles")
+    if percentiles:
+        lines.append("")
+        lines.append("latency percentiles (ns, exact)")
+        header = ("metric", "count", "mean", "p50", "p95", "p99", "max")
+        lines.append(
+            f"  {header[0]:18s}"
+            + "".join(f"{h:>12s}" for h in header[1:])
+        )
+        for name, summary in percentiles.items():
+            lines.append(
+                f"  {name:18s}"
+                + "".join(
+                    f"{_fmt(summary.get(key)):>12s}"
+                    for key in ("count", "mean", "p50", "p95", "p99", "max")
+                )
+            )
+    timeseries = document.get("timeseries")
+    if timeseries:
+        lines.append("")
+        lines.append(
+            f"time series ({timeseries.get('n_windows')} windows x "
+            f"{_fmt(timeseries.get('window_ns'))} ns)"
+        )
+        lines.append(
+            f"  {'series':28s}{'min':>12s}{'mean':>12s}{'max':>12s}"
+        )
+        for name, lo, mean, hi in _series_rows(timeseries):
+            lines.append(
+                f"  {name:28s}{lo:>12s}{mean:>12s}{hi:>12s}"
+            )
+    farm = document.get("farm")
+    if farm:
+        lines.append("")
+        lines.append(
+            f"farm ledger: mode={farm.get('mode')} "
+            f"workers={farm.get('workers')} "
+            f"shards={farm.get('n_shards')} "
+            f"attempts={farm.get('attempts')} "
+            f"retries={farm.get('retries')} "
+            f"timeouts={farm.get('timeouts')} "
+            f"crashes={farm.get('crashes')} "
+            f"degraded={farm.get('degraded_shards')}"
+        )
+        if farm.get("fell_back_to_single"):
+            lines.append(
+                f"  fallback: {farm.get('fallback_reason')}"
+            )
+    counts = document.get("farm_event_counts")
+    if counts:
+        rendered = " ".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        )
+        lines.append(f"farm events: {rendered}")
+    return "\n".join(lines)
+
+
+def write_report(
+    document: dict, path: _t.Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write one report document as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document) + "\n")
+    return path

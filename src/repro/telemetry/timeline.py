@@ -34,6 +34,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "TIMELINE_SCHEMA",
+    "MAX_EVENTS",
     "build_timeline",
     "validate_timeline",
     "write_timeline",
@@ -260,6 +261,18 @@ def build_timeline(
                     )
                 )
 
+    # --- farm worker/shard tracks (distributed replays only) ----------
+    # The supervisor's span log renders as one extra process past the
+    # channel tracks: supervisor + per-shard threads on wall-clock
+    # microseconds (the simulation tracks stay on simulated time; the
+    # process name says which clock a track runs on).
+    farm_metadata: _t.List[dict] = []
+    farm_log = getattr(telemetry, "farm_events", None)
+    if farm_log is not None and len(farm_log) > 0:
+        rendered = farm_log.timeline_events(config.n_channels)
+        farm_metadata = [e for e in rendered if e["ph"] == "M"]
+        spans.extend(e for e in rendered if e["ph"] == "X")
+
     truncated = 0
     spans.sort(key=lambda event: (event["ts"], event["tid"]))
     if len(spans) > max_events:
@@ -267,6 +280,7 @@ def build_timeline(
         spans = spans[:max_events]
 
     events = _metadata_events(range(config.n_channels), n_banks)
+    events.extend(farm_metadata)
     events.extend(spans)
     return {
         "displayTimeUnit": "ns",
@@ -321,6 +335,8 @@ def validate_timeline(document: _t.Any) -> _t.List[str]:
     if not isinstance(events, list) or not events:
         problems.append("traceEvents must be a non-empty array")
         return problems
+    n_spans = 0
+    last_ts: _t.Optional[float] = None
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -345,12 +361,29 @@ def validate_timeline(document: _t.Any) -> _t.List[str]:
             if not isinstance(args, dict) or "name" not in args:
                 problems.append(f"{where}: metadata needs args.name")
             continue
+        n_spans += 1
         ts = event.get("ts")
         dur = event.get("dur")
         if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
             problems.append(f"{where}: ts must be a finite number >= 0")
+        else:
+            # the exporter emits spans globally sorted by start time
+            # (overlap on a track is fine — banks genuinely overlap
+            # queue waits — but start times must never run backwards)
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"{where}: ts {ts:g} out of order (previous span "
+                    f"started at {last_ts:g})"
+                )
+            last_ts = float(ts)
         if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
             problems.append(f"{where}: dur must be a finite number >= 0")
         if "cat" not in event:
             problems.append(f"{where}: complete event missing cat")
+    if n_spans > MAX_EVENTS:
+        problems.append(
+            f"span count {n_spans} exceeds the {MAX_EVENTS} cap "
+            "(the exporter truncates earliest-first; a larger document "
+            "was built with the cap overridden)"
+        )
     return problems

@@ -367,6 +367,202 @@ class TestTelemetryFlags:
         assert "--emit-trace" in capsys.readouterr().err
 
 
+class TestTimeseriesFlag:
+    """``--timeseries`` on every replaying verb."""
+
+    @staticmethod
+    def write_timed_trace(tmp_path, n=600):
+        from repro.memsys import MemSysConfig, synthesize_trace, write_trace
+
+        config = MemSysConfig(
+            n_channels=2, scheme="channel-interleaved"
+        )
+        return write_trace(
+            tmp_path / "timed.trace",
+            synthesize_trace(
+                "random", n, config, seed=0,
+                interarrival_ns=40.0, interarrival="poisson",
+            ),
+        )
+
+    @staticmethod
+    def load_timeseries(path):
+        import json
+
+        from repro.telemetry import validate_timeseries
+
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.telemetry/timeseries-v1"
+        assert validate_timeseries(document) == []
+        return document
+
+    def test_replay_writes_a_valid_document(self, tmp_path, capsys):
+        trace = TestTelemetryFlags.write_demo_trace(tmp_path)
+        series = tmp_path / "s.json"
+        assert main([
+            "replay", str(trace), "--timeseries", str(series),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"timeseries: wrote {series} (64 windows)" in out
+        document = self.load_timeseries(series)
+        assert document["n_requests"] == 256
+
+    def test_farm_writes_series_and_worker_tracks(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        trace = self.write_timed_trace(tmp_path)
+        series = tmp_path / "s.json"
+        timeline = tmp_path / "t.json"
+        assert main([
+            "farm", str(trace),
+            "--scheme", "channel-interleaved", "--channels", "2",
+            "--mode", "inprocess",
+            "--timeseries", str(series),
+            "--timeline", str(timeline),
+        ]) == 0
+        self.load_timeseries(series)
+        from repro.telemetry import validate_timeline
+
+        document = json.loads(timeline.read_text())
+        assert validate_timeline(document) == []
+        farm_spans = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "farm"
+        ]
+        assert farm_spans
+        processes = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "farm (wall clock)" in processes
+
+    def test_pimexec_single_kernel_series(self, tmp_path, capsys):
+        series = tmp_path / "s.json"
+        assert main([
+            "pimexec", "--kernel", "vector-sum", "--n", "512",
+            "--timeseries", str(series),
+        ]) == 0
+        document = self.load_timeseries(series)
+        # the stream is AB broadcasts + all-bank PIM commands, so the
+        # barrier-occupancy series must light up somewhere
+        assert any(
+            f > 0 for f in document["series"]["ab_stall_fraction"]
+        )
+
+    def test_pimexec_multi_kernel_with_series_exit_2(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "pimexec", "--timeseries", str(tmp_path / "s.json"),
+        ]) == 2
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_nn_single_kernel_series(self, tmp_path, capsys):
+        series = tmp_path / "s.json"
+        assert main([
+            "nn", "--kernel", "softmax", "--timeseries", str(series),
+        ]) == 0
+        self.load_timeseries(series)
+
+    def test_nn_emit_trace_with_series_exit_2(self, tmp_path, capsys):
+        assert main([
+            "nn", "--emit-trace", str(tmp_path / "layer.trace"),
+            "--d-model", "8", "--heads", "2", "--seq-len", "8",
+            "--timeseries", str(tmp_path / "s.json"),
+        ]) == 2
+        assert "--emit-trace" in capsys.readouterr().err
+
+
+class TestReportVerb:
+    def test_report_command_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "report", str(tmp_path / "a.trace"),
+                "--workers", "2", "--windows", "8",
+                "--json", str(tmp_path / "r.json"),
+                "--timeseries", str(tmp_path / "s.json"),
+            ]
+        )
+        assert args.command == "report"
+        assert args.workers == 2
+        assert args.windows == 8
+        assert args.json == tmp_path / "r.json"
+        assert args.timeseries == tmp_path / "s.json"
+
+    def test_single_process_report(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_timeseries
+
+        trace = TestTelemetryFlags.write_demo_trace(tmp_path)
+        report = tmp_path / "r.json"
+        series = tmp_path / "s.json"
+        assert main([
+            "report", str(trace), "--windows", "8",
+            "--json", str(report),
+            "--timeseries", str(series),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run report —" in out
+        assert "replay statistics" in out
+        assert "latency percentiles (ns, exact)" in out
+        assert "time series (8 windows" in out
+        assert f"report:   wrote {report}" in out
+        assert f"timeseries: wrote {series} (8 windows)" in out
+        document = json.loads(report.read_text())
+        assert document["schema"] == "repro.telemetry/report-v1"
+        assert {"metrics", "percentiles", "timeseries"} <= set(
+            document
+        )
+        assert document["timeseries"]["n_windows"] == 8
+        assert validate_timeseries(document["timeseries"]) == []
+        assert document["farm"] is None
+        # the standalone series file is the embedded document
+        assert (
+            json.loads(series.read_text()) == document["timeseries"]
+        )
+
+    def test_farm_report_includes_the_ledger(self, tmp_path, capsys):
+        import json
+
+        trace = TestTimeseriesFlag.write_timed_trace(tmp_path)
+        report = tmp_path / "r.json"
+        assert main([
+            "report", str(trace),
+            "--scheme", "channel-interleaved", "--channels", "2",
+            "--workers", "2",
+            "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "farm ledger:" in out
+        assert "farm events:" in out
+        document = json.loads(report.read_text())
+        assert document["farm"] is not None
+        assert document["farm"]["n_shards"] == 2
+        assert document["farm_event_counts"]["shard-done"] >= 2
+
+    def test_report_missing_trace_exit_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.trace")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_report_empty_trace_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "empty trace" in capsys.readouterr().err
+
+    def test_report_bad_config_exit_2(self, tmp_path, capsys):
+        trace = TestTelemetryFlags.write_demo_trace(tmp_path)
+        assert main([
+            "report", str(trace), "--channels", "3",
+        ]) == 2
+        assert "report failed" in capsys.readouterr().err
+
+
 class TestNnCommand:
     def test_nn_command_args(self, tmp_path):
         args = build_parser().parse_args(

@@ -44,6 +44,12 @@ EXPECTED_MARKERS = {
         "bank-group GEMM: bit-identical output",
         "event and fast engines agree bit-for-bit",
     ],
+    "run_report.py": [
+        "time series identical across single-process and farm: True",
+        "chaos-kill events on shard 0: 1 (attempt 0)",
+        "farm ledger:",
+        "farm events:",
+    ],
     "farm_replay.py": [
         "farm stats bit-identical to single-process: True",
         "stats under chaos bit-identical to single-process: True",

@@ -261,6 +261,212 @@ class TestRemeasure:
         assert "cannot re-measure" in capsys.readouterr().err
 
 
+class TestSpreadAwareNoise:
+    """Records carrying their own noise estimate get the NOISY MISS
+    verdict when the miss is smaller than the measured spread."""
+
+    def test_miss_within_spread_is_noisy(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(
+                telemetry_overhead_pct=6.0,
+                telemetry_overhead_spread_pct=2.0,
+            ),
+            None,
+        )
+        assert any("NOISY MISS" in line for line in report)
+        # still a problem (exit 1 without --remeasure), but marked as
+        # a re-measure signal the retry path can downgrade
+        assert any(
+            "misses floor" in p and "within spread" in p
+            for p in problems
+        )
+
+    def test_miss_beyond_spread_is_a_plain_floor_miss(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(
+                telemetry_overhead_pct=6.0,
+                telemetry_overhead_spread_pct=0.5,
+            ),
+            None,
+        )
+        assert any("FLOOR MISS" in line for line in report)
+        assert not any("within spread" in p for p in problems)
+
+    def test_spread_without_a_miss_changes_nothing(self):
+        problems, report = compare_bench.compare_record(
+            memsys_record(telemetry_overhead_spread_pct=90.0),
+            memsys_record(),
+        )
+        assert problems == []
+        assert all("NOISY" not in line for line in report)
+
+    def test_missing_spread_key_means_strict_floor(self):
+        # committed records predating the spread field keep the old
+        # strict behavior
+        problems, report = compare_bench.compare_record(
+            memsys_record(telemetry_overhead_pct=6.0), None
+        )
+        assert any("FLOOR MISS" in line for line in report)
+        assert not any("within spread" in p for p in problems)
+
+    def write(self, directory, record, name="BENCH_memsys.json"):
+        path = directory / name
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_persistent_noisy_miss_tolerated_after_remeasure(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        noisy = memsys_record(
+            telemetry_overhead_pct=6.0,
+            telemetry_overhead_spread_pct=2.0,
+        )
+        fresh = self.write(tmp_path, noisy)
+        calls = []
+        monkeypatch.setattr(
+            compare_bench,
+            "_remeasure",
+            lambda path: calls.append(path) or True,
+        )
+        # the record is unchanged by the "re-run": the miss persists,
+        # but inside the spread it is noise, not a regression
+        assert compare_bench.main([str(fresh), "--remeasure"]) == 0
+        assert calls == [fresh]
+        err = capsys.readouterr().err
+        assert "tolerated after re-measure" in err
+        assert "within spread" in err
+
+    def test_noisy_miss_without_remeasure_still_fails(
+        self, tmp_path, capsys
+    ):
+        fresh = self.write(
+            tmp_path,
+            memsys_record(
+                telemetry_overhead_pct=6.0,
+                telemetry_overhead_spread_pct=2.0,
+            ),
+        )
+        assert compare_bench.main([str(fresh)]) == 1
+        assert "within spread" in capsys.readouterr().err
+
+    def test_persistent_miss_beyond_spread_still_fails(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        fresh = self.write(
+            tmp_path,
+            memsys_record(
+                telemetry_overhead_pct=6.0,
+                telemetry_overhead_spread_pct=0.25,
+            ),
+        )
+        monkeypatch.setattr(
+            compare_bench, "_remeasure", lambda path: True
+        )
+        assert compare_bench.main([str(fresh), "--remeasure"]) == 1
+        assert "misses floor" in capsys.readouterr().err
+
+
+class TestHistory:
+    def write(self, directory, record, name="BENCH_memsys.json"):
+        path = directory / name
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_first_run_creates_the_trajectory(self, tmp_path, capsys):
+        fresh = self.write(
+            tmp_path,
+            memsys_record(telemetry_overhead_spread_pct=1.5),
+        )
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        assert compare_bench.main(
+            [str(fresh), "--history", str(history)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert (
+            "history: memsys_replay_throughput"
+            ".fast_requests_per_sec = 5e+06 (new)" in out
+        )
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert isinstance(entry["t"], int)
+        kept = entry["records"]["memsys_replay_throughput"]
+        # every floored metric + floor + spread + the pass verdict
+        assert set(kept) == {
+            "fast_requests_per_sec",
+            "refresh_requests_per_sec",
+            "telemetry_overhead_pct",
+            "telemetry_overhead_spread_pct",
+            "floor_requests_per_sec",
+            "floor_telemetry_overhead_pct",
+            "passed",
+        }
+
+    def test_second_run_appends_and_prints_deltas(
+        self, tmp_path, capsys
+    ):
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        fresh = self.write(tmp_path, memsys_record())
+        assert compare_bench.main(
+            [str(fresh), "--history", str(history)]
+        ) == 0
+        capsys.readouterr()
+        self.write(
+            tmp_path, memsys_record(fast_requests_per_sec=6_000_000)
+        )
+        assert compare_bench.main(
+            [str(fresh), "--history", str(history)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert (
+            "history: memsys_replay_throughput"
+            ".fast_requests_per_sec = 6e+06 "
+            "[previous 5e+06, +1e+06]" in out
+        )
+        assert len(history.read_text().splitlines()) == 2
+
+    def test_failing_run_is_still_recorded(self, tmp_path, capsys):
+        fresh = self.write(
+            tmp_path, memsys_record(fast_requests_per_sec=10)
+        )
+        history = tmp_path / "hist.jsonl"
+        assert compare_bench.main(
+            [str(fresh), "--history", str(history)]
+        ) == 1
+        entry = json.loads(history.read_text())
+        assert (
+            entry["records"]["memsys_replay_throughput"][
+                "fast_requests_per_sec"
+            ]
+            == 10
+        )
+
+    def test_corrupt_history_lines_are_skipped(self, tmp_path, capsys):
+        history = tmp_path / "hist.jsonl"
+        history.write_text(
+            "not json at all\n"
+            + json.dumps(
+                {
+                    "t": 1,
+                    "records": {
+                        "memsys_replay_throughput": {
+                            "fast_requests_per_sec": 4_000_000
+                        }
+                    },
+                }
+            )
+            + "\n"
+        )
+        fresh = self.write(tmp_path, memsys_record())
+        assert compare_bench.main(
+            [str(fresh), "--history", str(history)]
+        ) == 0
+        out = capsys.readouterr().out
+        # the last parseable entry is the comparison point
+        assert "[previous 4e+06, +1e+06]" in out
+        assert len(history.read_text().splitlines()) == 3
+
+
 class TestMain:
     def write(self, directory, record, name="BENCH_memsys.json"):
         path = directory / name
