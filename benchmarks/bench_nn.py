@@ -37,8 +37,11 @@ from repro.nn import (
 GEMM_SHAPE = dict(m=256, k=32, n=32)
 #: Transformer-layer spec for the timed trace run.
 TRACE_SPEC = dict(d_model=32, n_heads=2, seq_len=32, d_ff=64)
-#: Acceptance floors.
-MIN_COMMANDS_PER_SEC = 1_000
+#: Acceptance floors.  The commands/s floor assumes the vectorized
+#: execution-unit tier; the GEMM stream itself interleaves per-column
+#: host writes with the PIM commands, so its replay stays on the exact
+#: fast engine (the AB-lockstep certificate correctly declines it).
+MIN_COMMANDS_PER_SEC = 10_000
 MIN_TRACE_RECORDS_PER_SEC = 3_000
 MIN_GEMV_SPEEDUP = 1.5
 MAX_TELEMETRY_OVERHEAD_PCT = 5.0
@@ -61,7 +64,7 @@ def run_gemm_pipeline(shape=None, telemetry=None):
     result = machine.replay(telemetry=telemetry)
     elapsed = time.perf_counter() - started
     assert kernel.check(machine), "bank state diverged from binary16"
-    return result.n_pim / elapsed, result
+    return result.n_pim / elapsed, result, machine
 
 
 def run_trace_pipeline(spec=None):
@@ -155,10 +158,11 @@ def kernel_speedups():
 
 
 def test_bench_gemm_pipeline(benchmark):
-    rate, result = benchmark.pedantic(
+    rate, result, machine = benchmark.pedantic(
         run_gemm_pipeline, rounds=1, iterations=1
     )
     assert result.n_pim > 0
+    assert machine.unit_mode == "vectorized"
     assert rate >= MIN_COMMANDS_PER_SEC
 
 
@@ -195,7 +199,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     run_gemm_pipeline(dict(m=128, k=8, n=8))  # warm-up
-    commands_rate, result = max(
+    commands_rate, result, machine = max(
         (run_gemm_pipeline() for _ in range(3)), key=lambda r: r[0]
     )
     telemetry_rate, telemetry_overhead_pct, spread_pct, telemetry = (
@@ -216,6 +220,8 @@ def main(argv=None) -> int:
     record = {
         "benchmark": "nn_transformer_throughput",
         "gemm_shape": GEMM_SHAPE,
+        "unit_mode": machine.unit_mode,
+        "replay_engine": result.engine,
         "fp16_commands_per_sec": round(commands_rate),
         "telemetry_commands_per_sec": round(telemetry_rate),
         "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),

@@ -20,15 +20,26 @@ import json
 import pathlib
 import time
 
-from repro.memsys import MemorySystem
+from repro.memsys import MemorySystem, MemSysConfig
 from repro.pimexec import KERNEL_NAMES, PimExecMachine, build_kernel
 
-#: Vector length for the timed pipeline run (4096 all-bank commands).
-N_VALUES = 262_144
-#: Acceptance floors.
-MIN_COMMANDS_PER_SEC = 2_000
+#: Vector length for the timed pipeline run (16384 all-bank commands).
+N_VALUES = 1_048_576
+#: Timed-run geometry: a full HBM2 stack exposes 16 pseudo-channels
+#: (the Aquabolt shape), which spreads the same command count over
+#: more banks so the vectorized tier is exercised at its widest.
+N_CHANNELS = 16
+#: Acceptance floors.  The commands/s floor pins the vectorized
+#: execution tier: the scalar per-bank unit grid sits two orders of
+#: magnitude below it, so a silent fallback fails the bench.
+MIN_COMMANDS_PER_SEC = 1_000_000
 MIN_VECTOR_SUM_SPEEDUP = 1.5
 MAX_TELEMETRY_OVERHEAD_PCT = 5.0
+
+
+def bench_config(n_channels=N_CHANNELS):
+    """Memory-system geometry for the timed runs."""
+    return MemSysConfig(n_channels=n_channels)
 
 
 def run_pipeline(n=N_VALUES, telemetry=None):
@@ -37,7 +48,7 @@ def run_pipeline(n=N_VALUES, telemetry=None):
     Returns ``(commands_per_sec, values_per_sec, result)``; an optional
     :class:`repro.telemetry.ReplayTelemetry` instruments the replay.
     """
-    kernel = build_kernel("vector-sum", n=n)
+    kernel = build_kernel("vector-sum", n=n, config=bench_config())
     machine = PimExecMachine(kernel.config)
     kernel.setup(machine)  # data staging is untimed
     machine.reset_requests()
@@ -60,7 +71,7 @@ def replay_overhead(n=N_VALUES, pairs=5):
     """
     from repro.telemetry import ReplayTelemetry
 
-    kernel = build_kernel("vector-sum", n=n)
+    kernel = build_kernel("vector-sum", n=n, config=bench_config())
     machine = PimExecMachine(kernel.config)
     kernel.setup(machine)
     machine.reset_requests()
@@ -114,9 +125,11 @@ def test_bench_pipeline(benchmark):
     commands_rate, _values_rate, result = benchmark.pedantic(
         run_pipeline, rounds=1, iterations=1
     )
-    # one all-bank command per slot per channel:
-    # N / (16 lanes * 8 units) slots, 2 channels
-    assert result.n_pim == N_VALUES // (16 * 8) * 2
+    # one all-bank command per slot per channel: each of the
+    # 16 lanes * 4 units * N_CHANNELS banks holds N/(16*4*N_CHANNELS)
+    # slots, so n_pim = slots * N_CHANNELS = N / 64 for any channel count
+    assert result.n_pim == N_VALUES // 64
+    assert result.engine == "fast-vectorized"
     assert commands_rate >= MIN_COMMANDS_PER_SEC
 
 
@@ -157,6 +170,8 @@ def main(argv=None) -> int:
     record = {
         "benchmark": "pimexec_pipeline_throughput",
         "vector_sum_values": N_VALUES,
+        "n_channels": N_CHANNELS,
+        "unit_mode": PimExecMachine(bench_config()).unit_mode,
         "all_bank_commands_per_sec": round(commands_rate),
         "telemetry_commands_per_sec": round(telemetry_rate),
         "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
@@ -170,6 +185,7 @@ def main(argv=None) -> int:
         "floor_telemetry_overhead_pct": MAX_TELEMETRY_OVERHEAD_PCT,
         "passed": bool(
             commands_rate >= MIN_COMMANDS_PER_SEC
+            and result.engine == "fast-vectorized"
             and sum(r["speedup"] > 1.0 for r in speedups) >= 2
             # a median overhead inside the run's own noise spread is
             # not a verdict — compare_bench re-measures it instead

@@ -587,12 +587,20 @@ def _farm_command(args: argparse.Namespace) -> int:
     )
     if report.fell_back_to_single:
         print(f"fallback: {report.fallback_reason}")
+    from .telemetry import replay_tier
+
+    tiers = sorted(
+        {replay_tier(shard.engine) or "unknown" for shard in report.shards}
+    )
+    if tiers:
+        print(f"tiers:    {', '.join(tiers)}")
     for shard in report.shards:
         flags = " degraded" if shard.degraded else ""
         print(
             f"shard {shard.shard_id}: channels={list(shard.channels)} "
             f"requests={shard.n_requests} attempts={shard.attempts} "
-            f"engine={shard.engine}{flags}"
+            f"engine={shard.engine} "
+            f"tier={replay_tier(shard.engine)}{flags}"
         )
     for key, value in stats.summary().items():
         print(f"{key:22s} {value:.6g}")
@@ -736,6 +744,7 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             f"host={result.n_host})"
         )
         print(f"engine:   {result.engine}")
+        print(f"units:    {machine.unit_mode}")
         print(f"makespan: {result.makespan_ns:.1f} ns")
         if telemetry is not None:
             registry = None

@@ -175,6 +175,43 @@ class AddressMap:
             bits = bits >> width
         return values
 
+    def encode_fields(
+        self, fields: _t.Mapping[str, "np.ndarray"]
+    ) -> "np.ndarray":
+        """Vectorized :meth:`encode`: field arrays to byte addresses.
+
+        The exact inverse of :meth:`decode_fields` — applies the same
+        MSB-first shift/or arithmetic as the scalar encoder to whole
+        coordinate arrays at once (the PIM machine packs million-request
+        streams this way).  Missing fields default to zero, matching
+        :class:`Coordinates` defaults.
+
+        Raises
+        ------
+        ValueError
+            If any coordinate does not fit its field width.
+        """
+        arrays = {
+            name: np.asarray(values, dtype=np.int64)
+            for name, values in fields.items()
+        }
+        shape = next(iter(arrays.values())).shape if arrays else (0,)
+        addr = np.zeros(shape, dtype=np.int64)
+        for field in self.order:  # MSB first
+            width = self._width(field)
+            values = arrays.get(field)
+            if values is None:
+                addr = addr << width
+                continue
+            if values.size and not (
+                int(values.min()) >= 0 and int(values.max()) < (1 << width)
+            ):
+                raise ValueError(
+                    f"{field} values do not fit in {width} bit(s)"
+                )
+            addr = (addr << width) | values
+        return addr << self.offset_bits
+
     def encode(self, coords: Coordinates) -> int:
         """Inverse of :meth:`decode` (offset bits zero).
 

@@ -20,8 +20,10 @@ It is organized as two tiers behind one entry point,
 * per-channel FIFO service order is assumed, row-buffer outcomes are
   computed in one vectorized pass (previous-same-bank row comparison —
   an open-row streak of ``L`` requests costs one activation plus ``L``
-  batched page spans, charged by a single ``cumsum``), and service
-  finishes follow as sequential prefix sums of the durations;
+  batched page spans, charged by a single ``cumsum``; AB register
+  broadcasts never touch a row buffer, so they are charged one page
+  access and skipped by the outcome scan), and service finishes follow
+  as sequential prefix sums of the durations;
 * *line-rate* arrivals follow from the bounded queue: the ``m``-th
   request of a channel is admitted exactly when the ``(m - depth)``-th
   service *starts* (that dequeue frees its slot), so ``A[m] =
@@ -47,8 +49,10 @@ whether the closed form reproduces the event engine:
    ``queue_depth - 1`` same-channel requests — a superset of the
    engine's visible queue) hits its bank's open row.  When that holds,
    FR-FCFS never reorders and the FIFO outcome arrays are exact.  FCFS
-   and pure-PIM channels (the all-bank scan skips PIM requests) are
-   FIFO by construction.  With refresh, the certificate runs per epoch
+   and pure all-bank channels (PIM row ops and AB register broadcasts
+   occupy every bank or act as scheduling barriers, so the controller
+   serves them strictly in order) are FIFO by construction.  With
+   refresh, the certificate runs per epoch
    chunk (row buffers restart closed) with a ``depth - 1`` lookahead
    into the next chunk.
 2. *Line-rate certificate* (untimestamped traces): the arrival
@@ -64,12 +68,12 @@ whether the closed form reproduces the event engine:
    find a free queue slot, ``T[j] >= S[j - depth]`` per channel; then
    arrivals equal the trace timestamps exactly.
 
-Streaming, strided, and PIM all-bank traces pass the certificates with
-or without refresh; timestamped traces pass whenever their arrival rate
-keeps queues from overflowing; FCFS random traffic is certified through
-the arrival fixed point.  Refresh at per-bank granularity, refresh
-combined with timestamps, and AB register-broadcast streams always take
-tier 2.
+Streaming, strided, and all-bank (PIM and AB) traces pass the
+certificates with or without refresh; timestamped traces pass whenever
+their arrival rate keeps queues from overflowing; FCFS random traffic
+is certified through the arrival fixed point.  Refresh at per-bank
+granularity, refresh combined with timestamps, and channels that mix
+host requests with all-bank commands always take tier 2.
 
 **Tier 2 — exact incremental replay.**  Traces that fail a certificate
 (e.g. random traffic under FR-FCFS, whose stray row hits let the
@@ -129,8 +133,13 @@ __all__ = ["replay_fast"]
 def _null_phase(name: str) -> _t.ContextManager[None]:
     return contextlib.nullcontext()
 
-#: Outcome codes, aligned with :data:`repro.memsys.bank.OUTCOMES`.
-_HIT, _MISS, _CONFLICT = 0, 1, 2
+#: Outcome codes, aligned with :data:`repro.memsys.bank.OUTCOMES`; the
+#: AB register broadcast never touches a row buffer, so the bank module
+#: doesn't know it — its code 3 aligns with the telemetry layer's
+#: :data:`repro.telemetry.OUTCOME_NAMES` instead.
+_HIT, _MISS, _CONFLICT, _BROADCAST = 0, 1, 2, 3
+#: Outcome vocabulary for per-request write-back (code -> name).
+_OUTCOME_NAMES = OUTCOMES + ("broadcast",)
 _PIM_CODE = Op.PIM.code
 _AB_CODE = Op.AB.code
 
@@ -217,11 +226,6 @@ def replay_fast(
     with phase("certificate"):
         if force_exact:
             plan = None
-        elif bool(np.any(op_codes == _AB_CODE)):
-            # register-broadcast traffic (mixed host/PIM command
-            # streams): always the exact tier, which drives the
-            # controller's _serve
-            plan = None
         else:
             plan = _vector_plan(
                 system,
@@ -295,7 +299,12 @@ def _vector_plan(
         return None
     n = op_codes.shape[0]
     table = latency_table(config.timing, config.precharge_ns)
-    latencies = np.array([table[name] for name in OUTCOMES])
+    # index _BROADCAST charges the AB register broadcast: one column
+    # access on the command/data bus — the same page_access_ns the
+    # controller's _serve returns (== the row-hit latency)
+    latencies = np.array(
+        [table[name] for name in OUTCOMES] + [table[OUTCOMES[_HIT]]]
+    )
     n_banks = config.banks_per_channel
     page_bits = config.timing.page_bits
     closed = config.row_policy == CLOSED
@@ -309,21 +318,37 @@ def _vector_plan(
             continue
         bank_c = flat_bank[idx]
         row_c = row[idx]
-        pim = op_codes[idx] == _PIM_CODE
+        codes_c = op_codes[idx]
+        pim = codes_c == _PIM_CODE
+        ab = codes_c == _AB_CODE
         any_pim = bool(pim.any())
-        if any_pim and not bool(pim.all()):
-            return None  # mixed host/PIM stream: exact tier only
-        bits_per_request = page_bits * n_banks if any_pim else page_bits
+        any_ab = bool(ab.any())
+        if (any_pim or any_ab) and not bool((pim | ab).all()):
+            # host requests interleaved with all-bank commands: the
+            # FR-FCFS hoist and the AB barrier interact per selection —
+            # exact tier only
+            return None
+        # ab_c is None for host-only channels; for all-bank channels it
+        # marks the AB broadcasts within the PIM/AB lockstep stream
+        ab_c = ab if (any_pim or any_ab) else None
+        if ab_c is None:
+            bits: _t.Union[int, np.ndarray] = page_bits
+        elif not any_ab:
+            bits = page_bits * n_banks  # pure PIM: all banks move pages
+        elif not any_pim:
+            bits = page_bits  # pure AB: one command page per broadcast
+        else:
+            bits = np.where(ab, page_bits, page_bits * n_banks)
         check_fifo = (
-            frfcfs and depth > 1 and not any_pim and not closed
+            frfcfs and depth > 1 and ab_c is None and not closed
         )
-        data: dict = {"idx": idx, "bits": bits_per_request}
+        data: dict = {"idx": idx, "bits": bits}
         if refresh is not None:
             chunked = _chunked_refresh_channel(
                 refresh,
                 bank_c,
                 row_c,
-                any_pim,
+                ab_c,
                 closed,
                 latencies,
                 depth,
@@ -336,7 +361,7 @@ def _vector_plan(
             data["segments"] = None  # line-rate: the channel never idles
         else:
             outcome, bank_counts, open_final = _chunk_outcomes(
-                bank_c, row_c, any_pim, closed, n_banks
+                bank_c, row_c, ab_c, closed, n_banks
             )
             if check_fifo and not _fifo_certificate(
                 bank_c, row_c, outcome, depth, n_banks
@@ -428,7 +453,7 @@ def _vector_plan(
 def _chunk_outcomes(
     bank_c: np.ndarray,
     row_c: np.ndarray,
-    any_pim: bool,
+    ab_c: _t.Optional[np.ndarray],
     closed: bool,
     n_banks: int,
 ) -> _t.Tuple[np.ndarray, np.ndarray, _t.List[_t.Optional[int]]]:
@@ -438,36 +463,48 @@ def _chunk_outcomes(
     rows)`` for a request slice served in order starting from closed
     row buffers — a whole channel without refresh, or one refresh epoch
     chunk (each boundary precharges every bank, so every chunk restarts
-    from the same state).
+    from the same state).  ``ab_c`` is ``None`` for a host-only stream;
+    for an all-bank stream it marks the AB register broadcasts, which
+    are charged code :data:`_BROADCAST`, never touch a row buffer, and
+    therefore pass through the PIM row scan without disturbing it.
     """
     n_c = bank_c.shape[0]
     if closed:
-        # Auto-precharge: every access activates a fresh row — all
+        # Auto-precharge: every row access activates a fresh row — all
         # misses, never a hit or conflict, so FR-FCFS has nothing to
-        # hoist (FIFO by construction) and all banks end closed.
+        # hoist (FIFO by construction) and all banks end closed.  AB
+        # broadcasts bypass the row buffers under any policy.
         outcome = np.full(n_c, _MISS, dtype=np.int64)
         bank_counts = np.zeros((n_banks, 3), dtype=np.int64)
-        if any_pim:
-            bank_counts[:, _MISS] = n_c
+        if ab_c is not None:
+            outcome[ab_c] = _BROADCAST
+            bank_counts[:, _MISS] = int(n_c - int(ab_c.sum()))
         else:
             bank_counts[:, _MISS] = np.bincount(
                 bank_c, minlength=n_banks
             )
         return outcome, bank_counts, [None] * n_banks
-    if any_pim:
+    if ab_c is not None:
         # All-bank lockstep: every bank holds the previous PIM row, so
-        # outcomes are uniform across banks and follow from the row
-        # stream alone.
-        outcome = np.empty(n_c, dtype=np.int64)
-        outcome[0] = _MISS
-        if n_c > 1:
-            outcome[1:] = np.where(
-                row_c[1:] == row_c[:-1], _HIT, _CONFLICT
+        # outcomes are uniform across banks and follow from the PIM row
+        # subsequence alone; AB broadcasts never open or close a row.
+        outcome = np.full(n_c, _BROADCAST, dtype=np.int64)
+        pim_rows = row_c[~ab_c]
+        m = pim_rows.shape[0]
+        pim_out = np.empty(m, dtype=np.int64)
+        if m:
+            pim_out[0] = _MISS
+            pim_out[1:] = np.where(
+                pim_rows[1:] == pim_rows[:-1], _HIT, _CONFLICT
             )
+        outcome[~ab_c] = pim_out
         bank_counts = np.tile(
-            np.bincount(outcome, minlength=3), (n_banks, 1)
+            np.bincount(pim_out, minlength=3), (n_banks, 1)
         )
-        return outcome, bank_counts, [int(row_c[-1])] * n_banks
+        open_final = (
+            [int(pim_rows[-1])] * n_banks if m else [None] * n_banks
+        )
+        return outcome, bank_counts, open_final
     # FIFO row-buffer outcomes: compare each request's row with the
     # previous request on the same bank (stable sort groups banks while
     # preserving service order within each).
@@ -501,7 +538,7 @@ def _chunked_refresh_channel(
     refresh: "RefreshSchedule",
     bank_c: np.ndarray,
     row_c: np.ndarray,
-    any_pim: bool,
+    ab_c: _t.Optional[np.ndarray],
     closed: bool,
     latencies: np.ndarray,
     depth: int,
@@ -547,7 +584,7 @@ def _chunked_refresh_channel(
         out_w, _counts_w, _open_w = _chunk_outcomes(
             bank_c[i : i + window],
             row_c[i : i + window],
-            any_pim,
+            None if ab_c is None else ab_c[i : i + window],
             closed,
             n_banks,
         )
@@ -567,32 +604,20 @@ def _chunked_refresh_channel(
             k = window
         if k == 0:  # pragma: no cover - defensive (float edge)
             return None
-        bank_k = bank_c[i : i + k]
-        row_k = row_c[i : i + k]
-        out_k = out_w[:k]
-        if closed:
-            if any_pim:
-                bank_counts[:, _MISS] += k
-            else:
-                bank_counts[:, _MISS] += np.bincount(
-                    bank_k, minlength=n_banks
-                )
-        elif any_pim:
-            bank_counts += np.bincount(out_k, minlength=3)[None, :]
-            open_final = [int(row_k[-1])] * n_banks
-        else:
-            bank_counts += np.bincount(
-                bank_k * 3 + out_k, minlength=3 * n_banks
-            ).reshape(n_banks, 3)
-            # each chunk restarts from all-banks-closed, so the final
-            # open rows come from this chunk alone: in-order fancy
-            # assignment keeps the last write per bank
-            open_rows = np.full(n_banks, -1, dtype=np.int64)
-            open_rows[bank_k] = row_k
-            open_final = [
-                None if value < 0 else int(value)
-                for value in open_rows.tolist()
-            ]
+        # outcomes are prefix-stable (request j's code only looks at
+        # earlier requests of the same chunk), so re-scanning just the
+        # committed prefix yields exactly ``out_w[:k]`` plus the
+        # chunk's bank counts and final open rows; each boundary
+        # precharges every bank, so ``open_final`` is replaced, not
+        # merged
+        out_k, counts_k, open_final = _chunk_outcomes(
+            bank_c[i : i + k],
+            row_c[i : i + k],
+            None if ab_c is None else ab_c[i : i + k],
+            closed,
+            n_banks,
+        )
+        bank_counts += counts_k
         outcome[i : i + k] = out_k
         start[i : i + k] = s_w[:k]
         finish[i : i + k] = f_w[:k]
@@ -826,7 +851,12 @@ def _commit_vector_plan(
         tally._min = float(latency.min())
         tally._max = float(latency.max())
         controller.completed._count = n_c
-        controller.bits_delivered._count = int(data["bits"]) * n_c
+        bits = data["bits"]
+        controller.bits_delivered._count = (
+            int(bits.sum())
+            if isinstance(bits, np.ndarray)
+            else int(bits) * n_c
+        )
         queue = controller.queue_len
         queue._integral = float((start - arrival).sum())
         queue._value = 0.0
@@ -913,7 +943,7 @@ def _write_back(
         request.arrival = arr
         request.start_service = st
         request.finish = fin
-        request.outcome = OUTCOMES[out]
+        request.outcome = _OUTCOME_NAMES[out]
         request.bits = nbits
 
 

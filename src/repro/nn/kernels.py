@@ -176,12 +176,18 @@ class NnKernel:
     expected: np.ndarray
     host_trace: _t.Callable[[], _t.List[MemRequest]]
 
-    def machine(self) -> PimExecMachine:
-        """A fresh machine in this kernel's dtype and execution mode."""
+    def machine(self, unit_mode: str = "vectorized") -> PimExecMachine:
+        """A fresh machine in this kernel's dtype and execution mode.
+
+        ``unit_mode`` selects the execution-unit tier (``"vectorized"``
+        or ``"scalar"``); both tiers are bit-identical, so the choice
+        only affects wall-clock speed.
+        """
         return PimExecMachine(
             self.config,
             dtype=self.dtype,
             bank_groups=self.bank_groups,
+            unit_mode=unit_mode,
         )
 
 

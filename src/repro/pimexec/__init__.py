@@ -59,9 +59,9 @@ from .kernels import (
     gemv_kernel,
     vector_sum_kernel,
 )
-from .machine import PimExecMachine, PimExecResult
+from .machine import PimExecMachine, PimExecResult, UNIT_MODES
 from .program import PimProgram, ProgramRecord, parse_pim_program
-from .regfile import BankExecUnit, DTYPES
+from .regfile import BankExecUnit, DTYPES, UnitView, VectorUnitArray
 from .sequencer import CommandSequencer
 
 __all__ = [
@@ -89,6 +89,9 @@ __all__ = [
     "PimExecMachine",
     "PimExecResult",
     "BankExecUnit",
+    "UnitView",
+    "VectorUnitArray",
+    "UNIT_MODES",
     "DTYPES",
     "CommandSequencer",
     "PimProgram",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import typing as _t
 
 from ..errors import ReproError
@@ -334,9 +335,14 @@ class PimCommand:
     def is_control(self) -> bool:
         return self.opcode in CONTROL_OPCODES
 
-    @property
+    @functools.cached_property
     def uses_implicit_bank(self) -> bool:
-        """Does any operand read/write the walked column address?"""
+        """Does any operand read/write the walked column address?
+
+        Cached per (immutable) command: the sequencer asks once per
+        dynamic instruction, which a looped kernel repeats millions of
+        times.
+        """
         return any(op.is_implicit_bank for op in self.operands())
 
     @property

@@ -59,15 +59,42 @@ from ..memsys import (
     MemorySystem,
     MemSysStats,
     Op,
+    PackedTrace,
 )
+from ..memsys.request import OPS_BY_CODE
 from .commands import GRF_REGS, PimCommand, PimExecError, SRF_REGS
-from .regfile import BankExecUnit, DTYPES
+from .regfile import BankExecUnit, DTYPES, UnitView, VectorUnitArray
 from .sequencer import CommandSequencer
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from .. import telemetry as _te
 
-__all__ = ["PimExecMachine", "PimExecResult", "page_encoder"]
+__all__ = [
+    "PimExecMachine",
+    "PimExecResult",
+    "UNIT_MODES",
+    "page_encoder",
+]
+
+#: Execution-unit backends: ``"vectorized"`` (default, one
+#: :class:`~repro.pimexec.regfile.VectorUnitArray` executing each
+#: lockstep command across every unit in one NumPy op) or ``"scalar"``
+#: (one :class:`~repro.pimexec.regfile.BankExecUnit` per unit, the
+#: reference implementation).  Both are bit-identical by construction;
+#: the equivalence suite pins it.
+UNIT_MODES = ("vectorized", "scalar")
+
+#: Either unit backend presents the same per-unit surface.
+ExecUnit = _t.Union[BankExecUnit, UnitView]
+
+#: Packed request-log columns: op code, channel, flat bank, row, col.
+LogColumns = _t.Tuple[
+    _t.List[int], _t.List[int], _t.List[int], _t.List[int], _t.List[int]
+]
+
+
+def _empty_log() -> LogColumns:
+    return ([], [], [], [], [])
 
 #: Hardware lane width in bits: HBM-PIM computes on 16-bit words.
 LANE_BITS = 16
@@ -143,6 +170,15 @@ class PimExecMachine:
         half-bank lockstep groups — one unit per even/odd bank pair
         (requires an even ``banks_per_channel``), with ``Operand.unit``
         selecting the pair's even or odd bank.
+    unit_mode:
+        One of :data:`UNIT_MODES`: ``"vectorized"`` (default) backs
+        every unit with one shared
+        :class:`~repro.pimexec.regfile.VectorUnitArray` and executes
+        lockstep commands across all units in single NumPy ops;
+        ``"scalar"`` keeps one
+        :class:`~repro.pimexec.regfile.BankExecUnit` per unit (the
+        reference implementation the equivalence suite compares
+        against).  Functional state is bit-identical either way.
     """
 
     def __init__(
@@ -150,8 +186,15 @@ class PimExecMachine:
         config: _t.Optional[MemSysConfig] = None,
         dtype: str = "fp64",
         bank_groups: bool = False,
+        unit_mode: str = "vectorized",
     ) -> None:
         self.config = config or MemSysConfig()
+        if unit_mode not in UNIT_MODES:
+            raise PimExecError(
+                f"unknown unit_mode {unit_mode!r}; available: "
+                f"{UNIT_MODES}"
+            )
+        self.unit_mode = unit_mode
         if dtype not in DTYPES:
             raise PimExecError(
                 f"unknown dtype {dtype!r}; available: {tuple(DTYPES)}"
@@ -173,26 +216,49 @@ class PimExecMachine:
                 f"for {LANE_BITS}-bit lanes"
             )
         self.addr_map = self.config.address_map()
-        self.units: _t.List[_t.List[BankExecUnit]] = [
-            [
-                BankExecUnit(
-                    self.lanes,
-                    name=f"ch{ch}.u{index}",
-                    dtype=self.dtype,
-                    ports=self.ports,
-                )
-                for index in range(self.units_per_channel)
+        self._vector: _t.Optional[VectorUnitArray] = None
+        if unit_mode == "vectorized":
+            self._vector = VectorUnitArray(
+                self.config.n_channels,
+                self.units_per_channel,
+                self.lanes,
+                dtype=self.dtype,
+                ports=self.ports,
+            )
+            self.units: _t.List[_t.List[ExecUnit]] = [
+                [
+                    UnitView(self._vector, ch, index)
+                    for index in range(self.units_per_channel)
+                ]
+                for ch in range(self.config.n_channels)
             ]
-            for ch in range(self.config.n_channels)
-        ]
+        else:
+            self.units = [
+                [
+                    BankExecUnit(
+                        self.lanes,
+                        name=f"ch{ch}.u{index}",
+                        dtype=self.dtype,
+                        ports=self.ports,
+                    )
+                    for index in range(self.units_per_channel)
+                ]
+                for ch in range(self.config.n_channels)
+            ]
         self.sequencers = [
             CommandSequencer()
             for _ in range(self.config.n_channels)
         ]
         self._encode = page_encoder(self.config)
-        #: The accumulated request stream (cleared by
-        #: :meth:`reset_requests`, consumed by :meth:`replay`).
-        self.requests: _t.List[MemRequest] = []
+        # The accumulated request stream lives packed until someone
+        # asks for request *objects* (see :attr:`requests`): closed
+        # chunks — ("flat", op, ch, bank, row, col columns) or
+        # ("block", targets, rows, cols) lockstep blocks, one entry
+        # per dynamic instruction — plus the open flat tail ``_log``.
+        self._chunks: _t.List[tuple] = []
+        self._log = _empty_log()
+        self._count = 0
+        self._objects: _t.Optional[_t.List[MemRequest]] = None
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -214,7 +280,7 @@ class PimExecMachine:
     def total_units(self) -> int:
         return self.n_channels * self.units_per_channel
 
-    def unit(self, channel: int, index: int) -> BankExecUnit:
+    def unit(self, channel: int, index: int) -> ExecUnit:
         """The ``index``-th execution unit of ``channel``.
 
         With ``bank_groups=False`` unit indices coincide with flat bank
@@ -225,7 +291,7 @@ class PimExecMachine:
 
     def unit_for_bank(
         self, channel: int, flat_bank: int
-    ) -> _t.Tuple[BankExecUnit, int]:
+    ) -> _t.Tuple[ExecUnit, int]:
         """``(unit, port)`` serving ``flat_bank`` of ``channel``."""
         return (
             self.units[channel][flat_bank // self.ports],
@@ -234,7 +300,7 @@ class PimExecMachine:
 
     def iter_units(
         self,
-    ) -> _t.Iterator[_t.Tuple[int, int, BankExecUnit]]:
+    ) -> _t.Iterator[_t.Tuple[int, int, ExecUnit]]:
         """Yield ``(channel, unit_index, unit)`` in address order."""
         for ch, row in enumerate(self.units):
             for index, unit in enumerate(row):
@@ -246,10 +312,100 @@ class PimExecMachine:
         """Byte address of a page, from flat in-channel bank index."""
         return self._encode(channel, flat_bank, row, col)
 
-    def _emit(self, op: Op, addr: int) -> MemRequest:
-        request = MemRequest(op, addr)
-        self.requests.append(request)
-        return request
+    # ------------------------------------------------------------------
+    # the request log
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> _t.List[MemRequest]:
+        """The accumulated request stream, as mutable objects.
+
+        Requests accumulate internally as five packed integer columns
+        (op, channel, bank, row, col) — the zero-object form
+        :meth:`replay` turns straight into a
+        :class:`~repro.memsys.PackedTrace`.  First access of this
+        property materializes the columns into
+        :class:`~repro.memsys.MemRequest` objects and keeps the machine
+        in object mode (appends and per-request mutation, e.g. the
+        timestamps :class:`~repro.pimexec.program.PimProgram` stamps,
+        behave exactly as before) until :meth:`reset_requests`.
+        """
+        if self._objects is None:
+            encode = self._encode
+            pim = Op.PIM
+            objects: _t.List[MemRequest] = []
+            for chunk in self._iter_chunks():
+                if chunk[0] == "flat":
+                    _, ops_l, ch_l, bank_l, row_l, col_l = chunk
+                    objects.extend(
+                        MemRequest(
+                            OPS_BY_CODE[op],
+                            encode(ch, bank, row, col),
+                        )
+                        for op, ch, bank, row, col in zip(
+                            ops_l, ch_l, bank_l, row_l, col_l
+                        )
+                    )
+                else:
+                    _, targets, rows_l, cols_l = chunk
+                    objects.extend(
+                        MemRequest(pim, encode(ch, 0, row, col))
+                        for row, col in zip(rows_l, cols_l)
+                        for ch in targets
+                    )
+            self._chunks = []
+            self._log = _empty_log()
+            self._count = 0
+            self._objects = objects
+        return self._objects
+
+    @requests.setter
+    def requests(self, value: _t.List[MemRequest]) -> None:
+        self._chunks = []
+        self._log = _empty_log()
+        self._count = 0
+        self._objects = list(value)
+
+    @property
+    def n_requests(self) -> int:
+        """Accumulated request count (cheap in either log mode)."""
+        if self._objects is not None:
+            return len(self._objects)
+        return self._count
+
+    def _iter_chunks(self) -> _t.Iterator[tuple]:
+        """Closed chunks plus the open flat tail, in stream order."""
+        yield from self._chunks
+        if self._log[0]:
+            yield ("flat",) + self._log
+
+    def _push_block(
+        self,
+        targets: _t.Sequence[int],
+        rows: _t.List[int],
+        cols: _t.List[int],
+    ) -> None:
+        """Append one lockstep block chunk (closing the flat tail)."""
+        if self._log[0]:
+            self._chunks.append(("flat",) + self._log)
+            self._log = _empty_log()
+        self._chunks.append(("block", tuple(targets), rows, cols))
+        self._count += len(targets) * len(rows)
+
+    def _emit(
+        self, op: Op, channel: int, flat_bank: int, row: int, col: int
+    ) -> None:
+        if self._objects is not None:
+            self._objects.append(
+                MemRequest(op, self.encode(channel, flat_bank, row, col))
+            )
+            return
+        ops_l, ch_l, bank_l, row_l, col_l = self._log
+        ops_l.append(op.code)
+        ch_l.append(channel)
+        bank_l.append(flat_bank)
+        row_l.append(row)
+        col_l.append(col)
+        self._count += 1
 
     def _channels(
         self, channels: _t.Optional[_t.Sequence[int]]
@@ -274,13 +430,13 @@ class PimExecMachine:
         """Host write of one page into one bank."""
         unit, port = self.unit_for_bank(channel, flat_bank)
         unit.store_page(row, col, values, port)
-        self._emit(Op.WRITE, self.encode(channel, flat_bank, row, col))
+        self._emit(Op.WRITE, channel, flat_bank, row, col)
 
     def read_bank(
         self, channel: int, flat_bank: int, row: int, col: int
     ) -> np.ndarray:
         """Host read of one page from one bank."""
-        self._emit(Op.READ, self.encode(channel, flat_bank, row, col))
+        self._emit(Op.READ, channel, flat_bank, row, col)
         unit, port = self.unit_for_bank(channel, flat_bank)
         return unit.load_page(row, col, port)
 
@@ -303,9 +459,12 @@ class PimExecMachine:
             raise PimExecError(
                 f"SRF index {index} out of range [0, {SRF_REGS})"
             )
-        for unit in self.units[channel]:
-            unit.srf[index] = float(value)
-        self._emit(Op.AB, self.encode(channel, 0, row, col))
+        if self._vector is not None:
+            self._vector.srf[channel, :, index] = float(value)
+        else:
+            for unit in self.units[channel]:
+                unit.srf[index] = float(value)
+        self._emit(Op.AB, channel, 0, row, col)
 
     def broadcast_page(
         self,
@@ -327,16 +486,24 @@ class PimExecMachine:
                 f"broadcast page must have {self.lanes} lanes, got "
                 f"shape {page.shape}"
             )
-        for unit in self.units[channel]:
-            if space == "grf_a":
-                unit.grf_a[index] = page
-            elif space == "grf_b":
-                unit.grf_b[index] = page
-            else:
-                raise PimExecError(
-                    f"broadcast space must be grf_a/grf_b, got {space!r}"
-                )
-        self._emit(Op.AB, self.encode(channel, 0, row, col))
+        if space not in ("grf_a", "grf_b"):
+            raise PimExecError(
+                f"broadcast space must be grf_a/grf_b, got {space!r}"
+            )
+        if self._vector is not None:
+            grf = (
+                self._vector.grf_a
+                if space == "grf_a"
+                else self._vector.grf_b
+            )
+            grf[channel, :, index] = page
+        else:
+            for unit in self.units[channel]:
+                if space == "grf_a":
+                    unit.grf_a[index] = page
+                else:
+                    unit.grf_b[index] = page
+        self._emit(Op.AB, channel, 0, row, col)
 
     def read_grf(
         self, channel: int, unit_index: int, space: str, index: int
@@ -355,9 +522,7 @@ class PimExecMachine:
             raise PimExecError(
                 f"read_grf space must be grf_a/grf_b, got {space!r}"
             )
-        self._emit(
-            Op.AB, self.encode(channel, unit_index * self.ports, 0, 0)
-        )
+        self._emit(Op.AB, channel, unit_index * self.ports, 0, 0)
         return value.copy()
 
     def load_kernel(
@@ -374,7 +539,7 @@ class PimExecMachine:
         for channel in self._channels(channels):
             self.sequencers[channel].load(commands)
             for _ in commands:
-                self._emit(Op.AB, self.encode(channel, 0, 0, 0))
+                self._emit(Op.AB, channel, 0, 0, 0)
 
     # ------------------------------------------------------------------
     # kernel execution
@@ -382,9 +547,12 @@ class PimExecMachine:
     def _step(
         self, channel: int, command: PimCommand, row: int, col: int
     ) -> None:
-        for unit in self.units[channel]:
-            unit.execute(command, row, col)
-        self._emit(Op.PIM, self.encode(channel, 0, row, col))
+        if self._vector is not None:
+            self._vector.execute(command, row, col, (channel,))
+        else:
+            for unit in self.units[channel]:
+                unit.execute(command, row, col)
+        self._emit(Op.PIM, channel, 0, row, col)
 
     def pim_step(
         self, channel: int, command: PimCommand, row: int, col: int
@@ -418,8 +586,24 @@ class PimExecMachine:
         their all-bank request streams interleave and the memory system
         serves them concurrently.  Returns the total number of dynamic
         instructions executed (all channels).
+
+        When every target channel holds the same CRF program and walks
+        the same column schedule (the lockstep case every built-in
+        looped kernel hits), the vectorized machine drives *one*
+        sequencer and executes each dynamic instruction across all
+        target channels in a single array op — the round-robin request
+        interleaving and all sequencer counters are reproduced exactly.
         """
         targets = self._channels(channels)
+        if (
+            self._vector is not None
+            and self._objects is None
+            and len(targets) > 1
+            and len(set(targets)) == len(targets)
+            and not isinstance(walk, _t.Mapping)
+            and self._lockstep_programs(targets)
+        ):
+            return self._run_kernel_lockstep(walk, targets)
         if isinstance(walk, _t.Mapping):
             walks = {ch: walk[ch] for ch in targets}
         else:
@@ -442,12 +626,150 @@ class PimExecMachine:
             active = still_running
         return executed
 
+    def _lockstep_programs(self, targets: _t.Sequence[int]) -> bool:
+        """Do all target channels hold the same loaded CRF program?"""
+        first = self.sequencers[targets[0]].crf
+        if not first:
+            return False
+        return all(
+            self.sequencers[ch].crf == first for ch in targets[1:]
+        )
+
+    def _run_kernel_lockstep(
+        self,
+        walk: _t.Sequence[_t.Tuple[int, int]],
+        targets: _t.List[int],
+    ) -> int:
+        """Drive one sequencer; execute each step across all targets.
+
+        Every channel would yield the identical dynamic-instruction
+        sequence (same CRF, same walk), so one generator stands in for
+        all of them: each step executes as a single vectorized op over
+        the target channels and appends the same round-robin request
+        pattern (channel-major within each step) the generic loop
+        produces.  Sequencer counters of the non-driven channels are
+        mirrored from the driver's, even on error.
+        """
+        assert self._vector is not None
+        driver = self.sequencers[targets[0]]
+        others = [self.sequencers[ch] for ch in targets[1:]]
+        whole = len(targets) == self.n_channels
+        vector = self._vector
+        sels: _t.Tuple[_t.Tuple[int, ...], ...] = (
+            ((),) if whole else tuple((ch,) for ch in targets)
+        )
+        compiled: _t.Dict[int, _t.Tuple[_t.Callable, ...]] = {}
+        rows_l: _t.List[int] = []
+        cols_l: _t.List[int] = []
+        n_targets = len(targets)
+        executed = 0
+        before_instr = driver.instructions
+        before_ctl = driver.control_steps
+        try:
+            # one errstate block for the whole kernel — per-op IEEE
+            # behavior (inf saturation, NaN propagation) is numpy's
+            # regardless; execute() merely silences the same warnings
+            # per instruction
+            with np.errstate(over="ignore", invalid="ignore"):
+                for command, row, col in driver.run(walk):
+                    steps = compiled.get(id(command))
+                    if steps is None:
+                        steps = tuple(
+                            vector.compile_step(command, sel)
+                            for sel in sels
+                        )
+                        compiled[id(command)] = steps
+                    for step in steps:
+                        step(row, col)
+                    rows_l.append(row)
+                    cols_l.append(col)
+                    executed += n_targets
+        finally:
+            if rows_l:
+                # commands_executed, batched: every selected unit ran
+                # every dynamic instruction
+                n_steps = len(rows_l)
+                if whole:
+                    vector.commands_executed += n_steps
+                else:
+                    for ch in targets:
+                        vector.commands_executed[ch] += n_steps
+                self._push_block(targets, rows_l, cols_l)
+            delta_instr = driver.instructions - before_instr
+            delta_ctl = driver.control_steps - before_ctl
+            for sequencer in others:
+                sequencer.instructions += delta_instr
+                sequencer.control_steps += delta_ctl
+        return executed
+
     # ------------------------------------------------------------------
     # timing
     # ------------------------------------------------------------------
+    def _pack_columns(
+        self,
+    ) -> _t.Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """The packed log as (op, channel, bank, row, col) arrays.
+
+        Lockstep blocks expand vectorized: each recorded step fans out
+        to one PIM request per target channel, channel-major within
+        the step — exactly the round-robin order the generic execution
+        loop appends.
+        """
+        parts: _t.Tuple[list, list, list, list, list] = (
+            [], [], [], [], [],
+        )
+        pim_code = Op.PIM.code
+        for chunk in self._iter_chunks():
+            if chunk[0] == "flat":
+                _, ops_l, ch_l, bank_l, row_l, col_l = chunk
+                parts[0].append(np.array(ops_l, dtype=np.uint8))
+                parts[1].append(np.array(ch_l, dtype=np.int64))
+                parts[2].append(np.array(bank_l, dtype=np.int64))
+                parts[3].append(np.array(row_l, dtype=np.int64))
+                parts[4].append(np.array(col_l, dtype=np.int64))
+            else:
+                _, targets, rows_l, cols_l = chunk
+                n_steps = len(rows_l)
+                n_t = len(targets)
+                parts[0].append(
+                    np.full(n_steps * n_t, pim_code, dtype=np.uint8)
+                )
+                parts[1].append(
+                    np.tile(np.array(targets, dtype=np.int64), n_steps)
+                )
+                parts[2].append(
+                    np.zeros(n_steps * n_t, dtype=np.int64)
+                )
+                parts[3].append(
+                    np.repeat(np.array(rows_l, dtype=np.int64), n_t)
+                )
+                parts[4].append(
+                    np.repeat(np.array(cols_l, dtype=np.int64), n_t)
+                )
+        if not parts[0]:
+            return (
+                np.empty(0, dtype=np.uint8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        return (
+            np.concatenate(parts[0]),
+            np.concatenate(parts[1]),
+            np.concatenate(parts[2]),
+            np.concatenate(parts[3]),
+            np.concatenate(parts[4]),
+        )
+
     def reset_requests(self) -> None:
         """Drop the accumulated request stream (e.g. after data load)."""
-        self.requests = []
+        self._chunks = []
+        self._log = _empty_log()
+        self._count = 0
+        self._objects = None
 
     def replay(
         self,
@@ -460,22 +782,54 @@ class PimExecMachine:
         :meth:`~repro.memsys.MemorySystem.replay`, so per-request
         latency recording and phase profiling cover the AB-barrier
         stream exactly as they cover plain traces.
+
+        While the machine is still in packed-log mode the stream goes
+        out as a :class:`~repro.memsys.PackedTrace` (addresses encoded
+        in one vectorized pass, no request objects); once
+        :attr:`requests` has been materialized, the object stream is
+        copied and replayed exactly as before.  Both forms replay
+        bit-identically.
         """
-        if not self.requests:
+        if self.n_requests == 0:
             raise PimExecError("no requests accumulated to replay")
-        requests = [
-            MemRequest(r.op, r.addr, r.timestamp) for r in self.requests
-        ]
+        trace: _t.Union[PackedTrace, _t.List[MemRequest]]
+        if self._objects is None:
+            op_codes, channels, banks, rows, cols = self._pack_columns()
+            per_group = self.config.banks_per_group
+            addrs = self.addr_map.encode_fields(
+                {
+                    "channel": channels,
+                    "bankgroup": banks // per_group,
+                    "bank": banks % per_group,
+                    "row": rows,
+                    "column": cols,
+                }
+            )
+            trace = PackedTrace(op_codes, addrs)
+            counts = np.bincount(op_codes, minlength=len(OPS_BY_CODE))
+            n_pim = int(counts[Op.PIM.code])
+            n_broadcast = int(counts[Op.AB.code])
+            n_host = int(counts[Op.READ.code] + counts[Op.WRITE.code])
+            n_total = len(trace)
+        else:
+            trace = [
+                MemRequest(r.op, r.addr, r.timestamp)
+                for r in self._objects
+            ]
+            ops = [r.op for r in trace]
+            n_pim = sum(op is Op.PIM for op in ops)
+            n_broadcast = sum(op is Op.AB for op in ops)
+            n_host = sum(op in (Op.READ, Op.WRITE) for op in ops)
+            n_total = len(trace)
         system = MemorySystem(self.config)
-        stats = system.replay(requests, engine=engine, telemetry=telemetry)
-        ops = [r.op for r in requests]
+        stats = system.replay(trace, engine=engine, telemetry=telemetry)
         return PimExecResult(
             stats=stats,
             engine=system.last_replay_engine,
-            n_requests=len(requests),
-            n_pim=sum(op is Op.PIM for op in ops),
-            n_broadcast=sum(op is Op.AB for op in ops),
-            n_host=sum(op in (Op.READ, Op.WRITE) for op in ops),
+            n_requests=n_total,
+            n_pim=n_pim,
+            n_broadcast=n_broadcast,
+            n_host=n_host,
         )
 
     def sequencer_stats(self) -> _t.List[_t.Dict[str, int]]:
@@ -487,6 +841,7 @@ class PimExecMachine:
         mode = "bank-group" if self.bank_groups else "per-bank"
         return (
             f"<PimExecMachine {self.n_channels}ch x "
-            f"{self.units_per_channel}units ({mode}, {self.dtype}) "
-            f"lanes={self.lanes} requests={len(self.requests)}>"
+            f"{self.units_per_channel}units ({mode}, {self.dtype}, "
+            f"{self.unit_mode}) "
+            f"lanes={self.lanes} requests={self.n_requests}>"
         )

@@ -62,7 +62,7 @@ from .commands import (
     SRF_REGS,
 )
 
-__all__ = ["DTYPES", "BankExecUnit"]
+__all__ = ["DTYPES", "BankExecUnit", "VectorUnitArray", "UnitView"]
 
 #: Selectable arithmetic dtypes: name -> NumPy dtype.
 DTYPES: _t.Dict[str, np.dtype] = {
@@ -253,5 +253,568 @@ class BankExecUnit:
             f"<BankExecUnit {self.name!r} lanes={self.lanes} "
             f"dtype={self.dtype} ports={self.ports} "
             f"pages={len(self.memory)} "
+            f"executed={self.commands_executed}>"
+        )
+
+
+#: Unit-selection tuple into a :class:`VectorUnitArray`: ``()`` (every
+#: unit), ``(channel,)`` (every unit of one channel), or
+#: ``(channel, unit)``.
+UnitSel = _t.Tuple[int, ...]
+
+
+class VectorUnitArray:
+    """Every execution unit of one machine, as stacked NumPy arrays.
+
+    The array-backed twin of a grid of :class:`BankExecUnit` instances:
+    register files are ``(n_channels, units_per_channel, ...)`` arrays
+    and the sparse bank store keys ``(port, row, col)`` to one
+    ``(n_channels, units_per_channel, lanes)`` page plane, so one
+    lockstep command executes across every unit of a channel (or the
+    whole machine) in a handful of vectorized NumPy operations instead
+    of a Python loop over units.
+
+    Bit-exactness is preserved by construction: every arithmetic step
+    is the *same* NumPy elementwise expression in the *same* dtype as
+    :meth:`BankExecUnit.execute` — with ``"fp16"``, each product and
+    each sum still rounds to binary16 per operation (``MAC``/``MAD``
+    round the product first; no fused multiply-add), and IEEE
+    semantics (inf saturation, NaN propagation, gradual underflow) are
+    unchanged because NumPy applies them lane by lane regardless of
+    array shape.
+
+    Every method takes a selection tuple ``sel`` — ``()`` for all
+    units, ``(channel,)`` for one channel's units in lockstep,
+    ``(channel, unit)`` for a single unit (the granularity
+    :class:`UnitView` adapts to the scalar-unit API).
+    """
+
+    __slots__ = (
+        "n_channels", "units_per_channel", "lanes", "name",
+        "dtype", "np_dtype", "ports",
+        "grf_a", "grf_b", "srf", "memory", "commands_executed",
+    )
+
+    def __init__(
+        self,
+        n_channels: int,
+        units_per_channel: int,
+        lanes: int,
+        dtype: str = "fp64",
+        ports: int = 1,
+    ) -> None:
+        if n_channels < 1 or units_per_channel < 1:
+            raise ValueError(
+                f"need >= 1 channel and unit, got "
+                f"{n_channels} x {units_per_channel}"
+            )
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if dtype not in DTYPES:
+            raise PimExecError(
+                f"unknown dtype {dtype!r}; available: "
+                f"{tuple(DTYPES)}"
+            )
+        if ports not in (1, 2):
+            raise ValueError(f"ports must be 1 or 2, got {ports}")
+        self.n_channels = int(n_channels)
+        self.units_per_channel = int(units_per_channel)
+        self.lanes = int(lanes)
+        self.name = "vector-units"
+        self.dtype = dtype
+        self.np_dtype = DTYPES[dtype]
+        self.ports = int(ports)
+        grid = (self.n_channels, self.units_per_channel)
+        self.grf_a = np.zeros(
+            grid + (GRF_REGS, self.lanes), dtype=self.np_dtype
+        )
+        self.grf_b = np.zeros(
+            grid + (GRF_REGS, self.lanes), dtype=self.np_dtype
+        )
+        self.srf = np.zeros(grid + (SRF_REGS,), dtype=self.np_dtype)
+        #: Functional bank contents: ``(port, row, col) -> page plane``
+        #: of shape ``(n_channels, units_per_channel, lanes)`` (sparse;
+        #: unwritten pages read as zeros).
+        self.memory: _t.Dict[
+            _t.Tuple[int, int, int], np.ndarray
+        ] = {}
+        self.commands_executed = np.zeros(grid, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # bank data array
+    # ------------------------------------------------------------------
+    def _port(self, port: int) -> int:
+        if not 0 <= port < self.ports:
+            raise PimExecError(
+                f"{self.name}: bank port {port} out of range "
+                f"[0, {self.ports})"
+            )
+        return int(port)
+
+    def _sel_shape(self, sel: UnitSel) -> _t.Tuple[int, ...]:
+        return (self.n_channels, self.units_per_channel)[len(sel):]
+
+    def load_pages(
+        self, row: int, col: int, port: int = 0, sel: UnitSel = ()
+    ) -> np.ndarray:
+        """The selected units' view of one page (zeros if unwritten)."""
+        page = self.memory.get((self._port(port), int(row), int(col)))
+        if page is None:
+            return np.zeros(
+                self._sel_shape(sel) + (self.lanes,),
+                dtype=self.np_dtype,
+            )
+        return page[sel].copy()
+
+    def store_pages(
+        self,
+        row: int,
+        col: int,
+        values: np.ndarray,
+        port: int = 0,
+        sel: UnitSel = (),
+    ) -> None:
+        """Store the selected units' slice of one page plane."""
+        key = (self._port(port), int(row), int(col))
+        page = self.memory.get(key)
+        if page is None:
+            page = np.zeros(
+                (self.n_channels, self.units_per_channel, self.lanes),
+                dtype=self.np_dtype,
+            )
+            self.memory[key] = page
+        page[sel] = values
+
+    # ------------------------------------------------------------------
+    # operand access
+    # ------------------------------------------------------------------
+    def _coords(
+        self, operand: Operand, row: int, col: int
+    ) -> _t.Tuple[int, int, int]:
+        port = (
+            operand.unit
+            if operand.unit is not None and self.ports > 1
+            else 0
+        )
+        if operand.row is not None:
+            return operand.row, _t.cast(int, operand.col), port
+        return row, col, port
+
+    def _reg_index(
+        self, index: int, sel: UnitSel
+    ) -> _t.Tuple[_t.Any, ...]:
+        return sel + (slice(None),) * (2 - len(sel)) + (index,)
+
+    def read_operand(
+        self, operand: Operand, row: int, col: int, sel: UnitSel = ()
+    ) -> np.ndarray:
+        if operand.space == BANK:
+            r, c, port = self._coords(operand, row, col)
+            return self.load_pages(r, c, port, sel)
+        if operand.space == GRF_A:
+            return self.grf_a[self._reg_index(operand.index, sel)]
+        if operand.space == GRF_B:
+            return self.grf_b[self._reg_index(operand.index, sel)]
+        assert operand.space == SRF
+        # one scalar per unit, broadcast over lanes (a trailing
+        # length-1 axis broadcasts exactly like the scalar unit's
+        # ``np.full(lanes, ...)`` page, element for element)
+        return self.srf[self._reg_index(operand.index, sel)][..., None]
+
+    def write_operand(
+        self,
+        operand: Operand,
+        value: np.ndarray,
+        row: int,
+        col: int,
+        sel: UnitSel = (),
+    ) -> None:
+        if operand.space == BANK:
+            r, c, port = self._coords(operand, row, col)
+            self.store_pages(r, c, value, port, sel)
+        elif operand.space == GRF_A:
+            self.grf_a[self._reg_index(operand.index, sel)] = value
+        elif operand.space == GRF_B:
+            self.grf_b[self._reg_index(operand.index, sel)] = value
+        else:  # pragma: no cover - guarded by PimCommand validation
+            raise PimExecError("SRF cannot be a command destination")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    _MAD_DEFAULT_ADDEND = BankExecUnit._MAD_DEFAULT_ADDEND
+
+    def execute(
+        self,
+        command: PimCommand,
+        row: int = 0,
+        col: int = 0,
+        sel: UnitSel = (),
+    ) -> None:
+        """Execute one non-control command across the selected units.
+
+        Semantically identical to running
+        :meth:`BankExecUnit.execute` on every selected unit — same
+        expressions, same dtype, same rounding — in one vectorized op.
+        """
+        opcode = command.opcode
+        if command.is_control:
+            raise PimExecError(
+                f"{opcode.value} is sequencer control, not a bank "
+                "operation"
+            )
+        self.commands_executed[sel] += 1
+        if opcode is PimOpcode.NOP:
+            return
+        dst = _t.cast(Operand, command.dst)
+        src0 = self.read_operand(
+            _t.cast(Operand, command.src0), row, col, sel
+        )
+        if opcode in (PimOpcode.MOV, PimOpcode.FILL):
+            self.write_operand(dst, src0.copy(), row, col, sel)
+            return
+        src1 = self.read_operand(
+            _t.cast(Operand, command.src1), row, col, sel
+        )
+        with np.errstate(over="ignore", invalid="ignore"):
+            if opcode is PimOpcode.ADD:
+                result = src0 + src1
+            elif opcode is PimOpcode.MUL:
+                result = src0 * src1
+            elif opcode is PimOpcode.MAC:
+                result = (
+                    self.read_operand(dst, row, col, sel) + src0 * src1
+                )
+            else:  # MAD
+                addend = self.read_operand(
+                    command.src2 or self._MAD_DEFAULT_ADDEND,
+                    row,
+                    col,
+                    sel,
+                )
+                result = src0 * src1 + addend
+        self.write_operand(dst, result, row, col, sel)
+
+    # ------------------------------------------------------------------
+    # compiled steps (the lockstep hot path)
+    # ------------------------------------------------------------------
+    def _compile_reader(
+        self, operand: Operand, sel: UnitSel
+    ) -> _t.Callable[[int, int], np.ndarray]:
+        """A ``(row, col) -> value`` closure for one source operand.
+
+        Operand dispatch, port resolution, and index tuples are
+        resolved once here instead of on every dynamic instruction.
+        Bank reads return *views* (plus a shared read-only zero page
+        for unwritten pages) — safe because every opcode computes its
+        result into a fresh temporary before any write.
+        """
+        space = operand.space
+        if space == BANK:
+            port = self._port(
+                operand.unit
+                if operand.unit is not None and self.ports > 1
+                else 0
+            )
+            memory = self.memory
+            zeros = np.zeros(
+                self._sel_shape(sel) + (self.lanes,), dtype=self.np_dtype
+            )
+            zeros.setflags(write=False)
+            if operand.row is not None:
+                key = (port, int(operand.row), int(_t.cast(int, operand.col)))
+
+                def read(row: int, col: int) -> np.ndarray:
+                    page = memory.get(key)
+                    return zeros if page is None else page[sel]
+
+            else:
+
+                def read(row: int, col: int) -> np.ndarray:
+                    page = memory.get((port, row, col))
+                    return zeros if page is None else page[sel]
+
+            return read
+        if space == SRF:
+            srf = self.srf
+            index = self._reg_index(operand.index, sel)
+            return lambda row, col: srf[index][..., None]
+        arr = self.grf_a if space == GRF_A else self.grf_b
+        index = self._reg_index(operand.index, sel)
+        return lambda row, col: arr[index]
+
+    def _compile_writer(
+        self, operand: Operand, sel: UnitSel
+    ) -> _t.Callable[[np.ndarray, int, int], None]:
+        """A ``(value, row, col) -> None`` closure for the destination."""
+        space = operand.space
+        if space == BANK:
+            port = self._port(
+                operand.unit
+                if operand.unit is not None and self.ports > 1
+                else 0
+            )
+            memory = self.memory
+            grid = (
+                self.n_channels, self.units_per_channel, self.lanes,
+            )
+            np_dtype = self.np_dtype
+            fixed = (
+                (port, int(operand.row), int(_t.cast(int, operand.col)))
+                if operand.row is not None
+                else None
+            )
+
+            def write(value: np.ndarray, row: int, col: int) -> None:
+                key = fixed if fixed is not None else (port, row, col)
+                page = memory.get(key)
+                if page is None:
+                    page = np.zeros(grid, dtype=np_dtype)
+                    memory[key] = page
+                page[sel] = value
+
+            return write
+        if space == GRF_A:
+            arr = self.grf_a
+        elif space == GRF_B:
+            arr = self.grf_b
+        else:  # pragma: no cover - guarded by PimCommand validation
+            raise PimExecError("SRF cannot be a command destination")
+        index = self._reg_index(operand.index, sel)
+
+        def write_reg(value: np.ndarray, row: int, col: int) -> None:
+            arr[index] = value
+
+        return write_reg
+
+    def compile_step(
+        self, command: PimCommand, sel: UnitSel = ()
+    ) -> _t.Callable[[int, int], None]:
+        """A ``(row, col)`` closure executing ``command`` over ``sel``.
+
+        Semantically :meth:`execute` minus the per-call overheads the
+        lockstep driver hoists: operand dispatch happens once at
+        compile time, the caller provides one surrounding
+        ``np.errstate`` block, and ``commands_executed`` is batched by
+        the caller (one array add for the whole kernel).  The
+        arithmetic expressions — and therefore dtype, rounding order,
+        and IEEE special-case behavior — are identical.
+        """
+        opcode = command.opcode
+        if command.is_control:
+            raise PimExecError(
+                f"{opcode.value} is sequencer control, not a bank "
+                "operation"
+            )
+        if opcode is PimOpcode.NOP:
+            return lambda row, col: None
+        dst = _t.cast(Operand, command.dst)
+        read0 = self._compile_reader(
+            _t.cast(Operand, command.src0), sel
+        )
+        # a GRF destination is one fixed array view, so the ufunc can
+        # write straight into it (``out=``) — the same elementwise loop
+        # as ``dst[...] = a + b``, minus one temporary per step; bank
+        # destinations keep the page-allocating writer
+        out: _t.Optional[np.ndarray] = None
+        if dst.space in (GRF_A, GRF_B):
+            arr = self.grf_a if dst.space == GRF_A else self.grf_b
+            out = arr[self._reg_index(dst.index, sel)]
+        write = None if out is not None else self._compile_writer(dst, sel)
+        if opcode in (PimOpcode.MOV, PimOpcode.FILL):
+            if out is not None:
+                return lambda row, col: np.copyto(out, read0(row, col))
+            return lambda row, col: write(read0(row, col), row, col)
+        read1 = self._compile_reader(
+            _t.cast(Operand, command.src1), sel
+        )
+        if opcode is PimOpcode.ADD:
+            if out is not None:
+                return lambda row, col: np.add(
+                    read0(row, col), read1(row, col), out=out
+                )
+            return lambda row, col: write(
+                read0(row, col) + read1(row, col), row, col
+            )
+        if opcode is PimOpcode.MUL:
+            if out is not None:
+                return lambda row, col: np.multiply(
+                    read0(row, col), read1(row, col), out=out
+                )
+            return lambda row, col: write(
+                read0(row, col) * read1(row, col), row, col
+            )
+        if opcode is PimOpcode.MAC:
+            read_dst = self._compile_reader(dst, sel)
+            if out is not None:
+                return lambda row, col: np.add(
+                    read_dst(row, col),
+                    read0(row, col) * read1(row, col),
+                    out=out,
+                )
+            return lambda row, col: write(
+                read_dst(row, col) + read0(row, col) * read1(row, col),
+                row,
+                col,
+            )
+        # MAD
+        read2 = self._compile_reader(
+            command.src2 or self._MAD_DEFAULT_ADDEND, sel
+        )
+        if out is not None:
+            return lambda row, col: np.add(
+                read0(row, col) * read1(row, col),
+                read2(row, col),
+                out=out,
+            )
+        return lambda row, col: write(
+            read0(row, col) * read1(row, col) + read2(row, col),
+            row,
+            col,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<VectorUnitArray {self.n_channels}x"
+            f"{self.units_per_channel} lanes={self.lanes} "
+            f"dtype={self.dtype} ports={self.ports} "
+            f"pages={len(self.memory)}>"
+        )
+
+
+class UnitView:
+    """One ``(channel, unit)`` window onto a :class:`VectorUnitArray`.
+
+    Presents the :class:`BankExecUnit` surface — ``grf_a``/``grf_b``/
+    ``srf`` as mutable array views, ``load_page``/``store_page``,
+    ``read_operand``/``write_operand``/``execute``,
+    ``commands_executed`` — so kernels, programs, and tests written
+    against scalar units run unchanged on the vectorized machine.
+    """
+
+    __slots__ = ("_array", "_channel", "_index", "name")
+
+    def __init__(
+        self,
+        array: VectorUnitArray,
+        channel: int,
+        index: int,
+        name: _t.Optional[str] = None,
+    ) -> None:
+        self._array = array
+        self._channel = int(channel)
+        self._index = int(index)
+        self.name = name or f"ch{channel}.u{index}"
+
+    # -- geometry / dtype passthrough ----------------------------------
+    @property
+    def lanes(self) -> int:
+        return self._array.lanes
+
+    @property
+    def dtype(self) -> str:
+        return self._array.dtype
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return self._array.np_dtype
+
+    @property
+    def ports(self) -> int:
+        return self._array.ports
+
+    # -- register files (mutable views) --------------------------------
+    @property
+    def grf_a(self) -> np.ndarray:
+        return self._array.grf_a[self._channel, self._index]
+
+    @property
+    def grf_b(self) -> np.ndarray:
+        return self._array.grf_b[self._channel, self._index]
+
+    @property
+    def srf(self) -> np.ndarray:
+        return self._array.srf[self._channel, self._index]
+
+    @property
+    def commands_executed(self) -> int:
+        return int(
+            self._array.commands_executed[self._channel, self._index]
+        )
+
+    @property
+    def _sel(self) -> UnitSel:
+        return (self._channel, self._index)
+
+    @property
+    def memory(self) -> _t.Dict[_t.Tuple[int, int, int], np.ndarray]:
+        """This unit's page contents (copies), keyed ``(port, row, col)``.
+
+        Read-only mirror of :attr:`BankExecUnit.memory`: the vectorized
+        array stores whole-grid page planes, so a key appears here once
+        *any* unit wrote it (this unit's slice reads zeros until its own
+        write, exactly like :meth:`load_page`).  Mutation goes through
+        :meth:`store_page`.
+        """
+        sel = self._sel
+        return {
+            key: plane[sel].copy()
+            for key, plane in self._array.memory.items()
+        }
+
+    # -- bank data array -----------------------------------------------
+    def load_page(self, row: int, col: int, port: int = 0) -> np.ndarray:
+        """One page of the unit's bank array (zeros if never written)."""
+        if not 0 <= port < self.ports:
+            raise PimExecError(
+                f"{self.name}: bank port {port} out of range "
+                f"[0, {self.ports})"
+            )
+        return self._array.load_pages(row, col, port, self._sel)
+
+    def store_page(
+        self,
+        row: int,
+        col: int,
+        values: _t.Sequence[float],
+        port: int = 0,
+    ) -> None:
+        """Store one page, rounding ``values`` to the unit's dtype."""
+        if not 0 <= port < self.ports:
+            raise PimExecError(
+                f"{self.name}: bank port {port} out of range "
+                f"[0, {self.ports})"
+            )
+        page = np.asarray(values, dtype=self.np_dtype)
+        if page.shape != (self.lanes,):
+            raise PimExecError(
+                f"{self.name}: page must have {self.lanes} lanes, got "
+                f"shape {page.shape}"
+            )
+        self._array.store_pages(row, col, page, port, self._sel)
+
+    # -- operand access / execution ------------------------------------
+    def read_operand(
+        self, operand: Operand, row: int, col: int
+    ) -> np.ndarray:
+        value = self._array.read_operand(operand, row, col, self._sel)
+        if value.shape != (self.lanes,):  # SRF scalar: fill the lanes
+            value = np.broadcast_to(value, (self.lanes,)).copy()
+        return value
+
+    def write_operand(
+        self, operand: Operand, value: np.ndarray, row: int, col: int
+    ) -> None:
+        self._array.write_operand(operand, value, row, col, self._sel)
+
+    def execute(
+        self, command: PimCommand, row: int = 0, col: int = 0
+    ) -> None:
+        self._array.execute(command, row, col, self._sel)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UnitView {self.name!r} lanes={self.lanes} "
+            f"dtype={self.dtype} ports={self.ports} "
             f"executed={self.commands_executed}>"
         )

@@ -34,6 +34,7 @@ from .report import (
     REPORT_SCHEMA,
     build_report,
     render_report,
+    replay_tier,
     write_report,
 )
 from .timeline import (
@@ -75,5 +76,6 @@ __all__ = [
     "REPORT_SCHEMA",
     "build_report",
     "render_report",
+    "replay_tier",
     "write_report",
 ]

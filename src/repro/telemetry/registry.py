@@ -304,7 +304,10 @@ def pimexec_metrics(
 
     ``machine`` (the generating :class:`~repro.pimexec.PimExecMachine`)
     adds its per-channel sequencer statistics — dynamic instructions,
-    control steps, kernels loaded.
+    control steps, kernels loaded — plus the ``pimexec.unit_commands``
+    counter tagged with the execution-unit tier (``unit_mode``) that
+    actually ran the kernel, so dashboards can tell a vectorized run
+    from a scalar one.
     """
     # explicit None test: an empty registry is falsy (it has __len__)
     if registry is None:
@@ -318,6 +321,15 @@ def pimexec_metrics(
     registry.counter("pimexec.host_requests", result.n_host, **tags)
     memsys_metrics(result.stats, registry, **tags)
     if machine is not None:
+        registry.counter(
+            "pimexec.unit_commands",
+            sum(
+                unit.commands_executed
+                for _ch, _index, unit in machine.iter_units()
+            ),
+            unit_mode=machine.unit_mode,
+            **tags,
+        )
         for channel, stats in enumerate(machine.sequencer_stats()):
             channel_tags = dict(tags, channel=channel)
             registry.counter(

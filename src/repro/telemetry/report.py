@@ -30,11 +30,35 @@ __all__ = [
     "REPORT_SCHEMA",
     "build_report",
     "render_report",
+    "replay_tier",
     "write_report",
 ]
 
 #: Schema identifier carried in every report document.
 REPORT_SCHEMA = "repro.telemetry/report-v1"
+
+
+def replay_tier(engine: _t.Optional[str]) -> _t.Optional[str]:
+    """Map a replay-engine label onto the execution-tier taxonomy.
+
+    The memory system picks among three tiers per stream (see
+    ``docs/architecture.md``): the closed-form **fastpath** tier
+    (``fast-vectorized``, admitted by the certificate), the
+    vectorized-but-sequential **exact** tier (``fast-exact``), and the
+    discrete-**event** engine.  Farm runs and other composite labels
+    pass through unchanged; ``None`` (no replay recorded) stays
+    ``None``.
+    """
+    if engine is None:
+        return None
+    label = str(engine)
+    if label.startswith("fast-vectorized"):
+        return "fastpath"
+    if label.startswith("fast"):
+        return "exact"
+    if label.startswith("event"):
+        return "event"
+    return label
 
 
 def build_report(
@@ -74,6 +98,7 @@ def build_report(
         "schema": REPORT_SCHEMA,
         "source": source,
         "engine": telemetry.engine,
+        "replay_tier": replay_tier(telemetry.engine),
         "n_requests": None if stats is None else stats.n_requests,
         "makespan_ns": telemetry.makespan_ns,
         "stats": None if stats is None else stats.summary(),
@@ -125,9 +150,11 @@ def render_report(document: dict) -> str:
     """Render one report document as the CLI's text tables."""
     lines: _t.List[str] = []
     lines.append(f"run report — {document.get('source') or 'replay'}")
+    tier = document.get("replay_tier")
     lines.append(
         f"engine: {document.get('engine')}   "
-        f"requests: {_fmt(document.get('n_requests'))}   "
+        + (f"tier: {tier}   " if tier is not None else "")
+        + f"requests: {_fmt(document.get('n_requests'))}   "
         f"makespan: {_fmt(document.get('makespan_ns'))} ns"
     )
     stats = document.get("stats")

@@ -378,3 +378,120 @@ class TestFastPathSideEffects:
         stats = system.replay(packed, engine="event")
         assert system.last_replay_engine == "event"
         assert stats.n_requests == 256
+
+
+def ab_all_bank_trace(config, n):
+    """All-bank broadcast commands with the same geometry as
+    :func:`pim_all_bank_trace` — the lockstep ``unit_mode="vectorized"``
+    machines emit exactly this shape when staging register files."""
+    return [
+        MemRequest(Op.AB, request.addr)
+        for request in pim_all_bank_trace(config, n)
+    ]
+
+
+def replay_both_timed(config, trace):
+    """Like :func:`replay_both` but keeping arrival timestamps —
+    ``fresh`` strips them, which would hide the backpressure tier."""
+
+    def copy():
+        return [
+            MemRequest(r.op, r.addr, timestamp=r.timestamp)
+            for r in trace
+        ]
+
+    event_stats = MemorySystem(config).replay(copy(), engine="event")
+    fast_system = MemorySystem(config)
+    fast_stats = fast_system.replay(copy(), engine="fast")
+    return event_stats, fast_stats, fast_system
+
+
+class TestAbCertificate:
+    """Admission and decline cases for the AB fastpath certificate."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_pure_ab_stream_admitted(self, policy):
+        config = MemSysConfig(n_channels=2, policy=policy)
+        trace = ab_all_bank_trace(config, 512)
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert fast_stats.n_requests == 512
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_ab_prefix_then_pim_admitted(self):
+        """The broadcast-then-execute shape every lockstep kernel run
+        produces: GRF/SRF staging broadcasts followed by the all-bank
+        compute stream stays on the closed-form tier."""
+        config = MemSysConfig(n_channels=2)
+        trace = ab_all_bank_trace(config, 64) + pim_all_bank_trace(
+            config, 512
+        )
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert fast_stats.n_requests == 64 + 512
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_ab_interleaved_with_pim_admitted(self):
+        """AB and PIM may interleave freely: both are all-bank ops, so
+        the certificate holds with no host traffic in the channel."""
+        config = MemSysConfig(n_channels=2)
+        ab = ab_all_bank_trace(config, 256)
+        pim = pim_all_bank_trace(config, 256)
+        trace = [r for pair in zip(ab, pim) for r in pair]
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_slow_timestamped_ab_stream_admitted(self):
+        """Timestamped arrivals slower than service keep the queue
+        empty, so the backpressure certificate passes."""
+        config = MemSysConfig(n_channels=2)
+        trace = [
+            MemRequest(r.op, r.addr, timestamp=i * 1000.0)
+            for i, r in enumerate(ab_all_bank_trace(config, 256))
+        ]
+        event_stats, fast_stats, fast_system = replay_both_timed(
+            config, trace
+        )
+        assert fast_system.last_replay_engine == "fast-vectorized"
+        assert_stats_equivalent(event_stats, fast_stats)
+
+    def test_burst_timestamped_ab_stream_declined(self):
+        """All arrivals at t=0 overflow the queue: the backpressure
+        certificate fails and the exact tier reproduces the event
+        calendar bit-for-bit."""
+        config = MemSysConfig(n_channels=2)
+        trace = [
+            MemRequest(r.op, r.addr, timestamp=0.0)
+            for r in ab_all_bank_trace(config, 256)
+        ]
+        event_stats, fast_stats, fast_system = replay_both_timed(
+            config, trace
+        )
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats, rel=None)
+
+    def test_per_bank_refresh_ab_stream_declined(self):
+        """Per-bank refresh staggers the banks out of lockstep, which
+        an all-bank closed form cannot express: exact tier, bit-exact."""
+        config = MemSysConfig(
+            n_channels=2,
+            trefi_ns=3900.0,
+            trfc_ns=350.0,
+            refresh_granularity="per-bank",
+        )
+        trace = ab_all_bank_trace(config, 512)
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats, rel=None)
+
+    def test_host_traffic_poisons_the_certificate(self):
+        """A single host read inside an otherwise pure AB channel must
+        decline the whole channel — no silent approximation."""
+        config = MemSysConfig(n_channels=2)
+        trace = ab_all_bank_trace(config, 256)
+        host = synthesize_trace("sequential", 1, config)
+        trace.insert(128, host[0])
+        event_stats, fast_stats, fast_system = replay_both(config, trace)
+        assert fast_system.last_replay_engine == "fast-exact"
+        assert_stats_equivalent(event_stats, fast_stats, rel=None)

@@ -132,3 +132,176 @@ class TestCleanInputStaysClean:
         )
         program = parse_pim_program(noisy)
         assert len(program) == 8
+
+
+# ----------------------------------------------------------------------
+# instruction-level fuzz: scalar vs vectorized execution units
+# ----------------------------------------------------------------------
+class TestInstructionLevelFuzz:
+    """Seeded random CRF programs run on both execution-unit tiers.
+
+    Every generated program either executes bit-identically in the
+    scalar :class:`~repro.pimexec.BankExecUnit` grid and the
+    vectorized :class:`~repro.pimexec.VectorUnitArray` — register
+    files, bank pages, and emitted request streams compared raw-byte —
+    or raises the *same* typed error (:class:`PimExecError` /
+    :class:`~repro.errors.ProgramFormatError`) from both machines:
+    never silent divergence, never a tier-specific crash.
+    """
+
+    ARITH = ("ADD", "MUL", "MAC", "MAD", "MOV", "FILL")
+
+    @staticmethod
+    def _random_operand(rng, dst=False):
+        spaces = ("GRF", "BANK") if dst else ("GRF", "SRF", "BANK")
+        space = rng.choice(spaces)
+        if space == "GRF":
+            return f"GRF,{rng.randrange(16)}"
+        if space == "SRF":
+            return f"SRF,{rng.randrange(8)}"
+        if rng.random() < 0.5:
+            return "BANK"  # implicit: the column walk addresses it
+        return f"BANK,{rng.randrange(4)},{rng.randrange(8)}"
+
+    def _random_program(self, rng):
+        lines = []
+        for _ in range(rng.randrange(1, 5)):
+            opcode = rng.choice(self.ARITH)
+            arity = 2 if opcode in ("MOV", "FILL") else 3
+            operands = [self._random_operand(rng, dst=True)] + [
+                self._random_operand(rng) for _ in range(arity - 1)
+            ]
+            lines.append(f"{opcode} " + " ".join(operands))
+        if rng.random() < 0.3 and len(lines) > 1:
+            lines.append(f"JUMP 0 {rng.randrange(2, 4)}")
+        lines.append("EXIT")
+        return lines
+
+    @staticmethod
+    def _stage(rng, machine):
+        """Random bank pages, SRF scalars, and GRF broadcasts."""
+        import numpy as np
+
+        for channel in range(machine.n_channels):
+            for unit_index in range(machine.units_per_channel):
+                flat = unit_index * machine.ports
+                for _ in range(rng.randrange(1, 4)):
+                    row, col = rng.randrange(4), rng.randrange(8)
+                    page = np.array(
+                        [
+                            rng.uniform(-70000.0, 70000.0)
+                            for _ in range(machine.lanes)
+                        ]
+                    )
+                    machine.write_bank(channel, flat, row, col, page)
+            machine.broadcast_scalar(
+                channel, rng.randrange(8), rng.uniform(-10.0, 10.0)
+            )
+            machine.broadcast_page(
+                channel,
+                rng.choice(("grf_a", "grf_b")),
+                rng.randrange(8),
+                np.array(
+                    [
+                        rng.uniform(-5.0, 5.0)
+                        for _ in range(machine.lanes)
+                    ]
+                ),
+            )
+
+    def _run(self, seed, dtype, unit_mode, channels=None):
+        """One fuzz run; returns the machine or the typed error."""
+        import random as _random
+
+        from repro.errors import ProgramFormatError
+        from repro.pimexec import (
+            PimExecError,
+            PimExecMachine,
+            parse_command,
+        )
+
+        rng = _random.Random(seed)
+        machine = PimExecMachine(dtype=dtype, unit_mode=unit_mode)
+        try:
+            self._stage(rng, machine)
+            program = [
+                parse_command(line)
+                for line in self._random_program(rng)
+            ]
+            walk = [
+                (rng.randrange(4), rng.randrange(8))
+                for _ in range(rng.randrange(4, 12))
+            ]
+            machine.load_kernel(program)
+            machine.run_kernel(walk, channels=channels)
+        except (PimExecError, ProgramFormatError) as error:
+            return (type(error), str(error))
+        return machine
+
+    @staticmethod
+    def _assert_same_outcome(scalar, vectorized):
+        from tests.pimexec.test_tier_equivalence import (
+            assert_streams_identical,
+            assert_unit_state_identical,
+        )
+
+        if isinstance(scalar, tuple) or isinstance(vectorized, tuple):
+            # a typed error: both tiers must raise the same one
+            assert scalar == vectorized
+            return
+        assert_unit_state_identical(scalar, vectorized)
+        assert_streams_identical(scalar, vectorized)
+        assert (
+            scalar.sequencer_stats() == vectorized.sequencer_stats()
+        )
+
+    @pytest.mark.parametrize("dtype", ("fp64", "fp16"))
+    @pytest.mark.parametrize("seed", range(25))
+    def test_lockstep_programs_bit_identical(self, seed, dtype):
+        """All-channel runs: the vectorized machine's lockstep fast
+        path against the scalar grid, same seed, same program."""
+        self._assert_same_outcome(
+            self._run(seed, dtype, "scalar"),
+            self._run(seed, dtype, "vectorized"),
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_channel_programs_bit_identical(self, seed):
+        """Single-channel runs skip the lockstep fast path and fuzz
+        the per-channel vectorized execute instead."""
+        self._assert_same_outcome(
+            self._run(3000 + seed, "fp16", "scalar", channels=[0]),
+            self._run(3000 + seed, "fp16", "vectorized", channels=[0]),
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_invalid_programs_raise_the_same_typed_error(self, seed):
+        """Mutated command text parses to the same PimExecError on
+        both machines (parsing is tier-independent, and a parse
+        failure must never leave the two tiers in different states)."""
+        import random as _random
+
+        rng = _random.Random(7000 + seed)
+        lines = self._random_program(rng)
+        pos = rng.randrange(len(lines))
+        text = list(lines[pos])
+        text[rng.randrange(len(text))] = chr(rng.randrange(33, 127))
+        lines[pos] = "".join(text)
+
+        def attempt(unit_mode):
+            from repro.pimexec import (
+                PimExecError,
+                PimExecMachine,
+                parse_command,
+            )
+
+            machine = PimExecMachine(unit_mode=unit_mode)
+            try:
+                machine.load_kernel(
+                    [parse_command(line) for line in lines]
+                )
+            except PimExecError as error:
+                return (type(error), str(error))
+            return None
+
+        assert attempt("scalar") == attempt("vectorized")

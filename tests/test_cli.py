@@ -627,3 +627,70 @@ class TestNnCommand:
             ]
         ) == 2
         assert "divisible" in capsys.readouterr().err
+
+
+class TestTierReporting:
+    """The verbs surface which execution tier actually ran."""
+
+    def test_report_document_carries_replay_tier(self, tmp_path, capsys):
+        import json
+
+        trace = TestTelemetryFlags.write_demo_trace(tmp_path)
+        report = tmp_path / "r.json"
+        assert main([
+            "report", str(trace), "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tier: " in out
+        document = json.loads(report.read_text())
+        assert document["replay_tier"] in {"fastpath", "exact", "event"}
+        from repro.telemetry import replay_tier
+
+        assert document["replay_tier"] == replay_tier(
+            document["engine"]
+        )
+
+    def test_farm_verb_prints_shard_tiers(self, tmp_path, capsys):
+        trace = TestTimeseriesFlag.write_timed_trace(tmp_path)
+        assert main([
+            "farm", str(trace),
+            "--scheme", "channel-interleaved", "--channels", "2",
+            "--mode", "inprocess",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiers:    " in out
+        assert "tier=" in out
+
+    def test_pimexec_trace_prints_unit_tier(self, tmp_path, capsys):
+        program = tmp_path / "program.trace"
+        program.write_text(
+            "W MEM 0 0 3\nAB W\n"
+            "PIM MAC GRF,8 BANK,0,3,0 SRF,0\nPIM EXIT\n"
+        )
+        assert main(["pimexec", "--trace", str(program)]) == 0
+        assert "units:    vectorized" in capsys.readouterr().out
+
+    def test_pimexec_metrics_tag_the_unit_tier(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main([
+            "pimexec", "--kernel", "vector-sum", "--n", "512",
+            "--metrics", str(metrics),
+        ]) == 0
+        snapshot = TestTelemetryFlags.load_metrics(metrics)
+        unit = [
+            e for e in snapshot["counters"]
+            if e["name"] == "pimexec.unit_commands"
+        ]
+        assert unit
+        assert unit[0]["tags"]["unit_mode"] == "vectorized"
+        assert unit[0]["value"] > 0
+
+    def test_replay_tier_taxonomy(self):
+        from repro.telemetry import replay_tier
+
+        assert replay_tier("fast-vectorized") == "fastpath"
+        assert replay_tier("fast-exact") == "exact"
+        assert replay_tier("fast") == "exact"
+        assert replay_tier("event") == "event"
+        assert replay_tier("farm") == "farm"
+        assert replay_tier(None) is None

@@ -116,6 +116,14 @@ SPREAD_KEYS: _t.Dict[str, str] = {
     "telemetry_overhead_pct": "telemetry_overhead_spread_pct",
 }
 
+#: Non-numeric provenance fields carried into the JSONL history next to
+#: the floored metrics: which execution-unit tier and replay engine
+#: produced each run's numbers.  A throughput trajectory is only
+#: comparable across PRs when the tier that produced it is on record —
+#: the vectorized unit tier and the AB-lockstep fast replay engine are
+#: each worth orders of magnitude on the pimexec pipeline.
+TIER_KEYS: _t.Tuple[str, ...] = ("unit_mode", "replay_engine")
+
 
 def compare_record(
     fresh: _t.Mapping[str, _t.Any],
@@ -268,6 +276,7 @@ def _history_entry(
     kept: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
     for name, record in records.items():
         keys = {"passed"}
+        keys.update(TIER_KEYS)
         for entry in FLOORS.get(name, []):
             keys.update(entry[:2])
             spread_key = SPREAD_KEYS.get(entry[0])
