@@ -238,13 +238,21 @@ def main(argv=None) -> int:
         on_runs.append(run_fast_telemetry())
     fast_rate = max(off_rates)
     telemetry_rate, telemetry = max(on_runs, key=lambda r: r[0])
-    # percentile + time-series assembly is deliberately outside the
-    # timed region — derivation must never ride the hot path
+    # percentile + time-series + energy assembly is deliberately
+    # outside the timed region — derivation must never ride the hot
+    # path
     percentiles = telemetry.percentiles()
-    from repro.telemetry import build_timeseries, validate_timeseries
+    from repro.telemetry import (
+        build_energy,
+        build_timeseries,
+        validate_energy,
+        validate_timeseries,
+    )
 
     timeseries = build_timeseries(telemetry)
     assert validate_timeseries(timeseries) == []
+    energy = build_energy(telemetry)
+    assert validate_energy(energy) == []
     # median of the per-pair ratios: each pair shares its moment's
     # machine conditions, and the median rejects GC/scheduler outliers;
     # the spread (max - min ratio) is the run's own noise estimate
@@ -265,6 +273,12 @@ def main(argv=None) -> int:
         "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
         "telemetry_overhead_spread_pct": round(spread_pct, 2),
         "timeseries_windows": timeseries["n_windows"],
+        "energy_total_pj": round(energy["total_pj"], 3),
+        "energy_pj_per_bit": round(energy["pj_per_bit"], 6),
+        "energy_mean_power_w": round(energy["mean_power_w"], 6),
+        "energy_requests_per_s_per_w": round(
+            energy["requests_per_s_per_w"]
+        ),
         "latency_percentiles": percentiles,
         "refresh_requests_per_sec": round(refresh_rate),
         "event_requests": N_EVENT,

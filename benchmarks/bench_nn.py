@@ -205,13 +205,28 @@ def main(argv=None) -> int:
     telemetry_rate, telemetry_overhead_pct, spread_pct, telemetry = (
         replay_overhead()
     )
-    # percentile + time-series assembly is deliberately outside the
-    # timed region — derivation must never ride the hot path
+    # percentile + time-series + energy assembly is deliberately
+    # outside the timed region — derivation must never ride the hot
+    # path
     percentiles = telemetry.percentiles()
-    from repro.telemetry import build_timeseries, validate_timeseries
+    from repro.telemetry import (
+        build_energy,
+        build_timeseries,
+        validate_energy,
+        validate_timeseries,
+    )
 
     timeseries = build_timeseries(telemetry)
     assert validate_timeseries(timeseries) == []
+    energy = build_energy(telemetry)
+    assert validate_energy(energy) == []
+    # tokens-equivalent perf-per-watt: the instrumented GEMM stream
+    # processes GEMM_SHAPE["m"] token positions per simulated makespan
+    tokens_per_s_per_w = (
+        GEMM_SHAPE["m"]
+        / (energy["makespan_ns"] * 1e-9)
+        / energy["mean_power_w"]
+    )
     trace_rate, trace_records = max(
         (run_trace_pipeline() for _ in range(3)), key=lambda r: r[0]
     )
@@ -227,6 +242,10 @@ def main(argv=None) -> int:
         "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
         "telemetry_overhead_spread_pct": round(spread_pct, 2),
         "timeseries_windows": timeseries["n_windows"],
+        "energy_total_pj": round(energy["total_pj"], 3),
+        "energy_pj_per_bit": round(energy["pj_per_bit"], 6),
+        "energy_mean_power_w": round(energy["mean_power_w"], 6),
+        "energy_tokens_per_s_per_w": round(tokens_per_s_per_w),
         "latency_percentiles": percentiles,
         "gemm_requests": result.n_requests,
         "trace_records": trace_records,

@@ -159,13 +159,21 @@ def main(argv=None) -> int:
     telemetry_rate, telemetry_overhead_pct, spread_pct, telemetry = (
         replay_overhead()
     )
-    # percentile + time-series assembly is deliberately outside the
-    # timed region — derivation must never ride the hot path
+    # percentile + time-series + energy assembly is deliberately
+    # outside the timed region — derivation must never ride the hot
+    # path
     percentiles = telemetry.percentiles()
-    from repro.telemetry import build_timeseries, validate_timeseries
+    from repro.telemetry import (
+        build_energy,
+        build_timeseries,
+        validate_energy,
+        validate_timeseries,
+    )
 
     timeseries = build_timeseries(telemetry)
     assert validate_timeseries(timeseries) == []
+    energy = build_energy(telemetry)
+    assert validate_energy(energy) == []
     speedups = kernel_speedups()
     record = {
         "benchmark": "pimexec_pipeline_throughput",
@@ -177,6 +185,14 @@ def main(argv=None) -> int:
         "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
         "telemetry_overhead_spread_pct": round(spread_pct, 2),
         "timeseries_windows": timeseries["n_windows"],
+        "energy_total_pj": round(energy["total_pj"], 3),
+        "energy_pj_per_bit": round(energy["pj_per_bit"], 6),
+        "energy_mean_power_w": round(energy["mean_power_w"], 6),
+        # every request in the instrumented pimexec stream is one
+        # command, so perf-per-watt is commands/s per simulated watt
+        "energy_commands_per_s_per_w": round(
+            energy["requests_per_s_per_w"]
+        ),
         "latency_percentiles": percentiles,
         "values_per_sec": round(values_rate),
         "replay_engine": result.engine,

@@ -6,12 +6,12 @@ Replays one timestamped trace twice —
 2. on the sharded farm (`repro.farm`) under a chaos plan that kills a
    worker's first attempt —
 
-derives the windowed time series (`repro.telemetry/timeseries-v1`)
+derives the windowed time series (`repro.telemetry/timeseries-v2`)
 from both recorded replays, shows the documents are **identical**
 (every series is a deterministic reduction of arrays the engines
 already keep bit-identical — only the `engine` label differs), walks
 the farm supervisor's typed event log, and renders the whole run as
-the `repro-pim report` text report + `repro.telemetry/report-v1`
+the `repro-pim report` text report + `repro.telemetry/report-v2`
 JSON.  See ``docs/observability.md`` for the schemas.
 
 Run: ``PYTHONPATH=src python examples/run_report.py``

@@ -25,7 +25,7 @@ Commands
     Replay a trace once and render one unified run report — metrics
     snapshot, exact latency percentiles, windowed time series, and
     (with ``--workers``) the farm fault ledger and supervisor event
-    counts — as text tables plus a ``repro.telemetry/report-v1`` JSON
+    counts — as text tables plus a ``repro.telemetry/report-v2`` JSON
     document.
 ``repro-pim pimexec [--kernel NAME | --trace FILE]``
     Execute built-in PIM kernels on the per-bank execution units and
@@ -43,9 +43,11 @@ Options: ``--full`` (paper-size grids instead of quick ones), ``--seed``,
 verbs (``replay``/``farm``/``pimexec``/``nn``) accept ``--metrics FILE``
 (a ``repro.telemetry/v1`` metrics snapshot with exact latency
 percentiles), ``--timeline FILE`` (a Chrome-trace-event command timeline
-viewable in Perfetto), and ``--timeseries FILE`` (a
-``repro.telemetry/timeseries-v1`` windowed-metrics document,
-bit-identical across engines); see ``docs/observability.md``.
+viewable in Perfetto), ``--timeseries FILE`` (a
+``repro.telemetry/timeseries-v2`` windowed-metrics document,
+bit-identical across engines), and ``--energy FILE`` (a
+``repro.telemetry/energy-v1`` command-level energy accounting with
+pJ/bit and perf-per-watt); see ``docs/observability.md``.
 
 Examples
 --------
@@ -199,11 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_p.add_argument(
         "--json", type=pathlib.Path, default=None, metavar="FILE",
-        help="write the repro.telemetry/report-v1 document to FILE",
+        help="write the repro.telemetry/report-v2 document to FILE",
     )
     report_p.add_argument(
         "--timeseries", type=pathlib.Path, default=None, metavar="FILE",
-        help="also write the embedded repro.telemetry/timeseries-v1 "
+        help="also write the embedded repro.telemetry/timeseries-v2 "
+        "document on its own to FILE",
+    )
+    report_p.add_argument(
+        "--energy", type=pathlib.Path, default=None, metavar="FILE",
+        help="also write the embedded repro.telemetry/energy-v1 "
         "document on its own to FILE",
     )
 
@@ -349,8 +356,8 @@ def _add_memsys_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
-    """``--metrics``/``--timeline``/``--timeseries`` shared by the
-    replay verbs."""
+    """``--metrics``/``--timeline``/``--timeseries``/``--energy``
+    shared by the replay verbs."""
     parser.add_argument(
         "--metrics", type=pathlib.Path, default=None, metavar="FILE",
         help="write a repro.telemetry/v1 metrics snapshot (counters, "
@@ -364,9 +371,15 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--timeseries", type=pathlib.Path, default=None, metavar="FILE",
-        help="write a repro.telemetry/timeseries-v1 windowed-metrics "
+        help="write a repro.telemetry/timeseries-v2 windowed-metrics "
         "document (offered/served load, bandwidth, queue depth, busy "
-        "and refresh fractions over time) to FILE as JSON",
+        "and refresh fractions, power over time) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--energy", type=pathlib.Path, default=None, metavar="FILE",
+        help="write a repro.telemetry/energy-v1 command-level energy "
+        "accounting (per-class breakdown, pJ/bit, mean power, "
+        "perf-per-watt, windowed power series) to FILE as JSON",
     )
 
 
@@ -376,6 +389,7 @@ def _make_telemetry(args: argparse.Namespace) -> _t.Optional[_t.Any]:
         args.metrics is None
         and args.timeline is None
         and getattr(args, "timeseries", None) is None
+        and getattr(args, "energy", None) is None
     ):
         return None
     from .telemetry import ReplayTelemetry
@@ -420,6 +434,17 @@ def _write_telemetry(
         print(
             f"timeseries: wrote {args.timeseries} "
             f"({document['n_windows']} windows)"
+        )
+    if getattr(args, "energy", None) is not None:
+        from .telemetry import build_energy
+
+        document = build_energy(telemetry)
+        args.energy.parent.mkdir(parents=True, exist_ok=True)
+        args.energy.write_text(json.dumps(document) + "\n")
+        print(
+            f"energy:   wrote {args.energy} "
+            f"({document['total_pj']:.6g} pJ, "
+            f"{document['pj_per_bit']:.6g} pJ/bit)"
         )
 
 
@@ -642,6 +667,7 @@ def _report_command(args: argparse.Namespace) -> int:
     from .telemetry import (
         MetricsRegistry,
         ReplayTelemetry,
+        build_energy,
         build_report,
         build_timeseries,
         farm_metrics,
@@ -687,12 +713,14 @@ def _report_command(args: argparse.Namespace) -> int:
             registry, scheme=args.scheme, policy=args.policy
         )
         timeseries = build_timeseries(telemetry, n_windows=args.windows)
+        energy = build_energy(telemetry)
         document = build_report(
             telemetry,
             registry=registry,
             timeseries=timeseries,
             farm_report=farm_report,
             source=source,
+            energy=energy,
         )
     except _BAD_INPUT as error:
         print(f"report failed: {error}", file=sys.stderr)
@@ -707,6 +735,14 @@ def _report_command(args: argparse.Namespace) -> int:
         print(
             f"timeseries: wrote {args.timeseries} "
             f"({timeseries['n_windows']} windows)"
+        )
+    if args.energy is not None:
+        args.energy.parent.mkdir(parents=True, exist_ok=True)
+        args.energy.write_text(json.dumps(energy) + "\n")
+        print(
+            f"energy:   wrote {args.energy} "
+            f"({energy['total_pj']:.6g} pJ, "
+            f"{energy['pj_per_bit']:.6g} pJ/bit)"
         )
     return 0
 
@@ -769,10 +805,12 @@ def _pimexec_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.metrics or args.timeline or args.timeseries) and len(names) != 1:
+    if (
+        args.metrics or args.timeline or args.timeseries or args.energy
+    ) and len(names) != 1:
         print(
-            "--metrics/--timeline/--timeseries instrument one replay: "
-            "pick a single kernel with --kernel NAME",
+            "--metrics/--timeline/--timeseries/--energy instrument one "
+            "replay: pick a single kernel with --kernel NAME",
             file=sys.stderr,
         )
         return 2
@@ -845,10 +883,11 @@ def _nn_command(args: argparse.Namespace) -> int:
             args.metrics is not None
             or args.timeline is not None
             or args.timeseries is not None
+            or args.energy is not None
         ):
             print(
-                "--metrics/--timeline/--timeseries instrument a "
-                "replay; they do not apply to --emit-trace",
+                "--metrics/--timeline/--timeseries/--energy instrument "
+                "a replay; they do not apply to --emit-trace",
                 file=sys.stderr,
             )
             return 2
@@ -902,10 +941,12 @@ def _nn_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.metrics or args.timeline or args.timeseries) and len(names) != 1:
+    if (
+        args.metrics or args.timeline or args.timeseries or args.energy
+    ) and len(names) != 1:
         print(
-            "--metrics/--timeline/--timeseries instrument one replay: "
-            "pick a single kernel with --kernel NAME",
+            "--metrics/--timeline/--timeseries/--energy instrument one "
+            "replay: pick a single kernel with --kernel NAME",
             file=sys.stderr,
         )
         return 2

@@ -17,7 +17,13 @@ machine and closes four loops:
   column accesses (the modeled timing difference);
 * **workload traces** — a generated transformer-layer program trace
   (fixed-cadence and Poisson arrivals) must replay with bit-identical
-  statistics through the event engine and the fast path.
+  statistics through the event engine and the fast path;
+* **energy crossover** — command-level
+  :mod:`repro.telemetry.energy` accounting of every kernel and its
+  host-only twin must flip host-vs-PIM *energy* advantage exactly
+  where the *time* advantage flips (the kernel family decides both
+  axes), cross-validating the coefficients against the analytic
+  :mod:`repro.arch.energy` argument at application scale.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from ..nn import (
     run_nn_kernel,
     transformer_layer_program,
 )
+from ..telemetry import ReplayTelemetry, build_energy
 from .registry import ExperimentConfig, ExperimentResult, register
 
 #: Per-kernel shape arguments: (quick, full).
@@ -87,6 +94,10 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # ------------------------------------------------------------------
     # 1. host vs PIM per kernel, fp16, bit-exact
     # ------------------------------------------------------------------
+    telemetries = {
+        name: (ReplayTelemetry(), ReplayTelemetry())
+        for name in NN_KERNEL_NAMES
+    }
     comparisons = {
         name: run_nn_kernel(
             build_nn_kernel(
@@ -95,7 +106,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 dtype="fp16",
                 seed=config.seed,
                 **_shape(name, config.quick),
-            )
+            ),
+            telemetry=telemetries[name][0],
+            host_telemetry=telemetries[name][1],
         )
         for name in NN_KERNEL_NAMES
     }
@@ -103,6 +116,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # scalar broadcasts amortize over every row in the banks — the
     # kernel family that favors PIM, per the large-scale benchmarking
     # papers whose crossover conclusions flip between families
+    gemv_telemetry = (ReplayTelemetry(), ReplayTelemetry())
     gemv_shaped = run_nn_kernel(
         build_nn_kernel(
             "gemm",
@@ -112,7 +126,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             m=128 if config.quick else 256,
             k=32 if config.quick else 64,
             n=1,
-        )
+        ),
+        telemetry=gemv_telemetry[0],
+        host_telemetry=gemv_telemetry[1],
     )
     kernel_rows = [c.row() for c in comparisons.values()]
     gemv_row = gemv_shaped.row()
@@ -250,6 +266,34 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             }
         )
 
+    # ------------------------------------------------------------------
+    # 5. energy crossover: energy advantage flips with time advantage
+    # ------------------------------------------------------------------
+    energy_rows = []
+    energy_tracks_time = True
+    named = [
+        (name, comparisons[name], telemetries[name])
+        for name in NN_KERNEL_NAMES
+    ]
+    named.append(("gemm (gemv-shaped)", gemv_shaped, gemv_telemetry))
+    for label, comparison, (pim_t, host_t) in named:
+        pim_energy = build_energy(pim_t)
+        host_energy = build_energy(host_t)
+        ratio = host_energy["total_pj"] / pim_energy["total_pj"]
+        energy_tracks_time = energy_tracks_time and (
+            (ratio > 1.0) == (comparison.speedup > 1.0)
+        )
+        energy_rows.append(
+            {
+                "kernel": label,
+                "time_speedup": comparison.speedup,
+                "energy_ratio": ratio,
+                "pim_pj_per_bit": pim_energy["pj_per_bit"],
+                "host_pj_per_bit": host_energy["pj_per_bit"],
+                "pim_mean_power_w": pim_energy["mean_power_w"],
+            }
+        )
+
     checks = {
         "every fp16 kernel matches its binary16 reference bit-"
         "exactly": all_exact,
@@ -265,6 +309,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         ),
         "transformer trace replays identically through both "
         "engines": engines_identical,
+        "the energy crossover flips with the time crossover on "
+        "every kernel": energy_tracks_time,
     }
     contenders = list(comparisons.values()) + [gemv_shaped]
     best = max(contenders, key=lambda c: c.speedup)
@@ -278,6 +324,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "fp16_precision": precision_rows,
             "bank_group": group_rows,
             "transformer_trace": trace_rows,
+            "energy_crossover": energy_rows,
         },
         plots={},
         summary=[
@@ -292,6 +339,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "(half the units need twice the column accesses)",
             f"transformer trace ({trace_rows[0]['records']} records) "
             "replays bit-identically through event and fast engines",
+            "energy crossover tracks the time crossover: "
+            f"gemv-shaped GEMM saves "
+            f"{energy_rows[-1]['energy_ratio']:.2f}x energy in-bank",
         ],
         checks=checks,
     )

@@ -17,7 +17,16 @@ closes the loop three ways:
 * **program-trace replay** — an HBM-PIMulator-style program trace
   (``R/W GPR|CFR|MEM``, ``AB W``, ``PIM MAC/ADD/MUL``) parses, replays
   through :class:`~repro.memsys.MemorySystem`, and leaves the per-bank
-  GRF contents bit-identical to the reference computation.
+  GRF contents bit-identical to the reference computation;
+* **energy cross-validation** — the command-level
+  :mod:`repro.telemetry.energy` accounting of each kernel's PIM stream
+  and host-only twin must agree in sign with the analytic
+  :func:`~repro.arch.energy.energy_ratio` model (both say PIM saves
+  energy), with the analytic ratio as an upper bound (the simulation
+  charges broadcasts, dynamic CRF instructions, refresh, and standby
+  power that the operation-count model omits), and the Table 1 kernel
+  families' simulated pJ/bit must order with the analytic host energy
+  at each family's measured locality.
 """
 
 from __future__ import annotations
@@ -26,8 +35,11 @@ import typing as _t
 
 import numpy as np
 
+from ..arch.energy import EnergyParams, _hwp_energy_per_op, energy_ratio
+from ..core.params import Table1Params
 from ..isa import simd_vector_sum_program, vector_sum_program
-from ..memsys import MemSysConfig
+from ..memsys import MemorySystem, MemSysConfig
+from ..memsys.trace import PackedTrace
 from ..pimexec import (
     PimExecMachine,
     axpy_kernel,
@@ -37,7 +49,26 @@ from ..pimexec import (
     parse_pim_program,
     vector_sum_kernel,
 )
+from ..telemetry import ReplayTelemetry, build_energy
+from ..workloads import standard_kernels
 from .registry import ExperimentConfig, ExperimentResult, register
+
+
+def pim_bit_fraction(telemetry: ReplayTelemetry, config: MemSysConfig,
+                     total_bits: float) -> float:
+    """Fraction of a recorded stream's delivered bits moved by PIM ops.
+
+    This is the simulated analogue of the analytic model's
+    ``lwp_fraction`` abscissa: PIM lockstep commands deliver one page
+    per bank across the channel, everything else moves one page.
+    """
+    op = np.asarray(telemetry.recorder.op_code)
+    pim_bits = (
+        int((op == 2).sum())
+        * config.timing.page_bits
+        * config.banks_per_channel
+    )
+    return pim_bits / total_bits
 
 
 def _frontend_trace(n_cols: int) -> str:
@@ -80,7 +111,15 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         axpy_kernel(n, config=sys_config, seed=config.seed),
         gemv_kernel(n_cols, sys_config, seed=config.seed),
     ]
-    comparisons = [compare_host_pim(kernel) for kernel in kernels]
+    telemetries = [
+        (ReplayTelemetry(), ReplayTelemetry()) for _ in kernels
+    ]
+    comparisons = [
+        compare_host_pim(
+            kernel, telemetry=pim_t, host_telemetry=host_t
+        )
+        for kernel, (pim_t, host_t) in zip(kernels, telemetries)
+    ]
     kernel_rows = [c.row() for c in comparisons]
     all_exact = all(c.correct for c in comparisons)
     n_faster = sum(c.speedup > 1.0 for c in comparisons)
@@ -150,6 +189,85 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         }
     ]
 
+    # ------------------------------------------------------------------
+    # 4. energy cross-validation against the analytic model
+    # ------------------------------------------------------------------
+    energy_rows = []
+    energy_sign_agrees = True
+    analytic_upper_bounds = True
+    for kernel, comparison, (pim_t, host_t) in zip(
+        kernels, comparisons, telemetries
+    ):
+        pim_energy = build_energy(pim_t)
+        host_energy = build_energy(host_t)
+        fraction = pim_bit_fraction(
+            pim_t, kernel.config, pim_energy["total_bits"]
+        )
+        simulated = host_energy["total_pj"] / pim_energy["total_pj"]
+        analytic = float(energy_ratio(fraction))
+        energy_sign_agrees = energy_sign_agrees and (
+            (simulated > 1.0) == (analytic > 1.0)
+        )
+        analytic_upper_bounds = analytic_upper_bounds and (
+            simulated <= analytic
+        )
+        energy_rows.append(
+            {
+                "kernel": comparison.kernel,
+                "pim_bit_fraction": fraction,
+                "host_pj": host_energy["total_pj"],
+                "pim_pj": pim_energy["total_pj"],
+                "simulated_ratio": simulated,
+                "analytic_ratio": analytic,
+                "pim_pj_per_bit": pim_energy["pj_per_bit"],
+                "host_pj_per_bit": host_energy["pj_per_bit"],
+            }
+        )
+
+    # Table 1 kernel families: simulated host pJ/bit must order with
+    # the analytic host energy per operation at each family's measured
+    # row-hit rate and load/store mix (pairs that the simulation
+    # separates by less than 5% carry no ordering information).
+    family_rows = []
+    family_points = []
+    for family in standard_kernels(
+        accesses=4_000 if config.quick else 20_000, seed=config.seed
+    ):
+        addrs = np.asarray(family.trace, dtype=np.int64)
+        trace = PackedTrace(np.zeros(len(addrs), dtype=np.uint8), addrs)
+        family_t = ReplayTelemetry()
+        stats = MemorySystem(sys_config).replay(
+            trace, engine="fast", telemetry=family_t
+        )
+        family_energy = build_energy(family_t)
+        miss_rate = 1.0 - stats.row_hits / max(1, stats.n_requests)
+        params = Table1Params(
+            ls_mix=family.ls_mix, miss_rate=miss_rate
+        )
+        analytic_host = float(
+            _hwp_energy_per_op(params, EnergyParams(), miss_rate)
+        )
+        family_points.append(
+            (family.name, family_energy["pj_per_bit"], analytic_host)
+        )
+        family_rows.append(
+            {
+                "family": family.name,
+                "ls_mix": family.ls_mix,
+                "row_miss_rate": miss_rate,
+                "simulated_pj_per_bit": family_energy["pj_per_bit"],
+                "analytic_host_nj_per_op": analytic_host,
+            }
+        )
+    family_ordering_agrees = True
+    for i, (_, sim_i, ana_i) in enumerate(family_points):
+        for _, sim_j, ana_j in family_points[i + 1:]:
+            if abs(sim_i - sim_j) / max(sim_i, sim_j) < 0.05:
+                continue
+            family_ordering_agrees = family_ordering_agrees and (
+                (sim_i < sim_j) == (ana_i < ana_j)
+            )
+
     checks = {
         "every kernel's bank state matches NumPy bit-exactly": all_exact,
         "PIM-mode beats host-only on >= 2 kernels": n_faster >= 2,
@@ -162,6 +280,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "PIM records depend on the kernel/config write": all(
             dep is not None for dep in pim_dependencies
         ),
+        "simulated and analytic energy models agree PIM saves "
+        "energy on every kernel": energy_sign_agrees,
+        "the analytic energy ratio upper-bounds the simulated one "
+        "(command overheads only erode the advantage)": (
+            analytic_upper_bounds
+        ),
+        "Table 1 families' simulated pJ/bit orders with the "
+        "analytic host energy at measured locality": (
+            family_ordering_agrees
+        ),
     }
     best = max(comparisons, key=lambda c: c.speedup)
     return ExperimentResult(
@@ -172,6 +300,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "kernel_comparison": kernel_rows,
             "lowered_isa": lowered_rows,
             "program_trace": frontend_rows,
+            "energy_cross_validation": energy_rows,
+            "table1_family_energy": family_rows,
         },
         plots={},
         summary=[
@@ -189,6 +319,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"program trace: {len(program)} records -> "
             f"{replay.n_requests} requests, GRF contents "
             + ("bit-exact" if frontend_exact else "DIVERGENT"),
+            (
+                "energy: simulated host/PIM ratios "
+                + ", ".join(
+                    f"{row['kernel']} {row['simulated_ratio']:.2f}x"
+                    for row in energy_rows
+                )
+                + " — all under the analytic bound"
+                if analytic_upper_bounds
+                else "energy: simulated ratio EXCEEDS the analytic bound"
+            ),
         ],
         checks=checks,
     )

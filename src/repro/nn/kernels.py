@@ -229,6 +229,7 @@ def run_nn_kernel(
     kernel: NnKernel,
     engine: str = "auto",
     telemetry: _t.Optional[_t.Any] = None,
+    host_telemetry: _t.Optional[_t.Any] = None,
 ) -> NnComparison:
     """Execute ``kernel`` in PIM mode and replay its host-only twin.
 
@@ -239,8 +240,9 @@ def run_nn_kernel(
 
     ``telemetry`` (a :class:`~repro.telemetry.ReplayTelemetry`)
     instruments the *PIM-mode* replay — the host-only twin runs
-    uninstrumented, so the recorded latencies describe the kernel's
-    actual command stream.
+    uninstrumented unless ``host_telemetry`` asks for its own
+    recording (for side-by-side energy accounting) — so the recorded
+    latencies describe each kernel's actual command stream.
     """
     machine = kernel.machine()
     kernel.setup(machine)
@@ -248,7 +250,7 @@ def run_nn_kernel(
     kernel.execute(machine)
     pim = machine.replay(engine=engine, telemetry=telemetry)
     host = MemorySystem(kernel.config).replay(
-        kernel.host_trace(), engine=engine
+        kernel.host_trace(), engine=engine, telemetry=host_telemetry
     )
     return NnComparison(
         kernel=kernel.name,

@@ -547,6 +547,7 @@ def compare_host_pim(
     kernel: PimKernel,
     engine: str = "auto",
     telemetry: _t.Optional[_t.Any] = None,
+    host_telemetry: _t.Optional[_t.Any] = None,
 ) -> KernelComparison:
     """Execute ``kernel`` in PIM mode and replay its host-only twin.
 
@@ -555,7 +556,9 @@ def compare_host_pim(
     all-bank execution, and result readback.  ``telemetry`` (a
     :class:`~repro.telemetry.ReplayTelemetry`) instruments the **PIM**
     replay — the stream whose AB barriers and queueing the timeline
-    renders; the host-only twin replays uninstrumented.
+    renders; ``host_telemetry`` instruments the host-only twin (for
+    side-by-side energy accounting), which otherwise replays
+    uninstrumented.
     """
     machine = PimExecMachine(kernel.config)
     kernel.setup(machine)
@@ -563,7 +566,7 @@ def compare_host_pim(
     kernel.execute(machine)
     pim = machine.replay(engine=engine, telemetry=telemetry)
     host = MemorySystem(kernel.config).replay(
-        kernel.host_trace(), engine=engine
+        kernel.host_trace(), engine=engine, telemetry=host_telemetry
     )
     return KernelComparison(
         kernel=kernel.name,

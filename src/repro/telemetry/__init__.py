@@ -13,12 +13,25 @@ system, the PIM machine, and the transformer-kernel workloads:
 * :func:`build_timeline` / :func:`write_timeline` — Chrome-trace-event
   export of per-bank busy spans, row open/close, refresh blackouts, and
   AB barriers for Perfetto (:mod:`repro.telemetry.timeline`);
+* :func:`build_energy` / :class:`EnergyCoefficients` — DRAM-command-
+  level energy accounting and windowed power derived post-replay from
+  the recorder arrays, cross-validated against the analytic
+  :mod:`repro.arch.energy` model (:mod:`repro.telemetry.energy`);
 * :class:`PhaseProfiler` — coarse per-phase wall-clock timers inside
   the replay engines (:mod:`repro.telemetry.profile`).
 
 See ``docs/observability.md`` for the schema reference and usage.
 """
 
+from .energy import (
+    ENERGY_CLASSES,
+    ENERGY_SCHEMA,
+    EnergyCoefficients,
+    build_energy,
+    energy_metrics,
+    validate_energy,
+    write_energy,
+)
 from .latency import ALL_BANKS, OUTCOME_NAMES, LatencyRecorder, ReplayTelemetry
 from .profile import PhaseProfiler
 from .registry import (
@@ -73,6 +86,13 @@ __all__ = [
     "build_timeseries",
     "validate_timeseries",
     "write_timeseries",
+    "ENERGY_CLASSES",
+    "ENERGY_SCHEMA",
+    "EnergyCoefficients",
+    "build_energy",
+    "energy_metrics",
+    "validate_energy",
+    "write_energy",
     "REPORT_SCHEMA",
     "build_report",
     "render_report",

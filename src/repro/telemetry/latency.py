@@ -406,7 +406,7 @@ class ReplayTelemetry:
         window_ns: _t.Optional[float] = None,
         n_windows: _t.Optional[int] = None,
     ) -> dict:
-        """The ``timeseries-v1`` windowed-metrics document."""
+        """The ``timeseries-v2`` windowed-metrics document."""
         from .timeseries import build_timeseries
 
         return build_timeseries(
@@ -424,6 +424,41 @@ class ReplayTelemetry:
 
         return write_timeseries(
             self, path, window_ns=window_ns, n_windows=n_windows
+        )
+
+    # ------------------------------------------------------------------
+    def energy(
+        self,
+        coefficients: _t.Optional[_t.Any] = None,
+        window_ns: _t.Optional[float] = None,
+        n_windows: _t.Optional[int] = None,
+    ) -> dict:
+        """The ``energy-v1`` command-level energy document."""
+        from .energy import build_energy
+
+        return build_energy(
+            self,
+            coefficients=coefficients,
+            window_ns=window_ns,
+            n_windows=n_windows,
+        )
+
+    def write_energy(
+        self,
+        path: _t.Any,
+        coefficients: _t.Optional[_t.Any] = None,
+        window_ns: _t.Optional[float] = None,
+        n_windows: _t.Optional[int] = None,
+    ):
+        """Write the energy JSON; returns the path."""
+        from .energy import write_energy
+
+        return write_energy(
+            self,
+            path,
+            coefficients=coefficients,
+            window_ns=window_ns,
+            n_windows=n_windows,
         )
 
     def __repr__(self) -> str:

@@ -3,12 +3,14 @@
 ``repro-pim report TRACE`` replays a trace once and renders everything
 the observability layer knows about the run — the
 ``repro.telemetry/v1`` metrics snapshot, the exact latency
-percentiles, the ``timeseries-v1`` windowed series, and (for farm
-runs) the fault ledger and supervisor event counts — as one text table
-on stdout and one JSON document (``repro.telemetry/report-v1``) on
-disk.  The JSON is a pure composition of the existing schemas: every
-section is exactly what the dedicated exporter would have written, so
-a report is bit-identical across engines wherever its inputs are.
+percentiles, the ``timeseries-v2`` windowed series, the ``energy-v1``
+command-level energy accounting (pJ/bit, mean power, perf-per-watt),
+and (for farm runs) the fault ledger and supervisor event counts — as
+one text table on stdout and one JSON document
+(``repro.telemetry/report-v2``) on disk.  The JSON is a pure
+composition of the existing schemas: every section is exactly what
+the dedicated exporter would have written, so a report is
+bit-identical across engines wherever its inputs are.
 
 :func:`render_report` is a pure function of the JSON document, so a
 stored report re-renders identically anywhere.
@@ -34,8 +36,9 @@ __all__ = [
     "write_report",
 ]
 
-#: Schema identifier carried in every report document.
-REPORT_SCHEMA = "repro.telemetry/report-v1"
+#: Schema identifier carried in every report document (v2 added the
+#: ``energy`` section).
+REPORT_SCHEMA = "repro.telemetry/report-v2"
 
 
 def replay_tier(engine: _t.Optional[str]) -> _t.Optional[str]:
@@ -67,13 +70,16 @@ def build_report(
     timeseries: _t.Optional[dict] = None,
     farm_report: _t.Optional[_t.Any] = None,
     source: str = "",
+    energy: _t.Optional[dict] = None,
 ) -> dict:
     """Compose the report document from one recorded replay.
 
     ``registry`` defaults to the telemetry's own emission;
     ``timeseries`` defaults to a fresh :func:`build_timeseries` over
-    the default window grid; ``farm_report`` (a
-    :class:`~repro.farm.FarmReport`) adds the fault ledger.
+    the default window grid; ``energy`` defaults to a fresh
+    :func:`~repro.telemetry.energy.build_energy` with the default
+    coefficients; ``farm_report`` (a :class:`~repro.farm.FarmReport`)
+    adds the fault ledger.
     """
     if not telemetry.finished:
         raise RuntimeError(
@@ -87,6 +93,12 @@ def build_report(
         from .timeseries import build_timeseries
 
         timeseries = build_timeseries(telemetry)
+    if energy is None and (
+        telemetry.recorder is not None and telemetry.recorder.captured
+    ):
+        from .energy import build_energy
+
+        energy = build_energy(telemetry)
     percentiles = (
         telemetry.percentiles()
         if telemetry.recorder is not None and telemetry.recorder.captured
@@ -105,6 +117,7 @@ def build_report(
         "metrics": registry.snapshot(),
         "percentiles": percentiles,
         "timeseries": timeseries,
+        "energy": energy,
         "farm": (
             None if farm_report is None else farm_report.to_dict()
         ),
@@ -193,6 +206,27 @@ def render_report(document: dict) -> str:
         for name, lo, mean, hi in _series_rows(timeseries):
             lines.append(
                 f"  {name:28s}{lo:>12s}{mean:>12s}{hi:>12s}"
+            )
+    energy = document.get("energy")
+    if energy:
+        lines.append("")
+        lines.append(
+            f"energy ({_fmt(energy.get('total_pj'))} pJ total, "
+            f"{_fmt(energy.get('pj_per_bit'))} pJ/bit, "
+            f"{_fmt(energy.get('mean_power_w'))} W mean, "
+            f"{_fmt(energy.get('requests_per_s_per_w'))} requests/s/W)"
+        )
+        breakdown = energy.get("breakdown_pj") or {}
+        total = energy.get("total_pj") or math.nan
+        for name, value in breakdown.items():
+            share = (
+                value / total
+                if isinstance(value, (int, float)) and total
+                else math.nan
+            )
+            lines.append(
+                f"  {name:24s} {_fmt(value):>14s} pJ "
+                f"({_fmt(100 * share)}%)"
             )
     farm = document.get("farm")
     if farm:

@@ -61,6 +61,7 @@ def _thread_layout(n_banks: int) -> _t.Dict[str, _t.Any]:
         "refresh": n_banks + 2,
         "rows": [n_banks + 3 + b for b in range(n_banks)],
         "rows_all_banks": 2 * n_banks + 3,
+        "energy": 2 * n_banks + 4,
     }
 
 
@@ -88,6 +89,7 @@ def _metadata_events(
             for b, tid in enumerate(layout["rows"])
         )
         names.append((layout["rows_all_banks"], "rows.all-banks"))
+        names.append((layout["energy"], "energy"))
         for tid, name in names:
             events.append(
                 {
@@ -258,6 +260,59 @@ def build_timeline(
                     _span(
                         name, "refresh", ch, layout["refresh"],
                         begin, end,
+                    )
+                )
+
+    # --- energy breakdown track (one per channel) ---------------------
+    # Windowed power spans from the command-level energy accounting:
+    # each span covers one window of the default grid and carries the
+    # channel's event energy plus its share of refresh/background, so
+    # Perfetto shows where the power went next to the busy spans that
+    # caused it.
+    if makespan == makespan and makespan > 0:
+        from .energy import EnergyCoefficients, _event_components
+        from .energy import _refresh_events
+        from .timeseries import DEFAULT_WINDOWS, _window_index
+
+        coefficients = EnergyCoefficients()
+        count = DEFAULT_WINDOWS
+        window_ns = makespan / count
+        components = _event_components(recorder, config, coefficients)
+        finish_idx = _window_index(finish, window_ns, count)
+        begins, refresh_pj = _refresh_events(
+            config, makespan, coefficients
+        )
+        refresh_per_window = np.zeros(count)
+        if begins.shape[0]:
+            refresh_per_window = np.bincount(
+                _window_index(begins, window_ns, count),
+                weights=refresh_pj,
+                minlength=count,
+            ) / config.n_channels
+        for ch in range(config.n_channels):
+            mine = channel == ch
+            event_per_window = np.bincount(
+                finish_idx[mine],
+                weights=components["event"][mine],
+                minlength=count,
+            )
+            total = event_per_window + refresh_per_window
+            for w in range(count):
+                begin_ns = w * window_ns
+                spans.append(
+                    _span(
+                        f"{total[w] / window_ns:.3g} mW",
+                        "energy",
+                        ch,
+                        layout["energy"],
+                        begin_ns,
+                        begin_ns + window_ns,
+                        args={
+                            "event_pj": float(event_per_window[w]),
+                            "refresh_pj": float(
+                                refresh_per_window[w]
+                            ),
+                        },
                     )
                 )
 

@@ -30,6 +30,10 @@ Per window the document carries:
 * ``ab_stall_fraction`` — AB register-broadcast barrier occupancy,
   averaged over channels — the FR-FCFS serialization the ROADMAP
   names as the pimexec bottleneck, now visible over time;
+* ``power_w`` / ``energy_pj_to_date`` — windowed power draw and the
+  cumulative energy of the run, from the command-level accounting of
+  :mod:`repro.telemetry.energy` on this document's own window grid
+  (schema ``v2`` adds these two series);
 * per-channel and per-bank ``busy_fraction`` — service-span union
   occupancy (all-bank PIM operations occupy every bank of their
   channel).
@@ -40,7 +44,7 @@ floor of ``benchmarks/bench_*.py`` is untouched (the benchmarks derive
 a series after the timed region to prove it).
 
 ``validate_timeseries`` is the schema check
-(``repro.telemetry/timeseries-v1``) mirroring
+(``repro.telemetry/timeseries-v2``) mirroring
 :func:`~repro.telemetry.timeline.validate_timeline`.
 """
 
@@ -66,8 +70,9 @@ __all__ = [
     "write_timeseries",
 ]
 
-#: Schema identifier carried in every document.
-TIMESERIES_SCHEMA = "repro.telemetry/timeseries-v1"
+#: Schema identifier carried in every document (v2 added the
+#: ``power_w`` / ``energy_pj_to_date`` series of the energy layer).
+TIMESERIES_SCHEMA = "repro.telemetry/timeseries-v2"
 
 #: Default window count when no ``window_ns`` is given: fine enough to
 #: resolve refresh waves at HBM2-class tREFI on realistic makespans,
@@ -84,6 +89,8 @@ SERIES_KEYS = (
     "queue_depth_max",
     "refresh_overhead_fraction",
     "ab_stall_fraction",
+    "power_w",
+    "energy_pj_to_date",
 )
 
 _BROADCAST = OUTCOME_NAMES.index("broadcast")
@@ -211,7 +218,7 @@ def build_timeseries(
     window_ns: _t.Optional[float] = None,
     n_windows: _t.Optional[int] = None,
 ) -> dict:
-    """Derive the ``timeseries-v1`` document from one recorded replay.
+    """Derive the ``timeseries-v2`` document from one recorded replay.
 
     ``window_ns`` fixes the window width explicitly; otherwise the
     makespan is divided into ``n_windows`` (default
@@ -359,6 +366,14 @@ def build_timeseries(
         )
     ab_stall /= config.n_channels
 
+    # windowed power + cumulative energy from the command-level
+    # accounting, on this document's own grid (1 pJ/ns == 1 mW)
+    from .energy import window_energy_pj
+
+    energy_per_window = window_energy_pj(telemetry, edges, window_ns)
+    power_w = energy_per_window / window_ns * 1e-3
+    energy_to_date = np.cumsum(energy_per_window)
+
     return {
         "schema": TIMESERIES_SCHEMA,
         "engine": telemetry.engine,
@@ -376,6 +391,8 @@ def build_timeseries(
             "queue_depth_max": depth_max.tolist(),
             "refresh_overhead_fraction": refresh.tolist(),
             "ab_stall_fraction": ab_stall.tolist(),
+            "power_w": power_w.tolist(),
+            "energy_pj_to_date": energy_to_date.tolist(),
         },
         "channels": channels,
     }
@@ -435,7 +452,7 @@ def validate_timeseries(document: _t.Any) -> _t.List[str]:
     """Schema-check one time-series document; returns problem strings.
 
     Mirrors :func:`~repro.telemetry.timeline.validate_timeline`: an
-    empty list means a well-formed ``timeseries-v1`` document — the
+    empty list means a well-formed ``timeseries-v2`` document — the
     test suite asserts exactly that on every export path.
     """
     problems: _t.List[str] = []

@@ -1,6 +1,6 @@
 """The windowed time-series document and its cross-engine bit-identity.
 
-Every series in ``repro.telemetry/timeseries-v1`` is a deterministic
+Every series in ``repro.telemetry/timeseries-v2`` is a deterministic
 numpy reduction of the latency recorder's arrays, and those arrays are
 bit-identical across the event engine, both fast-path tiers, and the
 farm's merged shards — so whole documents must agree to the last bit

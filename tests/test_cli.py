@@ -392,7 +392,7 @@ class TestTimeseriesFlag:
         from repro.telemetry import validate_timeseries
 
         document = json.loads(path.read_text())
-        assert document["schema"] == "repro.telemetry/timeseries-v1"
+        assert document["schema"] == "repro.telemetry/timeseries-v2"
         assert validate_timeseries(document) == []
         return document
 
@@ -514,7 +514,7 @@ class TestReportVerb:
         assert f"report:   wrote {report}" in out
         assert f"timeseries: wrote {series} (8 windows)" in out
         document = json.loads(report.read_text())
-        assert document["schema"] == "repro.telemetry/report-v1"
+        assert document["schema"] == "repro.telemetry/report-v2"
         assert {"metrics", "percentiles", "timeseries"} <= set(
             document
         )

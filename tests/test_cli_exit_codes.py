@@ -207,6 +207,18 @@ class TestPimexecBadInput:
         assert code == 2
         assert "single kernel" in err
 
+    def test_energy_needs_single_kernel(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            [
+                "pimexec", "--kernel", "all",
+                "--energy", str(tmp_path / "e.json"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "--energy" in err
+        assert "single kernel" in err
+
 
 class TestNnBadInput:
     def test_unknown_kernel(self, capsys):
@@ -237,6 +249,31 @@ class TestNnBadInput:
         )
         assert code == 2
         assert "--metrics" in err
+
+    def test_emit_trace_rejects_energy(self, tmp_path, capsys):
+        # --energy accounts a replay; --emit-trace never replays
+        code, _, err = run_cli(
+            [
+                "nn",
+                "--emit-trace", str(tmp_path / "out.trace"),
+                "--energy", str(tmp_path / "e.json"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "--energy" in err
+        assert "--emit-trace" in err
+
+    def test_energy_needs_single_kernel(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            [
+                "nn", "--kernel", "all",
+                "--energy", str(tmp_path / "e.json"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "single kernel" in err
 
 
 class TestExperimentVerbs:

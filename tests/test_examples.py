@@ -44,6 +44,13 @@ EXPECTED_MARKERS = {
         "bank-group GEMM: bit-identical output",
         "event and fast engines agree bit-for-bit",
     ],
+    "energy_profile.py": [
+        "energy documents bit-identical across engines: True",
+        "host energy breakdown:",
+        "host power profile:",
+        "pim moves bits cheaper than the host stream: True",
+        "perf-per-watt",
+    ],
     "run_report.py": [
         "time series identical across single-process and farm: True",
         "chaos-kill events on shard 0: 1 (attempt 0)",

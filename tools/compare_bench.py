@@ -124,6 +124,20 @@ SPREAD_KEYS: _t.Dict[str, str] = {
 #: each worth orders of magnitude on the pimexec pipeline.
 TIER_KEYS: _t.Tuple[str, ...] = ("unit_mode", "replay_engine")
 
+#: Energy-efficiency fields carried into the JSONL history next to the
+#: floored metrics, so pJ/bit and perf-per-watt regressions show up as
+#: PR-over-PR deltas even though they have no floor (energy totals are
+#: derived, deterministic quantities — a delta here means the model or
+#: the command stream changed, not the runner).
+ENERGY_KEYS: _t.Tuple[str, ...] = (
+    "energy_pj_per_bit",
+    "energy_total_pj",
+    "energy_mean_power_w",
+    "energy_requests_per_s_per_w",
+    "energy_commands_per_s_per_w",
+    "energy_tokens_per_s_per_w",
+)
+
 
 def compare_record(
     fresh: _t.Mapping[str, _t.Any],
@@ -277,6 +291,7 @@ def _history_entry(
     for name, record in records.items():
         keys = {"passed"}
         keys.update(TIER_KEYS)
+        keys.update(ENERGY_KEYS)
         for entry in FLOORS.get(name, []):
             keys.update(entry[:2])
             spread_key = SPREAD_KEYS.get(entry[0])
@@ -297,7 +312,11 @@ def _update_history(
     Reads the last entry already in ``path`` (the previous PR's run),
     prints a delta line for every floored metric and floor key, then
     appends the current run.  A missing or empty history file just
-    means "first recorded run".
+    means "first recorded run".  Re-running the comparison on the same
+    commit produces identical kept metrics; such a run updates nothing
+    — the entry is only appended when its ``records`` differ from the
+    previous line, so the trajectory has one line per measured change
+    rather than one per CI invocation.
     """
     previous: _t.Optional[dict] = None
     if path.exists():
@@ -329,6 +348,11 @@ def _update_history(
                 f"history: {name}.{key} = {value:g} "
                 f"[previous {prev:g}, {float(value) - prev:+g}]"
             )
+    if entry["records"] == prior and previous is not None:
+        lines.append(
+            "history: unchanged from previous entry — not re-appended"
+        )
+        return lines
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a") as handle:
         handle.write(json.dumps(entry) + "\n")
